@@ -1,0 +1,400 @@
+//! Complete DFAs, subset construction and language comparison.
+//!
+//! This module is the verification backbone of the reproduction: Theorem 1
+//! (`L(rewrite(A)) = L(A)`), Theorem 2 (`L(A) ⊆ L(iDTD(A))`) and Theorem 3
+//! (`W ⊆ L(crx(W))`) are all checked in the test suites through the
+//! equivalence / inclusion / witness functions defined here.
+
+use crate::nfa::Nfa;
+use crate::soa::Soa;
+use dtdinfer_regex::alphabet::{Sym, Word};
+use dtdinfer_regex::ast::Regex;
+use std::collections::{HashMap, VecDeque};
+
+/// A complete deterministic finite automaton over an explicit alphabet.
+///
+/// Transitions are total: every state has a successor for every symbol of
+/// `syms` (a dead state absorbs everything else). Symbols outside `syms` are
+/// by convention rejected.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// The (sorted, deduplicated) alphabet.
+    pub syms: Vec<Sym>,
+    /// Index of the start state.
+    pub start: usize,
+    /// Acceptance flags per state.
+    pub accept: Vec<bool>,
+    /// `trans[state][sym_index]` — total transition table.
+    pub trans: Vec<Vec<usize>>,
+}
+
+impl Dfa {
+    /// Subset construction from a Glushkov NFA, over the given alphabet
+    /// (which must contain every symbol of the NFA).
+    pub fn from_nfa(nfa: &Nfa, alphabet: &[Sym]) -> Self {
+        let syms = sorted_dedup(alphabet);
+        let sym_index: HashMap<Sym, usize> =
+            syms.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        debug_assert!(
+            nfa.sym_at.iter().all(|s| sym_index.contains_key(s)),
+            "alphabet must cover the NFA"
+        );
+
+        // State = sorted set of NFA positions; the start pseudo-state is the
+        // sentinel key `None`. Dead state = empty set.
+        let mut key_of: HashMap<Option<Vec<usize>>, usize> = HashMap::new();
+        let mut accept = Vec::new();
+        let mut trans: Vec<Vec<usize>> = Vec::new();
+        let mut order: Vec<Option<Vec<usize>>> = Vec::new();
+
+        let mut intern = |key: Option<Vec<usize>>,
+                          accept_flag: bool,
+                          accept: &mut Vec<bool>,
+                          trans: &mut Vec<Vec<usize>>,
+                          order: &mut Vec<Option<Vec<usize>>>|
+         -> (usize, bool) {
+            if let Some(&id) = key_of.get(&key) {
+                return (id, false);
+            }
+            let id = accept.len();
+            key_of.insert(key.clone(), id);
+            order.push(key);
+            accept.push(accept_flag);
+            trans.push(Vec::new());
+            (id, true)
+        };
+
+        let (start, _) = intern(None, nfa.accepts_empty, &mut accept, &mut trans, &mut order);
+        let mut queue = VecDeque::from([start]);
+        while let Some(id) = queue.pop_front() {
+            let key = order[id].clone();
+            let mut row = Vec::with_capacity(syms.len());
+            for &sym in &syms {
+                let targets: Vec<usize> = match &key {
+                    None => nfa
+                        .first
+                        .iter()
+                        .copied()
+                        .filter(|&p| nfa.sym_at[p] == sym)
+                        .collect(),
+                    Some(positions) => {
+                        let mut t: Vec<usize> = positions
+                            .iter()
+                            .flat_map(|&p| nfa.follow[p].iter().copied())
+                            .filter(|&q| nfa.sym_at[q] == sym)
+                            .collect();
+                        t.sort_unstable();
+                        t.dedup();
+                        t
+                    }
+                };
+                let accepting = targets.iter().any(|&p| nfa.last[p]);
+                let (tid, fresh) = intern(
+                    Some(targets),
+                    accepting,
+                    &mut accept,
+                    &mut trans,
+                    &mut order,
+                );
+                if fresh {
+                    queue.push_back(tid);
+                }
+                row.push(tid);
+            }
+            trans[id] = row;
+        }
+        Dfa {
+            syms,
+            start,
+            accept,
+            trans,
+        }
+    }
+
+    /// A DFA from a regular expression over `alphabet` (must cover `r`).
+    pub fn from_regex(r: &Regex, alphabet: &[Sym]) -> Self {
+        Dfa::from_nfa(&Nfa::from_regex(r), alphabet)
+    }
+
+    /// A DFA from an SOA (which is already deterministic) over `alphabet`.
+    pub fn from_soa(soa: &Soa, alphabet: &[Sym]) -> Self {
+        let syms = sorted_dedup(alphabet);
+        let sym_index: HashMap<Sym, usize> =
+            syms.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        // State layout: 0 = source, 1 = dead, 2.. = one per SOA state.
+        let soa_states: Vec<Sym> = soa.states.iter().copied().collect();
+        let state_of: HashMap<Sym, usize> = soa_states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i + 2))
+            .collect();
+        let n = soa_states.len() + 2;
+        let mut accept = vec![false; n];
+        accept[0] = soa.accepts_empty;
+        for (&sym, &st) in &state_of {
+            accept[st] = soa.finals.contains(&sym);
+        }
+        let mut trans = vec![vec![1usize; syms.len()]; n];
+        for &sym in &soa.initial {
+            if let Some(&t) = state_of.get(&sym) {
+                trans[0][sym_index[&sym]] = t;
+            }
+        }
+        for &(a, b) in &soa.edges {
+            let (sa, sb) = (state_of[&a], state_of[&b]);
+            trans[sa][sym_index[&b]] = sb;
+        }
+        Dfa {
+            syms,
+            start: 0,
+            accept,
+            trans,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Whether the DFA has no states (never true — there is always a start).
+    pub fn is_empty(&self) -> bool {
+        self.accept.is_empty()
+    }
+
+    /// Runs the DFA on `w`. Symbols outside the alphabet reject.
+    pub fn accepts(&self, w: &[Sym]) -> bool {
+        let mut state = self.start;
+        for sym in w {
+            match self.syms.binary_search(sym) {
+                Ok(i) => state = self.trans[state][i],
+                Err(_) => return false,
+            }
+        }
+        self.accept[state]
+    }
+}
+
+fn sorted_dedup(syms: &[Sym]) -> Vec<Sym> {
+    let mut v = syms.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Union of the alphabets of several expressions/automata, as a sorted list.
+pub fn joint_alphabet(parts: &[&[Sym]]) -> Vec<Sym> {
+    let mut v: Vec<Sym> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Finds a word accepted by `a` but not by `b`, if any. Both DFAs must be
+/// over the same alphabet (`a.syms == b.syms`).
+pub fn difference_witness(a: &Dfa, b: &Dfa) -> Option<Word> {
+    assert_eq!(a.syms, b.syms, "DFAs must share an alphabet");
+    let nb = b.len();
+    let encode = |sa: usize, sb: usize| sa * nb + sb;
+    let mut seen = vec![false; a.len() * nb];
+    // (state pair, predecessor index in `tree`, symbol leading here)
+    let mut tree: Vec<(usize, Option<(usize, Sym)>)> = Vec::new();
+    let mut queue = VecDeque::new();
+    let start = encode(a.start, b.start);
+    seen[start] = true;
+    tree.push((start, None));
+    queue.push_back(0usize);
+    while let Some(ti) = queue.pop_front() {
+        let (code, _) = tree[ti];
+        let (sa, sb) = (code / nb, code % nb);
+        if a.accept[sa] && !b.accept[sb] {
+            // Reconstruct the witness.
+            let mut word = Vec::new();
+            let mut cur = ti;
+            while let (_, Some((parent, sym))) = tree[cur] {
+                word.push(sym);
+                cur = parent;
+            }
+            word.reverse();
+            return Some(word);
+        }
+        for (i, &sym) in a.syms.iter().enumerate() {
+            let code2 = encode(a.trans[sa][i], b.trans[sb][i]);
+            if !seen[code2] {
+                seen[code2] = true;
+                tree.push((code2, Some((ti, sym))));
+                queue.push_back(tree.len() - 1);
+            }
+        }
+    }
+    None
+}
+
+/// Whether `L(a) ⊆ L(b)` (over the shared alphabet).
+pub fn dfa_subset(a: &Dfa, b: &Dfa) -> bool {
+    difference_witness(a, b).is_none()
+}
+
+/// Whether `L(a) = L(b)`.
+pub fn dfa_equiv(a: &Dfa, b: &Dfa) -> bool {
+    dfa_subset(a, b) && dfa_subset(b, a)
+}
+
+/// Whether two regular expressions denote the same language.
+pub fn regex_equiv(r1: &Regex, r2: &Regex) -> bool {
+    let alpha = joint_alphabet(&[&r1.symbols(), &r2.symbols()]);
+    let d1 = Dfa::from_regex(r1, &alpha);
+    let d2 = Dfa::from_regex(r2, &alpha);
+    dfa_equiv(&d1, &d2)
+}
+
+/// Whether `L(r1) ⊆ L(r2)`.
+pub fn regex_subset(r1: &Regex, r2: &Regex) -> bool {
+    let alpha = joint_alphabet(&[&r1.symbols(), &r2.symbols()]);
+    dfa_subset(&Dfa::from_regex(r1, &alpha), &Dfa::from_regex(r2, &alpha))
+}
+
+/// Whether an SOA and an RE denote the same language.
+pub fn soa_equiv_regex(soa: &Soa, r: &Regex) -> bool {
+    let soa_syms: Vec<Sym> = soa.states.iter().copied().collect();
+    let alpha = joint_alphabet(&[&soa_syms, &r.symbols()]);
+    dfa_equiv(&Dfa::from_soa(soa, &alpha), &Dfa::from_regex(r, &alpha))
+}
+
+/// Whether `L(soa) ⊆ L(r)` — the guarantee of Theorem 2.
+pub fn soa_subset_of_regex(soa: &Soa, r: &Regex) -> bool {
+    let soa_syms: Vec<Sym> = soa.states.iter().copied().collect();
+    let alpha = joint_alphabet(&[&soa_syms, &r.symbols()]);
+    dfa_subset(&Dfa::from_soa(soa, &alpha), &Dfa::from_regex(r, &alpha))
+}
+
+/// A word accepted by the SOA but not the RE (debugging aid for Theorem 2
+/// violations).
+pub fn soa_minus_regex_witness(soa: &Soa, r: &Regex) -> Option<Word> {
+    let soa_syms: Vec<Sym> = soa.states.iter().copied().collect();
+    let alpha = joint_alphabet(&[&soa_syms, &r.symbols()]);
+    difference_witness(&Dfa::from_soa(soa, &alpha), &Dfa::from_regex(r, &alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::parser::parse;
+
+    fn re(src: &str, al: &mut Alphabet) -> Regex {
+        parse(src, al).unwrap()
+    }
+
+    #[test]
+    fn dfa_accepts_like_nfa() {
+        let mut al = Alphabet::new();
+        let r = re("((b? (a|c))+ d)+ e", &mut al);
+        let d = Dfa::from_regex(&r, &r.symbols());
+        for (w, expect) in [
+            ("bacacdacde", true),
+            ("ade", true),
+            ("e", false),
+            ("bde", false),
+        ] {
+            assert_eq!(d.accepts(&al.word_from_chars(w)), expect, "{w}");
+        }
+    }
+
+    #[test]
+    fn equivalence_of_star_representations() {
+        let mut al = Alphabet::new();
+        let r1 = re("a*", &mut al);
+        let r2 = re("(a+)?", &mut al);
+        assert!(regex_equiv(&r1, &r2));
+    }
+
+    #[test]
+    fn paper_dagger_equivalence() {
+        // (‡) ((b?(a|c))+d)+e equals the alternative form ((b?(a|c)+)+d)+e
+        // noted in Figure 3's caption.
+        let mut al = Alphabet::new();
+        let r1 = re("((b? (a|c))+ d)+ e", &mut al);
+        let r2 = re("((b? (a|c)+)+ d)+ e", &mut al);
+        assert!(regex_equiv(&r1, &r2));
+    }
+
+    #[test]
+    fn inequivalence_detected_with_witness() {
+        let mut al = Alphabet::new();
+        let r1 = re("(a | b)+ c", &mut al);
+        let r2 = re("a+ c", &mut al);
+        assert!(!regex_equiv(&r1, &r2));
+        assert!(regex_subset(&r2, &r1));
+        assert!(!regex_subset(&r1, &r2));
+        let alpha = joint_alphabet(&[&r1.symbols(), &r2.symbols()]);
+        let w = difference_witness(
+            &Dfa::from_regex(&r1, &alpha),
+            &Dfa::from_regex(&r2, &alpha),
+        )
+        .unwrap();
+        // Witness must contain a `b`.
+        assert!(w.contains(&al.get("b").unwrap()));
+    }
+
+    #[test]
+    fn soa_language_equals_sore_language() {
+        let mut al = Alphabet::new();
+        let r = re("((b? (a|c))+ d)+ e", &mut al);
+        let soa = crate::glushkov::soa_of_sore(&r).unwrap();
+        assert!(soa_equiv_regex(&soa, &r));
+    }
+
+    #[test]
+    fn subautomaton_is_strict_subset() {
+        let mut al = Alphabet::new();
+        let r = re("((b? (a|c))+ d)+ e", &mut al);
+        let words: Vec<_> = ["bacacdacde", "cbacdbacde"]
+            .iter()
+            .map(|w| al.word_from_chars(w))
+            .collect();
+        let sub = Soa::learn(&words);
+        assert!(soa_subset_of_regex(&sub, &r));
+        assert!(!soa_equiv_regex(&sub, &r));
+    }
+
+    #[test]
+    fn empty_word_positions() {
+        let mut al = Alphabet::new();
+        let r = re("a?", &mut al);
+        let d = Dfa::from_regex(&r, &r.symbols());
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&al.word_from_chars("a")));
+        assert!(!d.accepts(&al.word_from_chars("aa")));
+    }
+
+    #[test]
+    fn out_of_alphabet_symbols_reject() {
+        let mut al = Alphabet::new();
+        let r = re("a", &mut al);
+        let d = Dfa::from_regex(&r, &r.symbols());
+        let z = al.intern("z");
+        assert!(!d.accepts(&[z]));
+    }
+
+    #[test]
+    fn joint_alphabet_sorted_unique() {
+        let mut al = Alphabet::new();
+        let (a, b, c) = (al.intern("a"), al.intern("b"), al.intern("c"));
+        assert_eq!(joint_alphabet(&[&[b, a], &[c, a]]), vec![a, b, c]);
+    }
+
+    #[test]
+    fn witness_reconstruction_is_a_real_witness() {
+        let mut al = Alphabet::new();
+        let r1 = re("(a | b) (a | b) (a | b)", &mut al);
+        let r2 = re("(a | b) (a | b)", &mut al);
+        let alpha = joint_alphabet(&[&r1.symbols(), &r2.symbols()]);
+        let d1 = Dfa::from_regex(&r1, &alpha);
+        let d2 = Dfa::from_regex(&r2, &alpha);
+        let w = difference_witness(&d1, &d2).unwrap();
+        assert!(d1.accepts(&w));
+        assert!(!d2.accepts(&w));
+        assert_eq!(w.len(), 3);
+    }
+}

@@ -1,0 +1,401 @@
+//! Generalized finite automata (§5).
+//!
+//! A GFA is an `RE(Σ)`-labeled graph with distinguished source and sink; the
+//! semantics reads every edge as carrying the regular expression of the node
+//! it points to. A GFA is *single occurrence* when every label is a SORE and
+//! the labels use pairwise disjoint symbols. The `rewrite` system of
+//! `dtdinfer-core` operates on this structure; this module provides the
+//! graph itself plus the ε-closure and `Pred`/`Succ` sets the rule
+//! preconditions are stated over.
+
+use crate::soa::Soa;
+use dtdinfer_regex::alphabet::Sym;
+use dtdinfer_regex::ast::Regex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of a GFA node. `SOURCE` and `SINK` are reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// The unique initial node (unlabeled).
+pub const SOURCE: NodeId = NodeId(0);
+/// The unique final node (unlabeled).
+pub const SINK: NodeId = NodeId(1);
+
+impl NodeId {
+    /// Whether this is the source or sink.
+    pub fn is_endpoint(self) -> bool {
+        self == SOURCE || self == SINK
+    }
+}
+
+/// A generalized finite automaton with RE-labeled states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gfa {
+    labels: BTreeMap<NodeId, Regex>,
+    succ: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    pred: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    next_id: u32,
+}
+
+impl Default for Gfa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gfa {
+    /// An empty GFA with only source and sink.
+    pub fn new() -> Self {
+        let mut succ = BTreeMap::new();
+        let mut pred = BTreeMap::new();
+        succ.insert(SOURCE, BTreeSet::new());
+        succ.insert(SINK, BTreeSet::new());
+        pred.insert(SOURCE, BTreeSet::new());
+        pred.insert(SINK, BTreeSet::new());
+        Gfa {
+            labels: BTreeMap::new(),
+            succ,
+            pred,
+            next_id: 2,
+        }
+    }
+
+    /// Converts an SOA into the equivalent single occurrence GFA (every SOA
+    /// is a single occurrence GFA whose labels are alphabet symbols).
+    /// Returns the GFA and the node assigned to each symbol.
+    pub fn from_soa(soa: &Soa) -> (Self, HashMap<Sym, NodeId>) {
+        let mut g = Gfa::new();
+        let mut node_of = HashMap::new();
+        for &s in &soa.states {
+            node_of.insert(s, g.add_node(Regex::sym(s)));
+        }
+        for &s in &soa.initial {
+            g.add_edge(SOURCE, node_of[&s]);
+        }
+        for &(a, b) in &soa.edges {
+            g.add_edge(node_of[&a], node_of[&b]);
+        }
+        for &s in &soa.finals {
+            g.add_edge(node_of[&s], SINK);
+        }
+        if soa.accepts_empty {
+            g.add_edge(SOURCE, SINK);
+        }
+        (g, node_of)
+    }
+
+    /// Adds a labeled inner node.
+    pub fn add_node(&mut self, label: Regex) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.labels.insert(id, label);
+        self.succ.insert(id, BTreeSet::new());
+        self.pred.insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Adds an edge (idempotent).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        self.succ.get_mut(&from).expect("from exists").insert(to);
+        self.pred.get_mut(&to).expect("to exists").insert(from);
+    }
+
+    /// Removes an edge if present.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) {
+        if let Some(s) = self.succ.get_mut(&from) {
+            s.remove(&to);
+        }
+        if let Some(p) = self.pred.get_mut(&to) {
+            p.remove(&from);
+        }
+    }
+
+    /// Removes an inner node and all incident edges.
+    pub fn remove_node(&mut self, id: NodeId) {
+        assert!(!id.is_endpoint(), "cannot remove source/sink");
+        let outgoing: Vec<NodeId> = self.succ.remove(&id).unwrap_or_default().into_iter().collect();
+        for to in outgoing {
+            if let Some(p) = self.pred.get_mut(&to) {
+                p.remove(&id);
+            }
+        }
+        let incoming: Vec<NodeId> = self.pred.remove(&id).unwrap_or_default().into_iter().collect();
+        for from in incoming {
+            if let Some(s) = self.succ.get_mut(&from) {
+                s.remove(&id);
+            }
+        }
+        self.labels.remove(&id);
+    }
+
+    /// Whether the edge exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.succ.get(&from).is_some_and(|s| s.contains(&to))
+    }
+
+    /// Label of an inner node.
+    pub fn label(&self, id: NodeId) -> &Regex {
+        &self.labels[&id]
+    }
+
+    /// Replaces the label of an inner node.
+    pub fn set_label(&mut self, id: NodeId, label: Regex) {
+        *self.labels.get_mut(&id).expect("inner node") = label;
+    }
+
+    /// Inner (labeled) nodes in ascending id order (deterministic).
+    pub fn inner_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.labels.keys().copied()
+    }
+
+    /// Number of inner nodes.
+    pub fn num_inner(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.values().map(BTreeSet::len).sum()
+    }
+
+    /// Direct successors.
+    pub fn direct_succ(&self, id: NodeId) -> &BTreeSet<NodeId> {
+        &self.succ[&id]
+    }
+
+    /// Direct predecessors.
+    pub fn direct_pred(&self, id: NodeId) -> &BTreeSet<NodeId> {
+        &self.pred[&id]
+    }
+
+    /// All edges in deterministic order.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.succ
+            .iter()
+            .flat_map(|(&from, tos)| tos.iter().map(move |&to| (from, to)))
+            .collect()
+    }
+
+    /// Whether the GFA is *final*: exactly one inner node `r`, with edges
+    /// exactly `source→r` and `r→sink`.
+    pub fn is_final(&self) -> bool {
+        if self.labels.len() != 1 {
+            return false;
+        }
+        let r = *self.labels.keys().next().expect("one node");
+        self.num_edges() == 2 && self.has_edge(SOURCE, r) && self.has_edge(r, SINK)
+    }
+
+    /// The expression of a final GFA.
+    pub fn final_regex(&self) -> Option<&Regex> {
+        if self.is_final() {
+            self.labels.values().next()
+        } else {
+            None
+        }
+    }
+
+    /// Whether a node's label can iterate (is `s+`, `s*` or `(s+)?`),
+    /// contributing the closure self-edge of §5 rule (i).
+    fn label_iterates(r: &Regex) -> bool {
+        match r {
+            Regex::Plus(_) | Regex::Star(_) => true,
+            Regex::Optional(inner) => matches!(&**inner, Regex::Plus(_) | Regex::Star(_)),
+            _ => false,
+        }
+    }
+
+    /// Computes the ε-closure `G*` of §5: `E*` contains (i) self-edges
+    /// `(r,r)` for iterating labels, and (ii) `(r,r')` whenever a path from
+    /// `r` to `r'` passes only intermediate nodes with ε in their language.
+    pub fn closure(&self) -> Closure {
+        let nullable: BTreeSet<NodeId> = self
+            .labels
+            .iter()
+            .filter(|(_, r)| r.nullable())
+            .map(|(&id, _)| id)
+            .collect();
+        let mut succ: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut pred: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        let all_nodes: Vec<NodeId> = self.succ.keys().copied().collect();
+        for &id in &all_nodes {
+            succ.entry(id).or_default();
+            pred.entry(id).or_default();
+        }
+        for &u in &all_nodes {
+            // BFS from u, continuing through nullable intermediates.
+            let mut stack: Vec<NodeId> = self.succ[&u].iter().copied().collect();
+            let mut reached: BTreeSet<NodeId> = BTreeSet::new();
+            while let Some(v) = stack.pop() {
+                if !reached.insert(v) {
+                    continue;
+                }
+                if nullable.contains(&v) {
+                    stack.extend(self.succ[&v].iter().copied());
+                }
+            }
+            for v in reached {
+                succ.get_mut(&u).expect("init").insert(v);
+                pred.get_mut(&v).expect("init").insert(u);
+            }
+        }
+        for (&id, label) in &self.labels {
+            if Self::label_iterates(label) {
+                succ.get_mut(&id).expect("init").insert(id);
+                pred.get_mut(&id).expect("init").insert(id);
+            }
+        }
+        Closure { succ, pred }
+    }
+
+    /// Graphviz rendering.
+    pub fn to_dot(&self, alphabet: &dtdinfer_regex::alphabet::Alphabet) -> String {
+        use dtdinfer_regex::display::render;
+        let mut out = String::from("digraph gfa {\n  rankdir=LR;\n  n0 [shape=point];\n  n1 [shape=doublecircle, label=\"\"];\n");
+        for (&id, label) in &self.labels {
+            out.push_str(&format!(
+                "  n{} [label=\"{}\"];\n",
+                id.0,
+                render(label, alphabet).replace('"', "\\\"")
+            ));
+        }
+        for (from, to) in self.edges() {
+            out.push_str(&format!("  n{} -> n{};\n", from.0, to.0));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The ε-closure `G*`: predecessor and successor sets per node (§5).
+#[derive(Debug, Clone)]
+pub struct Closure {
+    succ: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    pred: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl Closure {
+    /// `Pred(r)`: predecessors of `r` in `G*`.
+    pub fn pred(&self, id: NodeId) -> &BTreeSet<NodeId> {
+        &self.pred[&id]
+    }
+
+    /// `Succ(r)`: successors of `r` in `G*`.
+    pub fn succ(&self, id: NodeId) -> &BTreeSet<NodeId> {
+        &self.succ[&id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_regex::alphabet::Alphabet;
+
+    fn letters(n: usize) -> (Alphabet, Vec<Sym>) {
+        let mut al = Alphabet::new();
+        let syms = (0..n)
+            .map(|i| al.intern(&((b'a' + i as u8) as char).to_string()))
+            .collect();
+        (al, syms)
+    }
+
+    #[test]
+    fn from_soa_structure() {
+        let (mut al, _) = letters(0);
+        let words = vec![al.word_from_chars("ab"), al.word_from_chars("b")];
+        let soa = Soa::learn(&words);
+        let (g, node_of) = Gfa::from_soa(&soa);
+        let (a, b) = (al.get("a").unwrap(), al.get("b").unwrap());
+        assert_eq!(g.num_inner(), 2);
+        assert!(g.has_edge(SOURCE, node_of[&a]));
+        assert!(g.has_edge(SOURCE, node_of[&b]));
+        assert!(g.has_edge(node_of[&a], node_of[&b]));
+        assert!(g.has_edge(node_of[&b], SINK));
+        assert!(!g.has_edge(node_of[&a], SINK));
+    }
+
+    #[test]
+    fn final_detection() {
+        let (_, syms) = letters(1);
+        let mut g = Gfa::new();
+        let n = g.add_node(Regex::sym(syms[0]));
+        g.add_edge(SOURCE, n);
+        g.add_edge(n, SINK);
+        assert!(g.is_final());
+        assert_eq!(g.final_regex(), Some(&Regex::sym(syms[0])));
+        // An extra edge breaks finality.
+        g.add_edge(SOURCE, SINK);
+        assert!(!g.is_final());
+    }
+
+    #[test]
+    fn closure_through_nullable() {
+        // source -> a -> b? -> c -> sink : closure must contain (a, c).
+        let (_, syms) = letters(3);
+        let mut g = Gfa::new();
+        let a = g.add_node(Regex::sym(syms[0]));
+        let b = g.add_node(Regex::optional(Regex::sym(syms[1])));
+        let c = g.add_node(Regex::sym(syms[2]));
+        g.add_edge(SOURCE, a);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, SINK);
+        let cl = g.closure();
+        assert!(cl.succ(a).contains(&c));
+        assert!(cl.pred(c).contains(&a));
+        assert!(cl.succ(a).contains(&b));
+        // But not (source, c): the path passes the non-nullable node a.
+        assert!(!cl.succ(SOURCE).contains(&c));
+        assert!(!cl.succ(SOURCE).contains(&SINK));
+    }
+
+    #[test]
+    fn closure_self_edges_for_iterating_labels() {
+        let (_, syms) = letters(2);
+        let mut g = Gfa::new();
+        let p = g.add_node(Regex::plus(Regex::sym(syms[0])));
+        let q = g.add_node(Regex::sym(syms[1]));
+        g.add_edge(SOURCE, p);
+        g.add_edge(p, q);
+        g.add_edge(q, SINK);
+        let cl = g.closure();
+        assert!(cl.succ(p).contains(&p), "s+ node gets closure self-edge");
+        assert!(!cl.succ(q).contains(&q));
+        // (s+)? also iterates:
+        g.set_label(p, Regex::Optional(Box::new(Regex::plus(Regex::sym(syms[0])))));
+        let cl = g.closure();
+        assert!(cl.succ(p).contains(&p));
+    }
+
+    #[test]
+    fn remove_node_cleans_edges() {
+        let (_, syms) = letters(2);
+        let mut g = Gfa::new();
+        let a = g.add_node(Regex::sym(syms[0]));
+        let b = g.add_node(Regex::sym(syms[1]));
+        g.add_edge(SOURCE, a);
+        g.add_edge(a, b);
+        g.add_edge(b, SINK);
+        g.remove_node(a);
+        assert_eq!(g.num_inner(), 1);
+        assert!(!g.has_edge(SOURCE, a));
+        assert!(g.direct_pred(b).is_empty());
+    }
+
+    #[test]
+    fn closure_includes_direct_edges() {
+        let (_, syms) = letters(2);
+        let mut g = Gfa::new();
+        let a = g.add_node(Regex::sym(syms[0]));
+        let b = g.add_node(Regex::sym(syms[1]));
+        g.add_edge(SOURCE, a);
+        g.add_edge(a, b);
+        g.add_edge(b, SINK);
+        let cl = g.closure();
+        assert!(cl.succ(a).contains(&b));
+        assert!(cl.pred(b).contains(&a));
+        assert!(cl.pred(a).contains(&SOURCE));
+        assert!(cl.succ(b).contains(&SINK));
+    }
+}

@@ -1,0 +1,93 @@
+//! Glushkov construction (Proposition 1).
+//!
+//! For a SORE the positions of the Glushkov automaton are in bijection with
+//! the alphabet symbols, so the construction yields exactly the single
+//! occurrence automaton `Ar` with `L(r) = L(Ar)`, unique up to isomorphism.
+//! For general expressions the construction yields a position [`crate::nfa::Nfa`]
+//! (see [`crate::nfa`]).
+
+use crate::soa::Soa;
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::classify::is_sore;
+use dtdinfer_regex::props::two_gram_profile;
+
+/// Builds the SOA of a SORE via the Glushkov construction.
+///
+/// Returns `None` if `r` is not single occurrence (the positions would not
+/// be in bijection with symbols, so the result would not be an SOA).
+pub fn soa_of_sore(r: &Regex) -> Option<Soa> {
+    if !is_sore(r) {
+        return None;
+    }
+    // For a single occurrence expression positions ≅ symbols, so the
+    // 2-gram profile *is* the Glushkov automaton.
+    let prof = two_gram_profile(r);
+    Some(Soa::from_parts(
+        prof.first,
+        prof.last,
+        prof.pairs,
+        prof.nullable,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::parser::parse;
+
+    fn build(src: &str) -> (Soa, Alphabet) {
+        let mut al = Alphabet::new();
+        let r = parse(src, &mut al).unwrap();
+        (soa_of_sore(&r).expect("SORE"), al)
+    }
+
+    #[test]
+    fn running_example_matches_learned_automaton() {
+        // Prop. 1 + §4: 2T-INF on a representative sample of
+        // ((b?(a|c))+d)+e recovers the Glushkov SOA exactly.
+        let (glushkov, mut al) = build("((b? (a|c))+ d)+ e");
+        let words: Vec<_> = ["bacacdacde", "cbacdbacde", "abccaadcde"]
+            .iter()
+            .map(|w| al.word_from_chars(w))
+            .collect();
+        let learned = Soa::learn(&words);
+        assert_eq!(glushkov, learned);
+    }
+
+    #[test]
+    fn accepts_what_the_sore_accepts() {
+        let (soa, mut al) = build("(a | b)+ c");
+        assert!(soa.accepts(&al.word_from_chars("abc")));
+        assert!(soa.accepts(&al.word_from_chars("aababc")));
+        assert!(soa.accepts(&al.word_from_chars("bc")));
+        assert!(!soa.accepts(&al.word_from_chars("c")));
+        assert!(!soa.accepts(&al.word_from_chars("ab")));
+    }
+
+    #[test]
+    fn nullable_sore_gets_empty_edge() {
+        let (soa, _) = build("a?");
+        assert!(soa.accepts_empty);
+        let (soa, _) = build("a+");
+        assert!(!soa.accepts_empty);
+    }
+
+    #[test]
+    fn non_sore_rejected() {
+        let mut al = Alphabet::new();
+        let r = parse("a (a | b)*", &mut al).unwrap();
+        assert!(soa_of_sore(&r).is_none());
+    }
+
+    #[test]
+    fn optional_chain() {
+        let (soa, mut al) = build("a? b? c");
+        assert!(soa.accepts(&al.word_from_chars("c")));
+        assert!(soa.accepts(&al.word_from_chars("ac")));
+        assert!(soa.accepts(&al.word_from_chars("bc")));
+        assert!(soa.accepts(&al.word_from_chars("abc")));
+        assert!(!soa.accepts(&al.word_from_chars("ab")));
+        assert!(!soa.accepts(&al.word_from_chars("ba")));
+    }
+}

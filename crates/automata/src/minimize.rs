@@ -1,0 +1,255 @@
+//! DFA minimization (Hopcroft's partition-refinement algorithm).
+//!
+//! Used to canonicalize DFAs before size comparisons (e.g. measuring how
+//! much language two inferred expressions share) and as an extra
+//! verification path: two regular expressions are equivalent iff their
+//! minimal DFAs are isomorphic, which cross-checks the product-based test
+//! in [`crate::dfa`].
+
+use crate::dfa::Dfa;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+impl Dfa {
+    /// Returns the minimal DFA for the same language (unreachable states
+    /// dropped, Myhill–Nerode classes merged).
+    pub fn minimize(&self) -> Dfa {
+        // 1. Restrict to reachable states.
+        let reachable = self.reachable_states();
+        let states: Vec<usize> = reachable.iter().copied().collect();
+        let dense: BTreeMap<usize, usize> =
+            states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let k = self.syms.len();
+
+        // 2. Hopcroft refinement over the reachable sub-automaton.
+        let mut partition: Vec<usize> = states
+            .iter()
+            .map(|&s| usize::from(self.accept[s]))
+            .collect();
+        let mut num_classes = if partition.contains(&1) && partition.contains(&0) {
+            2
+        } else {
+            1
+        };
+        if !partition.contains(&1) {
+            // All non-accepting: normalize class ids to 0.
+            partition.iter_mut().for_each(|c| *c = 0);
+        } else if !partition.contains(&0) {
+            partition.iter_mut().for_each(|c| *c = 0);
+            num_classes = 1;
+        }
+
+        let mut worklist: VecDeque<(usize, usize)> =
+            (0..num_classes).flat_map(|c| (0..k).map(move |a| (c, a))).collect();
+        while let Some((class, a)) = worklist.pop_front() {
+            // X = states with an a-transition into `class`.
+            let mut x: BTreeSet<usize> = BTreeSet::new();
+            for (di, &s) in states.iter().enumerate() {
+                let t = self.trans[s][a];
+                if let Some(&dt) = dense.get(&t) {
+                    if partition[dt] == class {
+                        x.insert(di);
+                    }
+                }
+            }
+            if x.is_empty() {
+                continue;
+            }
+            // Split every class Y by X.
+            let mut by_class: BTreeMap<usize, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+            for (di, &c) in partition.iter().enumerate() {
+                let entry = by_class.entry(c).or_default();
+                if x.contains(&di) {
+                    entry.0.push(di);
+                } else {
+                    entry.1.push(di);
+                }
+            }
+            for (c, (inside, outside)) in by_class {
+                if inside.is_empty() || outside.is_empty() {
+                    continue;
+                }
+                let new_class = num_classes;
+                num_classes += 1;
+                let (smaller, _larger) = if inside.len() <= outside.len() {
+                    (&inside, &outside)
+                } else {
+                    (&outside, &inside)
+                };
+                for &di in smaller {
+                    partition[di] = new_class;
+                }
+                for b in 0..k {
+                    worklist.push_back((new_class, b));
+                    worklist.push_back((c, b));
+                }
+            }
+        }
+
+        // 3. Build the quotient automaton.
+        let mut class_rep: BTreeMap<usize, usize> = BTreeMap::new();
+        for (di, &c) in partition.iter().enumerate() {
+            class_rep.entry(c).or_insert(di);
+        }
+        // Renumber classes densely in order of first representative.
+        let mut renumber: BTreeMap<usize, usize> = BTreeMap::new();
+        for &c in partition.iter() {
+            let next = renumber.len();
+            renumber.entry(c).or_insert(next);
+        }
+        let m = renumber.len();
+        let mut accept = vec![false; m];
+        let mut trans = vec![vec![0usize; k]; m];
+        for (&c, &rep_di) in &class_rep {
+            let q = renumber[&c];
+            let s = states[rep_di];
+            accept[q] = self.accept[s];
+            for (a, slot) in trans[q].iter_mut().enumerate() {
+                let t = self.trans[s][a];
+                let dt = dense[&t]; // reachable: successors of reachable states
+                *slot = renumber[&partition[dt]];
+            }
+        }
+        Dfa {
+            syms: self.syms.clone(),
+            start: renumber[&partition[dense[&self.start]]],
+            accept,
+            trans,
+        }
+    }
+
+    /// States reachable from the start state.
+    pub fn reachable_states(&self) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::from([self.start]);
+        let mut stack = vec![self.start];
+        while let Some(s) = stack.pop() {
+            for &t in &self.trans[s] {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of states in the minimal DFA (a canonical complexity measure
+    /// of the language).
+    pub fn minimal_size(&self) -> usize {
+        self.minimize().len()
+    }
+}
+
+/// Whether two minimal DFAs are isomorphic (same language) — checked by a
+/// synchronized walk from the start states.
+pub fn isomorphic(a: &Dfa, b: &Dfa) -> bool {
+    if a.syms != b.syms || a.len() != b.len() {
+        return false;
+    }
+    let mut map: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut stack = vec![(a.start, b.start)];
+    while let Some((x, y)) = stack.pop() {
+        match map.get(&x) {
+            Some(&mapped) => {
+                if mapped != y {
+                    return false;
+                }
+                continue;
+            }
+            None => {
+                if a.accept[x] != b.accept[y] {
+                    return false;
+                }
+                map.insert(x, y);
+            }
+        }
+        for i in 0..a.syms.len() {
+            stack.push((a.trans[x][i], b.trans[y][i]));
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::{dfa_equiv, joint_alphabet};
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::parser::parse;
+
+    fn dfa(src: &str, al: &mut Alphabet) -> Dfa {
+        let r = parse(src, al).unwrap();
+        Dfa::from_regex(&r, &r.symbols())
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let mut al = Alphabet::new();
+        for src in [
+            "a",
+            "(a | b)+ c",
+            "((b? (a|c))+ d)+ e",
+            "a? b? c? d?",
+            "(a b)* (a c)*",
+        ] {
+            let mut local = Alphabet::new();
+            let d = dfa(src, &mut local);
+            let m = d.minimize();
+            assert!(dfa_equiv(&d, &m), "{src}");
+            assert!(m.len() <= d.len(), "{src}: grew");
+        }
+        let _ = al.intern("x");
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let mut al = Alphabet::new();
+        let d = dfa("(a | b)* a (a | b)", &mut al);
+        let m1 = d.minimize();
+        let m2 = m1.minimize();
+        assert_eq!(m1.len(), m2.len());
+        assert!(isomorphic(&m1, &m2));
+    }
+
+    #[test]
+    fn equivalent_expressions_get_isomorphic_minimal_dfas() {
+        let mut al = Alphabet::new();
+        let r1 = parse("a*", &mut al).unwrap();
+        let r2 = parse("(a+)?", &mut al).unwrap();
+        let alpha = joint_alphabet(&[&r1.symbols(), &r2.symbols()]);
+        let m1 = Dfa::from_regex(&r1, &alpha).minimize();
+        let m2 = Dfa::from_regex(&r2, &alpha).minimize();
+        assert!(isomorphic(&m1, &m2));
+    }
+
+    #[test]
+    fn inequivalent_expressions_differ() {
+        let mut al = Alphabet::new();
+        let r1 = parse("a+", &mut al).unwrap();
+        let r2 = parse("a*", &mut al).unwrap();
+        let alpha = joint_alphabet(&[&r1.symbols(), &r2.symbols()]);
+        let m1 = Dfa::from_regex(&r1, &alpha).minimize();
+        let m2 = Dfa::from_regex(&r2, &alpha).minimize();
+        assert!(!isomorphic(&m1, &m2));
+    }
+
+    #[test]
+    fn known_minimal_sizes() {
+        let mut al = Alphabet::new();
+        // a+ over {a}: start + accepting loop, no dead state reachable.
+        let d = dfa("a+", &mut al);
+        assert_eq!(d.minimize().len(), 2);
+        // a* over {a}: accepting loop only → 1 state.
+        let mut al2 = Alphabet::new();
+        let d = dfa("a*", &mut al2);
+        assert_eq!(d.minimize().len(), 1);
+    }
+
+    #[test]
+    fn redundant_states_are_merged() {
+        // (a|b)(a|b) has equivalent intermediate states per branch.
+        let mut al = Alphabet::new();
+        let d = dfa("(a | b) (a | b)", &mut al);
+        let m = d.minimize();
+        assert!(m.len() < d.len());
+        assert!(dfa_equiv(&d, &m));
+    }
+}

@@ -1,0 +1,150 @@
+//! Position NFAs (Glushkov automata of arbitrary expressions).
+//!
+//! An [`Nfa`] has one state per symbol occurrence of the source expression
+//! plus a start state; there are no ε-transitions. Used for membership
+//! testing of arbitrary REs (including the long-winded outputs of state
+//! elimination and xtract) and as the input to subset construction in
+//! [`crate::dfa`].
+
+use dtdinfer_regex::alphabet::Sym;
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::props::{linearize, Linearized};
+
+/// A Glushkov (position) NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Symbol carried by each position state.
+    pub sym_at: Vec<Sym>,
+    /// Positions reachable from the start state.
+    pub first: Vec<usize>,
+    /// `follow[p]`: positions reachable from position `p`.
+    pub follow: Vec<Vec<usize>>,
+    /// Accepting positions.
+    pub last: Vec<bool>,
+    /// Whether the start state accepts (ε ∈ L).
+    pub accepts_empty: bool,
+}
+
+impl Nfa {
+    /// Builds the Glushkov NFA of `r`.
+    pub fn from_regex(r: &Regex) -> Self {
+        Self::from_linearized(linearize(r))
+    }
+
+    fn from_linearized(lin: Linearized) -> Self {
+        let mut last = vec![false; lin.len()];
+        for &p in &lin.last {
+            last[p] = true;
+        }
+        Nfa {
+            sym_at: lin.sym_at,
+            first: lin.first,
+            follow: lin.follow,
+            last,
+            accepts_empty: lin.nullable,
+        }
+    }
+
+    /// Number of position states.
+    pub fn len(&self) -> usize {
+        self.sym_at.len()
+    }
+
+    /// Whether the NFA has no position states.
+    pub fn is_empty(&self) -> bool {
+        self.sym_at.is_empty()
+    }
+
+    /// NFA simulation: whether `w ∈ L`.
+    pub fn accepts(&self, w: &[Sym]) -> bool {
+        if w.is_empty() {
+            return self.accepts_empty;
+        }
+        let mut current: Vec<bool> = vec![false; self.len()];
+        for &p in &self.first {
+            if self.sym_at[p] == w[0] {
+                current[p] = true;
+            }
+        }
+        for &sym in &w[1..] {
+            let mut next = vec![false; self.len()];
+            for (p, &active) in current.iter().enumerate() {
+                if active {
+                    for &q in &self.follow[p] {
+                        if self.sym_at[q] == sym {
+                            next[q] = true;
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+            .iter()
+            .enumerate()
+            .any(|(p, &active)| active && self.last[p])
+    }
+}
+
+/// Convenience: whether `w ∈ L(r)`.
+pub fn regex_matches(r: &Regex, w: &[Sym]) -> bool {
+    Nfa::from_regex(r).accepts(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::parser::parse;
+
+    fn check(src: &str, yes: &[&str], no: &[&str]) {
+        let mut al = Alphabet::new();
+        let r = parse(src, &mut al).unwrap();
+        let nfa = Nfa::from_regex(&r);
+        for w in yes {
+            assert!(nfa.accepts(&al.word_from_chars(w)), "{src} should accept {w:?}");
+        }
+        for w in no {
+            assert!(!nfa.accepts(&al.word_from_chars(w)), "{src} should reject {w:?}");
+        }
+    }
+
+    #[test]
+    fn basic_membership() {
+        check("a b c", &["abc"], &["ab", "abcc", "acb", ""]);
+    }
+
+    #[test]
+    fn union_and_repeat() {
+        check("(a | b)+ c", &["ac", "bc", "ababc"], &["c", "ab", "ca"]);
+    }
+
+    #[test]
+    fn nullable() {
+        check("a*", &["", "a", "aaaa"], &["b"]);
+        check("a? b?", &["", "a", "b", "ab"], &["ba", "aa"]);
+    }
+
+    #[test]
+    fn non_sore_expressions() {
+        // Positions matter: a(a|b)* has two a-positions.
+        check("a (a | b)*", &["a", "aa", "ab", "aabba"], &["", "b", "ba"]);
+    }
+
+    #[test]
+    fn running_example() {
+        check(
+            "((b? (a|c))+ d)+ e",
+            &["bacacdacde", "cbacdbacde", "abccaadcde", "ade"],
+            &["e", "bde", "bacacdacd"],
+        );
+    }
+
+    #[test]
+    fn symbol_not_in_alphabet_rejected() {
+        let mut al = Alphabet::new();
+        let r = parse("a b", &mut al).unwrap();
+        let stranger = al.intern("z");
+        assert!(!regex_matches(&r, &[al.get("a").unwrap(), stranger]));
+    }
+}

@@ -1,0 +1,172 @@
+//! DFA language operations: complement, intersection, and census.
+//!
+//! The census (number of accepted words per length) turns "the inferred
+//! schema is stricter" into a number: e.g. the §1.1 refinfo discovery
+//! removes exactly the words where `volume` and `month` co-occur, which
+//! [`count_words_up_to`] makes visible as a reduced language volume.
+
+use crate::dfa::Dfa;
+
+impl Dfa {
+    /// The complement DFA (same alphabet; accepting states flipped).
+    /// Words containing symbols outside the alphabet are rejected by both
+    /// (the convention of [`Dfa::accepts`]), so this is complement
+    /// *relative to the alphabet's words*.
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            syms: self.syms.clone(),
+            start: self.start,
+            accept: self.accept.iter().map(|&a| !a).collect(),
+            trans: self.trans.clone(),
+        }
+    }
+
+    /// The product-intersection of two DFAs over the same alphabet.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        assert_eq!(self.syms, other.syms, "alphabets must match");
+        let nb = other.len();
+        let encode = |a: usize, b: usize| a * nb + b;
+        let n = self.len() * nb;
+        let mut accept = vec![false; n];
+        let mut trans = vec![vec![0usize; self.syms.len()]; n];
+        for a in 0..self.len() {
+            for b in 0..nb {
+                let s = encode(a, b);
+                accept[s] = self.accept[a] && other.accept[b];
+                for (i, slot) in trans[s].iter_mut().enumerate() {
+                    *slot = encode(self.trans[a][i], other.trans[b][i]);
+                }
+            }
+        }
+        Dfa {
+            syms: self.syms.clone(),
+            start: encode(self.start, other.start),
+            accept,
+            trans,
+        }
+    }
+
+    /// Number of accepted words of each length `0..=max_len` (saturating at
+    /// `u128::MAX`).
+    pub fn census(&self, max_len: usize) -> Vec<u128> {
+        // counts[s] = number of words of the current length ending in s.
+        let mut counts: Vec<u128> = vec![0; self.len()];
+        counts[self.start] = 1;
+        let mut out = Vec::with_capacity(max_len + 1);
+        let accepted = |counts: &[u128]| -> u128 {
+            counts
+                .iter()
+                .zip(&self.accept)
+                .filter(|&(_, &a)| a)
+                .fold(0u128, |acc, (&c, _)| acc.saturating_add(c))
+        };
+        out.push(accepted(&counts));
+        for _ in 0..max_len {
+            let mut next = vec![0u128; self.len()];
+            for (s, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                for &t in &self.trans[s] {
+                    next[t] = next[t].saturating_add(c);
+                }
+            }
+            counts = next;
+            out.push(accepted(&counts));
+        }
+        out
+    }
+
+    /// Total number of accepted words of length ≤ `max_len` (saturating).
+    pub fn count_words_up_to(&self, max_len: usize) -> u128 {
+        self.census(max_len)
+            .into_iter()
+            .fold(0u128, |a, b| a.saturating_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::{dfa_equiv, joint_alphabet};
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::parser::parse;
+
+    /// Builds a DFA for `src` over the full alphabet named by `alpha_src`,
+    /// sharing one `Alphabet` so symbol ids line up across machines.
+    fn dfa(src: &str, al: &mut Alphabet, alpha_src: &str) -> Dfa {
+        let alpha_re = parse(alpha_src, al).unwrap();
+        let r = parse(src, al).unwrap();
+        let alpha = joint_alphabet(&[&r.symbols(), &alpha_re.symbols()]);
+        Dfa::from_regex(&r, &alpha)
+    }
+
+    #[test]
+    fn census_counts_small_languages() {
+        let mut al = Alphabet::new();
+        // (a|b) c: exactly 2 words, both of length 2.
+        let d = dfa("(a | b) c", &mut al, "a b c");
+        assert_eq!(d.census(3), vec![0, 0, 2, 0]);
+        assert_eq!(d.count_words_up_to(5), 2);
+    }
+
+    #[test]
+    fn census_star() {
+        let mut al = Alphabet::new();
+        // (a|b)*: 2^n words of length n.
+        let d = dfa("(a | b)*", &mut al, "a b");
+        assert_eq!(d.census(4), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn refinfo_strictness_quantified() {
+        // The §1.1 example: volume? month? vs (volume | month).
+        let mut al = Alphabet::new();
+        let loose = dfa("a v? m? y", &mut al, "a v m y");
+        let strict = dfa("a (v | m) y", &mut al, "a v m y");
+        // loose: {ay, avy, amy, avmy}; strict: {avy, amy}.
+        assert_eq!(loose.count_words_up_to(4), 4);
+        assert_eq!(strict.count_words_up_to(4), 2);
+    }
+
+    #[test]
+    fn complement_laws() {
+        let mut al = Alphabet::new();
+        let d = dfa("(a | b)+ c", &mut al, "a b c");
+        let c = d.complement();
+        for probe in ["abc", "c", "ab", "", "bca"] {
+            let w = al.word_from_chars(probe);
+            // Words over the alphabet: complement flips membership.
+            assert_ne!(d.accepts(&w), c.accepts(&w), "{probe}");
+        }
+        // Double complement restores the language.
+        assert!(dfa_equiv(&d, &c.complement()));
+    }
+
+    #[test]
+    fn intersection_is_conjunction() {
+        let mut al = Alphabet::new();
+        let d1 = dfa("a* b", &mut al, "a b");
+        let d2 = dfa("(a | b) (a | b)", &mut al, "a b");
+        let both = d1.intersect(&d2);
+        // L1 ∩ L2 = {ab}.
+        assert!(both.accepts(&al.word_from_chars("ab")));
+        assert!(!both.accepts(&al.word_from_chars("b")));
+        assert!(!both.accepts(&al.word_from_chars("aa")));
+        assert_eq!(both.count_words_up_to(6), 1);
+    }
+
+    #[test]
+    fn intersection_with_complement_is_difference() {
+        let mut al = Alphabet::new();
+        let d1 = dfa("a? b? c?", &mut al, "a b c");
+        let d2 = dfa("b? c?", &mut al, "a b c");
+        let only_first = d1.intersect(&d2.complement());
+        // Words in L1 but not L2: exactly those containing a.
+        assert!(only_first.accepts(&al.word_from_chars("a")));
+        assert!(only_first.accepts(&al.word_from_chars("abc")));
+        assert!(!only_first.accepts(&al.word_from_chars("bc")));
+        assert!(!only_first.accepts(&[]));
+        assert_eq!(only_first.count_words_up_to(4), 4); // a, ab, ac, abc
+    }
+}

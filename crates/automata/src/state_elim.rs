@@ -1,0 +1,256 @@
+//! Classical state elimination (Hopcroft–Ullman) from SOAs to REs.
+//!
+//! This is the textbook automaton→RE translation the paper contrasts
+//! `rewrite` against: applied to the Figure 1 automaton it produces the
+//! enormous expression (†) of §1.3 where the equivalent SORE (‡) is
+//! `((b?(a|c))+d)+e` — by Ehrenfeucht & Zeiger the blow-up is exponential
+//! in general and unavoidable for arbitrary automata.
+//!
+//! The implementation works on a GNFA whose transitions carry either ε or a
+//! regular expression; states are eliminated one by one, composing
+//! `R(i,j) := R(i,j) + R(i,q)·R(q,q)*·R(q,j)`.
+
+use crate::soa::Soa;
+use dtdinfer_regex::alphabet::Sym;
+use dtdinfer_regex::ast::Regex;
+use std::collections::HashMap;
+
+/// A GNFA transition label: ε or a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Label {
+    Eps,
+    Re(Regex),
+}
+
+impl Label {
+    fn concat(a: &Label, b: &Label) -> Label {
+        match (a, b) {
+            (Label::Eps, x) | (x, Label::Eps) => x.clone(),
+            (Label::Re(r), Label::Re(s)) => {
+                Label::Re(Regex::concat(vec![r.clone(), s.clone()]))
+            }
+        }
+    }
+
+    fn union(a: Label, b: Label) -> Label {
+        match (a, b) {
+            (Label::Eps, Label::Eps) => Label::Eps,
+            (Label::Eps, Label::Re(r)) | (Label::Re(r), Label::Eps) => {
+                Label::Re(Regex::optional(r))
+            }
+            (Label::Re(r), Label::Re(s)) => {
+                if r == s {
+                    Label::Re(r)
+                } else {
+                    Label::Re(Regex::union(vec![r, s]))
+                }
+            }
+        }
+    }
+
+    fn star(&self) -> Label {
+        match self {
+            Label::Eps => Label::Eps,
+            Label::Re(r) => Label::Re(Regex::star(r.clone())),
+        }
+    }
+}
+
+/// Result of state elimination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElimResult {
+    /// The automaton accepts nothing.
+    Empty,
+    /// The automaton accepts exactly {ε} (not expressible as a paper RE).
+    EpsilonOnly,
+    /// The language of the automaton.
+    Regex(Regex),
+    /// The language is `L(r) ∪ {ε}` for the contained `r` — reported
+    /// separately because ε is not a paper RE; rendered as `(r)?` when the
+    /// union is expressible.
+    OptionalRegex(Regex),
+}
+
+impl ElimResult {
+    /// The expression, folding `OptionalRegex(r)` into `r?`.
+    pub fn into_regex(self) -> Option<Regex> {
+        match self {
+            ElimResult::Regex(r) => Some(r),
+            ElimResult::OptionalRegex(r) => Some(Regex::optional(r)),
+            _ => None,
+        }
+    }
+}
+
+/// Eliminates states in ascending symbol order (the deterministic default).
+pub fn eliminate(soa: &Soa) -> ElimResult {
+    let order: Vec<Sym> = soa.states.iter().copied().collect();
+    eliminate_with_order(soa, &order)
+}
+
+/// Eliminates states in a caller-chosen order. Different orders give
+/// differently-sized (but equivalent) expressions; the heuristics literature
+/// the paper cites ([16, 27]) is entirely about picking this order.
+pub fn eliminate_with_order(soa: &Soa, order: &[Sym]) -> ElimResult {
+    // GNFA state numbering: 0 = start, 1 = accept, 2.. = symbol states.
+    let state_of: HashMap<Sym, usize> = soa
+        .states
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i + 2))
+        .collect();
+    let mut trans: HashMap<(usize, usize), Label> = HashMap::new();
+    for &s in &soa.initial {
+        trans.insert((0, state_of[&s]), Label::Re(Regex::sym(s)));
+    }
+    for &(a, b) in &soa.edges {
+        trans.insert((state_of[&a], state_of[&b]), Label::Re(Regex::sym(b)));
+    }
+    for &s in &soa.finals {
+        trans.insert((state_of[&s], 1), Label::Eps);
+    }
+    if soa.accepts_empty {
+        trans.insert((0, 1), Label::Eps);
+    }
+
+    let mut alive: Vec<usize> = vec![0, 1];
+    alive.extend(state_of.values().copied());
+
+    for &sym in order {
+        let q = state_of[&sym];
+        let self_loop = trans.remove(&(q, q));
+        let loop_star = self_loop.as_ref().map(Label::star);
+        let ins: Vec<(usize, Label)> = alive
+            .iter()
+            .filter(|&&i| i != q)
+            .filter_map(|&i| trans.remove(&(i, q)).map(|l| (i, l)))
+            .collect();
+        let outs: Vec<(usize, Label)> = alive
+            .iter()
+            .filter(|&&j| j != q)
+            .filter_map(|&j| trans.remove(&(q, j)).map(|l| (j, l)))
+            .collect();
+        for (i, lin) in &ins {
+            for (j, lout) in &outs {
+                let mut path = lin.clone();
+                if let Some(ls) = &loop_star {
+                    path = Label::concat(&path, ls);
+                }
+                path = Label::concat(&path, lout);
+                let merged = match trans.remove(&(*i, *j)) {
+                    Some(existing) => Label::union(existing, path),
+                    None => path,
+                };
+                trans.insert((*i, *j), merged);
+            }
+        }
+        alive.retain(|&s| s != q);
+    }
+
+    match trans.remove(&(0, 1)) {
+        None => ElimResult::Empty,
+        Some(Label::Eps) => ElimResult::EpsilonOnly,
+        Some(Label::Re(r)) => {
+            if soa.accepts_empty {
+                // ε was folded into the union by Label::union → Optional.
+                ElimResult::Regex(r)
+            } else {
+                ElimResult::Regex(r)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::soa_equiv_regex;
+    use crate::glushkov::soa_of_sore;
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::parser::parse;
+
+    fn learned(words: &[&str]) -> (Soa, Alphabet) {
+        let mut al = Alphabet::new();
+        let ws: Vec<_> = words.iter().map(|w| al.word_from_chars(w)).collect();
+        (Soa::learn(&ws), al)
+    }
+
+    #[test]
+    fn simple_chain() {
+        let (soa, al) = learned(&["abc"]);
+        let r = match eliminate(&soa) {
+            ElimResult::Regex(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(soa_equiv_regex(&soa, &r));
+        assert_eq!(dtdinfer_regex::display::render(&r, &al), "a b c");
+    }
+
+    #[test]
+    fn elimination_preserves_language() {
+        for src in [
+            "a+",
+            "(a | b)+ c",
+            "a? b? c",
+            "((b? (a|c))+ d)+ e",
+            "a (b | c)* d",
+        ] {
+            let mut al = Alphabet::new();
+            let target = parse(src, &mut al).unwrap();
+            let soa = soa_of_sore(&target).unwrap();
+            let r = eliminate(&soa).into_regex().expect("non-trivial language");
+            assert!(soa_equiv_regex(&soa, &r), "state elim broke {src}");
+        }
+    }
+
+    #[test]
+    fn figure1_blowup_vs_sore() {
+        // State elimination on the Figure 1 automaton is dramatically larger
+        // than the 5-symbol SORE (the paper's expression (†) has 180 symbol
+        // occurrences vs 5 for (‡)).
+        let (soa, mut al) = learned(&["bacacdacde", "cbacdbacde", "abccaadcde"]);
+        let r = eliminate(&soa).into_regex().unwrap();
+        assert!(soa_equiv_regex(&soa, &r));
+        let sore = parse("((b? (a|c))+ d)+ e", &mut al).unwrap();
+        assert!(
+            r.symbol_count() > 10 * sore.symbol_count(),
+            "expected blow-up, got {} vs {}",
+            r.symbol_count(),
+            sore.symbol_count()
+        );
+    }
+
+    #[test]
+    fn empty_automaton() {
+        let soa = Soa::new();
+        assert_eq!(eliminate(&soa), ElimResult::Empty);
+    }
+
+    #[test]
+    fn epsilon_only() {
+        let mut soa = Soa::new();
+        soa.accepts_empty = true;
+        assert_eq!(eliminate(&soa), ElimResult::EpsilonOnly);
+    }
+
+    #[test]
+    fn nullable_language() {
+        let mut al = Alphabet::new();
+        let target = parse("a*", &mut al).unwrap();
+        let soa = soa_of_sore(&target).unwrap();
+        let r = eliminate(&soa).into_regex().unwrap();
+        assert!(soa_equiv_regex(&soa, &r));
+        assert!(r.nullable());
+    }
+
+    #[test]
+    fn elimination_order_changes_size_not_language() {
+        let (soa, _) = learned(&["bacacdacde", "cbacdbacde", "abccaadcde"]);
+        let fwd: Vec<_> = soa.states.iter().copied().collect();
+        let rev: Vec<_> = soa.states.iter().rev().copied().collect();
+        let r1 = eliminate_with_order(&soa, &fwd).into_regex().unwrap();
+        let r2 = eliminate_with_order(&soa, &rev).into_regex().unwrap();
+        assert!(soa_equiv_regex(&soa, &r1));
+        assert!(soa_equiv_regex(&soa, &r2));
+    }
+}

@@ -1,0 +1,20 @@
+//! Baseline DTD-inference systems the paper compares against (§2, §8).
+//!
+//! * [`mod@xtract`] — a reimplementation of XTRACT (Garofalakis et al., DMKD
+//!   2003) following its three published modules: per-string
+//!   *generalization* (repeated subparts become Kleene-starred groups),
+//!   *factoring* of common subexpressions, and *MDL*-based candidate
+//!   selection (the NP-hard subproblem approximated by greedy weighted set
+//!   cover, with an explicit work budget modeling the memory crashes the
+//!   paper reports on samples beyond ~1000 strings).
+//! * [`mod@trang`] — a Trang-like inferrer per the paper's reading of James
+//!   Clark's source: 2T-INF, strongly-connected-component merging, then a
+//!   DAG-to-RE translation; its outputs track CRX closely (§8.1).
+
+#![warn(missing_docs)]
+
+pub mod trang;
+pub mod xtract;
+
+pub use trang::trang;
+pub use xtract::{xtract, XtractConfig, XtractError};

@@ -1,0 +1,693 @@
+//! XTRACT reimplementation (Garofalakis, Gionis, Rastogi, Seshadri, Shim:
+//! "XTRACT: learning document type descriptors from XML document
+//! collections", DMKD 7:23–56, 2003), as characterized in §2 of the paper.
+//!
+//! Pipeline:
+//!
+//! 1. **Generalization** — every distinct input string yields candidate
+//!    REs: the string itself, plus variants where maximal periodic runs
+//!    (`ababab`) are replaced by Kleene-starred groups (`(ab)*`).
+//! 2. **Factoring** — candidates are factored on common prefixes/suffixes
+//!    (logic-optimization style: `ab + ac → a(b + c)`).
+//! 3. **MDL** — a subset of candidates covering all strings is chosen to
+//!    minimize `L(theory) + L(data | theory)`; the exact problem is
+//!    NP-hard (Fernau 2004), so we use greedy weighted set cover like any
+//!    practical implementation must. The final DTD is the disjunction of
+//!    the chosen candidates, factored once more.
+//!
+//! The original system could not handle samples beyond ~1000 strings
+//! (>1 GB RSS, §8.1); [`XtractConfig::work_budget`] models that resource
+//! wall so benchmark harnesses can report "crash" points faithfully.
+
+use dtdinfer_regex::alphabet::{Sym, Word};
+use dtdinfer_regex::ast::Regex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct XtractConfig {
+    /// Abort (modeling the original's memory crash) once the MDL encoder
+    /// has performed this many DP cell evaluations.
+    pub work_budget: u64,
+    /// Maximum number of distinct strings before aborting outright.
+    pub max_distinct_strings: usize,
+}
+
+impl Default for XtractConfig {
+    fn default() -> Self {
+        Self {
+            work_budget: 50_000_000,
+            max_distinct_strings: 1000,
+        }
+    }
+}
+
+/// Failure modes (the paper reports xtract crashing on large samples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XtractError {
+    /// Too many distinct strings — the original exceeded 1 GB here.
+    TooManyStrings {
+        /// Number of distinct strings in the sample.
+        distinct: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// MDL work budget exhausted.
+    BudgetExhausted,
+    /// Empty input.
+    EmptySample,
+}
+
+impl fmt::Display for XtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XtractError::TooManyStrings { distinct, limit } => write!(
+                f,
+                "xtract cannot handle {distinct} distinct strings (limit {limit}): \
+                 resource exhaustion"
+            ),
+            XtractError::BudgetExhausted => write!(f, "xtract MDL work budget exhausted"),
+            XtractError::EmptySample => write!(f, "xtract requires a non-empty sample"),
+        }
+    }
+}
+
+impl std::error::Error for XtractError {}
+
+/// Runs the XTRACT pipeline on a sample of words.
+pub fn xtract(words: &[Word], cfg: &XtractConfig) -> Result<Regex, XtractError> {
+    let mut distinct: Vec<&Word> = Vec::new();
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for w in words {
+            if !w.is_empty() && seen.insert(w.clone()) {
+                distinct.push(w);
+            }
+        }
+    }
+    if distinct.is_empty() {
+        return Err(XtractError::EmptySample);
+    }
+    if distinct.len() > cfg.max_distinct_strings {
+        return Err(XtractError::TooManyStrings {
+            distinct: distinct.len(),
+            limit: cfg.max_distinct_strings,
+        });
+    }
+
+    // Module 1: generalization.
+    let mut candidates: Vec<Regex> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for w in &distinct {
+            for cand in generalize(w) {
+                if seen.insert(cand.clone()) {
+                    candidates.push(cand);
+                }
+            }
+        }
+    }
+
+    // Module 2: factoring of the candidate pool (pairwise common
+    // prefix/suffix factoring produces additional, more general
+    // candidates).
+    let factored_pool = factor_union(candidates.clone());
+    if let Regex::Union(parts) = &factored_pool {
+        for p in parts {
+            if !candidates.contains(p) {
+                candidates.push(p.clone());
+            }
+        }
+    } else if !candidates.contains(&factored_pool) {
+        candidates.push(factored_pool.clone());
+    }
+
+    // Module 3: MDL candidate selection via greedy weighted set cover.
+    let alphabet_bits = bits_for(alphabet_size(&distinct) + 4);
+    let mut encoder = MdlEncoder::new(cfg.work_budget);
+    // cost_matrix[c][s] = bits to encode string s with candidate c (None =
+    // not derivable). A cheap NFA membership pre-filter avoids running the
+    // quadratic MDL dynamic program on the (many) underivable pairs.
+    let mut cost: Vec<Vec<Option<f64>>> = Vec::with_capacity(candidates.len());
+    for cand in &candidates {
+        let nfa = dtdinfer_automata::nfa::Nfa::from_regex(cand);
+        let mut row = Vec::with_capacity(distinct.len());
+        for w in &distinct {
+            if nfa.accepts(w) {
+                row.push(encoder.encode(cand, w)?);
+            } else {
+                row.push(None);
+            }
+        }
+        cost.push(row);
+    }
+
+    let theory_cost =
+        |c: &Regex| -> f64 { c.token_count() as f64 * alphabet_bits };
+    let mut covered = vec![false; distinct.len()];
+    let mut chosen: Vec<usize> = Vec::new();
+    while covered.iter().any(|&c| !c) {
+        let mut best: Option<(f64, usize)> = None;
+        for (ci, cand) in candidates.iter().enumerate() {
+            if chosen.contains(&ci) {
+                continue;
+            }
+            let mut gain_strings = 0usize;
+            let mut data_bits = 0.0f64;
+            for (si, row) in cost[ci].iter().enumerate() {
+                if !covered[si] {
+                    if let Some(bits) = row {
+                        gain_strings += 1;
+                        data_bits += bits;
+                    }
+                }
+            }
+            if gain_strings == 0 {
+                continue;
+            }
+            let ratio = (theory_cost(cand) + data_bits) / gain_strings as f64;
+            if best.is_none_or(|(b, _)| ratio < b) {
+                best = Some((ratio, ci));
+            }
+        }
+        // Every string always derivable from its own raw candidate, so
+        // progress is guaranteed.
+        let (_, ci) = best.expect("raw candidates cover everything");
+        for (si, row) in cost[ci].iter().enumerate() {
+            if row.is_some() {
+                covered[si] = true;
+            }
+        }
+        chosen.push(ci);
+    }
+
+    let parts: Vec<Regex> = chosen.into_iter().map(|ci| candidates[ci].clone()).collect();
+    Ok(factor_union(parts))
+}
+
+fn alphabet_size(words: &[&Word]) -> usize {
+    let mut syms = std::collections::BTreeSet::new();
+    for w in words {
+        syms.extend(w.iter().copied());
+    }
+    syms.len()
+}
+
+fn bits_for(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Module 1: candidate generation for one string.
+///
+/// Produces the raw string plus variants in which maximal periodic runs are
+/// replaced by `(period)*` groups — one variant preferring the shortest
+/// period at each position, one preferring the longest run.
+pub fn generalize(w: &Word) -> Vec<Regex> {
+    let mut out = vec![word_regex(w)];
+    for prefer_long in [false, true] {
+        if let Some(cand) = starred_variant(w, prefer_long) {
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+fn word_regex(w: &Word) -> Regex {
+    Regex::concat(w.iter().copied().map(Regex::sym).collect())
+}
+
+/// Greedy left-to-right replacement of periodic runs by starred groups.
+fn starred_variant(w: &Word, prefer_long: bool) -> Option<Regex> {
+    let mut parts: Vec<Regex> = Vec::new();
+    let mut i = 0usize;
+    let mut replaced = false;
+    while i < w.len() {
+        let mut chosen: Option<(usize, usize)> = None; // (period, reps)
+        let periods: Vec<usize> = if prefer_long {
+            (1..=(w.len() - i) / 2).rev().collect()
+        } else {
+            (1..=(w.len() - i) / 2).collect()
+        };
+        for p in periods {
+            let reps = run_length(w, i, p);
+            if reps >= 2 {
+                chosen = Some((p, reps));
+                break;
+            }
+        }
+        match chosen {
+            Some((p, reps)) => {
+                let unit = word_regex(&w[i..i + p].to_vec());
+                parts.push(Regex::star(unit));
+                replaced = true;
+                i += p * reps;
+            }
+            None => {
+                parts.push(Regex::sym(w[i]));
+                i += 1;
+            }
+        }
+    }
+    replaced.then(|| Regex::concat(parts))
+}
+
+/// Number of consecutive repetitions of `w[i..i+p]` starting at `i`.
+fn run_length(w: &[Sym], i: usize, p: usize) -> usize {
+    let mut reps = 1usize;
+    while i + (reps + 1) * p <= w.len()
+        && w[i + reps * p..i + (reps + 1) * p] == w[i..i + p]
+    {
+        reps += 1;
+    }
+    reps
+}
+
+/// Module 2: factoring. Combines a set of alternatives into a single RE,
+/// factoring common prefixes and then common suffixes recursively.
+pub fn factor_union(mut parts: Vec<Regex>) -> Regex {
+    parts.sort_by_key(canon_key);
+    parts.dedup();
+    if parts.len() == 1 {
+        return parts.pop().expect("one element");
+    }
+    if let Some(r) = factor_by(&parts, Direction::Prefix) {
+        return r;
+    }
+    if let Some(r) = factor_by(&parts, Direction::Suffix) {
+        return r;
+    }
+    Regex::union(parts)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Prefix,
+    Suffix,
+}
+
+/// One factoring pass: groups alternatives sharing their first (or last)
+/// element, pulls the shared element out, and recurses on the remainders.
+fn factor_by(parts: &[Regex], dir: Direction) -> Option<Regex> {
+    let mut groups: BTreeMap<String, Vec<Regex>> = BTreeMap::new();
+    for p in parts {
+        groups
+            .entry(canon_key(&edge_element(p, dir)))
+            .or_default()
+            .push(p.clone());
+    }
+    if !groups.values().any(|g| g.len() >= 2) || groups.len() >= parts.len() {
+        return None;
+    }
+    let mut alts: Vec<Regex> = Vec::new();
+    for group in groups.into_values() {
+        if group.len() == 1 {
+            alts.extend(group);
+            continue;
+        }
+        let shared = edge_element(&group[0], dir);
+        let mut remainders: Vec<Regex> = Vec::new();
+        let mut some_empty = false;
+        for g in &group {
+            match remainder(g, dir) {
+                Some(t) => remainders.push(t),
+                None => some_empty = true,
+            }
+        }
+        let factored = if remainders.is_empty() {
+            None
+        } else {
+            Some(factor_union(remainders))
+        };
+        let combined = match (factored, some_empty) {
+            (Some(t), false) => order_concat(shared, t, dir),
+            (Some(t), true) => order_concat(shared, Regex::optional(t), dir),
+            (None, _) => shared,
+        };
+        alts.push(combined);
+    }
+    Some(if alts.len() == 1 {
+        alts.pop().expect("one")
+    } else {
+        Regex::union(alts)
+    })
+}
+
+fn order_concat(shared: Regex, rest: Regex, dir: Direction) -> Regex {
+    match dir {
+        Direction::Prefix => Regex::concat(vec![shared, rest]),
+        Direction::Suffix => Regex::concat(vec![rest, shared]),
+    }
+}
+
+fn edge_element(r: &Regex, dir: Direction) -> Regex {
+    match (r, dir) {
+        (Regex::Concat(v), Direction::Prefix) => v[0].clone(),
+        (Regex::Concat(v), Direction::Suffix) => v[v.len() - 1].clone(),
+        (other, _) => other.clone(),
+    }
+}
+
+fn remainder(r: &Regex, dir: Direction) -> Option<Regex> {
+    match (r, dir) {
+        (Regex::Concat(v), Direction::Prefix) if v.len() > 1 => {
+            Some(Regex::concat(v[1..].to_vec()))
+        }
+        (Regex::Concat(v), Direction::Suffix) if v.len() > 1 => {
+            Some(Regex::concat(v[..v.len() - 1].to_vec()))
+        }
+        _ => None,
+    }
+}
+
+fn canon_key(r: &Regex) -> String {
+    format!("{r:?}")
+}
+
+/// Module 3 helper: MDL data-encoding cost, computed by dynamic programming
+/// over (subexpression, substring) pairs. The cost is the number of bits to
+/// pick a derivation of the string from the expression: `log2 k` per
+/// k-way union choice and one bit per continue/stop decision of `*`, `+`,
+/// `?`.
+struct MdlEncoder {
+    budget: u64,
+    used: u64,
+}
+
+impl MdlEncoder {
+    fn new(budget: u64) -> Self {
+        Self { budget, used: 0 }
+    }
+
+    /// Bits to encode `w` with `r`; `None` if `w ∉ L(r)`.
+    fn encode(&mut self, r: &Regex, w: &Word) -> Result<Option<f64>, XtractError> {
+        let mut memo: HashMap<(usize, usize, usize), Option<f64>> = HashMap::new();
+        let mut nodes = Vec::new();
+        collect_nodes(r, &mut nodes);
+        let root = nodes.len() - 1;
+        self.cost(&nodes, root, w, 0, w.len(), &mut memo)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cost(
+        &mut self,
+        nodes: &[&Regex],
+        node: usize,
+        w: &Word,
+        i: usize,
+        j: usize,
+        memo: &mut HashMap<(usize, usize, usize), Option<f64>>,
+    ) -> Result<Option<f64>, XtractError> {
+        if let Some(&c) = memo.get(&(node, i, j)) {
+            return Ok(c);
+        }
+        self.used += 1;
+        if self.used > self.budget {
+            return Err(XtractError::BudgetExhausted);
+        }
+        let result = match nodes[node] {
+            Regex::Symbol(s) => {
+                if j == i + 1 && w[i] == *s {
+                    Some(0.0)
+                } else {
+                    None
+                }
+            }
+            Regex::Concat(parts) => {
+                // Sequential DP over the parts.
+                let ids: Vec<usize> = parts.iter().map(|p| node_id(nodes, p)).collect();
+                let mut frontier: HashMap<usize, f64> = HashMap::from([(i, 0.0)]);
+                for &pid in &ids {
+                    let mut next: HashMap<usize, f64> = HashMap::new();
+                    for (&start, &bits) in &frontier.clone() {
+                        for end in start..=j {
+                            if let Some(c) = self.cost(nodes, pid, w, start, end, memo)? {
+                                let total = bits + c;
+                                next.entry(end)
+                                    .and_modify(|b| *b = b.min(total))
+                                    .or_insert(total);
+                            }
+                        }
+                    }
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                frontier.get(&j).copied()
+            }
+            Regex::Union(parts) => {
+                let choice_bits = bits_for(parts.len());
+                let mut best: Option<f64> = None;
+                for p in parts {
+                    let pid = node_id(nodes, p);
+                    if let Some(c) = self.cost(nodes, pid, w, i, j, memo)? {
+                        let total = choice_bits + c;
+                        best = Some(best.map_or(total, |b: f64| b.min(total)));
+                    }
+                }
+                best
+            }
+            Regex::Optional(inner) => {
+                let pid = node_id(nodes, inner);
+                let skip: Option<f64> = if i == j { Some(1.0) } else { None };
+                let take = self.cost(nodes, pid, w, i, j, memo)?.map(|c| c + 1.0);
+                match (skip, take) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+            Regex::Plus(inner) | Regex::Star(inner) => {
+                let nullable_zero = matches!(nodes[node], Regex::Star(_));
+                let pid = node_id(nodes, inner);
+                // iterate[k] = best bits to cover w[i..k] with ≥1 segments.
+                let mut best_at: Vec<Option<f64>> = vec![None; j + 1];
+                #[allow(clippy::needless_range_loop)] // index mirrors DP cell
+                for end in i..=j {
+                    if let Some(c) = self.cost(nodes, pid, w, i, end, memo)? {
+                        best_at[end] = Some(1.0 + c);
+                    }
+                }
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for mid in i..=j {
+                        let Some(base) = best_at[mid] else { continue };
+                        if mid == i {
+                            continue; // zero-length segments would loop
+                        }
+                        #[allow(clippy::needless_range_loop)] // DP cell index
+                        for end in mid + 1..=j {
+                            if let Some(c) = self.cost(nodes, pid, w, mid, end, memo)? {
+                                let total = base + 1.0 + c;
+                                if best_at[end].is_none_or(|b| total < b) {
+                                    best_at[end] = Some(total);
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                let covered = best_at[j].map(|b| b + 1.0); // stop bit
+                if nullable_zero && i == j {
+                    Some(covered.map_or(1.0, |c: f64| c.min(1.0)))
+                } else {
+                    covered
+                }
+            }
+        };
+        memo.insert((node, i, j), result);
+        Ok(result)
+    }
+}
+
+/// Collects subexpression nodes in post-order (children before parents),
+/// so each node's id is its index.
+fn collect_nodes<'a>(r: &'a Regex, out: &mut Vec<&'a Regex>) {
+    match r {
+        Regex::Symbol(_) => {}
+        Regex::Concat(v) | Regex::Union(v) => {
+            for p in v {
+                collect_nodes(p, out);
+            }
+        }
+        Regex::Optional(p) | Regex::Plus(p) | Regex::Star(p) => collect_nodes(p, out),
+    }
+    out.push(r);
+}
+
+/// Finds the node id of `target` by pointer identity scan (post-order list
+/// contains every subexpression exactly once per occurrence).
+fn node_id(nodes: &[&Regex], target: &Regex) -> usize {
+    nodes
+        .iter()
+        .position(|&n| std::ptr::eq(n, target))
+        .expect("subexpression present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_automata::nfa::regex_matches;
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::display::render;
+
+    fn words(al: &mut Alphabet, ws: &[&str]) -> Vec<Word> {
+        ws.iter().map(|w| al.word_from_chars(w)).collect()
+    }
+
+    #[test]
+    fn covers_training_data() {
+        let mut al = Alphabet::new();
+        let ws = words(&mut al, &["abab", "ab", "cd"]);
+        let r = xtract(&ws, &XtractConfig::default()).unwrap();
+        for w in &ws {
+            assert!(regex_matches(&r, w), "{} lost {w:?}", render(&r, &al));
+        }
+    }
+
+    #[test]
+    fn repeats_become_stars() {
+        let mut al = Alphabet::new();
+        let w = al.word_from_chars("ababab");
+        let cands = generalize(&w);
+        assert!(cands.len() >= 2);
+        let rendered: Vec<String> = cands.iter().map(|c| render(c, &al)).collect();
+        assert!(
+            rendered.iter().any(|r| r.contains('*')),
+            "no starred candidate in {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn factoring_extracts_common_prefix() {
+        let mut al = Alphabet::new();
+        let parts = vec![
+            word_regex(&al.word_from_chars("abc")),
+            word_regex(&al.word_from_chars("abd")),
+        ];
+        let f = factor_union(parts);
+        assert_eq!(render(&f, &al), "a b (c | d)");
+    }
+
+    #[test]
+    fn factoring_extracts_common_suffix() {
+        let mut al = Alphabet::new();
+        let parts = vec![
+            word_regex(&al.word_from_chars("ac")),
+            word_regex(&al.word_from_chars("bc")),
+        ];
+        let f = factor_union(parts);
+        assert_eq!(render(&f, &al), "(a | b) c");
+    }
+
+    #[test]
+    fn factoring_handles_absent_tail() {
+        let mut al = Alphabet::new();
+        let parts = vec![
+            word_regex(&al.word_from_chars("ab")),
+            word_regex(&al.word_from_chars("a")),
+        ];
+        let f = factor_union(parts);
+        assert_eq!(render(&f, &al), "a b?");
+    }
+
+    #[test]
+    fn too_many_strings_crashes() {
+        let mut al = Alphabet::new();
+        // 1001 distinct strings.
+        let a = al.intern("a");
+        let b = al.intern("b");
+        let ws: Vec<Word> = (0..1001)
+            .map(|i| {
+                let mut w = vec![a; i % 500 + 1];
+                if i % 2 == 0 {
+                    w.push(b);
+                }
+                w.push(a);
+                w
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = ws.iter().cloned().collect();
+        if distinct.len() > 1000 {
+            assert!(matches!(
+                xtract(&ws, &XtractConfig::default()),
+                Err(XtractError::TooManyStrings { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_sample_is_error() {
+        assert_eq!(
+            xtract(&[], &XtractConfig::default()),
+            Err(XtractError::EmptySample)
+        );
+    }
+
+    #[test]
+    fn mdl_encoding_costs() {
+        let mut al = Alphabet::new();
+        let mut enc = MdlEncoder::new(1_000_000);
+        // (a|b) costs 1 bit per choice.
+        let r = Regex::union(vec![
+            Regex::sym(al.intern("a")),
+            Regex::sym(al.intern("b")),
+        ]);
+        let w = al.word_from_chars("a");
+        assert_eq!(enc.encode(&r, &w).unwrap(), Some(1.0));
+        // a* costs k+1 continue/stop bits for k iterations.
+        let star = Regex::star(Regex::sym(al.get("a").unwrap()));
+        let w3 = al.word_from_chars("aaa");
+        assert_eq!(enc.encode(&star, &w3).unwrap(), Some(4.0));
+        let w0: Word = vec![];
+        assert_eq!(enc.encode(&star, &w0).unwrap(), Some(1.0));
+        // Non-member: None.
+        let wb = al.word_from_chars("b");
+        assert_eq!(enc.encode(&star, &wb).unwrap(), None);
+    }
+
+    #[test]
+    fn mdl_prefers_star_for_heavily_repeated_data() {
+        let mut al = Alphabet::new();
+        // Many strings of varying numbers of a's: the starred candidate
+        // explains all of them at once, the raw strings cannot.
+        let ws: Vec<Word> = (1..12).map(|k| vec![al.intern("a"); k]).collect();
+        let r = xtract(&ws, &XtractConfig::default()).unwrap();
+        let rendered = render(&r, &al);
+        assert!(rendered.contains('*'), "expected a star in {rendered}");
+        for w in &ws {
+            assert!(regex_matches(&r, w));
+        }
+    }
+
+    #[test]
+    fn disjunctive_long_winded_outputs_on_diverse_data() {
+        // The paper's criticism: on diverse real-world data xtract output
+        // grows with the sample, unlike SORE/CHARE inference.
+        let mut al = Alphabet::new();
+        let ws = words(
+            &mut al,
+            &["abc", "acb", "bac", "bca", "cab", "cba", "aabbcc", "ccbbaa"],
+        );
+        let r = xtract(&ws, &XtractConfig::default()).unwrap();
+        for w in &ws {
+            assert!(regex_matches(&r, w));
+        }
+        // Conciseness comparison: symbols occur many times.
+        assert!(r.symbol_count() > 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut al = Alphabet::new();
+        let ws = words(&mut al, &["abcabcabc", "cbacbacba", "aabbaabb"]);
+        let tiny = XtractConfig {
+            work_budget: 10,
+            max_distinct_strings: 1000,
+        };
+        assert_eq!(xtract(&ws, &tiny), Err(XtractError::BudgetExhausted));
+    }
+}

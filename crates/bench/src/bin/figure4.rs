@@ -1,0 +1,91 @@
+//! Figure 4 reproduction: fraction of subsamples recovering the target
+//! expression as a function of sample size, for crx / iDTD / rewrite, on
+//! example2 (top), example4 (middle) and expression (‡) (bottom).
+//!
+//! Emits one CSV block per plot plus an ASCII rendering. The default of 50
+//! trials per point finishes in ~10 minutes; `--trials 200` runs the
+//! paper's exact protocol, `--fast` a 25-trial smoke pass.
+//!
+//! ```sh
+//! cargo run --release -p dtdinfer-bench --bin figure4            # full
+//! cargo run --release -p dtdinfer-bench --bin figure4 -- --fast  # quick
+//! ```
+
+use dtdinfer_gen::critical::{sweep, Learner, SweepPoint};
+use dtdinfer_gen::generator::generate_sample;
+use dtdinfer_gen::scenarios::figure4;
+use dtdinfer_regex::alphabet::Sym;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trials = 50usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => trials = 25,
+            "--trials" => {
+                trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials N");
+            }
+            other => panic!("unknown option {other:?}"),
+        }
+    }
+
+    for (scenario, max_size) in figure4() {
+        let b = scenario.build();
+        let base = generate_sample(&b.data, scenario.sample_size, 0xf19 ^ max_size as u64);
+        let required: Vec<Sym> = b.alphabet.symbols().collect();
+        // 12 sizes, log-ish spacing from tiny to the full plot range.
+        let sizes: Vec<usize> = (1..=12)
+            .map(|i| ((max_size as f64) * (i as f64 / 12.0).powi(2)).round() as usize)
+            .map(|s| s.max(required.len() / 2 + 2))
+            .collect();
+
+        println!("# Figure 4 — {} (trials per point: {trials})", scenario.name);
+        println!("size,crx,idtd,rewrite");
+        let mut series: Vec<(Learner, Vec<SweepPoint>)> = Vec::new();
+        for learner in Learner::ALL {
+            let target = learner
+                .target(&base)
+                .expect("target inferable from the representative base");
+            let pts = sweep(learner, &base, &target, &required, &sizes, trials, 99);
+            series.push((learner, pts));
+        }
+        for (i, &size) in sizes.iter().enumerate() {
+            let row: Vec<String> = series
+                .iter()
+                .map(|(_, pts)| format!("{:.3}", pts[i].fraction))
+                .collect();
+            println!("{size},{}", row.join(","));
+        }
+        println!();
+        ascii_plot(&series, &sizes);
+        println!();
+    }
+}
+
+/// Rough terminal rendering of the three series.
+fn ascii_plot(series: &[(Learner, Vec<SweepPoint>)], sizes: &[usize]) {
+    const ROWS: usize = 10;
+    let marks = ['c', 'i', 'r'];
+    for row in (0..=ROWS).rev() {
+        let level = row as f64 / ROWS as f64;
+        let mut line = String::new();
+        for i in 0..sizes.len() {
+            let mut cell = ' ';
+            for ((_, pts), &mark) in series.iter().zip(&marks) {
+                if (pts[i].fraction - level).abs() < 0.5 / ROWS as f64 {
+                    cell = mark;
+                }
+            }
+            line.push(cell);
+            line.push(' ');
+        }
+        println!("{level:>4.1} |{line}");
+    }
+    let labels: Vec<String> = sizes.iter().map(|s| format!("{s}")).collect();
+    println!("      sizes: {}", labels.join(" "));
+    println!("      c = crx, i = idtd, r = rewrite");
+}

@@ -1,0 +1,78 @@
+//! §8.3 performance reproduction.
+//!
+//! The paper (2.5 GHz P4, 512 MB, JVM start-up included): example4 — 61
+//! symbols, 10000 strings — took 7 s with iDTD and 3.2 s with crx; typical
+//! ~10-symbol expressions from a few hundred strings took about a second;
+//! xtract could not handle more than 1000 strings. Absolute numbers are
+//! hardware-bound; the *shape* to reproduce is crx ≤ iDTD ≪ xtract, with
+//! xtract hitting a wall past 1000 strings.
+//!
+//! ```sh
+//! cargo run --release -p dtdinfer-bench --bin perf_table
+//! ```
+
+use dtdinfer_baselines::trang::trang;
+use dtdinfer_baselines::xtract::{xtract, XtractConfig};
+use dtdinfer_bench::{fmt_duration, time_once};
+use dtdinfer_core::crx::crx;
+use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_gen::generator::generate_sample;
+use dtdinfer_gen::scenarios::{table1, table2};
+
+fn main() {
+    println!("§8.3 — wall-clock comparison (release build)\n");
+
+    // example4: 61 symbols, 10000 strings.
+    let s = &table2()[3];
+    let b = s.build();
+    let sample = generate_sample(&b.data, 10000, 0x9e7f);
+    println!("example4 (61 symbols, 10000 strings):");
+    let (_, d) = time_once(|| crx(&sample));
+    println!("  crx   : {:<10} (paper: 3.2 s on 2006 hardware)", fmt_duration(d));
+    let (_, d) = time_once(|| idtd_from_words(&sample));
+    println!("  idtd  : {:<10} (paper: 7 s)", fmt_duration(d));
+    let (_, d) = time_once(|| trang(&sample));
+    println!("  trang : {}", fmt_duration(d));
+    println!();
+
+    // Typical ~10-symbol expression from a few hundred strings.
+    let s = &table1()[0]; // ProteinEntry, 13 symbols
+    let b = s.build();
+    let sample = generate_sample(&b.data, 300, 0x41);
+    println!("typical element ({} symbols, 300 strings):", b.alphabet.len());
+    let (_, d) = time_once(|| crx(&sample));
+    println!("  crx   : {:<10} (paper: ~1 s incl. JVM start-up)", fmt_duration(d));
+    let (_, d) = time_once(|| idtd_from_words(&sample));
+    println!("  idtd  : {}", fmt_duration(d));
+    let (_, d) = time_once(|| trang(&sample));
+    println!("  trang : {}", fmt_duration(d));
+    println!();
+
+    // xtract's wall: growth in time as distinct strings increase, then the
+    // configured resource limit (modelling the >1 GB crash).
+    println!("xtract scaling (distinct strings → time or failure):");
+    let s = &table2()[1]; // example2: 18 symbols
+    let b = s.build();
+    for n in [50usize, 100, 200, 400, 800, 1200, 2500, 5000] {
+        let sample = generate_sample(&b.data, n, 0x77);
+        let mut distinct = sample.clone();
+        distinct.sort();
+        distinct.dedup();
+        let (out, d) = time_once(|| xtract(&sample, &XtractConfig::default()));
+        match out {
+            Ok(r) => println!(
+                "  {:>5} strings ({:>4} distinct): {:<10} → {} tokens",
+                n,
+                distinct.len(),
+                fmt_duration(d),
+                r.token_count()
+            ),
+            Err(e) => println!(
+                "  {:>5} strings ({:>4} distinct): FAILED — {e}",
+                n,
+                distinct.len()
+            ),
+        }
+    }
+    println!("\npaper: \"xtract can not handle data sets with more than 1000 strings\"");
+}

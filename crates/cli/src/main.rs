@@ -1,0 +1,396 @@
+//! The `dtdinfer` command-line tool.
+//!
+//! ```text
+//! dtdinfer infer [--engine crx|idtd|idtd-noise:<N>] [--xsd] [--numeric <N>] FILE...
+//! dtdinfer validate --dtd SCHEMA.dtd FILE...
+//! dtdinfer sample [--count N] [--seed S] 'EXPRESSION'
+//! dtdinfer learn [--engine ...] [--render dtd|paper]  (words on stdin)
+//! ```
+
+use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_core::crx::crx;
+use dtdinfer_regex::alphabet::{Alphabet, Word};
+use dtdinfer_xml::dtd::Dtd;
+use dtdinfer_xml::extract::Corpus;
+use dtdinfer_xml::infer::{infer_dtd, InferenceEngine};
+use dtdinfer_xml::xsd::{generate_xsd, XsdOptions};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
+        Some("learn") => cmd_learn(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?} (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dtdinfer: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "dtdinfer — inference of concise DTDs from XML data (VLDB 2006)
+
+USAGE:
+  dtdinfer infer [OPTIONS] FILE...      infer a DTD for the given XML files
+      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --xsd                             emit an XML Schema instead of a DTD
+      --contextual                      XSD-strength typing: content models
+                                        may depend on the parent element
+      --numeric <N>                     tighten ?/+/* to numeric bounds
+                                        (unbounded above N occurrences)
+  dtdinfer validate --dtd S.dtd FILE... validate XML files against a DTD
+      --lint                            also check the DTD itself for
+                                        non-deterministic content models
+  dtdinfer sample [OPTIONS] 'EXPR'      generate words from an expression
+      --count <N>                       number of words (default 10)
+      --seed <S>                        RNG seed (default 0)
+  dtdinfer learn [OPTIONS]              learn an expression from words on
+                                        stdin (one word per line, symbols
+                                        whitespace-separated)
+      --engine crx|idtd                 learner (default: idtd)
+      --state FILE                      incremental mode: load/merge/save
+                                        the learner's state file
+  dtdinfer explain                      like learn --engine idtd, but print
+                                        the full rewrite/repair derivation
+                                        (Figure 3 of the paper)
+  dtdinfer dot 'EXPR'                   Graphviz rendering of the SOA of an
+                                        expression
+  dtdinfer diff FIRST.dtd SECOND.dtd    compare two DTDs element by element
+                                        (schema cleaning: find where the
+                                        second is stricter/looser)"
+    );
+}
+
+fn parse_engine(spec: &str) -> Result<InferenceEngine, String> {
+    match spec {
+        "crx" => Ok(InferenceEngine::Crx),
+        "idtd" => Ok(InferenceEngine::Idtd),
+        other => match other.strip_prefix("idtd-noise:") {
+            Some(n) => n
+                .parse::<u64>()
+                .map(|threshold| InferenceEngine::IdtdNoise { threshold })
+                .map_err(|e| format!("bad noise threshold: {e}")),
+            None => Err(format!("unknown engine {other:?}")),
+        },
+    }
+}
+
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    let mut engine = InferenceEngine::Idtd;
+    let mut xsd = false;
+    let mut contextual = false;
+    let mut numeric: Option<u32> = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                engine = parse_engine(v)?;
+            }
+            "--xsd" => xsd = true,
+            "--contextual" => contextual = true,
+            "--numeric" => {
+                let v = it.next().ok_or("--numeric needs a value")?;
+                numeric = Some(v.parse().map_err(|e| format!("bad --numeric: {e}"))?);
+            }
+            f => files.push(f.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    if contextual {
+        // Context-aware (XSD-strength) inference: one type per
+        // (parent, element) context, merged when language-equal.
+        let mut corpus = dtdinfer_xml::contextual::ContextualCorpus::new();
+        for f in &files {
+            let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+            corpus
+                .add_document(&text)
+                .map_err(|e| format!("{f}: {e}"))?;
+        }
+        let schema = dtdinfer_xml::contextual::infer_contextual(&corpus, engine);
+        if xsd {
+            print!("{}", dtdinfer_xml::contextual::contextual_xsd(&schema));
+        } else {
+            print!("{}", schema.render());
+            if schema.requires_xsd() {
+                eprintln!("note: this corpus needs XSD typing (an element has context-dependent content)");
+            }
+        }
+        return Ok(());
+    }
+    let mut corpus = Corpus::new();
+    for f in &files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        corpus
+            .add_document(&text)
+            .map_err(|e| format!("{f}: {e}"))?;
+    }
+    let dtd = infer_dtd(&corpus, engine);
+    if xsd {
+        print!(
+            "{}",
+            generate_xsd(
+                &dtd,
+                Some(&corpus),
+                XsdOptions {
+                    numeric_threshold: numeric,
+                }
+            )
+        );
+    } else {
+        print!("{}", dtd.serialize());
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let mut dtd_path: Option<String> = None;
+    let mut lint = false;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dtd" => dtd_path = Some(it.next().ok_or("--dtd needs a value")?.to_owned()),
+            "--lint" => lint = true,
+            f => files.push(f.to_owned()),
+        }
+    }
+    let dtd_path = dtd_path.ok_or("--dtd is required")?;
+    let dtd_text =
+        std::fs::read_to_string(&dtd_path).map_err(|e| format!("{dtd_path}: {e}"))?;
+    let dtd = Dtd::parse(&dtd_text).map_err(|e| e.to_string())?;
+    if lint {
+        let issues = dtd.lint();
+        for issue in &issues {
+            println!("{dtd_path}: {issue}");
+        }
+        if files.is_empty() {
+            return if issues.is_empty() {
+                println!("DTD is deterministic (XML-spec conformant)");
+                Ok(())
+            } else {
+                Err(format!("{} lint issue(s)", issues.len()))
+            };
+        }
+    }
+    let mut total_violations = 0usize;
+    for f in &files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        let violations = dtd.validate(&text).map_err(|e| format!("{f}: {e}"))?;
+        for v in &violations {
+            println!("{f}: {v}");
+        }
+        total_violations += violations.len();
+    }
+    if total_violations == 0 {
+        println!("all {} document(s) valid", files.len());
+        Ok(())
+    } else {
+        Err(format!("{total_violations} violation(s)"))
+    }
+}
+
+fn cmd_sample(args: &[String]) -> Result<(), String> {
+    let mut count = 10usize;
+    let mut seed = 0u64;
+    let mut expr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--count" => {
+                count = it
+                    .next()
+                    .ok_or("--count needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --count: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            e => expr = Some(e.to_owned()),
+        }
+    }
+    let expr = expr.ok_or("an expression argument is required")?;
+    let mut al = Alphabet::new();
+    let r = dtdinfer_regex::parser::parse(&expr, &mut al).map_err(|e| e.to_string())?;
+    for w in dtdinfer_gen::generator::generate_sample(&r, count, seed) {
+        println!("{}", al.render_word(&w, " "));
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    if !args.is_empty() {
+        return Err("explain takes no options; words are read from stdin".into());
+    }
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .map_err(|e| e.to_string())?;
+    let mut al = Alphabet::new();
+    let words: Vec<Word> = input
+        .lines()
+        .map(|line| line.split_whitespace().map(|t| al.intern(t)).collect())
+        .collect();
+    let soa = dtdinfer_automata::soa::Soa::learn(&words);
+    println!(
+        "2T-INF: SOA with {} states, {} edges",
+        soa.num_states(),
+        soa.num_edges()
+    );
+    let (model, trace) = dtdinfer_core::idtd::idtd_traced(
+        &soa,
+        dtdinfer_core::idtd::IdtdConfig::default(),
+    );
+    for (i, event) in trace.iter().enumerate() {
+        match event {
+            dtdinfer_core::idtd::Event::Rewrite(step) => {
+                let operands: Vec<String> = step
+                    .operands
+                    .iter()
+                    .map(|r| dtdinfer_regex::display::render(r, &al))
+                    .collect();
+                println!(
+                    "({:>2}) {:<14} {}  ⇒  {}",
+                    i + 1,
+                    step.rule.name(),
+                    operands.join(" , "),
+                    dtdinfer_regex::display::render(&step.result, &al)
+                );
+            }
+            dtdinfer_core::idtd::Event::Repair {
+                kind,
+                k,
+                edges_added,
+            } => {
+                println!(
+                    "({:>2}) {:<14} k={k}, {edges_added} edge(s) added",
+                    i + 1,
+                    kind.name()
+                );
+            }
+            dtdinfer_core::idtd::Event::Fallback => {
+                println!("({:>2}) fallback: merge-everything", i + 1);
+            }
+        }
+    }
+    println!("result: {}", model.render(&al));
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let expr = args.first().ok_or("an expression argument is required")?;
+    let mut al = Alphabet::new();
+    let r = dtdinfer_regex::parser::parse(expr, &mut al).map_err(|e| e.to_string())?;
+    let soa = dtdinfer_automata::glushkov::soa_of_sore(&r)
+        .ok_or("expression is not single occurrence (no SOA exists)")?;
+    print!("{}", soa.to_dot(&al));
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let [first, second] = args else {
+        return Err("usage: dtdinfer diff FIRST.dtd SECOND.dtd".into());
+    };
+    let a = Dtd::parse(&std::fs::read_to_string(first).map_err(|e| format!("{first}: {e}"))?)
+        .map_err(|e| e.to_string())?;
+    let b = Dtd::parse(&std::fs::read_to_string(second).map_err(|e| format!("{second}: {e}"))?)
+        .map_err(|e| e.to_string())?;
+    for d in dtdinfer_xml::diff::diff(&a, &b) {
+        println!("{:<24} {}", d.name, d.relation);
+    }
+    Ok(())
+}
+
+fn cmd_learn(args: &[String]) -> Result<(), String> {
+    let mut engine = "idtd".to_owned();
+    let mut state_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => engine = it.next().ok_or("--engine needs a value")?.to_owned(),
+            "--state" => {
+                state_path = Some(it.next().ok_or("--state needs a value")?.to_owned())
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .map_err(|e| e.to_string())?;
+    let mut al = Alphabet::new();
+    let words: Vec<Word> = input
+        .lines()
+        .map(|line| line.split_whitespace().map(|t| al.intern(t)).collect())
+        .collect();
+    if let Some(path) = state_path {
+        // Incremental mode (§9): the persisted internal representation (the
+        // SOA for iDTD, the partial-order summary for crx) is the complete
+        // memory of all previously seen words.
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("{path}: {e}")),
+        };
+        match engine.as_str() {
+            "idtd" => {
+                let mut soa = match &existing {
+                    Some(text) => dtdinfer_automata::soa::Soa::from_text(text, &mut al)
+                        .map_err(|e| format!("{path}: {e}"))?,
+                    None => dtdinfer_automata::soa::Soa::new(),
+                };
+                for w in &words {
+                    soa.absorb(w);
+                }
+                std::fs::write(&path, soa.to_text(&al)).map_err(|e| format!("{path}: {e}"))?;
+                println!("{}", dtdinfer_core::idtd::idtd(&soa).render(&al));
+            }
+            "crx" => {
+                let mut state = match &existing {
+                    Some(text) => dtdinfer_core::crx::CrxState::from_text(text, &mut al)
+                        .map_err(|e| format!("{path}: {e}"))?,
+                    None => dtdinfer_core::crx::CrxState::new(),
+                };
+                for w in &words {
+                    state.absorb(w);
+                }
+                std::fs::write(&path, state.to_text(&al))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("{}", state.infer().render(&al));
+            }
+            other => return Err(format!("--state does not support engine {other:?}")),
+        }
+        return Ok(());
+    }
+    let model = match engine.as_str() {
+        "crx" => crx(&words),
+        "idtd" => idtd_from_words(&words),
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    println!("{}", model.render(&al));
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! End-to-end tests of the `dtdinfer` binary (spawned as a subprocess via
+//! the path Cargo provides in `CARGO_BIN_EXE_dtdinfer`).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dtdinfer"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dtdinfer");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dtdinfer-cli-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let (stdout, _, ok) = run_with_stdin(&["--help"], "");
+    assert!(ok);
+    for sub in ["infer", "validate", "sample", "learn", "explain", "diff", "dot"] {
+        assert!(stdout.contains(sub), "help is missing {sub}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let (_, stderr, ok) = run_with_stdin(&["frobnicate"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+}
+
+#[test]
+fn learn_idtd_from_stdin() {
+    let (stdout, _, ok) = run_with_stdin(&["learn"], "a b\nb\na a b\n");
+    assert!(ok);
+    assert_eq!(stdout.trim(), "a* b");
+}
+
+#[test]
+fn learn_crx_from_stdin() {
+    let (stdout, _, ok) = run_with_stdin(&["learn", "--engine", "crx"], "a b d\nb c d e e\nc a d e\n");
+    assert!(ok);
+    assert_eq!(stdout.trim(), "(a | b | c)+ d e*");
+}
+
+#[test]
+fn explain_prints_figure3_derivation() {
+    let words = "b a c a c d a c d e\nc b a c d b a c d e\na b c c a a d c d e\n";
+    let (stdout, _, ok) = run_with_stdin(&["explain"], words);
+    assert!(ok);
+    assert!(stdout.contains("disjunction"), "{stdout}");
+    assert!(stdout.contains("result: ((b? (a | c))+ d)+ e"), "{stdout}");
+}
+
+#[test]
+fn infer_validate_round_trip() {
+    let dir = tempdir();
+    let doc1 = dir.join("d1.xml");
+    let doc2 = dir.join("d2.xml");
+    std::fs::write(&doc1, "<order><item/><item/><note>rush</note></order>").unwrap();
+    std::fs::write(&doc2, "<order><item/></order>").unwrap();
+    let (dtd_text, _, ok) = run_with_stdin(
+        &[
+            "infer",
+            "--engine",
+            "crx",
+            doc1.to_str().unwrap(),
+            doc2.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok);
+    assert!(dtd_text.contains("<!ELEMENT order (item+, note?)>"), "{dtd_text}");
+    let schema = dir.join("schema.dtd");
+    std::fs::write(&schema, &dtd_text).unwrap();
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--dtd",
+            schema.to_str().unwrap(),
+            doc1.to_str().unwrap(),
+            doc2.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok);
+    assert!(stdout.contains("valid"));
+    // A violating document fails with a nonzero exit code.
+    let bad = dir.join("bad.xml");
+    std::fs::write(&bad, "<order><note>first</note><item/></order>").unwrap();
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["validate", "--dtd", schema.to_str().unwrap(), bad.to_str().unwrap()], "");
+    assert!(!ok, "{stdout} {stderr}");
+    assert!(stdout.contains("do not match"), "{stdout}");
+}
+
+#[test]
+fn infer_xsd_output() {
+    let dir = tempdir();
+    let doc = dir.join("x.xml");
+    std::fs::write(&doc, "<r><n>42</n><n>7</n></r>").unwrap();
+    let (xsd, _, ok) = run_with_stdin(
+        &["infer", "--xsd", "--engine", "crx", doc.to_str().unwrap()],
+        "",
+    );
+    assert!(ok);
+    assert!(xsd.contains("<xs:schema"), "{xsd}");
+    assert!(xsd.contains("type=\"xs:integer\""), "{xsd}");
+}
+
+#[test]
+fn sample_generates_members() {
+    let (stdout, _, ok) = run_with_stdin(&["sample", "--count", "6", "--seed", "3", "(a | b)+ c"], "");
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6);
+    for line in lines {
+        assert!(line.ends_with('c'), "{line:?}");
+    }
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let (stdout, _, ok) = run_with_stdin(&["dot", "(a | b)+ c"], "");
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("label=\"c\""));
+}
+
+#[test]
+fn diff_reports_relations() {
+    let dir = tempdir();
+    let first = dir.join("first.dtd");
+    let second = dir.join("second.dtd");
+    std::fs::write(&first, "<!ELEMENT r (x?, y?)>\n<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n").unwrap();
+    std::fs::write(&second, "<!ELEMENT r (x | y)>\n<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n").unwrap();
+    let (stdout, _, ok) = run_with_stdin(
+        &["diff", first.to_str().unwrap(), second.to_str().unwrap()],
+        "",
+    );
+    assert!(ok);
+    assert!(stdout.contains("stricter"), "{stdout}");
+}
+
+#[test]
+fn incremental_state_file() {
+    let dir = tempdir();
+    let state = dir.join("incr.soa");
+    let _ = std::fs::remove_file(&state);
+    let (first, _, ok) = run_with_stdin(
+        &["learn", "--state", state.to_str().unwrap()],
+        "a b\nb\n",
+    );
+    assert!(ok);
+    assert_eq!(first.trim(), "a? b");
+    let (second, _, ok) = run_with_stdin(
+        &["learn", "--state", state.to_str().unwrap()],
+        "a a b\n",
+    );
+    assert!(ok);
+    assert_eq!(second.trim(), "a* b", "state must accumulate");
+}
+
+#[test]
+fn validate_lint_flags_nondeterministic_models() {
+    let dir = tempdir();
+    let schema = dir.join("nondet.dtd");
+    std::fs::write(
+        &schema,
+        "<!ELEMENT a ((b, c) | (b, d))>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n<!ELEMENT d EMPTY>\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["validate", "--dtd", schema.to_str().unwrap(), "--lint"], "");
+    assert!(!ok, "{stdout} {stderr}");
+    assert!(stdout.contains("not deterministic"), "{stdout}");
+    // A clean DTD passes.
+    let good = dir.join("det.dtd");
+    std::fs::write(&good, "<!ELEMENT a (b?, c)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n").unwrap();
+    let (stdout, _, ok) = run_with_stdin(&["validate", "--dtd", good.to_str().unwrap(), "--lint"], "");
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("deterministic"));
+}

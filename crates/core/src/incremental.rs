@@ -1,0 +1,191 @@
+//! Incremental computation (§9).
+//!
+//! When XML trickles in (answers to queries, web-service results), the
+//! inferred schema should be updatable from the new data alone. Both
+//! algorithms keep a compact internal representation — the SOA for iDTD
+//! (quadratic in the number of element names) and the partial-order /
+//! multiplicity summary for CRX — so the generating XML can be discarded.
+//!
+//! The types here wrap those representations with an absorb/infer API and a
+//! cheap *dirty* flag so repeated `infer` calls without new data are free.
+
+use crate::crx::CrxState;
+use crate::idtd::{idtd_with, IdtdConfig};
+use crate::model::InferredModel;
+use dtdinfer_automata::soa::Soa;
+use dtdinfer_regex::alphabet::Word;
+
+/// Incrementally maintained SORE inference (iDTD over a live SOA).
+#[derive(Debug, Clone)]
+pub struct IncrementalSore {
+    soa: Soa,
+    cfg: IdtdConfig,
+    cached: Option<InferredModel>,
+}
+
+impl Default for IncrementalSore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalSore {
+    /// An empty inference state.
+    pub fn new() -> Self {
+        Self::with_config(IdtdConfig::default())
+    }
+
+    /// With explicit iDTD parameters.
+    pub fn with_config(cfg: IdtdConfig) -> Self {
+        Self {
+            soa: Soa::new(),
+            cfg,
+            cached: None,
+        }
+    }
+
+    /// Absorbs one new word. Invalidates the cache only when the word
+    /// actually extends the automaton.
+    pub fn absorb(&mut self, w: &Word) {
+        let before = self.soa.num_edges();
+        self.soa.absorb(w);
+        if self.soa.num_edges() != before {
+            self.cached = None;
+        }
+    }
+
+    /// Absorbs many words.
+    pub fn absorb_all<'a, I: IntoIterator<Item = &'a Word>>(&mut self, words: I) {
+        for w in words {
+            self.absorb(w);
+        }
+    }
+
+    /// The current SORE (recomputed only when the SOA changed).
+    pub fn infer(&mut self) -> InferredModel {
+        if self.cached.is_none() {
+            self.cached = Some(idtd_with(&self.soa, self.cfg));
+        }
+        self.cached.clone().expect("just computed")
+    }
+
+    /// Read access to the maintained automaton.
+    pub fn soa(&self) -> &Soa {
+        &self.soa
+    }
+}
+
+/// Incrementally maintained CHARE inference (CRX over a live summary).
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalChare {
+    state: CrxState,
+    cached: Option<InferredModel>,
+}
+
+impl IncrementalChare {
+    /// An empty inference state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one new word.
+    pub fn absorb(&mut self, w: &Word) {
+        self.state.absorb(w);
+        self.cached = None;
+    }
+
+    /// Absorbs many words.
+    pub fn absorb_all<'a, I: IntoIterator<Item = &'a Word>>(&mut self, words: I) {
+        for w in words {
+            self.absorb(w);
+        }
+    }
+
+    /// The current CHARE.
+    pub fn infer(&mut self) -> InferredModel {
+        if self.cached.is_none() {
+            self.cached = Some(self.state.infer());
+        }
+        self.cached.clone().expect("just computed")
+    }
+
+    /// Read access to the maintained summary.
+    pub fn state(&self) -> &CrxState {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crx::crx;
+    use crate::idtd::idtd_from_words;
+    use dtdinfer_regex::alphabet::Alphabet;
+
+    fn words(al: &mut Alphabet, ws: &[&str]) -> Vec<Word> {
+        ws.iter().map(|w| al.word_from_chars(w)).collect()
+    }
+
+    #[test]
+    fn incremental_sore_equals_batch() {
+        let mut al = Alphabet::new();
+        let ws = words(&mut al, &["bacacdacde", "cbacdbacde", "abccaadcde"]);
+        let batch = idtd_from_words(&ws);
+        let mut inc = IncrementalSore::new();
+        // Absorb one at a time, inferring between arrivals like a live
+        // service would.
+        for w in &ws {
+            inc.absorb(w);
+            let _ = inc.infer();
+        }
+        assert_eq!(inc.infer(), batch);
+    }
+
+    #[test]
+    fn incremental_chare_equals_batch() {
+        let mut al = Alphabet::new();
+        let ws = words(&mut al, &["abccde", "cccad", "bfegg", "bfehi"]);
+        let batch = crx(&ws);
+        let mut inc = IncrementalChare::new();
+        for w in &ws {
+            inc.absorb(w);
+            let _ = inc.infer();
+        }
+        assert_eq!(inc.infer(), batch);
+    }
+
+    #[test]
+    fn sore_refines_as_data_arrives() {
+        let mut al = Alphabet::new();
+        let ws = words(&mut al, &["bacacdacde", "cbacdbacde", "abccaadcde"]);
+        let mut inc = IncrementalSore::new();
+        inc.absorb(&ws[0]);
+        let first = inc.infer();
+        inc.absorb(&ws[1]);
+        inc.absorb(&ws[2]);
+        let last = inc.infer();
+        // Both are inferred models; the final one matches the batch run.
+        assert_eq!(last, idtd_from_words(&ws));
+        assert!(first.as_regex().is_some());
+    }
+
+    #[test]
+    fn cache_hit_when_word_adds_nothing() {
+        let mut al = Alphabet::new();
+        let ws = words(&mut al, &["ab", "ab"]);
+        let mut inc = IncrementalSore::new();
+        inc.absorb(&ws[0]);
+        let m1 = inc.infer();
+        inc.absorb(&ws[1]); // no new edges → cache preserved
+        assert!(inc.cached.is_some());
+        assert_eq!(inc.infer(), m1);
+    }
+
+    #[test]
+    fn empty_state_degenerate() {
+        let mut inc = IncrementalSore::new();
+        assert_eq!(inc.infer(), InferredModel::Empty);
+        let mut inc = IncrementalChare::new();
+        assert_eq!(inc.infer(), InferredModel::Empty);
+    }
+}

@@ -1,0 +1,101 @@
+//! Inference results.
+//!
+//! The paper's regular expressions have no ε or ∅ (§3), so the degenerate
+//! languages ∅ and {ε} — which arise from empty samples and from elements
+//! that are always empty — cannot be returned as a `Regex`. DTDs express
+//! them as missing declarations and `EMPTY` content; [`InferredModel`] keeps
+//! the three cases apart.
+
+use dtdinfer_regex::alphabet::{Alphabet, Word};
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::display;
+
+/// The result of inferring a content model from a (possibly empty) sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferredModel {
+    /// No sample words at all: nothing is known (∅).
+    Empty,
+    /// Every sample word was empty: the element has `EMPTY` content.
+    EpsilonOnly,
+    /// A proper regular expression. If some sample words were empty the
+    /// expression is nullable.
+    Regex(Regex),
+}
+
+impl InferredModel {
+    /// The contained expression, if any.
+    pub fn as_regex(&self) -> Option<&Regex> {
+        match self {
+            InferredModel::Regex(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the model, yielding the expression if any.
+    pub fn into_regex(self) -> Option<Regex> {
+        match self {
+            InferredModel::Regex(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the model accepts `w`.
+    pub fn matches(&self, w: &Word) -> bool {
+        match self {
+            InferredModel::Empty => false,
+            InferredModel::EpsilonOnly => w.is_empty(),
+            InferredModel::Regex(r) => dtdinfer_automata::nfa::regex_matches(r, w),
+        }
+    }
+
+    /// Paper-style rendering (`EMPTY` for the ε-only model).
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        match self {
+            InferredModel::Empty => "<empty language>".to_owned(),
+            InferredModel::EpsilonOnly => "EMPTY".to_owned(),
+            InferredModel::Regex(r) => display::render(r, alphabet),
+        }
+    }
+
+    /// Maps the contained regex, preserving degenerate cases.
+    pub fn map(self, f: impl FnOnce(Regex) -> Regex) -> InferredModel {
+        match self {
+            InferredModel::Regex(r) => InferredModel::Regex(f(r)),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_regex::alphabet::Alphabet;
+    use dtdinfer_regex::parser::parse;
+
+    #[test]
+    fn degenerate_matching() {
+        let mut al = Alphabet::new();
+        let a = al.intern("a");
+        assert!(!InferredModel::Empty.matches(&vec![]));
+        assert!(InferredModel::EpsilonOnly.matches(&vec![]));
+        assert!(!InferredModel::EpsilonOnly.matches(&vec![a]));
+    }
+
+    #[test]
+    fn regex_matching_and_render() {
+        let mut al = Alphabet::new();
+        let r = parse("a b?", &mut al).unwrap();
+        let m = InferredModel::Regex(r);
+        assert!(m.matches(&al.word_from_chars("a")));
+        assert!(m.matches(&al.word_from_chars("ab")));
+        assert!(!m.matches(&al.word_from_chars("b")));
+        assert_eq!(m.render(&al), "a b?");
+        assert_eq!(InferredModel::EpsilonOnly.render(&al), "EMPTY");
+    }
+
+    #[test]
+    fn map_preserves_degenerates() {
+        let mapped = InferredModel::Empty.map(|r| r);
+        assert_eq!(mapped, InferredModel::Empty);
+    }
+}

@@ -1,0 +1,29 @@
+//! Workload generation and the paper's experiment scenarios.
+//!
+//! The paper evaluates on two real corpora (Protein Sequence Database,
+//! Mondial), on generated data for sophisticated real-world expressions
+//! (ToXgene), and on subsampling sweeps. None of those artifacts are
+//! redistributable, so this crate regenerates equivalent workloads:
+//!
+//! * [`generator`] — coverage-guaranteed sampling: every base sample is
+//!   *representative* (§4: contains every 2-gram of the target), matching
+//!   the paper's "taking care that all relevant examples were present";
+//! * [`subsample`] — reservoir subsampling with the all-symbols-present
+//!   guarantee used in the §8.2 generalization experiment;
+//! * [`scenarios`] — the fixed definitions of every Table 1 row, Table 2
+//!   row and Figure 4 series (expressions, sample sizes, published
+//!   outputs);
+//! * [`critical`] — the critical-size search of §8.2;
+//! * [`noise_gen`] — the §9 XHTML-paragraph noise workload.
+
+#![warn(missing_docs)]
+
+pub mod critical;
+pub mod generator;
+pub mod noise_gen;
+pub mod scenarios;
+pub mod subsample;
+
+pub use generator::generate_sample;
+pub use scenarios::{figure4, table1, table2, Scenario};
+pub use subsample::reservoir_subsample;

@@ -1,0 +1,180 @@
+//! The §9 noise workload: XHTML-paragraph-like data.
+//!
+//! The paper examined >30000 occurrences of XHTML `<P>` elements, whose
+//! content model is a 41-symbol repeated disjunction `(a1+…+a41)*`, and
+//! found about a dozen disallowed intruder elements (`table`, `h1`, …)
+//! each appearing in around 10 strings. This generator reproduces those
+//! statistics synthetically.
+
+use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
+use dtdinfer_regex::ast::Regex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generated noisy corpus plus ground truth.
+#[derive(Debug, Clone)]
+pub struct NoisyCorpus {
+    /// The shared alphabet (clean symbols first, then intruders).
+    pub alphabet: Alphabet,
+    /// Clean symbols (the 41 legal children).
+    pub clean: Vec<Sym>,
+    /// Intruder symbols.
+    pub intruders: Vec<Sym>,
+    /// The generated words.
+    pub words: Vec<Word>,
+    /// The clean target expression `(a1|…|an)*`.
+    pub target: Regex,
+}
+
+/// Parameters for the noisy-paragraph generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseParams {
+    /// Number of legal child elements (41 in XHTML's `<P>`).
+    pub clean_symbols: usize,
+    /// Number of intruder element names (~12 in the study).
+    pub num_intruders: usize,
+    /// Total words (>30000 occurrences in the study).
+    pub num_words: usize,
+    /// Words containing each intruder (~10 in the study).
+    pub intruder_words_each: usize,
+    /// Mean clean word length.
+    pub mean_len: usize,
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        Self {
+            clean_symbols: 41,
+            num_intruders: 12,
+            num_words: 30000,
+            intruder_words_each: 10,
+            mean_len: 6,
+        }
+    }
+}
+
+/// Generates the corpus. Every clean 2-gram that `(a1|…|an)*` requires is
+/// planted first so the clean portion alone is representative; intruders
+/// are then spliced into a few random words.
+pub fn noisy_paragraphs(params: NoiseParams, seed: u64) -> NoisyCorpus {
+    let mut alphabet = Alphabet::new();
+    let clean: Vec<Sym> = (1..=params.clean_symbols)
+        .map(|i| alphabet.intern(&format!("a{i}")))
+        .collect();
+    let intruders: Vec<Sym> = (1..=params.num_intruders)
+        .map(|i| alphabet.intern(&format!("z{i}")))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut words: Vec<Word> = Vec::with_capacity(params.num_words);
+
+    // Representative seed words: all n² pairs, chunked.
+    let mut pair_words: Word = Vec::new();
+    for &x in &clean {
+        for &y in &clean {
+            pair_words.extend([x, y]);
+            if pair_words.len() >= params.mean_len {
+                words.push(std::mem::take(&mut pair_words));
+            }
+        }
+    }
+    if !pair_words.is_empty() {
+        words.push(pair_words);
+    }
+    words.push(Vec::new()); // ε — the star's zero case
+    while words.len() < params.num_words {
+        let len = rng.gen_range(0..=params.mean_len * 2);
+        let w: Word = (0..len)
+            .map(|_| clean[rng.gen_range(0..clean.len())])
+            .collect();
+        words.push(w);
+    }
+    // Splice intruders.
+    for &z in &intruders {
+        for _ in 0..params.intruder_words_each {
+            let i = rng.gen_range(0..words.len());
+            let w = &mut words[i];
+            let pos = if w.is_empty() { 0 } else { rng.gen_range(0..=w.len()) };
+            w.insert(pos, z);
+        }
+    }
+    let target = Regex::star(Regex::union(
+        clean.iter().copied().map(Regex::sym).collect(),
+    ));
+    NoisyCorpus {
+        alphabet,
+        clean,
+        intruders,
+        words,
+        target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_core::noise::SupportSoa;
+    use dtdinfer_regex::normalize::equiv_commutative;
+
+    fn small() -> NoisyCorpus {
+        noisy_paragraphs(
+            NoiseParams {
+                clean_symbols: 8,
+                num_intruders: 3,
+                num_words: 800,
+                intruder_words_each: 4,
+                mean_len: 5,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn statistics_match_parameters() {
+        let c = small();
+        assert_eq!(c.clean.len(), 8);
+        assert_eq!(c.intruders.len(), 3);
+        assert_eq!(c.words.len(), 800);
+        for &z in &c.intruders {
+            let hits = c.words.iter().filter(|w| w.contains(&z)).count();
+            assert!((1..=4).contains(&hits), "intruder appears in {hits} words");
+        }
+    }
+
+    #[test]
+    fn clean_portion_is_representative() {
+        let c = small();
+        let clean_words: Vec<Word> = c
+            .words
+            .iter()
+            .filter(|w| w.iter().all(|s| c.clean.contains(s)))
+            .cloned()
+            .collect();
+        let soa = dtdinfer_automata::soa::Soa::learn(&clean_words);
+        let target_soa = dtdinfer_automata::glushkov::soa_of_sore(&c.target).unwrap();
+        assert_eq!(soa, target_soa);
+    }
+
+    #[test]
+    fn denoising_recovers_target() {
+        let c = small();
+        let s = SupportSoa::learn(&c.words);
+        let r = s.infer_denoised(5).into_regex().unwrap();
+        assert!(
+            equiv_commutative(&r, &c.target),
+            "got {}",
+            dtdinfer_regex::display::render(&r, &c.alphabet)
+        );
+    }
+
+    #[test]
+    fn without_denoising_intruders_leak() {
+        let c = small();
+        let s = SupportSoa::learn(&c.words);
+        let r = s.infer_noise_aware(0).into_regex().unwrap();
+        let syms = r.symbols();
+        assert!(
+            c.intruders.iter().any(|z| syms.contains(z)),
+            "intruders unexpectedly absent"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Reservoir subsampling with the all-symbols-present guarantee (§8.2).
+//!
+//! The generalization experiment draws 200 subsamples of each size from a
+//! representative base sample, "ensur\[ing\] that the subsamples contain all
+//! alphabet symbols of the target expressions for fair comparisons".
+
+use dtdinfer_regex::alphabet::{Sym, Word};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Classic reservoir sampling of `k` words out of `base`.
+pub fn reservoir_subsample(base: &[Word], k: usize, rng: &mut StdRng) -> Vec<Word> {
+    let mut reservoir: Vec<Word> = base.iter().take(k).cloned().collect();
+    for (i, w) in base.iter().enumerate().skip(k) {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = w.clone();
+        }
+    }
+    reservoir
+}
+
+/// Reservoir subsampling retried a few times until every symbol of
+/// `required` appears; if the retries fail, donor words from the base
+/// sample are *pinned* into the subsample, one per missing symbol.
+///
+/// The pinning loop terminates in at most `|required|` rounds because the
+/// pinned prefix (and hence its symbol set) only grows. In the pathological
+/// case where `k` words cannot exhibit all required symbols, the result may
+/// exceed `k` by the number of pinned donors.
+pub fn subsample_with_all_symbols(
+    base: &[Word],
+    k: usize,
+    required: &[Sym],
+    seed: u64,
+) -> Vec<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let missing_of = |ws: &[Word]| -> Vec<Sym> {
+        let present: BTreeSet<Sym> = ws.iter().flat_map(|w| w.iter().copied()).collect();
+        required
+            .iter()
+            .copied()
+            .filter(|s| !present.contains(s))
+            .collect()
+    };
+    for _ in 0..20 {
+        let sub = reservoir_subsample(base, k, &mut rng);
+        if missing_of(&sub).is_empty() {
+            return sub;
+        }
+    }
+    // Pin donors: keep a growing prefix of donor words, refill the rest
+    // from the reservoir.
+    let reservoir = reservoir_subsample(base, k, &mut rng);
+    let mut pinned: Vec<Word> = Vec::new();
+    loop {
+        let tail_len = k.saturating_sub(pinned.len());
+        let mut sub = pinned.clone();
+        sub.extend(reservoir.iter().take(tail_len).cloned());
+        let missing = missing_of(&sub);
+        if missing.is_empty() {
+            return sub;
+        }
+        for m in missing {
+            // One donor may cover several missing symbols; skip if an
+            // earlier donor this round already pinned it.
+            if pinned.iter().any(|w| w.contains(&m)) {
+                continue;
+            }
+            // Choose the donor uniformly among candidates — a fixed donor
+            // would bias small subsamples toward the (information-dense)
+            // covering words at the front of generated base samples.
+            let candidates: Vec<&Word> = base.iter().filter(|w| w.contains(&m)).collect();
+            assert!(
+                !candidates.is_empty(),
+                "base sample covers all required symbols"
+            );
+            pinned.push(candidates[rng.gen_range(0..candidates.len())].clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_regex::alphabet::Alphabet;
+
+    fn base(al: &mut Alphabet) -> Vec<Word> {
+        ["ab", "bc", "cd", "da", "ac", "bd", "aa", "dd"]
+            .iter()
+            .map(|w| al.word_from_chars(w))
+            .collect()
+    }
+
+    #[test]
+    fn subsample_size() {
+        let mut al = Alphabet::new();
+        let b = base(&mut al);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(reservoir_subsample(&b, 3, &mut rng).len(), 3);
+        assert_eq!(reservoir_subsample(&b, 8, &mut rng).len(), 8);
+    }
+
+    #[test]
+    fn subsample_draws_from_base() {
+        let mut al = Alphabet::new();
+        let b = base(&mut al);
+        let mut rng = StdRng::seed_from_u64(1);
+        for w in reservoir_subsample(&b, 5, &mut rng) {
+            assert!(b.contains(&w));
+        }
+    }
+
+    #[test]
+    fn all_symbols_guaranteed() {
+        let mut al = Alphabet::new();
+        let b = base(&mut al);
+        let required: Vec<Sym> = al.symbols().collect();
+        for seed in 0..20 {
+            let sub = subsample_with_all_symbols(&b, 4, &required, seed);
+            let present: BTreeSet<Sym> =
+                sub.iter().flat_map(|w| w.iter().copied()).collect();
+            for s in &required {
+                assert!(present.contains(s), "seed {seed} missing symbol");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut al = Alphabet::new();
+        let b = base(&mut al);
+        let required: Vec<Sym> = al.symbols().collect();
+        assert_eq!(
+            subsample_with_all_symbols(&b, 4, &required, 9),
+            subsample_with_all_symbols(&b, 4, &required, 9)
+        );
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // Each base word should land in the reservoir with probability k/n.
+        let mut al = Alphabet::new();
+        let b = base(&mut al);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hits = vec![0usize; b.len()];
+        let trials = 4000;
+        for _ in 0..trials {
+            for w in reservoir_subsample(&b, 2, &mut rng) {
+                let i = b.iter().position(|x| *x == w).unwrap();
+                hits[i] += 1;
+            }
+        }
+        let expected = trials * 2 / b.len();
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                (h as f64 - expected as f64).abs() < expected as f64 * 0.25,
+                "word {i}: {h} vs expected {expected}"
+            );
+        }
+    }
+}

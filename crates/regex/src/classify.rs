@@ -1,0 +1,193 @@
+//! Classification of expressions as SOREs and CHAREs.
+//!
+//! * A **single occurrence regular expression (SORE)** is an RE in which
+//!   every element name occurs at most once — e.g. `((b? (a|c))+ d)+ e` is a
+//!   SORE while `a (a|b)*` is not (§1.2).
+//! * A **chain regular expression (CHARE)** is a SORE that is a sequence of
+//!   factors `f1 … fn`, each factor being `(a1|…|ak)`, `(a1|…|ak)?`,
+//!   `(a1|…|ak)+` or `(a1|…|ak)*` with `k ≥ 1` and every `ai` an alphabet
+//!   symbol — e.g. `a (b|c)* d+ (e|f)?` is a CHARE, `(a b | c)*` is not.
+
+use crate::alphabet::Sym;
+use crate::ast::Regex;
+use std::collections::HashSet;
+
+/// Whether every element name occurs at most once in `r`.
+pub fn is_sore(r: &Regex) -> bool {
+    r.symbol_count() == r.symbols().len()
+}
+
+/// Repetition modifier of a CHARE factor.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum ChareModifier {
+    /// `(a1|…|ak)` — exactly one.
+    One,
+    /// `(a1|…|ak)?` — zero or one.
+    Opt,
+    /// `(a1|…|ak)+` — one or more.
+    Plus,
+    /// `(a1|…|ak)*` — zero or more.
+    Star,
+}
+
+impl ChareModifier {
+    /// Whether the factor can match the empty word.
+    pub fn nullable(self) -> bool {
+        matches!(self, ChareModifier::Opt | ChareModifier::Star)
+    }
+
+    /// Whether the factor can match more than one symbol occurrence.
+    pub fn repeatable(self) -> bool {
+        matches!(self, ChareModifier::Plus | ChareModifier::Star)
+    }
+}
+
+/// One factor of a CHARE: a disjunction of symbols plus a modifier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChareFactor {
+    /// The alternatives `a1 … ak` (non-empty, duplicate-free).
+    pub syms: Vec<Sym>,
+    /// The repetition modifier.
+    pub modifier: ChareModifier,
+}
+
+impl ChareFactor {
+    /// Builds the factor's AST fragment.
+    pub fn to_regex(&self) -> Regex {
+        let base = if self.syms.len() == 1 {
+            Regex::sym(self.syms[0])
+        } else {
+            Regex::union(self.syms.iter().copied().map(Regex::sym).collect())
+        };
+        match self.modifier {
+            ChareModifier::One => base,
+            ChareModifier::Opt => Regex::optional(base),
+            ChareModifier::Plus => Regex::plus(base),
+            ChareModifier::Star => Regex::star(base),
+        }
+    }
+}
+
+/// Builds the full CHARE from a chain of factors.
+pub fn chare_to_regex(factors: &[ChareFactor]) -> Regex {
+    assert!(!factors.is_empty(), "a CHARE has at least one factor");
+    Regex::concat(factors.iter().map(ChareFactor::to_regex).collect())
+}
+
+/// Decomposes `r` into CHARE factors if it is a CHARE, `None` otherwise.
+pub fn as_chare(r: &Regex) -> Option<Vec<ChareFactor>> {
+    let parts: &[Regex] = match r {
+        Regex::Concat(v) => v,
+        single => std::slice::from_ref(single),
+    };
+    let mut factors = Vec::with_capacity(parts.len());
+    let mut seen: HashSet<Sym> = HashSet::new();
+    for p in parts {
+        let (base, modifier) = match p {
+            Regex::Optional(inner) => (&**inner, ChareModifier::Opt),
+            Regex::Plus(inner) => (&**inner, ChareModifier::Plus),
+            Regex::Star(inner) => (&**inner, ChareModifier::Star),
+            other => (other, ChareModifier::One),
+        };
+        let syms = match base {
+            Regex::Symbol(s) => vec![*s],
+            Regex::Union(alts) => {
+                let mut syms = Vec::with_capacity(alts.len());
+                for alt in alts {
+                    match alt {
+                        Regex::Symbol(s) => syms.push(*s),
+                        _ => return None,
+                    }
+                }
+                syms
+            }
+            _ => return None,
+        };
+        for &s in &syms {
+            if !seen.insert(s) {
+                return None; // repeated element name: not single occurrence
+            }
+        }
+        factors.push(ChareFactor { syms, modifier });
+    }
+    Some(factors)
+}
+
+/// Whether `r` is a chain regular expression.
+pub fn is_chare(r: &Regex) -> bool {
+    as_chare(r).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::display::render;
+    use crate::parser::parse;
+
+    fn p(src: &str) -> (Regex, Alphabet) {
+        let mut a = Alphabet::new();
+        let r = parse(src, &mut a).unwrap();
+        (r, a)
+    }
+
+    #[test]
+    fn paper_sore_examples() {
+        // ((b?(a|c))+d)+e is a SORE; a(a|b)* is not (§1.2).
+        assert!(is_sore(&p("((b? (a|c))+ d)+ e").0));
+        assert!(!is_sore(&p("a (a|b)*").0));
+    }
+
+    #[test]
+    fn paper_chare_examples() {
+        // a(b|c)*d+(e|f)? is a CHARE; (a b|c)* and (a*|b?)* are not (§1.2).
+        assert!(is_chare(&p("a (b|c)* d+ (e|f)?").0));
+        assert!(!is_chare(&p("(a b | c)*").0));
+        assert!(!is_chare(&p("(a* | b?)*").0));
+    }
+
+    #[test]
+    fn every_chare_is_a_sore() {
+        for src in ["a", "a b? c*", "(a|b)+ (c|d)? e"] {
+            let (r, _) = p(src);
+            assert!(is_chare(&r));
+            assert!(is_sore(&r));
+        }
+    }
+
+    #[test]
+    fn sore_but_not_chare() {
+        let (r, _) = p("((b? (a|c))+ d)+ e");
+        assert!(is_sore(&r) && !is_chare(&r));
+        let (r, _) = p("a+ | (b? c+)"); // `authors` from Table 1
+        assert!(is_sore(&r) && !is_chare(&r));
+    }
+
+    #[test]
+    fn repeated_symbol_across_factors_rejected() {
+        assert!(!is_chare(&p("a (a|b)?").0));
+    }
+
+    #[test]
+    fn decomposition_round_trips() {
+        let (r, a) = p("a (b|c)* d+ (e|f)?");
+        let factors = as_chare(&r).unwrap();
+        assert_eq!(factors.len(), 4);
+        assert_eq!(factors[0].modifier, ChareModifier::One);
+        assert_eq!(factors[1].modifier, ChareModifier::Star);
+        assert_eq!(factors[2].modifier, ChareModifier::Plus);
+        assert_eq!(factors[3].modifier, ChareModifier::Opt);
+        assert_eq!(render(&chare_to_regex(&factors), &a), "a (b | c)* d+ (e | f)?");
+    }
+
+    #[test]
+    fn modifier_properties() {
+        assert!(ChareModifier::Opt.nullable());
+        assert!(ChareModifier::Star.nullable());
+        assert!(!ChareModifier::One.nullable());
+        assert!(!ChareModifier::Plus.nullable());
+        assert!(ChareModifier::Plus.repeatable());
+        assert!(ChareModifier::Star.repeatable());
+        assert!(!ChareModifier::Opt.repeatable());
+    }
+}

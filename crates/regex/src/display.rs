@@ -1,0 +1,248 @@
+//! Pretty-printing of regular expressions.
+//!
+//! Two renderings are provided: a compact paper-style rendering with
+//! juxtaposition for concatenation (`(a | b)+ c?`), and a strict DTD
+//! content-model rendering with commas (`((a | b)+, c?)`) suitable for
+//! inclusion in `<!ELEMENT …>` declarations.
+
+use crate::alphabet::Alphabet;
+use crate::ast::Regex;
+use std::fmt;
+
+/// Binding strength used for parenthesization.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Union = 0,
+    Concat = 1,
+    Postfix = 2,
+    Atom = 3,
+}
+
+fn prec(r: &Regex) -> Prec {
+    match r {
+        Regex::Union(_) => Prec::Union,
+        Regex::Concat(_) => Prec::Concat,
+        Regex::Optional(_) | Regex::Plus(_) | Regex::Star(_) => Prec::Postfix,
+        Regex::Symbol(_) => Prec::Atom,
+    }
+}
+
+/// Paper-style display adapter: `fmt::Display` for a `(Regex, Alphabet)` pair.
+pub struct DisplayRegex<'a> {
+    regex: &'a Regex,
+    alphabet: &'a Alphabet,
+}
+
+impl<'a> DisplayRegex<'a> {
+    /// Wraps `regex` for display using names from `alphabet`.
+    pub fn new(regex: &'a Regex, alphabet: &'a Alphabet) -> Self {
+        Self { regex, alphabet }
+    }
+}
+
+impl fmt::Display for DisplayRegex<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_paper(f, self.regex, self.alphabet, Prec::Union)
+    }
+}
+
+fn write_paper(
+    f: &mut fmt::Formatter<'_>,
+    r: &Regex,
+    a: &Alphabet,
+    min: Prec,
+) -> fmt::Result {
+    let needs_parens = prec(r) < min;
+    if needs_parens {
+        f.write_str("(")?;
+    }
+    match r {
+        Regex::Symbol(s) => f.write_str(a.name(*s))?,
+        Regex::Concat(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" ")?;
+                }
+                write_paper(f, p, a, Prec::Concat)?;
+            }
+        }
+        Regex::Union(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" | ")?;
+                }
+                write_paper(f, p, a, Prec::Concat)?;
+            }
+        }
+        Regex::Optional(inner) => {
+            write_paper(f, inner, a, Prec::Atom)?;
+            f.write_str("?")?;
+        }
+        Regex::Plus(inner) => {
+            write_paper(f, inner, a, Prec::Atom)?;
+            f.write_str("+")?;
+        }
+        Regex::Star(inner) => {
+            write_paper(f, inner, a, Prec::Atom)?;
+            f.write_str("*")?;
+        }
+    }
+    if needs_parens {
+        f.write_str(")")?;
+    }
+    Ok(())
+}
+
+/// Renders `r` in paper style (`(a | b)+ c?`).
+pub fn render(r: &Regex, a: &Alphabet) -> String {
+    DisplayRegex::new(r, a).to_string()
+}
+
+/// Renders `r` as a strict DTD content model: commas for sequence, every
+/// group parenthesized, and a parenthesized top level as required by the
+/// `<!ELEMENT>` syntax. E.g. `((a | b)+, c?)`.
+pub fn render_dtd(r: &Regex, a: &Alphabet) -> String {
+    let mut s = String::new();
+    write_dtd(&mut s, r, a);
+    // The XML spec requires the content model itself to be parenthesized.
+    if !s.starts_with('(') || !balanced_to_end(&s) {
+        s = format!("({s})");
+    }
+    s
+}
+
+/// Whether the '(' at position 0 closes only at the final character (so the
+/// whole string is already one parenthesized group).
+fn balanced_to_end(s: &str) -> bool {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i == s.len() - 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn write_dtd(out: &mut String, r: &Regex, a: &Alphabet) {
+    match r {
+        Regex::Symbol(s) => out.push_str(a.name(*s)),
+        Regex::Concat(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_dtd(out, p, a);
+            }
+            out.push(')');
+        }
+        Regex::Union(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_dtd(out, p, a);
+            }
+            out.push(')');
+        }
+        Regex::Optional(inner) => {
+            write_dtd_group(out, inner, a);
+            out.push('?');
+        }
+        Regex::Plus(inner) => {
+            write_dtd_group(out, inner, a);
+            out.push('+');
+        }
+        Regex::Star(inner) => {
+            write_dtd_group(out, inner, a);
+            out.push('*');
+        }
+    }
+}
+
+/// DTD postfix operators may only follow a name or a parenthesized group.
+fn write_dtd_group(out: &mut String, r: &Regex, a: &Alphabet) {
+    match r {
+        Regex::Symbol(_) | Regex::Concat(_) | Regex::Union(_) => write_dtd(out, r, a),
+        nested => {
+            out.push('(');
+            write_dtd(out, nested, a);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn setup(src: &str) -> (Regex, Alphabet) {
+        let mut a = Alphabet::new();
+        let r = parse(src, &mut a).unwrap();
+        (r, a)
+    }
+
+    #[test]
+    fn paper_rendering_minimal_parens() {
+        let (r, a) = setup("((b? (a|c))+ d)+ e");
+        assert_eq!(render(&r, &a), "((b? (a | c))+ d)+ e");
+    }
+
+    #[test]
+    fn dtd_rendering_strict() {
+        let (r, a) = setup("(a|b)+ c?");
+        assert_eq!(render_dtd(&r, &a), "((a | b)+, c?)");
+    }
+
+    #[test]
+    fn dtd_single_symbol_parenthesized() {
+        let (r, a) = setup("a");
+        assert_eq!(render_dtd(&r, &a), "(a)");
+    }
+
+    #[test]
+    fn dtd_nested_postfix_gets_group() {
+        // (a+)? must render as ((a+)?) not (a+?)
+        let (mut al, sym);
+        {
+            let mut a = Alphabet::new();
+            sym = a.intern("a");
+            al = a;
+        }
+        let r = Regex::Optional(Box::new(Regex::Plus(Box::new(Regex::sym(sym)))));
+        assert_eq!(render_dtd(&r, &al), "((a+)?)");
+        let _ = &mut al;
+    }
+
+    #[test]
+    fn dtd_union_top_level() {
+        let (r, a) = setup("a | b");
+        assert_eq!(render_dtd(&r, &a), "(a | b)");
+    }
+
+    #[test]
+    fn parse_render_fixpoint() {
+        for src in [
+            "a",
+            "a b c",
+            "(a | b)* c+ d?",
+            "((b? (a | c))+ d)+ e",
+            "a1 a2 a3? a4* (a5 | a6)+",
+        ] {
+            let (r, a) = setup(src);
+            let printed = render(&r, &a);
+            let mut a2 = Alphabet::new();
+            let r2 = parse(&printed, &mut a2).unwrap();
+            assert_eq!(render(&r2, &a2), printed, "fixpoint for {src}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regular-expression core for DTD inference.
+//!
+//! This crate implements the *syntactic* side of the VLDB 2006 paper
+//! "Inference of Concise DTDs from XML Data": an AST for regular expressions
+//! over an interned alphabet of element names, a parser and pretty-printer
+//! for DTD-style content models, the normalization rules used by the
+//! `rewrite` algorithm, classification of expressions as single occurrence
+//! regular expressions (SOREs) and chain regular expressions (CHAREs),
+//! syntactic equality up to commutativity of union (Theorem 5), a
+//! coverage-aware random sampler (our ToXgene substitute), and the numerical
+//! predicate extension of §9.
+//!
+//! Semantics (membership, language equivalence) live in `dtdinfer-automata`;
+//! the inference algorithms themselves live in `dtdinfer-core`.
+
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod ast;
+pub mod classify;
+pub mod determinism;
+pub mod display;
+pub mod normalize;
+pub mod numeric;
+pub mod parser;
+pub mod props;
+pub mod sample;
+
+pub use alphabet::{Alphabet, Sym, Word};
+pub use ast::Regex;
+pub use classify::{is_chare, is_sore, ChareFactor, ChareModifier};
+pub use determinism::is_deterministic;
+pub use normalize::{normalize, star_form};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,305 @@
+//! Normalization of regular expressions.
+//!
+//! The completeness proof of `rewrite` (Theorem 1) works on *normalized*
+//! SOREs: expressions without superfluous operators, obtained by exhaustively
+//! applying
+//!
+//! ```text
+//! (s+)+ → s+        s?? → s?        (s?)+ → (s+)?
+//! ```
+//!
+//! In this normal form the Kleene star does not appear: `r*` is represented
+//! as `(r+)?`. The `rewrite` algorithm of `dtdinfer-core` produces normalized
+//! expressions; [`star_form`] converts `(r+)?` back to `r*` as the paper's
+//! post-processing step so outputs read naturally.
+//!
+//! This module also provides [`canonicalize`] / [`equiv_commutative`]:
+//! syntactic equality *up to commutativity of `+`* (union), the notion of
+//! optimality used in Theorem 5.
+
+use crate::ast::Regex;
+
+/// Rewrites `r` into the paper's normal form: unions/concats flattened,
+/// `(s+)+ → s+`, `s?? → s?`, `(s?)+ → (s+)?`, and `s*` represented as
+/// `(s+)?`.
+pub fn normalize(r: &Regex) -> Regex {
+    match r {
+        Regex::Symbol(s) => Regex::Symbol(*s),
+        Regex::Concat(v) => Regex::concat(v.iter().map(normalize).collect()),
+        Regex::Union(v) => Regex::union(v.iter().map(normalize).collect()),
+        Regex::Optional(inner) => mk_opt(normalize(inner)),
+        Regex::Plus(inner) => mk_plus(normalize(inner)),
+        Regex::Star(inner) => mk_opt(mk_plus(normalize(inner))),
+    }
+}
+
+/// `r?` in normal form: collapses `r??`.
+fn mk_opt(r: Regex) -> Regex {
+    match r {
+        r @ Regex::Optional(_) => r,
+        r => Regex::Optional(Box::new(r)),
+    }
+}
+
+/// `r+` in normal form: collapses `(r+)+` and rewrites `(r?)+` to `(r+)?`.
+fn mk_plus(r: Regex) -> Regex {
+    match r {
+        r @ Regex::Plus(_) => r,
+        Regex::Optional(inner) => mk_opt(mk_plus(*inner)),
+        r => Regex::Plus(Box::new(r)),
+    }
+}
+
+/// Post-processing step: replaces `(r+)?` (and the redundant `(r?)+`) by
+/// `r*` for display. Inverse direction of [`normalize`]'s star elimination.
+pub fn star_form(r: &Regex) -> Regex {
+    match r {
+        Regex::Symbol(s) => Regex::Symbol(*s),
+        Regex::Concat(v) => Regex::concat(v.iter().map(star_form).collect()),
+        Regex::Union(v) => Regex::union(v.iter().map(star_form).collect()),
+        Regex::Optional(inner) => match &**inner {
+            Regex::Plus(p) => Regex::star(star_form(p)),
+            other => Regex::optional(star_form(other)),
+        },
+        Regex::Plus(inner) => match &**inner {
+            Regex::Optional(o) => Regex::star(star_form(o)),
+            other => Regex::plus(star_form(other)),
+        },
+        Regex::Star(inner) => Regex::star(star_form(inner)),
+    }
+}
+
+/// Language-preserving conciseness pass applied to final inference outputs.
+///
+/// Inside a repeated union, repetition and optionality of the alternatives
+/// is redundant: `(x+ | y)+ ≡ (x | y)+` and `(x? | y)+ ≡ (x | y)*`. The
+/// self-loop rewrite rule can fire before a disjunction merge on repaired
+/// automata, leaving such inner operators behind; this pass strips them.
+pub fn simplify(r: &Regex) -> Regex {
+    match r {
+        Regex::Symbol(s) => Regex::Symbol(*s),
+        Regex::Concat(v) => Regex::concat(v.iter().map(simplify).collect()),
+        Regex::Union(v) => Regex::union(v.iter().map(simplify).collect()),
+        Regex::Optional(inner) => Regex::optional(simplify(inner)),
+        Regex::Plus(inner) => simplify_repeat(simplify(inner), false),
+        Regex::Star(inner) => simplify_repeat(simplify(inner), true),
+    }
+}
+
+/// Builds `body+` (or `body*` when `nullable`), stripping redundant unary
+/// operators off union alternatives.
+fn simplify_repeat(body: Regex, mut nullable: bool) -> Regex {
+    let body = match body {
+        Regex::Union(alts) => {
+            let stripped: Vec<Regex> = alts
+                .into_iter()
+                .map(|alt| {
+                    let mut cur = alt;
+                    loop {
+                        match cur {
+                            Regex::Plus(inner) => cur = *inner,
+                            Regex::Optional(inner) | Regex::Star(inner) => {
+                                nullable = true;
+                                cur = *inner;
+                            }
+                            other => break other,
+                        }
+                    }
+                })
+                .collect();
+            Regex::union(stripped)
+        }
+        other => other,
+    };
+    if nullable {
+        Regex::star(body)
+    } else {
+        Regex::plus(body)
+    }
+}
+
+/// Canonical form for syntactic comparison: normalizes (star-eliminated
+/// normal form) and sorts union alternatives by a structural key. Two
+/// expressions are equal up to commutativity of union iff their canonical
+/// forms are identical.
+pub fn canonicalize(r: &Regex) -> Regex {
+    fn go(r: &Regex) -> Regex {
+        match r {
+            Regex::Symbol(s) => Regex::Symbol(*s),
+            Regex::Concat(v) => Regex::concat(v.iter().map(go).collect()),
+            Regex::Union(v) => {
+                let mut parts: Vec<Regex> = v.iter().map(go).collect();
+                parts.sort_by_key(canon_key);
+                Regex::union(parts)
+            }
+            Regex::Optional(inner) => Regex::Optional(Box::new(go(inner))),
+            Regex::Plus(inner) => Regex::Plus(Box::new(go(inner))),
+            Regex::Star(inner) => Regex::Star(Box::new(go(inner))),
+        }
+    }
+    go(&normalize(r))
+}
+
+/// Total-order key on expressions used to sort union alternatives.
+fn canon_key(r: &Regex) -> String {
+    let mut s = String::new();
+    fn go(r: &Regex, out: &mut String) {
+        match r {
+            Regex::Symbol(sym) => {
+                out.push('S');
+                // Zero-padded so lexicographic order matches numeric order.
+                out.push_str(&format!("{:010}", sym.0));
+            }
+            Regex::Concat(v) => {
+                out.push_str("C(");
+                for p in v {
+                    go(p, out);
+                    out.push(',');
+                }
+                out.push(')');
+            }
+            Regex::Union(v) => {
+                out.push_str("U(");
+                for p in v {
+                    go(p, out);
+                    out.push(',');
+                }
+                out.push(')');
+            }
+            Regex::Optional(inner) => {
+                out.push('?');
+                go(inner, out);
+            }
+            Regex::Plus(inner) => {
+                out.push('+');
+                go(inner, out);
+            }
+            Regex::Star(inner) => {
+                out.push('*');
+                go(inner, out);
+            }
+        }
+    }
+    go(r, &mut s);
+    s
+}
+
+/// Whether `a` and `b` are syntactically equal up to commutativity of union
+/// and removal of superfluous operators (the equality notion of Theorem 5).
+pub fn equiv_commutative(a: &Regex, b: &Regex) -> bool {
+    canonicalize(a) == canonicalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::display::render;
+    use crate::parser::parse;
+
+    fn p(src: &str, a: &mut Alphabet) -> Regex {
+        parse(src, a).unwrap()
+    }
+
+    #[test]
+    fn normalize_eliminates_star() {
+        let mut a = Alphabet::new();
+        let r = normalize(&p("a*", &mut a));
+        assert_eq!(render(&r, &a), "(a+)?");
+    }
+
+    #[test]
+    fn normalize_collapses_superfluous() {
+        let mut a = Alphabet::new();
+        // Constructed through raw variants to bypass the smart constructors.
+        let sym = a.intern("a");
+        let raw = Regex::Plus(Box::new(Regex::Plus(Box::new(Regex::Optional(
+            Box::new(Regex::Optional(Box::new(Regex::Symbol(sym)))),
+        )))));
+        // ((a??)+)+  →  (a+)?
+        assert_eq!(render(&normalize(&raw), &a), "(a+)?");
+    }
+
+    #[test]
+    fn star_form_restores_star() {
+        let mut a = Alphabet::new();
+        let r = normalize(&p("(a | b)* c", &mut a));
+        assert_eq!(render(&r, &a), "((a | b)+)? c");
+        assert_eq!(render(&star_form(&r), &a), "(a | b)* c");
+    }
+
+    #[test]
+    fn star_form_handles_plus_of_optional() {
+        let mut a = Alphabet::new();
+        let sym = a.intern("a");
+        let raw = Regex::Plus(Box::new(Regex::Optional(Box::new(Regex::Symbol(sym)))));
+        assert_eq!(render(&star_form(&raw), &a), "a*");
+    }
+
+    #[test]
+    fn commutative_equality() {
+        let mut a = Alphabet::new();
+        let x = p("(a | b | c)+ d", &mut a);
+        let y = p("(c | a | b)+ d", &mut a);
+        let z = p("(a | b)+ d", &mut a);
+        assert!(equiv_commutative(&x, &y));
+        assert!(!equiv_commutative(&x, &z));
+    }
+
+    #[test]
+    fn commutative_equality_modulo_star_representation() {
+        let mut a = Alphabet::new();
+        let x = p("(b | a)*", &mut a);
+        let y = p("((a | b)+)?", &mut a);
+        assert!(equiv_commutative(&x, &y));
+    }
+
+    #[test]
+    fn nested_unions_sorted_recursively() {
+        let mut a = Alphabet::new();
+        let x = p("(a d | c | b)", &mut a);
+        let y = p("(b | c | a d)", &mut a);
+        assert!(equiv_commutative(&x, &y));
+    }
+
+    #[test]
+    fn simplify_strips_plus_in_repeated_union() {
+        let mut a = Alphabet::new();
+        let r = p("(a+ | b | (c | d)+)+", &mut a);
+        assert_eq!(render(&simplify(&r), &a), "(a | b | c | d)+");
+    }
+
+    #[test]
+    fn simplify_optional_alternative_makes_star() {
+        let mut a = Alphabet::new();
+        let r = p("(a? | b)+", &mut a);
+        assert_eq!(render(&simplify(&r), &a), "(a | b)*");
+        let r = p("(a* | b)+", &mut a);
+        assert_eq!(render(&simplify(&r), &a), "(a | b)*");
+    }
+
+    #[test]
+    fn simplify_keeps_concat_structure() {
+        let mut a = Alphabet::new();
+        // (x+ y*)* must NOT be flattened: the inner operators are load-
+        // bearing in concatenation position (cf. example5's iDTD output).
+        let r = p("((a | b | c)+ d*)*", &mut a);
+        assert_eq!(render(&simplify(&r), &a), "((a | b | c)+ d*)*");
+    }
+
+    #[test]
+    fn simplify_is_language_preserving_shape() {
+        let mut a = Alphabet::new();
+        let r = p("(a+ | b?)+ c (d | e+)*", &mut a);
+        let s = simplify(&r);
+        assert_eq!(render(&s, &a), "(a | b)* c (d | e)*");
+    }
+
+    #[test]
+    fn concat_not_commutative() {
+        let mut a = Alphabet::new();
+        let x = p("a b", &mut a);
+        let y = p("b a", &mut a);
+        assert!(!equiv_commutative(&x, &y));
+    }
+}

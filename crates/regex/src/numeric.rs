@@ -1,0 +1,264 @@
+//! Numerical predicates (§9).
+//!
+//! SOREs cannot count: `a a b b+` ("two a's then at least two b's") is not
+//! single occurrence. The paper extends REs with numerical predicates `r=i`
+//! and `r≥i` (semantically `r^i` and `r^i r*`) and proposes a
+//! *post-processing step* that tightens the `?`/`+`/`*` qualifiers of an
+//! inferred expression to numerical bounds justified by the data.
+//!
+//! We implement this for CHAREs (the factor structure makes per-factor
+//! occurrence counting well-defined): a [`NumericChare`] is a chain of
+//! factors each annotated with an occurrence interval `[min, max]`
+//! (`max = None` means unbounded), directly renderable as XML Schema
+//! `minOccurs`/`maxOccurs`.
+
+use crate::alphabet::{Alphabet, Sym, Word};
+use crate::classify::ChareFactor;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// An occurrence interval `[min, max]`; `max = None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Minimum number of occurrences.
+    pub min: u32,
+    /// Maximum number of occurrences, or `None` for unbounded.
+    pub max: Option<u32>,
+}
+
+impl Bounds {
+    /// The `[1,1]` interval (a plain factor).
+    pub const ONE: Bounds = Bounds {
+        min: 1,
+        max: Some(1),
+    };
+
+    /// Renders the interval in the paper's notation: `=i` for `[i,i]`,
+    /// `≥i` rendered as `>=i` for `[i,∞)`, otherwise `[i,j]`. The `[1,1]`
+    /// interval renders as the empty string (no annotation needed).
+    pub fn render(&self) -> String {
+        match (self.min, self.max) {
+            (1, Some(1)) => String::new(),
+            (0, Some(1)) => "?".to_owned(),
+            (i, Some(j)) if i == j => format!("{{={i}}}"),
+            (i, None) => format!("{{>={i}}}"),
+            (i, Some(j)) => format!("{{{i},{j}}}"),
+        }
+    }
+}
+
+/// A CHARE factor annotated with occurrence bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumericFactor {
+    /// The alternatives of the factor.
+    pub syms: Vec<Sym>,
+    /// How many symbol occurrences from this factor each word contains.
+    pub bounds: Bounds,
+}
+
+/// A CHARE whose qualifiers have been tightened to numerical bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumericChare {
+    /// Factors in chain order.
+    pub factors: Vec<NumericFactor>,
+}
+
+impl NumericChare {
+    /// Renders the expression, e.g. `a{=2} (b | c){>=1} d?`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let mut out = String::new();
+        for (i, f) in self.factors.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            if f.syms.len() == 1 {
+                out.push_str(alphabet.name(f.syms[0]));
+            } else {
+                out.push('(');
+                for (j, s) in f.syms.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(" | ");
+                    }
+                    out.push_str(alphabet.name(*s));
+                }
+                out.push(')');
+            }
+            let _ = write!(out, "{}", f.bounds.render());
+        }
+        out
+    }
+
+    /// Whether `w` matches the numeric chain. Factors are matched greedily
+    /// in order; because factors are disjoint symbol classes (single
+    /// occurrence), greedy matching is exact.
+    pub fn matches(&self, w: &Word) -> bool {
+        let mut i = 0usize;
+        for f in &self.factors {
+            let mut count = 0u32;
+            while i < w.len() && f.syms.contains(&w[i]) {
+                count += 1;
+                i += 1;
+                if let Some(max) = f.bounds.max {
+                    if count > max {
+                        return false;
+                    }
+                }
+            }
+            if count < f.bounds.min {
+                return false;
+            }
+            if let Some(max) = f.bounds.max {
+                if count > max {
+                    return false;
+                }
+            }
+        }
+        i == w.len()
+    }
+}
+
+/// Post-processing step of §9: tightens the qualifiers of an inferred CHARE
+/// to the exact occurrence bounds observed in `sample`.
+///
+/// For each factor, counts how many occurrences of its symbols each sample
+/// word contains and sets `min` / `max` to the observed minimum / maximum.
+/// A factor whose maximum observed count exceeds `unbounded_threshold`
+/// keeps an unbounded upper limit (`max = None`) — matching the paper's use
+/// of `≥i`: observing many different high counts is evidence of "any number",
+/// not of a tight bound.
+pub fn tighten(
+    factors: &[ChareFactor],
+    sample: &[Word],
+    unbounded_threshold: u32,
+) -> NumericChare {
+    let mut class_of: HashMap<Sym, usize> = HashMap::new();
+    for (i, f) in factors.iter().enumerate() {
+        for &s in &f.syms {
+            class_of.insert(s, i);
+        }
+    }
+    let mut mins = vec![u32::MAX; factors.len()];
+    let mut maxs = vec![0u32; factors.len()];
+    let mut counts = vec![0u32; factors.len()];
+    for w in sample {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for s in w {
+            if let Some(&i) = class_of.get(s) {
+                counts[i] += 1;
+            }
+        }
+        for i in 0..factors.len() {
+            mins[i] = mins[i].min(counts[i]);
+            maxs[i] = maxs[i].max(counts[i]);
+        }
+    }
+    let factors = factors
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let (min, max) = if sample.is_empty() {
+                (0, None)
+            } else {
+                let max = if maxs[i] > unbounded_threshold {
+                    None
+                } else {
+                    Some(maxs[i])
+                };
+                (mins[i], max)
+            };
+            NumericFactor {
+                syms: f.syms.clone(),
+                bounds: Bounds { min, max },
+            }
+        })
+        .collect();
+    NumericChare { factors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::classify::as_chare;
+    use crate::parser::parse;
+
+    fn chare(src: &str, a: &mut Alphabet) -> Vec<ChareFactor> {
+        as_chare(&parse(src, a).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_counts() {
+        // Data for "a=2 b>=2": strings aabb, aabbb, aabbbb…
+        let mut a = Alphabet::new();
+        let factors = chare("a+ b+", &mut a);
+        let words: Vec<Word> = ["aabb", "aabbb", "aabbbbbb"]
+            .iter()
+            .map(|s| a.word_from_chars(s))
+            .collect();
+        let num = tighten(&factors, &words, 3);
+        assert_eq!(num.render(&a), "a{=2} b{>=2}");
+    }
+
+    #[test]
+    fn exact_single_occurrence_renders_plain() {
+        let mut a = Alphabet::new();
+        let factors = chare("a b?", &mut a);
+        let words: Vec<Word> = ["ab", "a"].iter().map(|s| a.word_from_chars(s)).collect();
+        let num = tighten(&factors, &words, 10);
+        assert_eq!(num.render(&a), "a b?");
+    }
+
+    #[test]
+    fn bounded_interval() {
+        let mut a = Alphabet::new();
+        let factors = chare("a*", &mut a);
+        let words: Vec<Word> = ["aa", "aaa", ""].iter().map(|s| a.word_from_chars(s)).collect();
+        let num = tighten(&factors, &words, 10);
+        assert_eq!(num.render(&a), "a{0,3}");
+    }
+
+    #[test]
+    fn matches_respects_bounds() {
+        let mut a = Alphabet::new();
+        let factors = chare("a+ b+", &mut a);
+        let words: Vec<Word> = ["aabb", "aabbb"].iter().map(|s| a.word_from_chars(s)).collect();
+        let num = tighten(&factors, &words, 100);
+        assert!(num.matches(&a.word_from_chars("aabb")));
+        assert!(num.matches(&a.word_from_chars("aabbb")));
+        assert!(!num.matches(&a.word_from_chars("abb"))); // a count 1 < 2
+        assert!(!num.matches(&a.word_from_chars("aabbbb"))); // b count 4 > 3
+        assert!(!num.matches(&a.word_from_chars("aab"))); // b count 1 < 2
+    }
+
+    #[test]
+    fn disjunctive_factor_counts_jointly() {
+        let mut a = Alphabet::new();
+        let factors = chare("(a | b)+ c", &mut a);
+        let words: Vec<Word> = ["abc", "bac", "ac"]
+            .iter()
+            .map(|s| a.word_from_chars(s))
+            .collect();
+        let num = tighten(&factors, &words, 100);
+        assert_eq!(num.factors[0].bounds, Bounds { min: 1, max: Some(2) });
+        assert_eq!(num.factors[1].bounds, Bounds::ONE);
+    }
+
+    #[test]
+    fn unbounded_threshold_triggers() {
+        let mut a = Alphabet::new();
+        let factors = chare("a+", &mut a);
+        let words: Vec<Word> = ["a", "aaaaaaaa"].iter().map(|s| a.word_from_chars(s)).collect();
+        let num = tighten(&factors, &words, 4);
+        assert_eq!(num.factors[0].bounds, Bounds { min: 1, max: None });
+        assert_eq!(num.render(&a), "a{>=1}");
+    }
+
+    #[test]
+    fn bounds_render_notation() {
+        assert_eq!(Bounds { min: 1, max: Some(1) }.render(), "");
+        assert_eq!(Bounds { min: 0, max: Some(1) }.render(), "?");
+        assert_eq!(Bounds { min: 2, max: Some(2) }.render(), "{=2}");
+        assert_eq!(Bounds { min: 2, max: None }.render(), "{>=2}");
+        assert_eq!(Bounds { min: 1, max: Some(3) }.render(), "{1,3}");
+    }
+}

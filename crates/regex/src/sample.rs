@@ -1,0 +1,459 @@
+//! Word generation from regular expressions.
+//!
+//! This is our substitute for ToXgene (the template-based XML generator the
+//! paper used to produce data for Table 2): a random sampler plus a
+//! *coverage* generator that emits a small set of words guaranteed to contain
+//! every possible first symbol, last symbol and 2-gram of the language — the
+//! "representative sample" notion of §4 under which 2T-INF recovers the SOA
+//! exactly.
+
+use crate::alphabet::Word;
+use crate::ast::Regex;
+use crate::props::{linearize, Linearized, Pos};
+use rand::Rng;
+
+/// Tuning knobs for the random sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Probability that an `r?` body is generated.
+    pub opt_prob: f64,
+    /// Continuation probability of the geometric distribution governing
+    /// extra repetitions of `r+` / `r*` bodies.
+    pub repeat_prob: f64,
+    /// Hard cap on repetitions per `+`/`*` node (guards pathological
+    /// configurations).
+    pub max_repeat: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            opt_prob: 0.5,
+            repeat_prob: 0.5,
+            max_repeat: 16,
+        }
+    }
+}
+
+/// Draws one random word from `L(r)`.
+pub fn sample_word<R: Rng + ?Sized>(r: &Regex, cfg: &SampleConfig, rng: &mut R) -> Word {
+    let mut out = Vec::new();
+    gen(r, cfg, rng, &mut out);
+    out
+}
+
+/// Draws `n` random words from `L(r)`.
+pub fn sample_words<R: Rng + ?Sized>(
+    r: &Regex,
+    cfg: &SampleConfig,
+    rng: &mut R,
+    n: usize,
+) -> Vec<Word> {
+    (0..n).map(|_| sample_word(r, cfg, rng)).collect()
+}
+
+fn gen<R: Rng + ?Sized>(r: &Regex, cfg: &SampleConfig, rng: &mut R, out: &mut Word) {
+    match r {
+        Regex::Symbol(s) => out.push(*s),
+        Regex::Concat(parts) => {
+            for p in parts {
+                gen(p, cfg, rng, out);
+            }
+        }
+        Regex::Union(parts) => {
+            let i = rng.gen_range(0..parts.len());
+            gen(&parts[i], cfg, rng, out);
+        }
+        Regex::Optional(inner) => {
+            if rng.gen_bool(cfg.opt_prob) {
+                gen(inner, cfg, rng, out);
+            }
+        }
+        Regex::Plus(inner) => {
+            let n = 1 + geometric(rng, cfg.repeat_prob, cfg.max_repeat - 1);
+            for _ in 0..n {
+                gen(inner, cfg, rng, out);
+            }
+        }
+        Regex::Star(inner) => {
+            let n = if rng.gen_bool(cfg.repeat_prob) {
+                1 + geometric(rng, cfg.repeat_prob, cfg.max_repeat - 1)
+            } else {
+                0
+            };
+            for _ in 0..n {
+                gen(inner, cfg, rng, out);
+            }
+        }
+    }
+}
+
+fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64, cap: usize) -> usize {
+    let mut n = 0;
+    while n < cap && rng.gen_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+/// Generates a small set of words covering every first symbol, last symbol
+/// and 2-gram of `L(r)`; if ε ∈ L(r) the empty word is included. Together
+/// these form a *representative sample* (§4): 2T-INF on the result recovers
+/// the 2-testable closure of `L(r)` exactly.
+///
+/// Words are built by greedy *path covering*: each word is one walk from a
+/// first position to a last position that consumes as many still-uncovered
+/// follow edges as possible, so the sample stays small (like the compact
+/// real-world samples of Table 1, where 10 strings exhibit ~20 distinct
+/// 2-grams).
+pub fn covering_words(r: &Regex) -> Vec<Word> {
+    let lin = linearize(r);
+    let paths = PositionPaths::new(&lin);
+    let n = lin.len();
+    let mut out: Vec<Word> = Vec::new();
+    if lin.nullable {
+        out.push(Vec::new());
+    }
+
+    let mut uncovered: Vec<std::collections::BTreeSet<Pos>> = lin
+        .follow
+        .iter()
+        .map(|succs| succs.iter().copied().collect())
+        .collect();
+    let mut uncovered_count: usize = uncovered.iter().map(|s| s.len()).sum();
+    let mut first_covered = vec![false; n];
+    let mut last_covered = vec![false; n];
+    let is_last = {
+        let mut v = vec![false; n];
+        for &p in &lin.last {
+            v[p] = true;
+        }
+        v
+    };
+
+    // Bound: every iteration covers ≥1 new edge / first / last.
+    while uncovered_count > 0 {
+        // Start at a first position that owns — or can reach — an
+        // uncovered edge (one always exists: every position is reachable
+        // from some first position).
+        let start = lin
+            .first
+            .iter()
+            .copied()
+            .find(|&p| {
+                !uncovered[p].is_empty()
+                    || step_toward(&lin, p, |q| !uncovered[q].is_empty()).is_some()
+            })
+            .expect("uncovered edges are reachable from a first position");
+        first_covered[start] = true;
+        let mut positions = vec![start];
+        let mut cur = start;
+        // Walk, preferring uncovered edges, else stepping toward the
+        // nearest reachable uncovered edge, else toward the end.
+        loop {
+            if let Some(&q) = uncovered[cur].iter().next() {
+                uncovered[cur].remove(&q);
+                uncovered_count -= 1;
+                positions.push(q);
+                cur = q;
+                continue;
+            }
+            // BFS for the nearest position with an uncovered outgoing edge.
+            match step_toward(&lin, cur, |p| !uncovered[p].is_empty()) {
+                Some(next) => {
+                    positions.push(next);
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        // Finish at a last position (preferring an uncovered one).
+        if !is_last[cur] {
+            let mut tail = paths.suffix(cur);
+            tail.remove(0);
+            positions.extend(tail);
+            cur = *positions.last().expect("non-empty");
+        }
+        last_covered[cur] = true;
+        out.push(positions.into_iter().map(|p| lin.sym_at[p]).collect());
+    }
+
+    // Any firsts/lasts not yet exhibited get a dedicated shortest word.
+    for &p in &lin.first {
+        if !first_covered[p] && !out.iter().any(|w: &Word| w.first() == Some(&lin.sym_at[p])) {
+            out.push(paths.word_from(&lin, p));
+            first_covered[p] = true;
+        }
+    }
+    for &p in &lin.last {
+        if !last_covered[p] && !out.iter().any(|w: &Word| w.last() == Some(&lin.sym_at[p])) {
+            out.push(paths.word_to(&lin, p));
+            last_covered[p] = true;
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// One BFS step from `cur` toward the nearest position satisfying `goal`
+/// (including `cur`'s successors); `None` when no such position is
+/// reachable.
+fn step_toward(
+    lin: &Linearized,
+    cur: Pos,
+    goal: impl Fn(Pos) -> bool,
+) -> Option<Pos> {
+    let mut seen = vec![false; lin.len()];
+    let mut queue: std::collections::VecDeque<(Pos, Pos)> = lin.follow[cur]
+        .iter()
+        .map(|&q| (q, q))
+        .collect();
+    for &q in &lin.follow[cur] {
+        seen[q] = true;
+    }
+    while let Some((p, entry)) = queue.pop_front() {
+        if goal(p) {
+            return Some(entry);
+        }
+        for &q in &lin.follow[p] {
+            if !seen[q] {
+                seen[q] = true;
+                queue.push_back((q, entry));
+            }
+        }
+    }
+    None
+}
+
+/// Shortest-path helpers over the position graph.
+struct PositionPaths {
+    /// Predecessor on a shortest path from some first position (usize::MAX =
+    /// is itself a first position).
+    parent_from_start: Vec<usize>,
+    /// Successor on a shortest path to some last position (usize::MAX = is
+    /// itself a last position).
+    next_to_end: Vec<usize>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl PositionPaths {
+    fn new(lin: &Linearized) -> Self {
+        let n = lin.len();
+        // Forward BFS from first positions.
+        let mut parent_from_start = vec![NONE; n];
+        let mut seen = vec![false; n];
+        let mut queue: std::collections::VecDeque<Pos> = lin.first.iter().copied().collect();
+        for &p in &lin.first {
+            seen[p] = true;
+        }
+        while let Some(p) = queue.pop_front() {
+            for &q in &lin.follow[p] {
+                if !seen[q] {
+                    seen[q] = true;
+                    parent_from_start[q] = p;
+                    queue.push_back(q);
+                }
+            }
+        }
+        // Backward BFS from last positions (on reversed edges).
+        let mut rev: Vec<Vec<Pos>> = vec![Vec::new(); n];
+        for (p, succs) in lin.follow.iter().enumerate() {
+            for &q in succs {
+                rev[q].push(p);
+            }
+        }
+        let mut next_to_end = vec![NONE; n];
+        let mut seen2 = vec![false; n];
+        let mut queue2: std::collections::VecDeque<Pos> = lin.last.iter().copied().collect();
+        for &p in &lin.last {
+            seen2[p] = true;
+        }
+        while let Some(p) = queue2.pop_front() {
+            for &q in &rev[p] {
+                if !seen2[q] {
+                    seen2[q] = true;
+                    next_to_end[q] = p;
+                    queue2.push_back(q);
+                }
+            }
+        }
+        Self {
+            parent_from_start,
+            next_to_end,
+        }
+    }
+
+    /// Positions from a first position up to and including `p`.
+    fn prefix(&self, p: Pos) -> Vec<Pos> {
+        let mut path = vec![p];
+        let mut cur = p;
+        while self.parent_from_start[cur] != NONE {
+            cur = self.parent_from_start[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Positions from `p` (inclusive) to a last position.
+    fn suffix(&self, p: Pos) -> Vec<Pos> {
+        let mut path = vec![p];
+        let mut cur = p;
+        while self.next_to_end[cur] != NONE {
+            cur = self.next_to_end[cur];
+            path.push(cur);
+        }
+        path
+    }
+
+    fn word_from(&self, lin: &Linearized, p: Pos) -> Word {
+        self.suffix(p).into_iter().map(|p| lin.sym_at[p]).collect()
+    }
+
+    fn word_to(&self, lin: &Linearized, p: Pos) -> Word {
+        self.prefix(p).into_iter().map(|p| lin.sym_at[p]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::parser::parse;
+    use crate::props::two_gram_profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn p(src: &str) -> (Regex, Alphabet) {
+        let mut a = Alphabet::new();
+        let r = parse(src, &mut a).unwrap();
+        (r, a)
+    }
+
+    /// The 2-gram profile computed from a set of words.
+    type Profile = (
+        bool,
+        HashSet<crate::alphabet::Sym>,
+        HashSet<crate::alphabet::Sym>,
+        HashSet<(crate::alphabet::Sym, crate::alphabet::Sym)>,
+    );
+
+    fn profile_of_words(words: &[Word]) -> Profile {
+        let mut nullable = false;
+        let mut first = HashSet::new();
+        let mut last = HashSet::new();
+        let mut pairs = HashSet::new();
+        for w in words {
+            if w.is_empty() {
+                nullable = true;
+                continue;
+            }
+            first.insert(w[0]);
+            last.insert(*w.last().unwrap());
+            for win in w.windows(2) {
+                pairs.insert((win[0], win[1]));
+            }
+        }
+        (nullable, first, last, pairs)
+    }
+
+    #[test]
+    fn covering_words_are_representative() {
+        for src in [
+            "a",
+            "a b c",
+            "(a | b)+ c",
+            "((b? (a|c))+ d)+ e",
+            "a? (b | c)* d+",
+            "(a1 (a2 | a3)+ (a4 | a5))+",
+            "a*",
+        ] {
+            let (r, _) = p(src);
+            let prof = two_gram_profile(&r);
+            let words = covering_words(&r);
+            let (nullable, first, last, pairs) = profile_of_words(&words);
+            assert_eq!(nullable, prof.nullable, "{src}: nullable");
+            assert_eq!(
+                first,
+                prof.first.iter().copied().collect(),
+                "{src}: first symbols"
+            );
+            assert_eq!(
+                last,
+                prof.last.iter().copied().collect(),
+                "{src}: last symbols"
+            );
+            assert_eq!(
+                pairs,
+                prof.pairs.iter().copied().collect(),
+                "{src}: 2-grams"
+            );
+        }
+    }
+
+    #[test]
+    fn covering_words_subset_check_via_sampler_profile() {
+        // Random samples never produce 2-grams outside the profile.
+        let (r, _) = p("((b? (a|c))+ d)+ e");
+        let prof = two_gram_profile(&r);
+        let allowed: HashSet<_> = prof.pairs.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        for w in sample_words(&r, &SampleConfig::default(), &mut rng, 200) {
+            assert!(!w.is_empty());
+            for win in w.windows(2) {
+                assert!(allowed.contains(&(win[0], win[1])));
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_respects_concatenation_order() {
+        let (r, _) = p("a b c");
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = sample_word(&r, &SampleConfig::default(), &mut rng);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn sampler_plus_produces_at_least_one() {
+        let (r, _) = p("a+");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert!(!sample_word(&r, &SampleConfig::default(), &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn sampler_star_can_produce_empty() {
+        let (r, _) = p("a*");
+        let mut rng = StdRng::seed_from_u64(3);
+        let words = sample_words(&r, &SampleConfig::default(), &mut rng, 100);
+        assert!(words.iter().any(Vec::is_empty));
+        assert!(words.iter().any(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn sampler_respects_max_repeat() {
+        let (r, _) = p("a+");
+        let cfg = SampleConfig {
+            repeat_prob: 1.0,
+            max_repeat: 4,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            assert!(sample_word(&r, &cfg, &mut rng).len() <= 4);
+        }
+    }
+
+    #[test]
+    fn covering_words_dedup() {
+        let (r, _) = p("a b");
+        let words = covering_words(&r);
+        let set: HashSet<_> = words.iter().cloned().collect();
+        assert_eq!(set.len(), words.len());
+    }
+}

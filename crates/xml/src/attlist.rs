@@ -1,0 +1,216 @@
+//! Attribute-list declarations: model, inference, validation.
+//!
+//! DTDs declare attributes per element via `<!ATTLIST>`; the paper's §9
+//! datatype discussion ("heuristics to recognize times or dates, integers,
+//! doubles, nmtokens and strings") applies to attribute values just as to
+//! element text. Inference follows the same
+//! specialization-over-generalization principle as the content models:
+//!
+//! * an attribute present on *every* occurrence of its element becomes
+//!   `#REQUIRED`, otherwise `#IMPLIED`;
+//! * a small closed set of NMTOKEN values becomes an enumeration
+//!   `(v1 | v2 | …)`; otherwise `NMTOKEN` when every value is one,
+//!   else `CDATA`.
+
+use crate::datatype::{matches_type, XsdType};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The attribute type of a declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttType {
+    /// `CDATA` — any character data.
+    CData,
+    /// `NMTOKEN` — a single name token.
+    NmToken,
+    /// `ID` — a document-unique identifier.
+    Id,
+    /// An enumerated choice `(v1 | v2 | …)`.
+    Enumeration(Vec<String>),
+}
+
+impl fmt::Display for AttType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttType::CData => f.write_str("CDATA"),
+            AttType::NmToken => f.write_str("NMTOKEN"),
+            AttType::Id => f.write_str("ID"),
+            AttType::Enumeration(values) => {
+                write!(f, "({})", values.join(" | "))
+            }
+        }
+    }
+}
+
+/// The default specification of a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttDefault {
+    /// `#REQUIRED` — must be present.
+    Required,
+    /// `#IMPLIED` — optional.
+    Implied,
+}
+
+impl fmt::Display for AttDefault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttDefault::Required => f.write_str("#REQUIRED"),
+            AttDefault::Implied => f.write_str("#IMPLIED"),
+        }
+    }
+}
+
+/// One attribute definition inside an `<!ATTLIST>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttType,
+    /// Default specification.
+    pub default: AttDefault,
+}
+
+impl AttDef {
+    /// Whether `value` conforms to the declared type.
+    pub fn accepts(&self, value: &str) -> bool {
+        match &self.ty {
+            AttType::CData => true,
+            AttType::NmToken | AttType::Id => matches_type(value, XsdType::NmToken),
+            AttType::Enumeration(values) => values.iter().any(|v| v == value),
+        }
+    }
+}
+
+/// Tuning for attribute inference.
+#[derive(Debug, Clone, Copy)]
+pub struct AttInferenceOptions {
+    /// Maximum number of distinct values for an enumeration; beyond it the
+    /// type generalizes to NMTOKEN/CDATA.
+    pub max_enumeration: usize,
+    /// Minimum number of observations per distinct value before an
+    /// enumeration is trusted (guards against enumerating IDs).
+    pub min_support_per_value: usize,
+}
+
+impl Default for AttInferenceOptions {
+    fn default() -> Self {
+        Self {
+            max_enumeration: 8,
+            min_support_per_value: 2,
+        }
+    }
+}
+
+/// Infers one attribute definition from observed values.
+///
+/// `values` holds one entry per element occurrence where the attribute was
+/// present; `occurrences` is the total number of element occurrences.
+pub fn infer_attdef(
+    name: &str,
+    values: &[String],
+    occurrences: u64,
+    options: AttInferenceOptions,
+) -> AttDef {
+    let default = if values.len() as u64 == occurrences && occurrences > 0 {
+        AttDefault::Required
+    } else {
+        AttDefault::Implied
+    };
+    let all_nmtoken = values
+        .iter()
+        .all(|v| matches_type(v, XsdType::NmToken));
+    let distinct: BTreeSet<&String> = values.iter().collect();
+    // All-distinct NMTOKEN values on every occurrence look like IDs.
+    let id_like = all_nmtoken
+        && default == AttDefault::Required
+        && values.len() >= 3
+        && distinct.len() == values.len();
+    let ty = if id_like {
+        AttType::Id
+    } else if all_nmtoken
+        && !values.is_empty()
+        && distinct.len() <= options.max_enumeration
+        && values.len() >= distinct.len() * options.min_support_per_value
+    {
+        AttType::Enumeration(distinct.into_iter().cloned().collect())
+    } else if all_nmtoken && !values.is_empty() {
+        AttType::NmToken
+    } else {
+        AttType::CData
+    };
+    AttDef {
+        name: name.to_owned(),
+        ty,
+        default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn required_vs_implied() {
+        let always = infer_attdef("x", &strings(&["a", "b"]), 2, Default::default());
+        assert_eq!(always.default, AttDefault::Required);
+        let sometimes = infer_attdef("x", &strings(&["a"]), 2, Default::default());
+        assert_eq!(sometimes.default, AttDefault::Implied);
+    }
+
+    #[test]
+    fn enumeration_for_closed_sets() {
+        let values = strings(&["red", "blue", "red", "red", "blue", "blue"]);
+        let def = infer_attdef("color", &values, 6, Default::default());
+        assert_eq!(
+            def.ty,
+            AttType::Enumeration(strings(&["blue", "red"]))
+        );
+        assert!(def.accepts("red"));
+        assert!(!def.accepts("green"));
+    }
+
+    #[test]
+    fn id_like_detection() {
+        let values = strings(&["n1", "n2", "n3", "n4"]);
+        let def = infer_attdef("id", &values, 4, Default::default());
+        assert_eq!(def.ty, AttType::Id);
+    }
+
+    #[test]
+    fn nmtoken_fallback_for_wide_value_sets() {
+        let values: Vec<String> = (0..40).map(|i| format!("v{}", i % 20)).collect();
+        let def = infer_attdef("v", &values, 41, Default::default());
+        assert_eq!(def.ty, AttType::NmToken);
+        assert_eq!(def.default, AttDefault::Implied);
+    }
+
+    #[test]
+    fn cdata_for_free_text() {
+        let values = strings(&["hello world", "two words"]);
+        let def = infer_attdef("title", &values, 2, Default::default());
+        assert_eq!(def.ty, AttType::CData);
+        assert!(def.accepts("anything at all"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttType::CData.to_string(), "CDATA");
+        assert_eq!(
+            AttType::Enumeration(strings(&["a", "b"])).to_string(),
+            "(a | b)"
+        );
+        assert_eq!(AttDefault::Required.to_string(), "#REQUIRED");
+    }
+
+    #[test]
+    fn empty_observations() {
+        let def = infer_attdef("x", &[], 5, Default::default());
+        assert_eq!(def.default, AttDefault::Implied);
+        assert_eq!(def.ty, AttType::CData);
+    }
+}

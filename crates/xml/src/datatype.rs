@@ -1,0 +1,219 @@
+//! Built-in datatype heuristics (§9).
+//!
+//! "Improvements to the derivation of built-in data types can be made by
+//! introducing heuristics to recognize times or dates, integers, doubles,
+//! nmtokens and strings." Given the text samples of an element or
+//! attribute, [`infer_datatype`] returns the most specific XSD built-in
+//! that covers all of them.
+
+/// The recognized XML Schema built-in datatypes, most-specific first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum XsdType {
+    /// `xs:boolean` — true/false/0/1.
+    Boolean,
+    /// `xs:integer`.
+    Integer,
+    /// `xs:decimal` / `xs:double` lexical space.
+    Double,
+    /// `xs:date` — YYYY-MM-DD.
+    Date,
+    /// `xs:time` — HH:MM:SS(.fff)?.
+    Time,
+    /// `xs:dateTime` — date`T`time.
+    DateTime,
+    /// `xs:NMTOKEN` — name characters only, no spaces.
+    NmToken,
+    /// `xs:string` — anything.
+    String,
+}
+
+impl XsdType {
+    /// The `xs:…` name.
+    pub fn xsd_name(self) -> &'static str {
+        match self {
+            XsdType::Boolean => "xs:boolean",
+            XsdType::Integer => "xs:integer",
+            XsdType::Double => "xs:double",
+            XsdType::Date => "xs:date",
+            XsdType::Time => "xs:time",
+            XsdType::DateTime => "xs:dateTime",
+            XsdType::NmToken => "xs:NMTOKEN",
+            XsdType::String => "xs:string",
+        }
+    }
+}
+
+/// Whether `s` lexically belongs to `t`.
+pub fn matches_type(s: &str, t: XsdType) -> bool {
+    let s = s.trim();
+    match t {
+        XsdType::Boolean => matches!(s, "true" | "false" | "0" | "1"),
+        XsdType::Integer => {
+            let body = s.strip_prefix(['+', '-']).unwrap_or(s);
+            !body.is_empty() && body.bytes().all(|b| b.is_ascii_digit())
+        }
+        XsdType::Double => is_double(s),
+        XsdType::Date => is_date(s),
+        XsdType::Time => is_time(s),
+        XsdType::DateTime => {
+            s.split_once('T')
+                .is_some_and(|(d, t)| is_date(d) && is_time(t))
+        }
+        XsdType::NmToken => {
+            !s.is_empty()
+                && s.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'-'))
+        }
+        XsdType::String => true,
+    }
+}
+
+fn is_double(s: &str) -> bool {
+    if s.is_empty() {
+        return false;
+    }
+    // Accept the xs:double lexical space: optional sign, digits with
+    // optional fraction, optional exponent; also INF/NaN.
+    if matches!(s, "INF" | "-INF" | "NaN") {
+        return true;
+    }
+    let body = s.strip_prefix(['+', '-']).unwrap_or(s);
+    let (mantissa, exponent) = match body.split_once(['e', 'E']) {
+        Some((m, e)) => (m, Some(e)),
+        None => (body, None),
+    };
+    let mantissa_ok = match mantissa.split_once('.') {
+        Some((int, frac)) => {
+            (!int.is_empty() || !frac.is_empty())
+                && int.bytes().all(|b| b.is_ascii_digit())
+                && frac.bytes().all(|b| b.is_ascii_digit())
+                && !(int.is_empty() && frac.is_empty())
+        }
+        None => !mantissa.is_empty() && mantissa.bytes().all(|b| b.is_ascii_digit()),
+    };
+    let exponent_ok = exponent.is_none_or(|e| {
+        let e = e.strip_prefix(['+', '-']).unwrap_or(e);
+        !e.is_empty() && e.bytes().all(|b| b.is_ascii_digit())
+    });
+    mantissa_ok && exponent_ok
+}
+
+fn is_date(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    parts.len() == 3
+        && parts[0].len() == 4
+        && parts[1].len() == 2
+        && parts[2].len() == 2
+        && parts.iter().all(|p| p.bytes().all(|b| b.is_ascii_digit()))
+        && (1..=12).contains(&parts[1].parse::<u32>().unwrap_or(0))
+        && (1..=31).contains(&parts[2].parse::<u32>().unwrap_or(0))
+}
+
+fn is_time(s: &str) -> bool {
+    let (hms, frac) = match s.split_once('.') {
+        Some((h, f)) => (h, Some(f)),
+        None => (s, None),
+    };
+    let parts: Vec<&str> = hms.split(':').collect();
+    parts.len() == 3
+        && parts.iter().all(|p| {
+            p.len() == 2 && p.bytes().all(|b| b.is_ascii_digit())
+        })
+        && parts[0].parse::<u32>().unwrap_or(99) < 24
+        && parts[1].parse::<u32>().unwrap_or(99) < 60
+        && parts[2].parse::<u32>().unwrap_or(99) < 60
+        && frac.is_none_or(|f| !f.is_empty() && f.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// The most specific type covering every sample (preference order:
+/// boolean, integer, double, date, time, dateTime, NMTOKEN, string).
+/// Empty sample sets default to `xs:string`.
+pub fn infer_datatype<'a, I>(samples: I) -> XsdType
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    const ORDER: [XsdType; 7] = [
+        XsdType::Boolean,
+        XsdType::Integer,
+        XsdType::Double,
+        XsdType::Date,
+        XsdType::Time,
+        XsdType::DateTime,
+        XsdType::NmToken,
+    ];
+    let mut viable = [true; 7];
+    let mut any = false;
+    for s in samples {
+        any = true;
+        for (i, t) in ORDER.iter().enumerate() {
+            if viable[i] && !matches_type(s, *t) {
+                viable[i] = false;
+            }
+        }
+    }
+    if !any {
+        return XsdType::String;
+    }
+    ORDER
+        .iter()
+        .zip(viable)
+        .find(|&(_, v)| v)
+        .map(|(&t, _)| t)
+        .unwrap_or(XsdType::String)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers() {
+        assert_eq!(infer_datatype(["1", "-42", "+7"]), XsdType::Integer);
+        assert_eq!(infer_datatype(["1", "2.5"]), XsdType::Double);
+    }
+
+    #[test]
+    fn booleans() {
+        assert_eq!(infer_datatype(["true", "false"]), XsdType::Boolean);
+        // 0/1 alone are boolean-viable (most specific wins).
+        assert_eq!(infer_datatype(["0", "1"]), XsdType::Boolean);
+        assert_eq!(infer_datatype(["0", "2"]), XsdType::Integer);
+    }
+
+    #[test]
+    fn doubles() {
+        assert_eq!(infer_datatype(["1.5", "-0.25", "3e8", "NaN"]), XsdType::Double);
+        assert!(!matches_type("1.2.3", XsdType::Double));
+        assert!(!matches_type("e8", XsdType::Double));
+        assert!(matches_type(".5", XsdType::Double));
+    }
+
+    #[test]
+    fn dates_times() {
+        assert_eq!(infer_datatype(["2006-09-12", "2006-09-15"]), XsdType::Date);
+        assert_eq!(infer_datatype(["23:59:59", "00:00:00.5"]), XsdType::Time);
+        assert_eq!(infer_datatype(["2006-09-12T10:30:00"]), XsdType::DateTime);
+        assert!(!matches_type("2006-13-01", XsdType::Date));
+        assert!(!matches_type("24:00:00", XsdType::Time));
+    }
+
+    #[test]
+    fn nmtoken_and_string() {
+        assert_eq!(infer_datatype(["abc", "a-b_c.1"]), XsdType::NmToken);
+        assert_eq!(infer_datatype(["two words"]), XsdType::String);
+        assert_eq!(infer_datatype(["abc", "two words"]), XsdType::String);
+    }
+
+    #[test]
+    fn empty_is_string() {
+        assert_eq!(infer_datatype(std::iter::empty::<&str>()), XsdType::String);
+    }
+
+    #[test]
+    fn mixed_specificity() {
+        // dates are NMTOKEN-shaped too; Date is preferred because it is
+        // checked first among the viable ones... but both stay viable, and
+        // Integer/Boolean/Double drop out.
+        assert_eq!(infer_datatype(["2006-09-12"]), XsdType::Date);
+    }
+}

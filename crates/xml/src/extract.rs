@@ -1,0 +1,212 @@
+//! Corpus extraction: XML documents → per-element child-name sequences.
+//!
+//! DTD inference reduces to learning one regular expression per element
+//! name from the multiset of strings occurring below that element (§1.2);
+//! the [`Corpus`] accumulates exactly those words, along with the text and
+//! attribute samples needed for the XSD datatype heuristics of §9.
+
+use crate::parser::{XmlError, XmlEvent, XmlPullParser};
+use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
+use std::collections::BTreeMap;
+
+/// Everything observed about one element name across the corpus.
+#[derive(Debug, Clone, Default)]
+pub struct ElementFacts {
+    /// One word per occurrence: the sequence of child element names.
+    pub child_sequences: Vec<Word>,
+    /// Non-whitespace text chunks observed directly under the element.
+    pub text_samples: Vec<String>,
+    /// Attribute name → sample values.
+    pub attributes: BTreeMap<String, Vec<String>>,
+    /// Total number of occurrences.
+    pub occurrences: u64,
+}
+
+impl ElementFacts {
+    /// Whether the element ever had element children.
+    pub fn has_element_children(&self) -> bool {
+        self.child_sequences.iter().any(|w| !w.is_empty())
+    }
+
+    /// Whether the element ever had character data.
+    pub fn has_text(&self) -> bool {
+        !self.text_samples.is_empty()
+    }
+}
+
+/// A corpus of XML documents reduced to inference-ready statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// Interned element names.
+    pub alphabet: Alphabet,
+    /// Facts per element.
+    pub elements: BTreeMap<Sym, ElementFacts>,
+    /// Root elements observed, with counts (document order of first root
+    /// wins ties in [`Corpus::root`]).
+    pub roots: BTreeMap<Sym, u64>,
+    /// Number of documents absorbed.
+    pub num_documents: u64,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses one document and folds its statistics in.
+    pub fn add_document(&mut self, doc: &str) -> Result<(), XmlError> {
+        let mut parser = XmlPullParser::new(doc);
+        // Stack of (element symbol, children-so-far).
+        let mut stack: Vec<(Sym, Word)> = Vec::new();
+        let mut seen_root = false;
+        while let Some(event) = parser.next()? {
+            match event {
+                XmlEvent::StartElement {
+                    name, attributes, ..
+                } => {
+                    let sym = self.alphabet.intern(&name);
+                    let facts = self.elements.entry(sym).or_default();
+                    facts.occurrences += 1;
+                    for (attr, value) in attributes {
+                        facts.attributes.entry(attr).or_default().push(value);
+                    }
+                    if let Some((_, children)) = stack.last_mut() {
+                        children.push(sym);
+                    } else if !seen_root {
+                        seen_root = true;
+                        *self.roots.entry(sym).or_insert(0) += 1;
+                    }
+                    stack.push((sym, Word::new()));
+                }
+                XmlEvent::EndElement { .. } => {
+                    let (sym, children) = stack.pop().expect("parser checks balance");
+                    self.elements
+                        .entry(sym)
+                        .or_default()
+                        .child_sequences
+                        .push(children);
+                }
+                XmlEvent::Text(text) => {
+                    let trimmed = text.trim();
+                    if !trimmed.is_empty() {
+                        if let Some(&mut (sym, _)) = stack.last_mut() {
+                            self.elements
+                                .entry(sym)
+                                .or_default()
+                                .text_samples
+                                .push(trimmed.to_owned());
+                        }
+                    }
+                }
+                XmlEvent::Comment(_)
+                | XmlEvent::ProcessingInstruction(_)
+                | XmlEvent::Doctype(_) => {}
+            }
+        }
+        self.num_documents += 1;
+        Ok(())
+    }
+
+    /// Adds many documents, stopping at the first parse error.
+    pub fn add_documents<'a, I: IntoIterator<Item = &'a str>>(
+        &mut self,
+        docs: I,
+    ) -> Result<(), XmlError> {
+        for d in docs {
+            self.add_document(d)?;
+        }
+        Ok(())
+    }
+
+    /// The dominant root element (most documents), if any.
+    pub fn root(&self) -> Option<Sym> {
+        self.roots
+            .iter()
+            .max_by_key(|&(_, count)| count)
+            .map(|(&sym, _)| sym)
+    }
+
+    /// The child sequences of one element name.
+    pub fn sequences_of(&self, name: &str) -> Option<&[Word]> {
+        let sym = self.alphabet.get(name)?;
+        self.elements.get(&sym).map(|f| f.child_sequences.as_slice())
+    }
+
+    /// Total number of extracted words across all elements.
+    pub fn total_sequences(&self) -> usize {
+        self.elements
+            .values()
+            .map(|f| f.child_sequences.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_child_sequences() {
+        let mut c = Corpus::new();
+        c.add_document("<r><a/><b/><a/></r>").unwrap();
+        c.add_document("<r><b/></r>").unwrap();
+        let r = c.sequences_of("r").unwrap();
+        assert_eq!(r.len(), 2);
+        let al = &c.alphabet;
+        assert_eq!(c.alphabet.render_word(&r[0], " "), "a b a");
+        assert_eq!(al.render_word(&r[1], " "), "b");
+        // Leaves have empty sequences.
+        assert_eq!(c.sequences_of("a").unwrap(), &[vec![], vec![]]);
+    }
+
+    #[test]
+    fn text_and_attributes_sampled() {
+        let mut c = Corpus::new();
+        c.add_document(r#"<r id="7"><t>  hello </t><t>42</t></r>"#)
+            .unwrap();
+        let t = c.alphabet.get("t").unwrap();
+        assert_eq!(
+            c.elements[&t].text_samples,
+            vec!["hello".to_owned(), "42".to_owned()]
+        );
+        let r = c.alphabet.get("r").unwrap();
+        assert_eq!(c.elements[&r].attributes["id"], vec!["7".to_owned()]);
+        assert!(c.elements[&t].has_text());
+        assert!(!c.elements[&t].has_element_children());
+        assert!(c.elements[&r].has_element_children());
+    }
+
+    #[test]
+    fn root_detection() {
+        let mut c = Corpus::new();
+        c.add_document("<r><a/></r>").unwrap();
+        c.add_document("<r/>").unwrap();
+        c.add_document("<other/>").unwrap();
+        assert_eq!(c.root(), c.alphabet.get("r"));
+        assert_eq!(c.num_documents, 3);
+    }
+
+    #[test]
+    fn whitespace_only_text_ignored() {
+        let mut c = Corpus::new();
+        c.add_document("<r>\n  <a/>\n</r>").unwrap();
+        let r = c.alphabet.get("r").unwrap();
+        assert!(!c.elements[&r].has_text());
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut c = Corpus::new();
+        assert!(c.add_document("<r><a></r>").is_err());
+    }
+
+    #[test]
+    fn occurrence_counting() {
+        let mut c = Corpus::new();
+        c.add_document("<r><a/><a/><a/></r>").unwrap();
+        let a = c.alphabet.get("a").unwrap();
+        assert_eq!(c.elements[&a].occurrences, 3);
+        assert_eq!(c.total_sequences(), 4);
+    }
+}

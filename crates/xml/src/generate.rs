@@ -1,0 +1,316 @@
+//! Document generation: sampling XML documents *from* a DTD.
+//!
+//! The inverse of inference, and the backbone of closed-loop testing: a
+//! corpus generated from a DTD, when re-inferred, must yield a schema that
+//! validates the corpus (and, given enough data, the original content
+//! models). This replaces the paper's use of ToXgene at the document level
+//! (the word-level substitute lives in `dtdinfer-regex::sample`).
+
+use crate::attlist::{AttDefault, AttType};
+use crate::dtd::{ContentSpec, Dtd};
+use crate::parser::encode_entities;
+use dtdinfer_regex::alphabet::Sym;
+use dtdinfer_regex::sample::{sample_word, SampleConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from document generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The DTD has no root element.
+    NoRoot,
+    /// The element dependency graph is recursive; bounded documents cannot
+    /// cover it without violating some content model.
+    RecursiveDtd {
+        /// An element on the cycle.
+        element: String,
+    },
+    /// An element is referenced in a content model but never declared.
+    Undeclared {
+        /// The missing element.
+        element: String,
+    },
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::NoRoot => write!(f, "DTD has no root element"),
+            GenerateError::RecursiveDtd { element } => {
+                write!(f, "recursive DTD: <{element}> (directly or indirectly) contains itself")
+            }
+            GenerateError::Undeclared { element } => {
+                write!(f, "element <{element}> used but not declared")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// Configuration for document sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerateConfig {
+    /// Word-sampler knobs for content models.
+    pub words: SampleConfig,
+    /// Sample texts are drawn as `text N` with N below this bound.
+    pub text_variety: u32,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        Self {
+            words: SampleConfig::default(),
+            text_variety: 100,
+        }
+    }
+}
+
+/// Samples one document conforming to `dtd`.
+pub fn sample_document(
+    dtd: &Dtd,
+    cfg: &GenerateConfig,
+    seed: u64,
+) -> Result<String, GenerateError> {
+    let root = dtd.root.ok_or(GenerateError::NoRoot)?;
+    check_acyclic(dtd)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    emit(dtd, root, cfg, &mut rng, &mut out)?;
+    Ok(out)
+}
+
+/// Samples `n` documents with distinct seeds derived from `seed`.
+pub fn sample_documents(
+    dtd: &Dtd,
+    cfg: &GenerateConfig,
+    seed: u64,
+    n: usize,
+) -> Result<Vec<String>, GenerateError> {
+    (0..n)
+        .map(|i| sample_document(dtd, cfg, seed.wrapping_add(i as u64 * 0x9e37_79b9)))
+        .collect()
+}
+
+fn check_acyclic(dtd: &Dtd) -> Result<(), GenerateError> {
+    // DFS with colors over element dependencies.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    fn children_of(dtd: &Dtd, sym: Sym) -> Vec<Sym> {
+        match dtd.elements.get(&sym) {
+            Some(ContentSpec::Children(r)) => r.symbols(),
+            Some(ContentSpec::Mixed(syms)) => syms.clone(),
+            _ => Vec::new(),
+        }
+    }
+    fn visit(
+        dtd: &Dtd,
+        sym: Sym,
+        colors: &mut std::collections::BTreeMap<Sym, Color>,
+    ) -> Result<(), GenerateError> {
+        match colors.get(&sym).copied().unwrap_or(Color::White) {
+            Color::Black => return Ok(()),
+            Color::Grey => {
+                return Err(GenerateError::RecursiveDtd {
+                    element: dtd.alphabet.name(sym).to_owned(),
+                })
+            }
+            Color::White => {}
+        }
+        colors.insert(sym, Color::Grey);
+        for child in children_of(dtd, sym) {
+            if !dtd.elements.contains_key(&child) {
+                return Err(GenerateError::Undeclared {
+                    element: dtd.alphabet.name(child).to_owned(),
+                });
+            }
+            visit(dtd, child, colors)?;
+        }
+        colors.insert(sym, Color::Black);
+        Ok(())
+    }
+    let mut colors = std::collections::BTreeMap::new();
+    for &sym in dtd.elements.keys() {
+        visit(dtd, sym, &mut colors)?;
+    }
+    Ok(())
+}
+
+fn emit(
+    dtd: &Dtd,
+    sym: Sym,
+    cfg: &GenerateConfig,
+    rng: &mut StdRng,
+    out: &mut String,
+) -> Result<(), GenerateError> {
+    let name = dtd.alphabet.name(sym).to_owned();
+    out.push('<');
+    out.push_str(&name);
+    if let Some(defs) = dtd.attlists.get(&sym) {
+        let mut used_ids: BTreeSet<String> = BTreeSet::new();
+        for def in defs {
+            let present = def.default == AttDefault::Required || rng.gen_bool(0.6);
+            if !present {
+                continue;
+            }
+            let value = match &def.ty {
+                AttType::CData => format!("value {}", rng.gen_range(0..cfg.text_variety)),
+                AttType::NmToken => format!("tok{}", rng.gen_range(0..cfg.text_variety)),
+                AttType::Id => loop {
+                    let candidate = format!("id{}", rng.gen_range(0..u32::MAX));
+                    if used_ids.insert(candidate.clone()) {
+                        break candidate;
+                    }
+                },
+                AttType::Enumeration(values) => {
+                    values[rng.gen_range(0..values.len())].clone()
+                }
+            };
+            out.push(' ');
+            out.push_str(&def.name);
+            out.push_str("=\"");
+            out.push_str(&encode_entities(&value));
+            out.push('"');
+        }
+    }
+    let spec = dtd
+        .elements
+        .get(&sym)
+        .ok_or_else(|| GenerateError::Undeclared {
+            element: name.clone(),
+        })?;
+    match spec {
+        ContentSpec::Empty => {
+            out.push_str("/>");
+        }
+        ContentSpec::Any | ContentSpec::PcData => {
+            out.push('>');
+            out.push_str(&encode_entities(&format!(
+                "text {}",
+                rng.gen_range(0..cfg.text_variety)
+            )));
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+        ContentSpec::Mixed(children) => {
+            out.push('>');
+            let pieces = rng.gen_range(0..4usize);
+            for _ in 0..pieces {
+                if rng.gen_bool(0.5) || children.is_empty() {
+                    out.push_str(&encode_entities(&format!(
+                        "mix {} ",
+                        rng.gen_range(0..cfg.text_variety)
+                    )));
+                } else {
+                    let child = children[rng.gen_range(0..children.len())];
+                    emit(dtd, child, cfg, rng, out)?;
+                }
+            }
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+        ContentSpec::Children(regex) => {
+            out.push('>');
+            for child in sample_word(regex, &cfg.words, rng) {
+                emit(dtd, child, cfg, rng, out)?;
+            }
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_dtd, InferenceEngine};
+
+    const BOOKS: &str = r#"
+<!ELEMENT catalog (book+)>
+<!ELEMENT book (title, author+, year, price?)>
+<!ATTLIST book id ID #REQUIRED binding (hard | soft) #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"#;
+
+    #[test]
+    fn generated_documents_validate() {
+        let dtd = Dtd::parse(BOOKS).unwrap();
+        let docs = sample_documents(&dtd, &GenerateConfig::default(), 7, 25).unwrap();
+        for d in &docs {
+            let violations = dtd.validate(d).unwrap();
+            assert!(violations.is_empty(), "{violations:?}\n{d}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_inference() {
+        // generate → infer → the inferred DTD validates the corpus, and its
+        // book content model equals the original.
+        let dtd = Dtd::parse(BOOKS).unwrap();
+        let docs = sample_documents(&dtd, &GenerateConfig::default(), 3, 120).unwrap();
+        let mut corpus = crate::extract::Corpus::new();
+        for d in &docs {
+            corpus.add_document(d).unwrap();
+        }
+        let inferred = infer_dtd(&corpus, InferenceEngine::Idtd);
+        for d in &docs {
+            assert!(inferred.validate(d).unwrap().is_empty());
+        }
+        let text = inferred.serialize();
+        assert!(
+            text.contains("<!ELEMENT book (title, author+, year, price?)>"),
+            "{text}"
+        );
+        assert!(text.contains("<!ATTLIST book id ID #REQUIRED>"), "{text}");
+    }
+
+    #[test]
+    fn recursive_dtd_rejected() {
+        let dtd = Dtd::parse("<!ELEMENT a (b?)><!ELEMENT b (a?)>").unwrap();
+        assert!(matches!(
+            sample_document(&dtd, &GenerateConfig::default(), 0),
+            Err(GenerateError::RecursiveDtd { .. })
+        ));
+    }
+
+    #[test]
+    fn undeclared_child_rejected() {
+        let dtd = Dtd::parse("<!ELEMENT a (ghost)>").unwrap();
+        assert!(matches!(
+            sample_document(&dtd, &GenerateConfig::default(), 0),
+            Err(GenerateError::Undeclared { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let dtd = Dtd::parse(BOOKS).unwrap();
+        let a = sample_document(&dtd, &GenerateConfig::default(), 5).unwrap();
+        let b = sample_document(&dtd, &GenerateConfig::default(), 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_content_generated() {
+        let dtd =
+            Dtd::parse("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>").unwrap();
+        let docs = sample_documents(&dtd, &GenerateConfig::default(), 11, 30).unwrap();
+        for d in &docs {
+            assert!(dtd.validate(d).unwrap().is_empty(), "{d}");
+        }
+        assert!(docs.iter().any(|d| d.contains("<em>")));
+    }
+}

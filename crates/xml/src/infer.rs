@@ -1,0 +1,258 @@
+//! End-to-end DTD inference: corpus → per-element learner → DTD.
+//!
+//! For every element name the corpus supplies the multiset of child-name
+//! sequences; the chosen engine (CRX for sparse data, iDTD for rich data —
+//! §1.2's two scenarios) learns one expression per element, and text/child
+//! mixtures are mapped onto the DTD content-spec forms.
+
+use crate::dtd::{ContentSpec, Dtd};
+use crate::extract::Corpus;
+use dtdinfer_core::crx::crx;
+use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_core::model::InferredModel;
+use dtdinfer_core::noise::SupportSoa;
+use crate::attlist::{infer_attdef, AttInferenceOptions};
+use dtdinfer_regex::alphabet::Sym;
+use std::collections::BTreeSet;
+
+/// Which learning algorithm drives the per-element inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceEngine {
+    /// CRX (§7): CHAREs, strong generalization, best for small samples.
+    Crx,
+    /// iDTD (§6): SOREs, more specific, best for abundant data.
+    Idtd,
+    /// iDTD with the §9 noise treatment: edges below the support threshold
+    /// are dropped when rewriting gets stuck.
+    IdtdNoise {
+        /// Minimum support an edge needs to survive.
+        threshold: u64,
+    },
+}
+
+/// Example:
+///
+/// ```
+/// use dtdinfer_xml::extract::Corpus;
+/// use dtdinfer_xml::infer::{infer_dtd, InferenceEngine};
+///
+/// let mut corpus = Corpus::new();
+/// corpus
+///     .add_document("<order><item/><item/><note>rush</note></order>")
+///     .unwrap();
+/// corpus.add_document("<order><item/></order>").unwrap();
+/// let dtd = infer_dtd(&corpus, InferenceEngine::Crx);
+/// assert!(dtd.serialize().contains("<!ELEMENT order (item+, note?)>"));
+/// ```
+/// Infers a complete DTD for the corpus.
+pub fn infer_dtd(corpus: &Corpus, engine: InferenceEngine) -> Dtd {
+    let mut dtd = Dtd {
+        alphabet: corpus.alphabet.clone(),
+        root: corpus.root(),
+        elements: Default::default(),
+        attlists: Default::default(),
+    };
+    for (&sym, facts) in &corpus.elements {
+        let spec = infer_element(corpus, sym, engine);
+        dtd.elements.insert(sym, spec);
+        let defs: Vec<_> = facts
+            .attributes
+            .iter()
+            .map(|(attr, values)| {
+                infer_attdef(attr, values, facts.occurrences, AttInferenceOptions::default())
+            })
+            .collect();
+        if !defs.is_empty() {
+            dtd.attlists.insert(sym, defs);
+        }
+    }
+    dtd
+}
+
+fn infer_element(corpus: &Corpus, sym: Sym, engine: InferenceEngine) -> ContentSpec {
+    let facts = &corpus.elements[&sym];
+    let has_text = facts.has_text();
+    let has_children = facts.has_element_children();
+    match (has_text, has_children) {
+        // Never any content observed: EMPTY is the tight choice (the
+        // specialization-over-generalization default of §1.2's rich-data
+        // scenario; a later document with text would flip this to PCDATA).
+        (false, false) => ContentSpec::Empty,
+        (true, false) => ContentSpec::PcData,
+        (true, true) => {
+            // Mixed content: DTDs only allow (#PCDATA | a | b)*. This is
+            // exactly the §9 XHTML-paragraph shape, so the noise engine's
+            // support threshold applies here too: child names occurring
+            // fewer than `threshold` times are treated as intruders.
+            let mut support: std::collections::BTreeMap<Sym, u64> = Default::default();
+            for w in &facts.child_sequences {
+                for &s in w {
+                    *support.entry(s).or_insert(0) += 1;
+                }
+            }
+            let threshold = match engine {
+                InferenceEngine::IdtdNoise { threshold } => threshold,
+                _ => 0,
+            };
+            let syms: BTreeSet<Sym> = support
+                .into_iter()
+                .filter(|&(_, count)| count >= threshold.max(1))
+                .map(|(s, _)| s)
+                .collect();
+            ContentSpec::Mixed(syms.into_iter().collect())
+        }
+        (false, true) => {
+            let model = match engine {
+                InferenceEngine::Crx => crx(&facts.child_sequences),
+                InferenceEngine::Idtd => idtd_from_words(&facts.child_sequences),
+                InferenceEngine::IdtdNoise { threshold } => {
+                    SupportSoa::learn(&facts.child_sequences).infer_denoised(threshold)
+                }
+            };
+            match model {
+                InferredModel::Regex(r) => ContentSpec::Children(r),
+                InferredModel::EpsilonOnly | InferredModel::Empty => ContentSpec::Empty,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(docs: &[&str]) -> Corpus {
+        let mut c = Corpus::new();
+        for d in docs {
+            c.add_document(d).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn end_to_end_simple_dtd() {
+        let c = corpus(&[
+            "<book><title>T1</title><author>A</author><author>B</author></book>",
+            "<book><title>T2</title><author>C</author></book>",
+        ]);
+        let dtd = infer_dtd(&c, InferenceEngine::Crx);
+        let text = dtd.serialize();
+        assert!(text.contains("<!ELEMENT book (title, author+)>"), "{text}");
+        assert!(text.contains("<!ELEMENT title (#PCDATA)>"));
+        assert!(text.contains("<!ELEMENT author (#PCDATA)>"));
+        // The inferred DTD validates its own training data.
+        for doc in [
+            "<book><title>T1</title><author>A</author><author>B</author></book>",
+            "<book><title>T2</title><author>C</author></book>",
+        ] {
+            assert_eq!(dtd.validate(doc).unwrap(), Vec::<String>::new());
+        }
+    }
+
+    #[test]
+    fn idtd_engine_gives_sore() {
+        let c = corpus(&[
+            "<r><a/><b/><a/><b/><c/></r>",
+            "<r><a/><a/><c/></r>",
+            "<r><b/><b/><c/></r>",
+            "<r><b/><a/><c/></r>",
+            "<r><c/></r>",
+        ]);
+        let dtd = infer_dtd(&c, InferenceEngine::Idtd);
+        let r = c.alphabet.get("r").unwrap();
+        match &dtd.elements[&r] {
+            ContentSpec::Children(regex) => {
+                assert!(dtdinfer_regex::classify::is_sore(regex));
+                // Training sequences all match.
+                for w in c.sequences_of("r").unwrap() {
+                    assert!(dtdinfer_automata::nfa::regex_matches(regex, w));
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_content_detected() {
+        let c = corpus(&["<p>text <em>x</em> more <strong>y</strong></p>"]);
+        let dtd = infer_dtd(&c, InferenceEngine::Crx);
+        let p = c.alphabet.get("p").unwrap();
+        match &dtd.elements[&p] {
+            ContentSpec::Mixed(syms) => assert_eq!(syms.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_elements_declared_empty() {
+        let c = corpus(&["<r><hr/><hr/></r>"]);
+        let dtd = infer_dtd(&c, InferenceEngine::Crx);
+        let hr = c.alphabet.get("hr").unwrap();
+        assert_eq!(dtd.elements[&hr], ContentSpec::Empty);
+    }
+
+    #[test]
+    fn root_is_set() {
+        let c = corpus(&["<top><a/></top>"]);
+        let dtd = infer_dtd(&c, InferenceEngine::Crx);
+        assert_eq!(dtd.root, c.alphabet.get("top"));
+        assert!(dtd.serialize().starts_with("<!ELEMENT top"));
+    }
+
+    #[test]
+    fn noise_engine_cleans_mixed_content() {
+        // The §9 XHTML scenario shape: paragraphs mixing text with em/strong,
+        // plus a rare disallowed h1 intruder.
+        let mut docs: Vec<String> = Vec::new();
+        for i in 0..40 {
+            docs.push(format!(
+                "<p>text {i} <em>x</em> more <strong>y</strong></p>"
+            ));
+        }
+        docs.push("<p>bad <h1>shout</h1></p>".to_owned());
+        let mut c = Corpus::new();
+        for d in &docs {
+            c.add_document(d).unwrap();
+        }
+        let p_sym = c.alphabet.get("p").unwrap();
+        let h1 = c.alphabet.get("h1").unwrap();
+        let noisy = infer_dtd(&c, InferenceEngine::Idtd);
+        let clean = infer_dtd(&c, InferenceEngine::IdtdNoise { threshold: 5 });
+        match (&noisy.elements[&p_sym], &clean.elements[&p_sym]) {
+            (ContentSpec::Mixed(with), ContentSpec::Mixed(without)) => {
+                assert!(with.contains(&h1));
+                assert!(!without.contains(&h1));
+                assert_eq!(without.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn noise_engine_drops_rare_intruders() {
+        let mut docs: Vec<String> = Vec::new();
+        for _ in 0..30 {
+            docs.push("<r><a/><b/></r>".to_owned());
+            docs.push("<r><b/><a/></r>".to_owned());
+            docs.push("<r><a/></r>".to_owned());
+            docs.push("<r><b/></r>".to_owned());
+            docs.push("<r><a/><a/></r>".to_owned());
+            docs.push("<r><b/><b/></r>".to_owned());
+            docs.push("<r></r>".to_owned());
+        }
+        docs.push("<r><z/></r>".to_owned());
+        let mut c = Corpus::new();
+        for d in &docs {
+            c.add_document(d).unwrap();
+        }
+        let dtd = infer_dtd(&c, InferenceEngine::IdtdNoise { threshold: 5 });
+        let r = c.alphabet.get("r").unwrap();
+        let z = c.alphabet.get("z").unwrap();
+        match &dtd.elements[&r] {
+            ContentSpec::Children(regex) => {
+                assert!(!regex.symbols().contains(&z), "{}", dtd.serialize());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! XML substrate: parsing, DTD handling, corpus extraction, XSD output.
+//!
+//! The inference algorithms of `dtdinfer-core` operate on words (child-name
+//! sequences); this crate supplies everything between raw XML text and those
+//! words, implemented from scratch:
+//!
+//! * [`parser`] — a streaming pull parser for the XML subset relevant to
+//!   schema inference (tags, attributes, text, CDATA, comments, processing
+//!   instructions, DOCTYPE, predefined/numeric entities);
+//! * [`extract`] — corpus construction: one multiset of child sequences per
+//!   element name, plus text/attribute samples;
+//! * [`dtd`] — DTD document types: content-spec model, parsing of
+//!   `<!ELEMENT>`/`<!ATTLIST>` declarations, serialization, and validation
+//!   of documents against a DTD;
+//! * [`attlist`] — attribute declarations and their inference (REQUIRED vs
+//!   IMPLIED, CDATA/NMTOKEN/ID/enumeration);
+//! * [`generate`] — the inverse direction: sampling documents *from* a DTD
+//!   (closed-loop testing, document-level ToXgene substitute);
+//! * [`diff`] — language-level schema comparison (the §1.1 schema-cleaning
+//!   workflow: detect where the inferred DTD is stricter than the
+//!   published one);
+//! * [`contextual`] — the §10 future-work step: context-aware (1-local,
+//!   XSD-strength) inference, where an element's content model may depend
+//!   on its parent;
+//! * [`infer`] — the end-to-end pipeline: corpus → (CRX or iDTD per
+//!   element) → DTD;
+//! * [`datatype`] — §9's built-in datatype heuristics (dates, integers,
+//!   doubles, NMTOKEN, string) for XSD generation;
+//! * [`xsd`] — simple XML Schema generation, structurally equivalent to the
+//!   inferred DTD (the 85% case reported by \[9\] in the paper), including
+//!   `minOccurs`/`maxOccurs` from the numerical-predicate extension.
+
+#![warn(missing_docs)]
+
+pub mod attlist;
+pub mod contextual;
+pub mod datatype;
+pub mod diff;
+pub mod dtd;
+pub mod extract;
+pub mod generate;
+pub mod infer;
+pub mod parser;
+pub mod xsd;
+
+pub use dtd::{ContentSpec, Dtd};
+pub use extract::Corpus;
+pub use infer::{infer_dtd, InferenceEngine};
+pub use parser::{XmlError, XmlEvent, XmlPullParser};

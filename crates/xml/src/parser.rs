@@ -1,0 +1,521 @@
+//! A streaming XML pull parser.
+//!
+//! Hand-written, dependency-free, and scoped to what schema inference needs:
+//! well-formed element structure, attributes, character data (with
+//! predefined and numeric entity decoding), CDATA sections, comments,
+//! processing instructions, and DOCTYPE declarations (skipped, including
+//! internal subsets). It checks tag balance — mismatched or dangling tags
+//! are errors — but does not validate against any schema; that is the job
+//! of [`crate::dtd`].
+
+use std::fmt;
+
+/// A parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" …>`; `self_closing` for `<name … />`.
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+        /// Whether the tag closed itself (`<a/>`); an `EndElement` is still
+        /// emitted.
+        self_closing: bool,
+    },
+    /// `</name>` (also emitted after a self-closing tag).
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data (entity-decoded) or CDATA content.
+    Text(String),
+    /// `<!-- … -->` content.
+    Comment(String),
+    /// `<?target data?>`.
+    ProcessingInstruction(String),
+    /// A `<!DOCTYPE …>` declaration was skipped.
+    Doctype(String),
+}
+
+/// Parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column (in bytes) of the error.
+    pub column: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Pull parser over a full document held in memory.
+pub struct XmlPullParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Open-element stack for well-formedness checking.
+    stack: Vec<String>,
+    /// Pending synthetic end event after a self-closing tag.
+    pending_end: Option<String>,
+    finished: bool,
+}
+
+impl<'a> XmlPullParser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+            stack: Vec::new(),
+            pending_end: None,
+            finished: false,
+        }
+    }
+
+    fn err<T>(&self, message: &str) -> Result<T, XmlError> {
+        let before = &self.input[..self.pos.min(self.input.len())];
+        let line = before.iter().filter(|&&b| b == b'\n').count() + 1;
+        let column = before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| self.pos - i)
+            .unwrap_or(self.pos + 1);
+        Err(XmlError {
+            offset: self.pos,
+            line,
+            column,
+            message: message.to_owned(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn take_until(&mut self, delim: &str) -> Result<String, XmlError> {
+        let hay = &self.input[self.pos..];
+        match find_subslice(hay, delim.as_bytes()) {
+            Some(i) => {
+                let content = String::from_utf8_lossy(&hay[..i]).into_owned();
+                self.pos += i + delim.len();
+                Ok(content)
+            }
+            None => self.err(&format!("unterminated construct (expected {delim:?})")),
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Pulls the next event; `Ok(None)` at end of input (only legal once all
+    /// elements are closed).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(XmlEvent::EndElement { name }));
+        }
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if let Some(open) = self.stack.last() {
+                    return self.err(&format!("unexpected end of input: <{open}> not closed"));
+                }
+                self.finished = true;
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                return self.parse_markup().map(Some);
+            }
+            // Character data up to the next '<'.
+            let start = self.pos;
+            while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            }
+            let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            if self.stack.is_empty() {
+                if raw.trim().is_empty() {
+                    continue; // whitespace between prolog and root
+                }
+                return self.err("character data outside the root element");
+            }
+            return Ok(Some(XmlEvent::Text(decode_entities(&raw))));
+        }
+    }
+
+    fn parse_markup(&mut self) -> Result<XmlEvent, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        if self.starts_with("<!--") {
+            self.pos += 4;
+            let content = self.take_until("-->")?;
+            return Ok(XmlEvent::Comment(content));
+        }
+        if self.starts_with("<![CDATA[") {
+            self.pos += 9;
+            let content = self.take_until("]]>")?;
+            if self.stack.is_empty() {
+                return self.err("CDATA outside the root element");
+            }
+            return Ok(XmlEvent::Text(content));
+        }
+        if self.starts_with("<?") {
+            self.pos += 2;
+            let content = self.take_until("?>")?;
+            return Ok(XmlEvent::ProcessingInstruction(content));
+        }
+        if self.starts_with("<!DOCTYPE") {
+            return self.parse_doctype();
+        }
+        if self.starts_with("</") {
+            self.pos += 2;
+            let name = self.read_name()?;
+            self.skip_ws();
+            if self.peek() != Some(b'>') {
+                return self.err("expected '>' in end tag");
+            }
+            self.pos += 1;
+            match self.stack.pop() {
+                Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+                Some(open) => self.err(&format!("mismatched end tag </{name}>, open <{open}>")),
+                None => self.err(&format!("end tag </{name}> without open element")),
+            }
+        } else {
+            self.pos += 1; // consume '<'
+            let name = self.read_name()?;
+            let mut attributes = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.pos += 1;
+                        self.stack.push(name.clone());
+                        return Ok(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: false,
+                        });
+                    }
+                    Some(b'/') => {
+                        self.pos += 1;
+                        if self.peek() != Some(b'>') {
+                            return self.err("expected '>' after '/'");
+                        }
+                        self.pos += 1;
+                        self.pending_end = Some(name.clone());
+                        return Ok(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: true,
+                        });
+                    }
+                    Some(c) if is_name_char(c) => {
+                        let attr = self.read_name()?;
+                        self.skip_ws();
+                        if self.peek() != Some(b'=') {
+                            return self.err("expected '=' after attribute name");
+                        }
+                        self.pos += 1;
+                        self.skip_ws();
+                        let quote = match self.peek() {
+                            Some(q @ (b'"' | b'\'')) => q,
+                            _ => return self.err("expected quoted attribute value"),
+                        };
+                        self.pos += 1;
+                        let value =
+                            self.take_until(std::str::from_utf8(&[quote]).expect("ascii"))?;
+                        attributes.push((attr, decode_entities(&value)));
+                    }
+                    _ => return self.err("malformed start tag"),
+                }
+            }
+        }
+    }
+
+    fn parse_doctype(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        self.pos += "<!DOCTYPE".len();
+        // Scan to the matching '>', skipping an internal subset in [...]
+        // and quoted strings.
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            match c {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'"' | b'\'' => {
+                    let quote = c;
+                    self.pos += 1;
+                    while let Some(c2) = self.peek() {
+                        if c2 == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                b'>' if depth == 0 => {
+                    self.pos += 1;
+                    let content = String::from_utf8_lossy(&self.input[start..self.pos])
+                        .into_owned();
+                    return Ok(XmlEvent::Doctype(content));
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated DOCTYPE")
+    }
+
+    /// Drains the parser into an event vector.
+    pub fn collect_events(mut self) -> Result<Vec<XmlEvent>, XmlError> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+}
+
+fn is_name_char(c: u8) -> bool {
+    // Non-ASCII bytes are accepted as name characters: XML names may use
+    // the full Unicode letter range, and passing UTF-8 continuation bytes
+    // through keeps multi-byte names intact without a full table.
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b':' | b'-') || c >= 0x80
+}
+
+fn find_subslice(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Escapes the five predefined XML entities so `s` can be embedded in
+/// character data or a double-quoted attribute value.
+pub fn encode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Decodes the predefined XML entities and numeric character references.
+/// Unknown entities are passed through verbatim (lenient, like the noisy
+/// real-world data of §9 requires).
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        match rest.find(';') {
+            Some(semi) if semi <= 12 => {
+                let entity = &rest[1..semi];
+                let decoded = match entity {
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "amp" => Some('&'),
+                    "apos" => Some('\''),
+                    "quot" => Some('"'),
+                    _ => entity
+                        .strip_prefix("#x")
+                        .or_else(|| entity.strip_prefix("#X"))
+                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        .or_else(|| {
+                            entity.strip_prefix('#').and_then(|d| d.parse::<u32>().ok())
+                        })
+                        .and_then(char::from_u32),
+                };
+                match decoded {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &rest[semi + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(doc: &str) -> Vec<XmlEvent> {
+        XmlPullParser::new(doc).collect_events().expect("parse")
+    }
+
+    fn names(doc: &str) -> Vec<String> {
+        events(doc)
+            .into_iter()
+            .filter_map(|e| match e {
+                XmlEvent::StartElement { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a><b>hi</b><c/></a>");
+        assert_eq!(evs.len(), 7);
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "a"));
+        assert!(matches!(&evs[2], XmlEvent::Text(t) if t == "hi"));
+        assert!(matches!(&evs[4], XmlEvent::StartElement { self_closing: true, .. }));
+        assert!(matches!(&evs[5], XmlEvent::EndElement { name } if name == "c"));
+    }
+
+    #[test]
+    fn attributes_parsed() {
+        let evs = events(r#"<a x="1" y='two &amp; three'/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0], ("x".to_owned(), "1".to_owned()));
+                assert_eq!(attributes[1].1, "two & three");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prolog_comment_pi_doctype() {
+        let doc = r#"<?xml version="1.0"?>
+<!-- a comment -->
+<!DOCTYPE root [ <!ELEMENT root (#PCDATA)> ]>
+<root>x</root>"#;
+        let evs = events(doc);
+        assert!(matches!(&evs[0], XmlEvent::ProcessingInstruction(p) if p.starts_with("xml")));
+        assert!(matches!(&evs[1], XmlEvent::Comment(c) if c.contains("a comment")));
+        assert!(matches!(&evs[2], XmlEvent::Doctype(d) if d.contains("#PCDATA")));
+        assert_eq!(names(doc), vec!["root"]);
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let evs = events("<a><![CDATA[<not-a-tag> & raw]]></a>");
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t == "<not-a-tag> & raw"));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for text in ["a < b & c > d", "\"quoted\" & 'apos'", "plain", "ü ≤ €"] {
+            assert_eq!(decode_entities(&encode_entities(text)), text);
+        }
+    }
+
+    #[test]
+    fn entity_decoding() {
+        assert_eq!(decode_entities("a &lt; b &gt; c &amp; &quot;d&quot;"), "a < b > c & \"d\"");
+        assert_eq!(decode_entities("&#65;&#x42;"), "AB");
+        assert_eq!(decode_entities("&unknown; & bare"), "&unknown; & bare");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(XmlPullParser::new("<a><b></a></b>").collect_events().is_err());
+        assert!(XmlPullParser::new("<a>").collect_events().is_err());
+        assert!(XmlPullParser::new("</a>").collect_events().is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(XmlPullParser::new("hello <a/>").collect_events().is_err());
+        // but whitespace is fine
+        assert!(XmlPullParser::new("  \n<a/>\n  ").collect_events().is_ok());
+    }
+
+    #[test]
+    fn nested_structure_names() {
+        assert_eq!(
+            names("<a><b><c/></b><b/></a>"),
+            vec!["a", "b", "c", "b"]
+        );
+    }
+
+    #[test]
+    fn doctype_with_internal_subset_and_quotes() {
+        let doc = r#"<!DOCTYPE r [ <!ENTITY e "<>"> ]><r/>"#;
+        let evs = events(doc);
+        assert!(matches!(&evs[0], XmlEvent::Doctype(_)));
+        assert_eq!(names(doc), vec!["r"]);
+    }
+
+    #[test]
+    fn malformed_attribute_rejected() {
+        assert!(XmlPullParser::new("<a x=1/>").collect_events().is_err());
+        assert!(XmlPullParser::new("<a x></a>").collect_events().is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(XmlPullParser::new("<a><!-- oops</a>").collect_events().is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = XmlPullParser::new("<a>\n  <b>\n</a>")
+            .collect_events()
+            .unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn namespaced_names() {
+        assert_eq!(names("<ns:a><ns:b/></ns:a>"), vec!["ns:a", "ns:b"]);
+    }
+
+    #[test]
+    fn unicode_element_names() {
+        assert_eq!(names("<livre><tête/><café>ü</café></livre>"), vec!["livre", "tête", "café"]);
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's §1.1 motivating example: schema cleaning on the Protein
+//! Sequence Database.
+//!
+//! The published DTD declares
+//!
+//! ```text
+//! refinfo: authors, citation, volume?, month?, year, pages?,
+//!          (title | description)?, xrefs?
+//! ```
+//!
+//! but an analysis of the corpus shows that `volume` and `month` never
+//! occur together — one either cites a journal volume or a conference
+//! month. Inference from the data recovers the stricter
+//! `(volume | month)` content model. This example regenerates that
+//! discovery on a synthetic corpus with the same characteristics.
+//!
+//! ```sh
+//! cargo run --example protein_database
+//! ```
+
+use dtdinfer::core::{crx, idtd_from_words};
+use dtdinfer::regex::alphabet::{Alphabet, Word};
+use dtdinfer::regex::display::render;
+use dtdinfer::xml::dtd::Dtd;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds one refinfo child sequence the way the real corpus behaves:
+/// exactly one of volume/month, optional trailing fields.
+fn refinfo_sequence(al: &mut Alphabet, rng: &mut StdRng) -> Word {
+    let mut w = vec![al.intern("authors"), al.intern("citation")];
+    if rng.gen_bool(0.6) {
+        w.push(al.intern("volume"));
+    } else {
+        w.push(al.intern("month"));
+    }
+    w.push(al.intern("year"));
+    if rng.gen_bool(0.7) {
+        w.push(al.intern("pages"));
+    }
+    match rng.gen_range(0..3) {
+        0 => w.push(al.intern("title")),
+        1 => w.push(al.intern("description")),
+        _ => {}
+    }
+    if rng.gen_bool(0.5) {
+        w.push(al.intern("xrefs"));
+    }
+    w
+}
+
+fn main() {
+    let mut al = Alphabet::new();
+    let mut rng = StdRng::seed_from_u64(2006);
+    let sample: Vec<Word> = (0..500).map(|_| refinfo_sequence(&mut al, &mut rng)).collect();
+
+    // The DTD as published (the paper's §1.1 "too general" definition).
+    let published = {
+        let mut parse_al = al.clone();
+        let r = dtdinfer::regex::parser::parse(
+            "authors citation volume? month? year pages? (title | description)? xrefs?",
+            &mut parse_al,
+        )
+        .unwrap();
+        al = parse_al;
+        r
+    };
+
+    println!("published DTD : {}", render(&published, &al));
+
+    let inferred_crx = crx(&sample).into_regex().unwrap();
+    let inferred_idtd = idtd_from_words(&sample).into_regex().unwrap();
+    println!("crx inference : {}", render(&inferred_crx, &al));
+    println!("idtd inference: {}", render(&inferred_idtd, &al));
+
+    // The inferred model is *stricter*: it proves volume and month are
+    // mutually exclusive.
+    let both = {
+        let mut w = vec![al.get("authors").unwrap(), al.get("citation").unwrap()];
+        w.push(al.get("volume").unwrap());
+        w.push(al.get("month").unwrap());
+        w.push(al.get("year").unwrap());
+        w
+    };
+    let published_accepts = dtdinfer::automata::nfa::regex_matches(&published, &both);
+    let inferred_accepts = dtdinfer::automata::nfa::regex_matches(&inferred_idtd, &both);
+    println!(
+        "\n\"volume month\" together: published DTD accepts = {published_accepts}, \
+         inferred DTD accepts = {inferred_accepts}"
+    );
+    assert!(published_accepts && !inferred_accepts);
+
+    // Emit a complete cleaned DTD document.
+    let mut dtd = Dtd::new();
+    dtd.alphabet = al.clone();
+    let refinfo = dtd.alphabet.intern("refinfo");
+    dtd.root = Some(refinfo);
+    dtd.elements.insert(
+        refinfo,
+        dtdinfer::xml::dtd::ContentSpec::Children(inferred_idtd),
+    );
+    for leaf in [
+        "authors", "citation", "volume", "month", "year", "pages", "title", "description",
+    ] {
+        let sym = dtd.alphabet.intern(leaf);
+        dtd.elements
+            .insert(sym, dtdinfer::xml::dtd::ContentSpec::PcData);
+    }
+    let xrefs = dtd.alphabet.intern("xrefs");
+    dtd.elements
+        .insert(xrefs, dtdinfer::xml::dtd::ContentSpec::Empty);
+    println!("\ncleaned DTD:\n{}", dtd.serialize());
+}

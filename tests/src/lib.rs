@@ -1,0 +1,153 @@
+//! Test utilities for the cross-crate integration suite.
+//!
+//! Random generators for the expression classes under study: arbitrary
+//! REs (with symbol repetition), SOREs (every symbol at most once), and
+//! CHAREs (chains of disjunction factors). Driven by seeds so failures
+//! reproduce exactly.
+
+use dtdinfer_regex::alphabet::{Alphabet, Sym};
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::classify::{ChareFactor, ChareModifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fresh alphabet with `n` symbols `a1..an`.
+pub fn alphabet(n: usize) -> (Alphabet, Vec<Sym>) {
+    dtdinfer_regex::alphabet::numbered_alphabet(n)
+}
+
+/// Random SORE over exactly the given (distinct) symbols.
+pub fn random_sore(rng: &mut StdRng, syms: &[Sym]) -> Regex {
+    let base = build_sore(rng, syms);
+    maybe_wrap(rng, base)
+}
+
+fn build_sore(rng: &mut StdRng, syms: &[Sym]) -> Regex {
+    assert!(!syms.is_empty());
+    if syms.len() == 1 {
+        return Regex::sym(syms[0]);
+    }
+    // Split the symbols into 2..=4 non-empty contiguous groups.
+    let num_groups = rng.gen_range(2..=syms.len().min(4));
+    let groups = split(rng, syms, num_groups);
+    let mut parts: Vec<Regex> = Vec::with_capacity(groups.len());
+    for g in groups {
+        let sub = build_sore(rng, g);
+        parts.push(maybe_wrap(rng, sub));
+    }
+    if rng.gen_bool(0.5) {
+        Regex::concat(parts)
+    } else {
+        Regex::union(parts)
+    }
+}
+
+/// Random CHARE factors over the given symbols (used in order).
+pub fn random_chare(rng: &mut StdRng, syms: &[Sym]) -> Vec<ChareFactor> {
+    let mut factors = Vec::new();
+    let mut rest = syms;
+    while !rest.is_empty() {
+        let take = rng.gen_range(1..=rest.len().min(4));
+        let (head, tail) = rest.split_at(take);
+        rest = tail;
+        let modifier = match rng.gen_range(0..4) {
+            0 => ChareModifier::One,
+            1 => ChareModifier::Opt,
+            2 => ChareModifier::Plus,
+            _ => ChareModifier::Star,
+        };
+        factors.push(ChareFactor {
+            syms: head.to_vec(),
+            modifier,
+        });
+    }
+    factors
+}
+
+/// Random regular expression that may repeat symbols (for exercising the
+/// general-RE machinery: NFAs, DFAs, xtract, state elimination).
+pub fn random_regex(rng: &mut StdRng, syms: &[Sym], depth: usize) -> Regex {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return Regex::sym(syms[rng.gen_range(0..syms.len())]);
+    }
+    let arity = rng.gen_range(2..=3usize);
+    let parts: Vec<Regex> = (0..arity)
+        .map(|_| random_regex(rng, syms, depth - 1))
+        .collect();
+    let base = if rng.gen_bool(0.5) {
+        Regex::concat(parts)
+    } else {
+        Regex::union(parts)
+    };
+    maybe_wrap(rng, base)
+}
+
+fn maybe_wrap(rng: &mut StdRng, r: Regex) -> Regex {
+    match rng.gen_range(0..6) {
+        0 => Regex::optional(r),
+        1 => Regex::plus(r),
+        2 => Regex::star(r),
+        _ => r,
+    }
+}
+
+fn split<'a>(rng: &mut StdRng, syms: &'a [Sym], groups: usize) -> Vec<&'a [Sym]> {
+    assert!(groups >= 1 && groups <= syms.len());
+    // Choose groups-1 distinct cut points.
+    let mut cuts: Vec<usize> = Vec::new();
+    while cuts.len() < groups - 1 {
+        let c = rng.gen_range(1..syms.len());
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    cuts.push(syms.len());
+    let mut out = Vec::with_capacity(groups);
+    let mut start = 0;
+    for c in cuts {
+        out.push(&syms[start..c]);
+        start = c;
+    }
+    out
+}
+
+/// Deterministic RNG for a test case.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_regex::classify::{chare_to_regex, is_chare, is_sore};
+
+    #[test]
+    fn random_sore_is_sore() {
+        for seed in 0..200 {
+            let (_, syms) = alphabet(1 + (seed as usize % 9));
+            let r = random_sore(&mut rng(seed), &syms);
+            assert!(is_sore(&r), "seed {seed}: {r:?}");
+            assert_eq!(r.symbols().len(), syms.len(), "uses every symbol");
+        }
+    }
+
+    #[test]
+    fn random_chare_is_chare() {
+        for seed in 0..200 {
+            let (_, syms) = alphabet(1 + (seed as usize % 9));
+            let factors = random_chare(&mut rng(seed), &syms);
+            let r = chare_to_regex(&factors);
+            assert!(is_chare(&r), "seed {seed}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn random_regex_wellformed() {
+        for seed in 0..100 {
+            let (_, syms) = alphabet(3);
+            let r = random_regex(&mut rng(seed), &syms, 3);
+            assert!(r.symbol_count() >= 1);
+        }
+    }
+}

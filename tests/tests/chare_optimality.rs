@@ -1,0 +1,164 @@
+//! Exhaustive Theorem 4/5 verification: enumerate *every* CHARE over small
+//! alphabets, feed each its characteristic (covering) sample, and check
+//! that CRX (a) recovers the target syntactically up to commutativity and
+//! (b) is *optimal* — no other enumerable CHARE fits strictly between the
+//! sample and CRX's output.
+//!
+//! The optimality claim is the strong half of Theorem 5 ("for every CHARE
+//! r such that W ⊆ L(r) and L(r) ⊆ L(rW), we have rW = r"), checked here
+//! against the complete candidate space rather than by construction.
+
+use dtdinfer_automata::dfa::{dfa_subset, Dfa};
+use dtdinfer_automata::nfa::Nfa;
+use dtdinfer_core::crx::crx;
+use dtdinfer_regex::alphabet::{numbered_alphabet, Sym, Word};
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::classify::{chare_to_regex, ChareFactor, ChareModifier};
+use dtdinfer_regex::normalize::equiv_commutative;
+use dtdinfer_regex::sample::covering_words;
+
+const MODIFIERS: [ChareModifier; 4] = [
+    ChareModifier::One,
+    ChareModifier::Opt,
+    ChareModifier::Plus,
+    ChareModifier::Star,
+];
+
+/// All CHAREs using exactly the symbols of `syms` (every ordered set
+/// partition into factors × every modifier assignment).
+fn enumerate_chares(syms: &[Sym]) -> Vec<Regex> {
+    let mut out = Vec::new();
+    for partition in ordered_set_partitions(syms) {
+        let k = partition.len();
+        let mut mods = vec![0usize; k];
+        loop {
+            let factors: Vec<ChareFactor> = partition
+                .iter()
+                .zip(&mods)
+                .map(|(group, &m)| ChareFactor {
+                    syms: group.clone(),
+                    modifier: MODIFIERS[m],
+                })
+                .collect();
+            out.push(chare_to_regex(&factors));
+            // Increment the modifier odometer.
+            let mut i = 0;
+            loop {
+                if i == k {
+                    break;
+                }
+                mods[i] += 1;
+                if mods[i] < MODIFIERS.len() {
+                    break;
+                }
+                mods[i] = 0;
+                i += 1;
+            }
+            if i == k {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// All ways to split `syms` into a sequence of disjoint non-empty groups
+/// covering all of them (factor *order* matters, order within a group does
+/// not — we keep groups sorted).
+fn ordered_set_partitions(syms: &[Sym]) -> Vec<Vec<Vec<Sym>>> {
+    fn go(rest: &[Sym], acc: &mut Vec<Vec<Sym>>, out: &mut Vec<Vec<Vec<Sym>>>) {
+        if rest.is_empty() {
+            out.push(acc.clone());
+            return;
+        }
+        // Choose the subset of `rest` forming the next factor: iterate
+        // non-empty bitmasks.
+        let n = rest.len();
+        for mask in 1u32..(1 << n) {
+            let mut group = Vec::new();
+            let mut remainder = Vec::new();
+            for (i, &s) in rest.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    group.push(s);
+                } else {
+                    remainder.push(s);
+                }
+            }
+            acc.push(group);
+            go(&remainder, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go(syms, &mut Vec::new(), &mut out);
+    out
+}
+
+fn check_alphabet(n: usize) {
+    let (_, syms) = numbered_alphabet(n);
+    let candidates = enumerate_chares(&syms);
+    // Precompute NFAs (membership) and DFAs (inclusion) once.
+    let nfas: Vec<Nfa> = candidates.iter().map(Nfa::from_regex).collect();
+    let dfas: Vec<Dfa> = candidates
+        .iter()
+        .map(|r| Dfa::from_regex(r, &syms))
+        .collect();
+
+    for (ti, target) in candidates.iter().enumerate() {
+        let sample: Vec<Word> = covering_words(target);
+        let got = crx(&sample).into_regex().expect("non-degenerate");
+
+        // Theorem 4: syntactic recovery from the characteristic sample.
+        assert!(
+            equiv_commutative(&got, target),
+            "n={n}: target {target:?} / got {got:?} from {sample:?}"
+        );
+
+        // Theorem 5 (optimality): no candidate r' with
+        // sample ⊆ L(r') ⊊ L(got) (= L(target)).
+        for (ci, cand) in candidates.iter().enumerate() {
+            if ci == ti {
+                continue;
+            }
+            let covers = sample.iter().all(|w| nfas[ci].accepts(w));
+            if !covers {
+                continue;
+            }
+            let inside = dfa_subset(&dfas[ci], &dfas[ti]);
+            if inside {
+                // Then it must be the same language (no strict betweenness).
+                assert!(
+                    dfa_subset(&dfas[ti], &dfas[ci]),
+                    "n={n}: {cand:?} fits strictly between sample and {target:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem5_exhaustive_one_symbol() {
+    check_alphabet(1); // 4 CHAREs: a, a?, a+, a*
+}
+
+#[test]
+fn theorem5_exhaustive_two_symbols() {
+    check_alphabet(2); // 36 CHAREs
+}
+
+#[test]
+fn theorem5_exhaustive_three_symbols() {
+    check_alphabet(3); // 484 CHAREs
+}
+
+#[test]
+fn enumeration_counts() {
+    let (_, s1) = numbered_alphabet(1);
+    let (_, s2) = numbered_alphabet(2);
+    let (_, s3) = numbered_alphabet(3);
+    assert_eq!(enumerate_chares(&s1).len(), 4);
+    // Partitions of {a,b}: [ab], [a][b], [b][a] → 4 + 16 + 16.
+    assert_eq!(enumerate_chares(&s2).len(), 36);
+    // 1 partition with 1 block, 6 with 2, 6 with 3 → 4 + 6·16 + 6·64.
+    assert_eq!(enumerate_chares(&s3).len(), 484);
+}

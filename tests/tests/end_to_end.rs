@@ -1,0 +1,222 @@
+//! End-to-end pipeline tests: XML text → corpus → inference → DTD/XSD →
+//! validation, on randomized document collections.
+
+use dtdinfer_integration::{alphabet, random_chare, rng};
+use dtdinfer_regex::classify::chare_to_regex;
+use dtdinfer_regex::sample::{sample_word, SampleConfig};
+use dtdinfer_xml::dtd::Dtd;
+use dtdinfer_xml::extract::Corpus;
+use dtdinfer_xml::infer::{infer_dtd, InferenceEngine};
+use dtdinfer_xml::xsd::{generate_xsd, XsdOptions};
+use rand::Rng;
+
+/// Builds a random two-level document: a root whose children follow a
+/// hidden CHARE, where each child holds text.
+fn random_documents(seed: u64, docs: usize) -> Vec<String> {
+    let mut r = rng(seed);
+    let n = 2 + (seed as usize % 4);
+    let (al, syms) = alphabet(n);
+    let chare = chare_to_regex(&random_chare(&mut r, &syms));
+    (0..docs)
+        .map(|_| {
+            let w = sample_word(&chare, &SampleConfig::default(), &mut r);
+            let mut doc = String::from("<root>");
+            for s in w {
+                let name = al.name(s);
+                if r.gen_bool(0.5) {
+                    doc.push_str(&format!("<{name}>text {}</{name}>", r.gen_range(0..100)));
+                } else {
+                    doc.push_str(&format!("<{name}/>"));
+                }
+            }
+            doc.push_str("</root>");
+            doc
+        })
+        .collect()
+}
+
+#[test]
+fn inferred_dtd_validates_training_corpus() {
+    for seed in 0..40 {
+        let docs = random_documents(seed, 12);
+        let mut corpus = Corpus::new();
+        for d in &docs {
+            corpus.add_document(d).expect("well-formed by construction");
+        }
+        for engine in [InferenceEngine::Crx, InferenceEngine::Idtd] {
+            let dtd = infer_dtd(&corpus, engine);
+            for d in &docs {
+                let violations = dtd.validate(d).expect("parses");
+                assert!(
+                    violations.is_empty(),
+                    "seed {seed} {engine:?}: {violations:?}\nDTD:\n{}",
+                    dtd.serialize()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serialized_dtd_reparses_to_equivalent_validator() {
+    for seed in 40..60 {
+        let docs = random_documents(seed, 10);
+        let mut corpus = Corpus::new();
+        for d in &docs {
+            corpus.add_document(d).unwrap();
+        }
+        let dtd = infer_dtd(&corpus, InferenceEngine::Crx);
+        let text = dtd.serialize();
+        let reparsed = Dtd::parse(&text).expect("own output parses");
+        assert_eq!(reparsed.serialize(), text, "seed {seed}: fixpoint");
+        for d in &docs {
+            assert!(
+                reparsed.validate(d).unwrap().is_empty(),
+                "seed {seed}: reparsed DTD must validate the corpus"
+            );
+        }
+    }
+}
+
+#[test]
+fn xsd_generation_emits_wellformed_xml() {
+    for seed in 60..75 {
+        let docs = random_documents(seed, 8);
+        let mut corpus = Corpus::new();
+        for d in &docs {
+            corpus.add_document(d).unwrap();
+        }
+        let dtd = infer_dtd(&corpus, InferenceEngine::Crx);
+        for numeric in [None, Some(6)] {
+            let xsd = generate_xsd(
+                &dtd,
+                Some(&corpus),
+                XsdOptions {
+                    numeric_threshold: numeric,
+                },
+            );
+            // The schema itself must be well-formed XML (our own parser).
+            let events = dtdinfer_xml::parser::XmlPullParser::new(&xsd)
+                .collect_events()
+                .unwrap_or_else(|e| panic!("seed {seed}: XSD not well-formed: {e}\n{xsd}"));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, dtdinfer_xml::parser::XmlEvent::StartElement { name, .. }
+                                  if name == "xs:schema")));
+        }
+    }
+}
+
+#[test]
+fn incremental_document_stream_matches_batch() {
+    for seed in 75..95 {
+        let docs = random_documents(seed, 10);
+        let mut batch = Corpus::new();
+        for d in &docs {
+            batch.add_document(d).unwrap();
+        }
+        let batch_dtd = infer_dtd(&batch, InferenceEngine::Idtd);
+        // Stream documents one at a time into a fresh corpus; the final
+        // inference must coincide with the batch result.
+        let mut stream = Corpus::new();
+        for d in &docs {
+            stream.add_document(d).unwrap();
+            let _ = infer_dtd(&stream, InferenceEngine::Idtd);
+        }
+        let stream_dtd = infer_dtd(&stream, InferenceEngine::Idtd);
+        assert_eq!(
+            stream_dtd.serialize(),
+            batch_dtd.serialize(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn noise_engine_end_to_end() {
+    // 200 clean two-child documents plus 2 polluted ones.
+    let mut docs: Vec<String> = Vec::new();
+    for i in 0..200 {
+        docs.push(match i % 4 {
+            0 => "<r><x/><y/></r>".to_owned(),
+            1 => "<r><y/><x/></r>".to_owned(),
+            2 => "<r><x/><x/></r>".to_owned(),
+            _ => "<r><y/></r>".to_owned(),
+        });
+    }
+    docs.push("<r><zz/><x/></r>".to_owned());
+    docs.push("<r><y/><zz/></r>".to_owned());
+    let mut corpus = Corpus::new();
+    for d in &docs {
+        corpus.add_document(d).unwrap();
+    }
+    let noisy = infer_dtd(&corpus, InferenceEngine::Idtd);
+    let clean = infer_dtd(&corpus, InferenceEngine::IdtdNoise { threshold: 10 });
+    let zz = corpus.alphabet.get("zz").unwrap();
+    let has_zz = |dtd: &Dtd| match &dtd.elements[&corpus.alphabet.get("r").unwrap()] {
+        dtdinfer_xml::dtd::ContentSpec::Children(r) => r.symbols().contains(&zz),
+        other => panic!("{other:?}"),
+    };
+    assert!(has_zz(&noisy), "plain engine keeps the intruder");
+    assert!(!has_zz(&clean), "noise engine drops the intruder");
+    // The denoised DTD still validates the clean majority.
+    let valid = docs
+        .iter()
+        .filter(|d| clean.validate(d).unwrap().is_empty())
+        .count();
+    assert!(valid >= 200, "only {valid} of 202 validate");
+}
+
+#[test]
+fn mixed_and_empty_content_round_trip() {
+    let docs = [
+        "<r><p>hello <em>world</em> again</p><sep/><p>plain</p></r>",
+        "<r><sep/><p><em>x</em></p></r>",
+    ];
+    let mut corpus = Corpus::new();
+    for d in &docs {
+        corpus.add_document(d).unwrap();
+    }
+    let dtd = infer_dtd(&corpus, InferenceEngine::Crx);
+    let text = dtd.serialize();
+    assert!(text.contains("<!ELEMENT p (#PCDATA | em)*>"), "{text}");
+    assert!(text.contains("<!ELEMENT sep EMPTY>"));
+    for d in &docs {
+        assert!(dtd.validate(d).unwrap().is_empty());
+    }
+}
+
+/// The corpus shipped in `testdata/books/` round trips: inference recovers
+/// the published DTD exactly (content models, attribute enumeration, ID
+/// detection).
+#[test]
+fn shipped_testdata_round_trips() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../testdata/books");
+    let mut corpus = Corpus::new();
+    let mut docs = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("testdata/books exists")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "xml"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 10, "shipped corpus missing");
+    for p in entries {
+        let text = std::fs::read_to_string(p).unwrap();
+        corpus.add_document(&text).unwrap();
+        docs.push(text);
+    }
+    let inferred = infer_dtd(&corpus, InferenceEngine::Idtd);
+    let text = inferred.serialize();
+    assert!(
+        text.contains("<!ELEMENT book (title, author+, year, (publisher | self-published), price?)>"),
+        "{text}"
+    );
+    assert!(text.contains("<!ATTLIST book id ID #REQUIRED>"), "{text}");
+    let published =
+        Dtd::parse(&std::fs::read_to_string(dir.join("published.dtd")).unwrap()).unwrap();
+    for d in &docs {
+        assert!(published.validate(d).unwrap().is_empty());
+        assert!(inferred.validate(d).unwrap().is_empty());
+    }
+}

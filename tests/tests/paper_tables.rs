@@ -1,0 +1,125 @@
+//! Cross-crate reproduction tests for Table 1 and Table 2 of the paper.
+//!
+//! For every scenario: generate a representative sample of the published
+//! size from the data expression, run crx and iDTD, and compare against the
+//! outputs the paper reports (syntactically up to commutativity of union,
+//! falling back to language equivalence where the paper's own rendering is
+//! order-dependent).
+
+use dtdinfer_automata::dfa::{regex_equiv, regex_subset};
+use dtdinfer_baselines::trang::trang;
+use dtdinfer_core::crx::crx;
+use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_gen::generator::generate_sample;
+use dtdinfer_gen::scenarios::{table1, table2};
+use dtdinfer_regex::classify::{is_chare, is_sore};
+use dtdinfer_regex::display::render;
+use dtdinfer_regex::normalize::equiv_commutative;
+
+#[test]
+fn table1_crx_matches_paper() {
+    for s in table1() {
+        let b = s.build();
+        let sample = generate_sample(&b.data, s.sample_size, 0xd7d1 ^ s.sample_size as u64);
+        let got = crx(&sample).into_regex().expect("crx result");
+        assert!(is_chare(&got), "{}: crx must return a CHARE", s.name);
+        assert!(
+            equiv_commutative(&got, &b.expected_crx) || regex_equiv(&got, &b.expected_crx),
+            "{}: crx got {} expected {}",
+            s.name,
+            render(&got, &b.alphabet),
+            render(&b.expected_crx, &b.alphabet)
+        );
+    }
+}
+
+#[test]
+fn table1_idtd_matches_paper() {
+    for s in table1() {
+        let b = s.build();
+        let sample = generate_sample(&b.data, s.sample_size, 0x1d7d ^ s.sample_size as u64);
+        let got = idtd_from_words(&sample).into_regex().expect("idtd result");
+        assert!(is_sore(&got), "{}: idtd must return a SORE", s.name);
+        assert!(
+            regex_equiv(&got, &b.expected_idtd),
+            "{}: idtd got {} expected {}",
+            s.name,
+            render(&got, &b.alphabet),
+            render(&b.expected_idtd, &b.alphabet)
+        );
+        // Every sample word is covered (Theorem 2 through 2T-INF).
+        for w in &sample {
+            assert!(dtdinfer_automata::nfa::regex_matches(&got, w));
+        }
+    }
+}
+
+/// §8.1: "In all but one case, Trang produced exactly the same output as
+/// crx" — on the Table 1 corpora our Trang-like baseline coincides with
+/// crx on every row.
+#[test]
+fn table1_trang_matches_crx() {
+    for s in table1() {
+        let b = s.build();
+        let sample = generate_sample(&b.data, s.sample_size, 0xd7d1 ^ s.sample_size as u64);
+        let t = trang(&sample).into_regex().expect("trang result");
+        let c = crx(&sample).into_regex().expect("crx result");
+        assert!(
+            regex_equiv(&t, &c),
+            "{}: trang {} vs crx {}",
+            s.name,
+            render(&t, &b.alphabet),
+            render(&c, &b.alphabet)
+        );
+    }
+}
+
+#[test]
+fn table2_crx_matches_paper() {
+    for s in table2() {
+        let b = s.build();
+        let sample = generate_sample(&b.data, s.sample_size, 0x7ab2 ^ s.sample_size as u64);
+        let got = crx(&sample).into_regex().expect("crx result");
+        assert!(
+            regex_equiv(&got, &b.expected_crx),
+            "{}: crx got {} expected {}",
+            s.name,
+            render(&got, &b.alphabet),
+            render(&b.expected_crx, &b.alphabet)
+        );
+    }
+}
+
+#[test]
+fn table2_idtd_matches_paper() {
+    for s in table2() {
+        let b = s.build();
+        let sample = generate_sample(&b.data, s.sample_size, 0x7ab2 ^ s.sample_size as u64);
+        let got = idtd_from_words(&sample).into_regex().expect("idtd result");
+        assert!(is_sore(&got), "{}: SORE required", s.name);
+        // The paper's exact super-approximations for the non-SORE rows
+        // depend on their repair order; we require (a) coverage of the data
+        // language and (b) conciseness in the same ballpark. For the SORE
+        // rows we require language equality with the published result.
+        if is_sore(&b.data) {
+            assert!(
+                regex_equiv(&got, &b.expected_idtd),
+                "{}: idtd got {} expected {}",
+                s.name,
+                render(&got, &b.alphabet),
+                render(&b.expected_idtd, &b.alphabet)
+            );
+        } else {
+            assert!(
+                regex_subset(&b.data, &got),
+                "{}: idtd output not a superset of the data language",
+                s.name
+            );
+            assert!(
+                got.symbol_count() <= b.data.symbols().len(),
+                "{}: idtd output is not single-occurrence-concise",
+                s.name
+            );
+        }
+    }
+}

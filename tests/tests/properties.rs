@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: parser/printer round-trips, normalization laws, the
+//! simplify pass, coverage generation, and the numeric-predicate matcher.
+
+use dtdinfer_automata::dfa::regex_equiv;
+use dtdinfer_automata::nfa::regex_matches;
+use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::classify::as_chare;
+use dtdinfer_regex::display::{render, render_dtd};
+use dtdinfer_regex::normalize::{canonicalize, equiv_commutative, normalize, simplify, star_form};
+use dtdinfer_regex::numeric::tighten;
+use dtdinfer_regex::parser::parse;
+use dtdinfer_regex::props::two_gram_profile;
+use dtdinfer_regex::sample::{covering_words, sample_words, SampleConfig};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary regex AST over `n` symbols (repetition allowed).
+fn arb_regex(n_syms: u32) -> impl Strategy<Value = Regex> {
+    let leaf = (0..n_syms).prop_map(|i| Regex::sym(Sym(i)));
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::union),
+            inner.clone().prop_map(Regex::optional),
+            inner.clone().prop_map(Regex::plus),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+/// The alphabet backing `arb_regex` symbols.
+fn test_alphabet(n: u32) -> Alphabet {
+    Alphabet::from_names((0..n).map(|i| format!("a{i}")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// render → parse is the identity on the AST (after smart-constructor
+    /// collapse, which rendering preserves).
+    #[test]
+    fn parser_printer_roundtrip(r in arb_regex(5)) {
+        let al = test_alphabet(5);
+        let printed = render(&r, &al);
+        let mut al2 = al.clone();
+        let reparsed = parse(&printed, &mut al2).expect("rendered REs parse");
+        prop_assert_eq!(render(&reparsed, &al2), printed);
+    }
+
+    /// The DTD rendering also reparses, to an equivalent expression.
+    #[test]
+    fn dtd_rendering_reparses(r in arb_regex(4)) {
+        let al = test_alphabet(4);
+        let printed = render_dtd(&r, &al);
+        let mut al2 = al.clone();
+        let reparsed = parse(&printed, &mut al2).expect("DTD content models parse");
+        prop_assert!(regex_equiv(&r, &reparsed));
+    }
+
+    /// Normalization is idempotent and language-preserving, and eliminates
+    /// the Kleene star.
+    #[test]
+    fn normalize_laws(r in arb_regex(4)) {
+        let n1 = normalize(&r);
+        let n2 = normalize(&n1);
+        prop_assert_eq!(&n1, &n2, "idempotence");
+        prop_assert!(regex_equiv(&r, &n1), "language preserved");
+        fn has_star(r: &Regex) -> bool {
+            match r {
+                Regex::Star(_) => true,
+                Regex::Symbol(_) => false,
+                Regex::Concat(v) | Regex::Union(v) => v.iter().any(has_star),
+                Regex::Optional(p) | Regex::Plus(p) => has_star(p),
+            }
+        }
+        prop_assert!(!has_star(&n1), "normal form is star-free");
+    }
+
+    /// star_form undoes normalization up to language equality.
+    #[test]
+    fn star_form_language_preserving(r in arb_regex(4)) {
+        let back = star_form(&normalize(&r));
+        prop_assert!(regex_equiv(&r, &back));
+    }
+
+    /// simplify is language-preserving.
+    #[test]
+    fn simplify_language_preserving(r in arb_regex(4)) {
+        let s = simplify(&r);
+        prop_assert!(regex_equiv(&r, &s));
+        prop_assert!(s.token_count() <= r.token_count() + 1, "no blow-up");
+    }
+
+    /// canonicalize is stable and respects language-level union symmetry.
+    #[test]
+    fn canonicalize_stable(r in arb_regex(4)) {
+        let c1 = canonicalize(&r);
+        let c2 = canonicalize(&c1);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(equiv_commutative(&r, &c1));
+    }
+
+    /// Sampled words are members of the language.
+    #[test]
+    fn sampler_soundness(r in arb_regex(4), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for w in sample_words(&r, &SampleConfig::default(), &mut rng, 8) {
+            prop_assert!(regex_matches(&r, &w), "{w:?} ∉ L({r:?})");
+        }
+    }
+
+    /// Covering words are members and exhibit the full 2-gram profile.
+    #[test]
+    fn covering_words_representative(r in arb_regex(4)) {
+        let prof = two_gram_profile(&r);
+        let words = covering_words(&r);
+        let mut nullable = false;
+        let mut first = std::collections::BTreeSet::new();
+        let mut last = std::collections::BTreeSet::new();
+        let mut pairs = std::collections::BTreeSet::new();
+        for w in &words {
+            prop_assert!(regex_matches(&r, w), "covering word {w:?} ∉ L");
+            match w.split_first() {
+                None => nullable = true,
+                Some((&f, _)) => {
+                    first.insert(f);
+                    last.insert(*w.last().unwrap());
+                    for p in w.windows(2) {
+                        pairs.insert((p[0], p[1]));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(nullable, prof.nullable);
+        prop_assert_eq!(first, prof.first.iter().copied().collect());
+        prop_assert_eq!(last, prof.last.iter().copied().collect());
+        prop_assert_eq!(pairs, prof.pairs.iter().copied().collect());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The regex parser never panics on arbitrary input.
+    #[test]
+    fn regex_parser_never_panics(input in ".{0,80}") {
+        let mut al = Alphabet::new();
+        let _ = parse(&input, &mut al);
+    }
+
+    /// Regex-shaped junk never panics either.
+    #[test]
+    fn regex_parser_never_panics_shaped(parts in prop::collection::vec(
+        prop_oneof![
+            Just("("), Just(")"), Just("|"), Just("?"), Just("+"),
+            Just("*"), Just(","), Just(" "), Just("a"), Just("b1"),
+        ],
+        0..24,
+    )) {
+        let input: String = parts.concat();
+        let mut al = Alphabet::new();
+        let _ = parse(&input, &mut al);
+    }
+}
+
+/// Strategy: a CHARE over ≤6 symbols together with a sample drawn from it.
+fn arb_chare_with_sample() -> impl Strategy<Value = (Regex, Vec<Word>, u64)> {
+    (1u32..6, 0u64..500).prop_map(|(n, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let syms: Vec<Sym> = (0..n).map(Sym).collect();
+        let factors = dtdinfer_integration::random_chare(&mut rng, &syms);
+        let r = dtdinfer_regex::classify::chare_to_regex(&factors);
+        let words = sample_words(&r, &SampleConfig::default(), &mut rng, 12);
+        (r, words, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Numeric tightening: the tightened chain matches exactly the sample
+    /// words it was tightened on, and never a word violating the bounds.
+    #[test]
+    fn numeric_tighten_sound((r, words, _seed) in arb_chare_with_sample()) {
+        let factors = as_chare(&r).expect("built as a CHARE");
+        let numeric = tighten(&factors, &words, u32::MAX - 1);
+        for w in &words {
+            prop_assert!(numeric.matches(w), "tightened chain lost {w:?}");
+        }
+    }
+
+    /// CRX output covers arbitrary samples of arbitrary CHAREs (Theorem 3
+    /// again, through the proptest shrinker for minimal counterexamples).
+    #[test]
+    fn crx_covers((_r, words, _seed) in arb_chare_with_sample()) {
+        let model = dtdinfer_core::crx::crx(&words);
+        for w in &words {
+            prop_assert!(model.matches(w));
+        }
+    }
+
+    /// iDTD output covers arbitrary samples (Theorem 2 via 2T-INF).
+    #[test]
+    fn idtd_covers((_r, words, _seed) in arb_chare_with_sample()) {
+        let model = dtdinfer_core::idtd::idtd_from_words(&words);
+        for w in &words {
+            prop_assert!(model.matches(w));
+        }
+    }
+}

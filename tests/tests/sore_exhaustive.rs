@@ -1,0 +1,143 @@
+//! Exhaustive Theorem 1 verification: enumerate every normalized SORE over
+//! 1–3 symbols, build its Glushkov SOA, rewrite it back, and check language
+//! equality through the DFA layer. Complements the random battery in
+//! `theorems.rs` with complete coverage of the small structure space.
+
+use dtdinfer_automata::dfa::soa_equiv_regex;
+use dtdinfer_automata::glushkov::soa_of_sore;
+use dtdinfer_core::rewrite::rewrite_soa;
+use dtdinfer_regex::alphabet::{numbered_alphabet, Sym};
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_regex::classify::is_sore;
+use dtdinfer_regex::normalize::normalize;
+use std::collections::HashSet;
+
+/// All SOREs over exactly `syms` (up to the smart-constructor collapses):
+/// either a single decorated symbol, or a decorated concat/union of SOREs
+/// over an ordered partition of the symbols.
+fn enumerate_sores(syms: &[Sym]) -> Vec<Regex> {
+    fn decorations(r: Regex) -> Vec<Regex> {
+        vec![
+            r.clone(),
+            Regex::optional(r.clone()),
+            Regex::plus(r.clone()),
+            Regex::star(r),
+        ]
+    }
+    fn go(syms: &[Sym]) -> Vec<Regex> {
+        if syms.len() == 1 {
+            return decorations(Regex::sym(syms[0]));
+        }
+        let mut out = Vec::new();
+        // Split into an ordered sequence of ≥2 non-empty groups; build all
+        // combinations of sub-SOREs per group, combined by concat or union.
+        for partition in ordered_partitions(syms) {
+            if partition.len() < 2 {
+                continue;
+            }
+            let group_choices: Vec<Vec<Regex>> =
+                partition.iter().map(|g| go(g)).collect();
+            let mut idx = vec![0usize; group_choices.len()];
+            loop {
+                let parts: Vec<Regex> = group_choices
+                    .iter()
+                    .zip(&idx)
+                    .map(|(choices, &i)| choices[i].clone())
+                    .collect();
+                for combined in [Regex::concat(parts.clone()), Regex::union(parts)] {
+                    out.extend(decorations(combined));
+                }
+                let mut i = 0;
+                loop {
+                    if i == idx.len() {
+                        break;
+                    }
+                    idx[i] += 1;
+                    if idx[i] < group_choices[i].len() {
+                        break;
+                    }
+                    idx[i] = 0;
+                    i += 1;
+                }
+                if i == idx.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+    go(syms)
+}
+
+fn ordered_partitions(syms: &[Sym]) -> Vec<Vec<Vec<Sym>>> {
+    fn rec(rest: &[Sym], acc: &mut Vec<Vec<Sym>>, out: &mut Vec<Vec<Vec<Sym>>>) {
+        if rest.is_empty() {
+            out.push(acc.clone());
+            return;
+        }
+        let n = rest.len();
+        for mask in 1u32..(1 << n) {
+            let mut group = Vec::new();
+            let mut remainder = Vec::new();
+            for (i, &s) in rest.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    group.push(s);
+                } else {
+                    remainder.push(s);
+                }
+            }
+            acc.push(group);
+            rec(&remainder, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(syms, &mut Vec::new(), &mut out);
+    out
+}
+
+fn check(n: usize) -> usize {
+    let (_, syms) = numbered_alphabet(n);
+    // Deduplicate modulo normalization (the enumeration produces e.g. both
+    // (a?)+ and a* which normalize identically).
+    let mut seen = HashSet::new();
+    let mut checked = 0usize;
+    for r in enumerate_sores(&syms) {
+        let norm = normalize(&r);
+        if !seen.insert(norm) {
+            continue;
+        }
+        assert!(is_sore(&r), "{r:?}");
+        let soa = soa_of_sore(&r).expect("SORE");
+        let back = rewrite_soa(&soa);
+        // Degenerate case: a SORE whose SOA accepts nothing but ε has no
+        // regex... cannot happen (paper REs always accept a non-empty
+        // word), so rewrite must succeed.
+        let back = back.unwrap_or_else(|| panic!("rewrite failed on {r:?}"));
+        assert!(is_sore(&back), "{r:?} → non-SORE {back:?}");
+        assert!(
+            soa_equiv_regex(&soa, &back),
+            "language mismatch: {r:?} → {back:?}"
+        );
+        checked += 1;
+    }
+    checked
+}
+
+#[test]
+fn theorem1_exhaustive_one_symbol() {
+    assert_eq!(check(1), 4); // a, a?, a+, a* (normalized (a+)?)
+}
+
+#[test]
+fn theorem1_exhaustive_two_symbols() {
+    let n = check(2);
+    assert!(n > 50, "only {n} distinct normalized SOREs over 2 symbols");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+fn theorem1_exhaustive_three_symbols() {
+    let n = check(3);
+    assert!(n > 1000, "only {n} distinct normalized SOREs over 3 symbols");
+}
