@@ -328,11 +328,8 @@ mod tests {
         assert!(regex_subset(&r2, &r1));
         assert!(!regex_subset(&r1, &r2));
         let alpha = joint_alphabet(&[&r1.symbols(), &r2.symbols()]);
-        let w = difference_witness(
-            &Dfa::from_regex(&r1, &alpha),
-            &Dfa::from_regex(&r2, &alpha),
-        )
-        .unwrap();
+        let w = difference_witness(&Dfa::from_regex(&r1, &alpha), &Dfa::from_regex(&r2, &alpha))
+            .unwrap();
         // Witness must contain a `b`.
         assert!(w.contains(&al.get("b").unwrap()));
     }

@@ -114,13 +114,23 @@ impl Gfa {
     /// Removes an inner node and all incident edges.
     pub fn remove_node(&mut self, id: NodeId) {
         assert!(!id.is_endpoint(), "cannot remove source/sink");
-        let outgoing: Vec<NodeId> = self.succ.remove(&id).unwrap_or_default().into_iter().collect();
+        let outgoing: Vec<NodeId> = self
+            .succ
+            .remove(&id)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
         for to in outgoing {
             if let Some(p) = self.pred.get_mut(&to) {
                 p.remove(&id);
             }
         }
-        let incoming: Vec<NodeId> = self.pred.remove(&id).unwrap_or_default().into_iter().collect();
+        let incoming: Vec<NodeId> = self
+            .pred
+            .remove(&id)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
         for from in incoming {
             if let Some(s) = self.succ.get_mut(&from) {
                 s.remove(&id);
@@ -363,7 +373,10 @@ mod tests {
         assert!(cl.succ(p).contains(&p), "s+ node gets closure self-edge");
         assert!(!cl.succ(q).contains(&q));
         // (s+)? also iterates:
-        g.set_label(p, Regex::Optional(Box::new(Regex::plus(Regex::sym(syms[0])))));
+        g.set_label(
+            p,
+            Regex::Optional(Box::new(Regex::plus(Regex::sym(syms[0])))),
+        );
         let cl = g.closure();
         assert!(cl.succ(p).contains(&p));
     }

@@ -120,9 +120,7 @@ impl KTestable {
         // so far" (short phase), == k-1 means sliding window.
         let mut index: BTreeMap<Option<Word>, usize> = BTreeMap::new();
         let mut order: Vec<Option<Word>> = Vec::new();
-        let mut intern = |key: Option<Word>,
-                          order: &mut Vec<Option<Word>>|
-         -> (usize, bool) {
+        let mut intern = |key: Option<Word>, order: &mut Vec<Option<Word>>| -> (usize, bool) {
             if let Some(&i) = index.get(&key) {
                 return (i, false);
             }
@@ -279,15 +277,10 @@ mod tests {
             let dfa = kt.to_dfa(&kt.symbols());
             let mut probe_al = al.clone();
             for probe in [
-                "", "a", "b", "ab", "ba", "aabb", "abab", "aaabbb", "aabbb", "abb",
-                "ababab",
+                "", "a", "b", "ab", "ba", "aabb", "abab", "aaabbb", "aabbb", "abb", "ababab",
             ] {
                 let w = probe_al.word_from_chars(probe);
-                assert_eq!(
-                    dfa.accepts(&w),
-                    kt.accepts(&w),
-                    "k={k} probe={probe:?}"
-                );
+                assert_eq!(dfa.accepts(&w), kt.accepts(&w), "k={k} probe={probe:?}");
             }
         }
     }

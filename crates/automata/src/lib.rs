@@ -23,8 +23,8 @@
 
 pub mod dfa;
 pub mod gfa;
-pub mod ktestable;
 pub mod glushkov;
+pub mod ktestable;
 pub mod minimize;
 pub mod nfa;
 pub mod ops;

@@ -38,8 +38,9 @@ impl Dfa {
             num_classes = 1;
         }
 
-        let mut worklist: VecDeque<(usize, usize)> =
-            (0..num_classes).flat_map(|c| (0..k).map(move |a| (c, a))).collect();
+        let mut worklist: VecDeque<(usize, usize)> = (0..num_classes)
+            .flat_map(|c| (0..k).map(move |a| (c, a)))
+            .collect();
         while let Some((class, a)) = worklist.pop_front() {
             // X = states with an a-transition into `class`.
             let mut x: BTreeSet<usize> = BTreeSet::new();

@@ -102,10 +102,16 @@ mod tests {
         let r = parse(src, &mut al).unwrap();
         let nfa = Nfa::from_regex(&r);
         for w in yes {
-            assert!(nfa.accepts(&al.word_from_chars(w)), "{src} should accept {w:?}");
+            assert!(
+                nfa.accepts(&al.word_from_chars(w)),
+                "{src} should accept {w:?}"
+            );
         }
         for w in no {
-            assert!(!nfa.accepts(&al.word_from_chars(w)), "{src} should reject {w:?}");
+            assert!(
+                !nfa.accepts(&al.word_from_chars(w)),
+                "{src} should reject {w:?}"
+            );
         }
     }
 

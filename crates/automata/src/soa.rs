@@ -42,10 +42,13 @@ impl Soa {
     where
         I: IntoIterator<Item = &'a Word>,
     {
+        let _span = dtdinfer_obs::span("automata.2tinf");
         let mut soa = Self::new();
         for w in sample {
             soa.absorb(w);
         }
+        dtdinfer_obs::observe("automata.soa.states", soa.num_states() as u64);
+        dtdinfer_obs::observe("automata.soa.edges", soa.num_edges() as u64);
         soa
     }
 
@@ -53,6 +56,13 @@ impl Soa {
     /// incremental-computation extension of §9: the SOA is the complete
     /// internal state; the original words can be forgotten).
     pub fn absorb(&mut self, w: &Word) {
+        // 2T-INF telemetry: one relaxed atomic load when recording is off.
+        let recording = dtdinfer_obs::metrics_enabled();
+        let before = if recording {
+            (self.num_states(), self.num_edges())
+        } else {
+            (0, 0)
+        };
         match w.split_first() {
             None => self.accepts_empty = true,
             Some((&first, _)) => {
@@ -65,6 +75,19 @@ impl Soa {
                     self.edges.insert((pair[0], pair[1]));
                 }
             }
+        }
+        if recording {
+            dtdinfer_obs::count("automata.2tinf.words", 1);
+            dtdinfer_obs::count(
+                "automata.2tinf.states_added",
+                (self.num_states() - before.0) as u64,
+            );
+            // Every new edge/initial/final the word contributes is one
+            // 2T-INF merge step.
+            dtdinfer_obs::count(
+                "automata.2tinf.merge_steps",
+                (self.num_edges() - before.1) as u64,
+            );
         }
     }
 
@@ -84,11 +107,7 @@ impl Soa {
         };
         soa.states.extend(soa.initial.iter().copied());
         soa.states.extend(soa.finals.iter().copied());
-        let edge_syms: Vec<Sym> = soa
-            .edges
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let edge_syms: Vec<Sym> = soa.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
         soa.states.extend(edge_syms);
         soa
     }
@@ -115,10 +134,7 @@ impl Soa {
     /// when it reports "the SOA corresponding to example3 already contains
     /// 1897 edges".
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
-            + self.initial.len()
-            + self.finals.len()
-            + usize::from(self.accepts_empty)
+        self.edges.len() + self.initial.len() + self.finals.len() + usize::from(self.accepts_empty)
     }
 
     /// Whether `other` accepts a subset of this automaton's language
@@ -140,7 +156,10 @@ impl Soa {
 
     /// Direct predecessors of `s` among labeled states.
     pub fn pred(&self, s: Sym) -> impl Iterator<Item = Sym> + '_ {
-        self.edges.iter().filter(move |&&(_, b)| b == s).map(|&(a, _)| a)
+        self.edges
+            .iter()
+            .filter(move |&&(_, b)| b == s)
+            .map(|&(a, _)| a)
     }
 
     /// Serializes the automaton to a line-oriented text format (for the
@@ -254,13 +273,26 @@ mod tests {
         let s = |n: &str| al.get(n).unwrap();
         assert_eq!(
             soa.initial,
-            [s("a"), s("b"), s("c")].into_iter().collect::<BTreeSet<_>>()
+            [s("a"), s("b"), s("c")]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
         );
         assert_eq!(soa.finals, [s("e")].into_iter().collect::<BTreeSet<_>>());
         let expect: BTreeSet<(Sym, Sym)> = [
-            ("a", "a"), ("a", "d"), ("a", "c"), ("a", "b"), ("b", "a"),
-            ("b", "c"), ("c", "b"), ("c", "c"), ("c", "a"), ("c", "d"),
-            ("d", "a"), ("d", "b"), ("d", "c"), ("d", "e"),
+            ("a", "a"),
+            ("a", "d"),
+            ("a", "c"),
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "c"),
+            ("c", "b"),
+            ("c", "c"),
+            ("c", "a"),
+            ("c", "d"),
+            ("d", "a"),
+            ("d", "b"),
+            ("d", "c"),
+            ("d", "e"),
         ]
         .iter()
         .map(|&(x, y)| (s(x), s(y)))

@@ -26,9 +26,7 @@ impl Label {
     fn concat(a: &Label, b: &Label) -> Label {
         match (a, b) {
             (Label::Eps, x) | (x, Label::Eps) => x.clone(),
-            (Label::Re(r), Label::Re(s)) => {
-                Label::Re(Regex::concat(vec![r.clone(), s.clone()]))
-            }
+            (Label::Re(r), Label::Re(s)) => Label::Re(Regex::concat(vec![r.clone(), s.clone()])),
         }
     }
 

@@ -14,8 +14,8 @@
 //! outputs; the order-dependence itself is a bug of the original that we do
 //! not reproduce.
 
-use dtdinfer_core::model::InferredModel;
 use dtdinfer_automata::soa::Soa;
+use dtdinfer_core::model::InferredModel;
 use dtdinfer_regex::alphabet::{Sym, Word};
 use dtdinfer_regex::ast::Regex;
 use std::collections::{BTreeMap, BTreeSet};
@@ -25,7 +25,10 @@ pub fn trang<'a, I>(words: I) -> InferredModel
 where
     I: IntoIterator<Item = &'a Word>,
 {
+    let _span = dtdinfer_obs::span("baselines.trang");
     let words: Vec<&Word> = words.into_iter().collect();
+    dtdinfer_obs::count("baselines.trang.runs", 1);
+    dtdinfer_obs::count("baselines.trang.words", words.len() as u64);
     if words.is_empty() {
         return InferredModel::Empty;
     }
@@ -67,10 +70,7 @@ pub fn from_soa(soa: &Soa) -> Regex {
         .map(|comp| {
             let mut members: Vec<Sym> = comp.iter().map(|&v| syms[v]).collect();
             members.sort_unstable();
-            let cyclic = comp.len() > 1
-                || comp
-                    .iter()
-                    .any(|&v| adj[v].contains(&v));
+            let cyclic = comp.len() > 1 || comp.iter().any(|&v| adj[v].contains(&v));
             ClassNode {
                 syms: members,
                 cyclic,
@@ -151,9 +151,7 @@ pub fn from_soa(soa: &Soa) -> Regex {
 
     // Topological order of surviving classes.
     let mut indeg: Vec<usize> = (0..k).map(|ci| dag_pred[ci].len()).collect();
-    let mut ready: BTreeSet<usize> = (0..k)
-        .filter(|&ci| alive[ci] && indeg[ci] == 0)
-        .collect();
+    let mut ready: BTreeSet<usize> = (0..k).filter(|&ci| alive[ci] && indeg[ci] == 0).collect();
     let mut order = Vec::new();
     while let Some(&ci) = ready.iter().next() {
         ready.remove(&ci);
@@ -183,8 +181,8 @@ pub fn from_soa(soa: &Soa) -> Regex {
             } else {
                 base
             };
-            let bypass = soa.accepts_empty
-                || path_avoiding(&dag_succ, &alive, &initial, &finals, ci);
+            let bypass =
+                soa.accepts_empty || path_avoiding(&dag_succ, &alive, &initial, &finals, ci);
             if bypass {
                 Regex::optional(repeated)
             } else {

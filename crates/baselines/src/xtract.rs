@@ -77,6 +77,9 @@ impl std::error::Error for XtractError {}
 
 /// Runs the XTRACT pipeline on a sample of words.
 pub fn xtract(words: &[Word], cfg: &XtractConfig) -> Result<Regex, XtractError> {
+    let _span = dtdinfer_obs::span("baselines.xtract");
+    dtdinfer_obs::count("baselines.xtract.runs", 1);
+    dtdinfer_obs::count("baselines.xtract.words", words.len() as u64);
     let mut distinct: Vec<&Word> = Vec::new();
     {
         let mut seen = std::collections::BTreeSet::new();
@@ -143,8 +146,7 @@ pub fn xtract(words: &[Word], cfg: &XtractConfig) -> Result<Regex, XtractError> 
         cost.push(row);
     }
 
-    let theory_cost =
-        |c: &Regex| -> f64 { c.token_count() as f64 * alphabet_bits };
+    let theory_cost = |c: &Regex| -> f64 { c.token_count() as f64 * alphabet_bits };
     let mut covered = vec![false; distinct.len()];
     let mut chosen: Vec<usize> = Vec::new();
     while covered.iter().any(|&c| !c) {
@@ -182,7 +184,10 @@ pub fn xtract(words: &[Word], cfg: &XtractConfig) -> Result<Regex, XtractError> 
         chosen.push(ci);
     }
 
-    let parts: Vec<Regex> = chosen.into_iter().map(|ci| candidates[ci].clone()).collect();
+    let parts: Vec<Regex> = chosen
+        .into_iter()
+        .map(|ci| candidates[ci].clone())
+        .collect();
     Ok(factor_union(parts))
 }
 
@@ -257,9 +262,7 @@ fn starred_variant(w: &Word, prefer_long: bool) -> Option<Regex> {
 /// Number of consecutive repetitions of `w[i..i+p]` starting at `i`.
 fn run_length(w: &[Sym], i: usize, p: usize) -> usize {
     let mut reps = 1usize;
-    while i + (reps + 1) * p <= w.len()
-        && w[i + reps * p..i + (reps + 1) * p] == w[i..i + p]
-    {
+    while i + (reps + 1) * p <= w.len() && w[i + reps * p..i + (reps + 1) * p] == w[i..i + p] {
         reps += 1;
     }
     reps
@@ -632,10 +635,7 @@ mod tests {
         let mut al = Alphabet::new();
         let mut enc = MdlEncoder::new(1_000_000);
         // (a|b) costs 1 bit per choice.
-        let r = Regex::union(vec![
-            Regex::sym(al.intern("a")),
-            Regex::sym(al.intern("b")),
-        ]);
+        let r = Regex::union(vec![Regex::sym(al.intern("a")), Regex::sym(al.intern("b"))]);
         let w = al.word_from_chars("a");
         assert_eq!(enc.encode(&r, &w).unwrap(), Some(1.0));
         // a* costs k+1 continue/stop bits for k iterations.

@@ -5,12 +5,12 @@
 //! and unusable beyond ~1000 strings; Trang is in crx's ballpark.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dtdinfer_automata::soa::Soa;
 use dtdinfer_baselines::trang::trang;
 use dtdinfer_baselines::xtract::{xtract, XtractConfig};
 use dtdinfer_core::crx::crx;
 use dtdinfer_core::idtd::idtd_from_words;
 use dtdinfer_core::rewrite::rewrite_soa;
-use dtdinfer_automata::soa::Soa;
 use dtdinfer_gen::generator::generate_sample;
 use dtdinfer_gen::scenarios::{table1, table2};
 use dtdinfer_regex::alphabet::Word;

@@ -54,7 +54,12 @@ fn bench_dfa_equivalence(c: &mut Criterion) {
     // Wide-disjunction equivalence (18 symbols).
     let b = table2()[1].build();
     group.bench_function("equiv_example2", |bch| {
-        bch.iter(|| black_box(regex_equiv(black_box(&b.original), black_box(&b.expected_idtd))))
+        bch.iter(|| {
+            black_box(regex_equiv(
+                black_box(&b.original),
+                black_box(&b.expected_idtd),
+            ))
+        })
     });
     group.finish();
 }

@@ -82,8 +82,8 @@ fn rule_order_ablation() {
         let (_, syms) = numbered_alphabet(n);
         let target = random_sore(&mut rng, &syms);
         let soa = dtdinfer_automata::glushkov::soa_of_sore(&target).expect("SORE");
-        let with_last = rewrite_soa_with(&soa, RulePriority::SelfLoopLast)
-            .expect("Theorem 1: succeeds");
+        let with_last =
+            rewrite_soa_with(&soa, RulePriority::SelfLoopLast).expect("Theorem 1: succeeds");
         let with_first = rewrite_soa_with(&soa, RulePriority::SelfLoopFirst)
             .expect("Claim 2: any order succeeds");
         last_tokens += with_last.token_count();
@@ -142,7 +142,15 @@ fn repair_config_ablation() {
     println!("size      paper-k2   unrestricted");
     let paper_target = Learner::Idtd.target(&base).expect("target");
     let unrestricted_target = Learner::IdtdUnrestricted.target(&base).expect("target");
-    let p = sweep(Learner::Idtd, &base, &paper_target, &required, &sizes, 40, 13);
+    let p = sweep(
+        Learner::Idtd,
+        &base,
+        &paper_target,
+        &required,
+        &sizes,
+        40,
+        13,
+    );
     let u = sweep(
         Learner::IdtdUnrestricted,
         &base,

@@ -56,7 +56,10 @@ fn main() {
                     let grams: Vec<usize> = (0..5)
                         .map(|t| {
                             distinct_2grams(&subsample_with_all_symbols(
-                                &base, k, &required, 1000 + t,
+                                &base,
+                                k,
+                                &required,
+                                1000 + t,
                             ))
                         })
                         .collect();

@@ -36,7 +36,10 @@ fn main() {
     println!("state elimination (†):");
     println!("  symbol occurrences : {}", dagger.symbol_count());
     println!("  token count        : {}", dagger.token_count());
-    println!("  expression         : {}", dtdinfer_bench::clip(&render(&dagger, &al), 120));
+    println!(
+        "  expression         : {}",
+        dtdinfer_bench::clip(&render(&dagger, &al), 120)
+    );
     println!();
     println!("rewrite (‡):");
     println!("  symbol occurrences : {}", sore.symbol_count());

@@ -24,10 +24,7 @@ fn main() {
         match a.as_str() {
             "--fast" => trials = 25,
             "--trials" => {
-                trials = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--trials N");
+                trials = it.next().and_then(|v| v.parse().ok()).expect("--trials N");
             }
             other => panic!("unknown option {other:?}"),
         }
@@ -43,7 +40,10 @@ fn main() {
             .map(|s| s.max(required.len() / 2 + 2))
             .collect();
 
-        println!("# Figure 4 — {} (trials per point: {trials})", scenario.name);
+        println!(
+            "# Figure 4 — {} (trials per point: {trials})",
+            scenario.name
+        );
         println!("size,crx,idtd,rewrite");
         let mut series: Vec<(Learner, Vec<SweepPoint>)> = Vec::new();
         for learner in Learner::ALL {

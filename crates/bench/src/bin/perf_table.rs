@@ -9,7 +9,12 @@
 //!
 //! ```sh
 //! cargo run --release -p dtdinfer-bench --bin perf_table
+//! cargo run --release -p dtdinfer-bench --bin perf_table -- --metrics -
 //! ```
+//!
+//! With `--metrics <FILE|->` the run records pipeline counters and timing
+//! histograms and emits them as JSON through the same path the CLI's
+//! `--metrics` flag uses.
 
 use dtdinfer_baselines::trang::trang;
 use dtdinfer_baselines::xtract::{xtract, XtractConfig};
@@ -20,6 +25,28 @@ use dtdinfer_gen::generator::generate_sample;
 use dtdinfer_gen::scenarios::{table1, table2};
 
 fn main() {
+    let mut metrics_target: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics" => match args.next() {
+                Some(t) => metrics_target = Some(t),
+                None => {
+                    eprintln!("--metrics needs a file argument (or - for stdout)");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option {other:?} (only --metrics <FILE|-> is accepted)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if metrics_target.is_some() {
+        dtdinfer_obs::enable(true, false);
+        dtdinfer_obs::reset();
+    }
+
     println!("§8.3 — wall-clock comparison (release build)\n");
 
     // example4: 61 symbols, 10000 strings.
@@ -28,7 +55,10 @@ fn main() {
     let sample = generate_sample(&b.data, 10000, 0x9e7f);
     println!("example4 (61 symbols, 10000 strings):");
     let (_, d) = time_once(|| crx(&sample));
-    println!("  crx   : {:<10} (paper: 3.2 s on 2006 hardware)", fmt_duration(d));
+    println!(
+        "  crx   : {:<10} (paper: 3.2 s on 2006 hardware)",
+        fmt_duration(d)
+    );
     let (_, d) = time_once(|| idtd_from_words(&sample));
     println!("  idtd  : {:<10} (paper: 7 s)", fmt_duration(d));
     let (_, d) = time_once(|| trang(&sample));
@@ -39,9 +69,15 @@ fn main() {
     let s = &table1()[0]; // ProteinEntry, 13 symbols
     let b = s.build();
     let sample = generate_sample(&b.data, 300, 0x41);
-    println!("typical element ({} symbols, 300 strings):", b.alphabet.len());
+    println!(
+        "typical element ({} symbols, 300 strings):",
+        b.alphabet.len()
+    );
     let (_, d) = time_once(|| crx(&sample));
-    println!("  crx   : {:<10} (paper: ~1 s incl. JVM start-up)", fmt_duration(d));
+    println!(
+        "  crx   : {:<10} (paper: ~1 s incl. JVM start-up)",
+        fmt_duration(d)
+    );
     let (_, d) = time_once(|| idtd_from_words(&sample));
     println!("  idtd  : {}", fmt_duration(d));
     let (_, d) = time_once(|| trang(&sample));
@@ -75,4 +111,11 @@ fn main() {
         }
     }
     println!("\npaper: \"xtract can not handle data sets with more than 1000 strings\"");
+
+    if let Some(target) = metrics_target {
+        if let Err(e) = dtdinfer_bench::emit_metrics(&dtdinfer_obs::snapshot(), &target) {
+            eprintln!("failed to write metrics to {target}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -12,6 +12,7 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Times one closure invocation.
@@ -19,6 +20,32 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// Runs `f` with metrics recording enabled against a clean registry and
+/// returns its result together with the snapshot of everything it
+/// recorded. Recording is switched back off afterwards.
+pub fn with_metrics<T>(f: impl FnOnce() -> T) -> (T, dtdinfer_obs::MetricsSnapshot) {
+    dtdinfer_obs::enable(true, false);
+    dtdinfer_obs::reset();
+    let out = f();
+    let snap = dtdinfer_obs::snapshot();
+    dtdinfer_obs::disable();
+    (out, snap)
+}
+
+/// Writes a metrics snapshot as JSON to `target` — a file path, or `-` for
+/// stdout. This is the one emit path shared by the CLI and the benchmark
+/// binaries, so future `BENCH_*.json` artifacts stay format-compatible.
+pub fn emit_metrics(snap: &dtdinfer_obs::MetricsSnapshot, target: &str) -> std::io::Result<()> {
+    let json = snap.json();
+    if target == "-" {
+        let mut out = std::io::stdout().lock();
+        out.write_all(json.as_bytes())?;
+        out.write_all(b"\n")
+    } else {
+        std::fs::write(target, format!("{json}\n"))
+    }
 }
 
 /// Formats a duration in adaptive units.

@@ -2,25 +2,115 @@
 //!
 //! ```text
 //! dtdinfer infer [--engine crx|idtd|idtd-noise:<N>] [--xsd] [--numeric <N>] FILE...
+//! dtdinfer stats [--engine ...] FILE...  (per-element derivation report)
 //! dtdinfer validate --dtd SCHEMA.dtd FILE...
 //! dtdinfer sample [--count N] [--seed S] 'EXPRESSION'
 //! dtdinfer learn [--engine ...] [--render dtd|paper]  (words on stdin)
 //! ```
+//!
+//! `infer`, `stats`, and `learn` also accept the observability flags
+//! `--metrics <FILE|->`, `--trace <FILE|->`, and `-v`/`--verbose`; see
+//! the README's Observability section.
 
-use dtdinfer_core::idtd::idtd_from_words;
 use dtdinfer_core::crx::crx;
+use dtdinfer_core::idtd::idtd_from_words;
 use dtdinfer_regex::alphabet::{Alphabet, Word};
 use dtdinfer_xml::dtd::Dtd;
 use dtdinfer_xml::extract::Corpus;
-use dtdinfer_xml::infer::{infer_dtd, InferenceEngine};
+use dtdinfer_xml::infer::{infer_dtd_with_stats, ElementReport, InferenceEngine};
 use dtdinfer_xml::xsd::{generate_xsd, XsdOptions};
 use std::io::Read;
 use std::process::ExitCode;
+
+/// The observability flags shared by `infer`, `stats`, and `learn`.
+#[derive(Debug, Default)]
+struct ObsOptions {
+    /// `--metrics <FILE|->`: write the metrics snapshot as JSON.
+    metrics: Option<String>,
+    /// `--trace <FILE|->`: write the span/event trace as JSON lines.
+    trace: Option<String>,
+    /// `-v` / `--verbose`: human-oriented progress and counter summary on
+    /// stderr.
+    verbose: bool,
+}
+
+impl ObsOptions {
+    /// Tries to consume `a` (and its value from `it`) as an observability
+    /// flag. Returns whether the flag was recognized.
+    fn take(&mut self, a: &str, it: &mut std::slice::Iter<'_, String>) -> Result<bool, String> {
+        match a {
+            "--metrics" => {
+                self.metrics = Some(
+                    it.next()
+                        .ok_or("--metrics needs a file argument (or -)")?
+                        .to_owned(),
+                );
+                Ok(true)
+            }
+            "--trace" => {
+                self.trace = Some(
+                    it.next()
+                        .ok_or("--trace needs a file argument (or -)")?
+                        .to_owned(),
+                );
+                Ok(true)
+            }
+            "-v" | "--verbose" => {
+                self.verbose = true;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Turns recording on (cleanly) when any flag asked for it.
+    fn activate(&self) {
+        let metrics = self.metrics.is_some() || self.verbose;
+        let trace = self.trace.is_some();
+        if metrics || trace {
+            dtdinfer_obs::enable(metrics, trace);
+            dtdinfer_obs::reset();
+        }
+    }
+
+    /// Emits everything recorded since [`ObsOptions::activate`] and turns
+    /// recording back off. The metrics JSON is a single line, so it stays
+    /// machine-separable even when sharing stdout with the DTD.
+    fn finish(&self) -> Result<(), String> {
+        if self.verbose {
+            eprint!("{}", dtdinfer_obs::snapshot().render_text());
+        }
+        if let Some(target) = &self.metrics {
+            write_output(target, &format!("{}\n", dtdinfer_obs::snapshot().json()))?;
+        }
+        if let Some(target) = &self.trace {
+            let mut out = String::new();
+            for entry in dtdinfer_obs::take_trace() {
+                out.push_str(&entry.json());
+                out.push('\n');
+            }
+            write_output(target, &out)?;
+        }
+        dtdinfer_obs::disable();
+        Ok(())
+    }
+}
+
+/// Writes to a file, or to stdout when `target` is `-`.
+fn write_output(target: &str, content: &str) -> Result<(), String> {
+    if target == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(target, content).map_err(|e| format!("{target}: {e}"))
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("infer") => cmd_infer(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("learn") => cmd_learn(&args[1..]),
@@ -54,6 +144,10 @@ USAGE:
                                         may depend on the parent element
       --numeric <N>                     tighten ?/+/* to numeric bounds
                                         (unbounded above N occurrences)
+  dtdinfer stats [OPTIONS] FILE...      per-element derivation report:
+                                        engine used, sample size, repairs,
+                                        expression size, time
+      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
   dtdinfer validate --dtd S.dtd FILE... validate XML files against a DTD
       --lint                            also check the DTD itself for
                                         non-deterministic content models
@@ -73,7 +167,14 @@ USAGE:
                                         expression
   dtdinfer diff FIRST.dtd SECOND.dtd    compare two DTDs element by element
                                         (schema cleaning: find where the
-                                        second is stricter/looser)"
+                                        second is stricter/looser)
+
+OBSERVABILITY (infer, stats, learn):
+      --metrics <FILE|->                write pipeline counters and timing
+                                        histograms as one JSON line
+      --trace <FILE|->                  write spans and events as JSON lines
+      -v, --verbose                     progress and counter summary on
+                                        stderr"
     );
 }
 
@@ -96,6 +197,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     let mut xsd = false;
     let mut contextual = false;
     let mut numeric: Option<u32> = None;
+    let mut obs = ObsOptions::default();
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -110,12 +212,17 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--numeric needs a value")?;
                 numeric = Some(v.parse().map_err(|e| format!("bad --numeric: {e}"))?);
             }
+            a if obs.take(a, &mut it)? => {}
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
             f => files.push(f.to_owned()),
         }
     }
     if files.is_empty() {
         return Err("no input files".to_owned());
     }
+    obs.activate();
     if contextual {
         // Context-aware (XSD-strength) inference: one type per
         // (parent, element) context, merged when language-equal.
@@ -125,6 +232,9 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             corpus
                 .add_document(&text)
                 .map_err(|e| format!("{f}: {e}"))?;
+            if obs.verbose {
+                eprintln!("dtdinfer: parsed {f}");
+            }
         }
         let schema = dtdinfer_xml::contextual::infer_contextual(&corpus, engine);
         if xsd {
@@ -132,19 +242,27 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         } else {
             print!("{}", schema.render());
             if schema.requires_xsd() {
-                eprintln!("note: this corpus needs XSD typing (an element has context-dependent content)");
+                eprintln!(
+                    "note: this corpus needs XSD typing (an element has context-dependent content)"
+                );
             }
         }
-        return Ok(());
+        return obs.finish();
     }
-    let mut corpus = Corpus::new();
-    for f in &files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        corpus
-            .add_document(&text)
-            .map_err(|e| format!("{f}: {e}"))?;
+    let corpus = read_corpus(&files, &obs)?;
+    let (dtd, reports) = infer_dtd_with_stats(&corpus, engine);
+    if obs.verbose {
+        for r in &reports {
+            eprintln!(
+                "dtdinfer: element {} engine={} words={} repairs={} in {}",
+                r.name,
+                r.engine,
+                r.words,
+                r.repairs,
+                fmt_ns(r.duration_ns)
+            );
+        }
     }
-    let dtd = infer_dtd(&corpus, engine);
     if xsd {
         print!(
             "{}",
@@ -159,7 +277,94 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     } else {
         print!("{}", dtd.serialize());
     }
-    Ok(())
+    obs.finish()
+}
+
+/// Parses every input file into one corpus, with `-v` progress.
+fn read_corpus(files: &[String], obs: &ObsOptions) -> Result<Corpus, String> {
+    let mut corpus = Corpus::new();
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        corpus
+            .add_document(&text)
+            .map_err(|e| format!("{f}: {e}"))?;
+        if obs.verbose {
+            eprintln!("dtdinfer: parsed {f}");
+        }
+    }
+    Ok(corpus)
+}
+
+/// Adaptive duration rendering for report tables (ns → µs → ms → s).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{} µs", ns / 1_000),
+        10_000_000..=9_999_999_999 => format!("{} ms", ns / 1_000_000),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// `dtdinfer stats FILE...` — the per-element derivation report.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let mut engine = InferenceEngine::Idtd;
+    let mut obs = ObsOptions::default();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                engine = parse_engine(v)?;
+            }
+            a if obs.take(a, &mut it)? => {}
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
+            f => files.push(f.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    obs.activate();
+    let corpus = read_corpus(&files, &obs)?;
+    let (_, reports) = infer_dtd_with_stats(&corpus, engine);
+    print_stats(&corpus, &reports);
+    obs.finish()
+}
+
+fn print_stats(corpus: &Corpus, reports: &[ElementReport]) {
+    println!(
+        "{:<24} {:>8} {:>7} {:>9} {:>8} {:>5} {:>10}",
+        "element", "engine", "words", "rewrites", "repairs", "size", "time"
+    );
+    let mut total_ns = 0u64;
+    for r in reports {
+        let engine = if r.fallbacks > 0 {
+            // Flag derivations that needed the merge-everything fallback.
+            format!("{}!", r.engine)
+        } else {
+            r.engine.to_owned()
+        };
+        println!(
+            "{:<24} {:>8} {:>7} {:>9} {:>8} {:>5} {:>10}",
+            r.name,
+            engine,
+            r.words,
+            r.rewrite_steps,
+            r.repairs,
+            r.expr_size,
+            fmt_ns(r.duration_ns)
+        );
+        total_ns += r.duration_ns;
+    }
+    println!(
+        "{} document(s), {} element(s), inference {}",
+        corpus.num_documents,
+        reports.len(),
+        fmt_ns(total_ns)
+    );
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
@@ -171,12 +376,14 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         match a.as_str() {
             "--dtd" => dtd_path = Some(it.next().ok_or("--dtd needs a value")?.to_owned()),
             "--lint" => lint = true,
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
             f => files.push(f.to_owned()),
         }
     }
     let dtd_path = dtd_path.ok_or("--dtd is required")?;
-    let dtd_text =
-        std::fs::read_to_string(&dtd_path).map_err(|e| format!("{dtd_path}: {e}"))?;
+    let dtd_text = std::fs::read_to_string(&dtd_path).map_err(|e| format!("{dtd_path}: {e}"))?;
     let dtd = Dtd::parse(&dtd_text).map_err(|e| e.to_string())?;
     if lint {
         let issues = dtd.lint();
@@ -230,6 +437,9 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            e if e.starts_with('-') => {
+                return Err(format!("unknown option {e:?} (try --help)"));
+            }
             e => expr = Some(e.to_owned()),
         }
     }
@@ -261,10 +471,8 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         soa.num_states(),
         soa.num_edges()
     );
-    let (model, trace) = dtdinfer_core::idtd::idtd_traced(
-        &soa,
-        dtdinfer_core::idtd::IdtdConfig::default(),
-    );
+    let (model, trace) =
+        dtdinfer_core::idtd::idtd_traced(&soa, dtdinfer_core::idtd::IdtdConfig::default());
     for (i, event) in trace.iter().enumerate() {
         match event {
             dtdinfer_core::idtd::Event::Rewrite(step) => {
@@ -328,16 +536,17 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 fn cmd_learn(args: &[String]) -> Result<(), String> {
     let mut engine = "idtd".to_owned();
     let mut state_path: Option<String> = None;
+    let mut obs = ObsOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => engine = it.next().ok_or("--engine needs a value")?.to_owned(),
-            "--state" => {
-                state_path = Some(it.next().ok_or("--state needs a value")?.to_owned())
-            }
+            "--state" => state_path = Some(it.next().ok_or("--state needs a value")?.to_owned()),
+            a if obs.take(a, &mut it)? => {}
             other => return Err(format!("unknown option {other:?}")),
         }
     }
+    obs.activate();
     let mut input = String::new();
     std::io::stdin()
         .read_to_string(&mut input)
@@ -378,13 +587,12 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
                 for w in &words {
                     state.absorb(w);
                 }
-                std::fs::write(&path, state.to_text(&al))
-                    .map_err(|e| format!("{path}: {e}"))?;
+                std::fs::write(&path, state.to_text(&al)).map_err(|e| format!("{path}: {e}"))?;
                 println!("{}", state.infer().render(&al));
             }
             other => return Err(format!("--state does not support engine {other:?}")),
         }
-        return Ok(());
+        return obs.finish();
     }
     let model = match engine.as_str() {
         "crx" => crx(&words),
@@ -392,5 +600,5 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown engine {other:?}")),
     };
     println!("{}", model.render(&al));
-    Ok(())
+    obs.finish()
 }

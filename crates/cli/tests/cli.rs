@@ -44,7 +44,9 @@ fn tempdir() -> std::path::PathBuf {
 fn help_lists_subcommands() {
     let (stdout, _, ok) = run_with_stdin(&["--help"], "");
     assert!(ok);
-    for sub in ["infer", "validate", "sample", "learn", "explain", "diff", "dot"] {
+    for sub in [
+        "infer", "validate", "sample", "learn", "explain", "diff", "dot",
+    ] {
         assert!(stdout.contains(sub), "help is missing {sub}");
     }
 }
@@ -65,7 +67,8 @@ fn learn_idtd_from_stdin() {
 
 #[test]
 fn learn_crx_from_stdin() {
-    let (stdout, _, ok) = run_with_stdin(&["learn", "--engine", "crx"], "a b d\nb c d e e\nc a d e\n");
+    let (stdout, _, ok) =
+        run_with_stdin(&["learn", "--engine", "crx"], "a b d\nb c d e e\nc a d e\n");
     assert!(ok);
     assert_eq!(stdout.trim(), "(a | b | c)+ d e*");
 }
@@ -97,7 +100,10 @@ fn infer_validate_round_trip() {
         "",
     );
     assert!(ok);
-    assert!(dtd_text.contains("<!ELEMENT order (item+, note?)>"), "{dtd_text}");
+    assert!(
+        dtd_text.contains("<!ELEMENT order (item+, note?)>"),
+        "{dtd_text}"
+    );
     let schema = dir.join("schema.dtd");
     std::fs::write(&schema, &dtd_text).unwrap();
     let (stdout, _, ok) = run_with_stdin(
@@ -115,8 +121,15 @@ fn infer_validate_round_trip() {
     // A violating document fails with a nonzero exit code.
     let bad = dir.join("bad.xml");
     std::fs::write(&bad, "<order><note>first</note><item/></order>").unwrap();
-    let (stdout, stderr, ok) =
-        run_with_stdin(&["validate", "--dtd", schema.to_str().unwrap(), bad.to_str().unwrap()], "");
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--dtd",
+            schema.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ],
+        "",
+    );
     assert!(!ok, "{stdout} {stderr}");
     assert!(stdout.contains("do not match"), "{stdout}");
 }
@@ -137,7 +150,8 @@ fn infer_xsd_output() {
 
 #[test]
 fn sample_generates_members() {
-    let (stdout, _, ok) = run_with_stdin(&["sample", "--count", "6", "--seed", "3", "(a | b)+ c"], "");
+    let (stdout, _, ok) =
+        run_with_stdin(&["sample", "--count", "6", "--seed", "3", "(a | b)+ c"], "");
     assert!(ok);
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 6);
@@ -159,8 +173,16 @@ fn diff_reports_relations() {
     let dir = tempdir();
     let first = dir.join("first.dtd");
     let second = dir.join("second.dtd");
-    std::fs::write(&first, "<!ELEMENT r (x?, y?)>\n<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n").unwrap();
-    std::fs::write(&second, "<!ELEMENT r (x | y)>\n<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n").unwrap();
+    std::fs::write(
+        &first,
+        "<!ELEMENT r (x?, y?)>\n<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &second,
+        "<!ELEMENT r (x | y)>\n<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n",
+    )
+    .unwrap();
     let (stdout, _, ok) = run_with_stdin(
         &["diff", first.to_str().unwrap(), second.to_str().unwrap()],
         "",
@@ -174,16 +196,10 @@ fn incremental_state_file() {
     let dir = tempdir();
     let state = dir.join("incr.soa");
     let _ = std::fs::remove_file(&state);
-    let (first, _, ok) = run_with_stdin(
-        &["learn", "--state", state.to_str().unwrap()],
-        "a b\nb\n",
-    );
+    let (first, _, ok) = run_with_stdin(&["learn", "--state", state.to_str().unwrap()], "a b\nb\n");
     assert!(ok);
     assert_eq!(first.trim(), "a? b");
-    let (second, _, ok) = run_with_stdin(
-        &["learn", "--state", state.to_str().unwrap()],
-        "a a b\n",
-    );
+    let (second, _, ok) = run_with_stdin(&["learn", "--state", state.to_str().unwrap()], "a a b\n");
     assert!(ok);
     assert_eq!(second.trim(), "a* b", "state must accumulate");
 }
@@ -197,14 +213,151 @@ fn validate_lint_flags_nondeterministic_models() {
         "<!ELEMENT a ((b, c) | (b, d))>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n<!ELEMENT d EMPTY>\n",
     )
     .unwrap();
-    let (stdout, stderr, ok) =
-        run_with_stdin(&["validate", "--dtd", schema.to_str().unwrap(), "--lint"], "");
+    let (stdout, stderr, ok) = run_with_stdin(
+        &["validate", "--dtd", schema.to_str().unwrap(), "--lint"],
+        "",
+    );
     assert!(!ok, "{stdout} {stderr}");
     assert!(stdout.contains("not deterministic"), "{stdout}");
     // A clean DTD passes.
     let good = dir.join("det.dtd");
-    std::fs::write(&good, "<!ELEMENT a (b?, c)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n").unwrap();
-    let (stdout, _, ok) = run_with_stdin(&["validate", "--dtd", good.to_str().unwrap(), "--lint"], "");
+    std::fs::write(
+        &good,
+        "<!ELEMENT a (b?, c)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) =
+        run_with_stdin(&["validate", "--dtd", good.to_str().unwrap(), "--lint"], "");
     assert!(ok, "{stdout}");
     assert!(stdout.contains("deterministic"));
+}
+
+/// One XML document per sample word, each child-name sequence spelling the
+/// word (so `infer` exercises the same derivations as `learn`).
+fn docs_from_words(dir: &std::path::Path, words: &[&str]) -> Vec<String> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let children: String = w.chars().map(|c| format!("<{c}/>")).collect();
+            let path = dir.join(format!("w{i}.xml"));
+            std::fs::write(&path, format!("<r>{children}</r>")).unwrap();
+            path.to_str().unwrap().to_owned()
+        })
+        .collect()
+}
+
+#[test]
+fn unknown_options_are_rejected() {
+    for args in [
+        vec!["infer", "--bogus", "x.xml"],
+        vec!["sample", "--frequency", "3", "(a | b)"],
+        vec!["validate", "--dtd", "s.dtd", "--strict", "x.xml"],
+        vec!["stats", "--wat", "x.xml"],
+    ] {
+        let (stdout, stderr, ok) = run_with_stdin(&args, "");
+        assert!(!ok, "{args:?} must fail: {stdout}");
+        assert!(stderr.contains("unknown option"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn infer_metrics_emits_json_with_derivation_counters() {
+    let dir = tempdir();
+    // The paper's Figure 2 sample: iDTD needs the enable-disjunction
+    // repair, so the repair counters are non-zero.
+    let mut args = vec!["infer".to_owned(), "--metrics".to_owned(), "-".to_owned()];
+    args.extend(docs_from_words(&dir, &["bacacdacde", "cbacdbacde"]));
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, ok) = run_with_stdin(&argv, "");
+    assert!(ok, "{stderr}");
+    // The DTD comes first; the metrics snapshot is the final line.
+    assert!(stdout.starts_with("<!ELEMENT"), "{stdout}");
+    let json = stdout.lines().last().expect("metrics line");
+    assert!(json.starts_with("{\"counters\":{"), "{json}");
+    assert!(json.ends_with("}}"), "{json}");
+    // Rewrite-rule counts by name.
+    assert!(
+        json.contains("\"core.rewrite.rule.disjunction\":"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"core.rewrite.rule.concatenation\":"),
+        "{json}"
+    );
+    // Repair counts (Figure 2 requires at least one enable-disjunction).
+    let repair = json
+        .split("\"core.idtd.repair.enable-disjunction\":")
+        .nth(1)
+        .unwrap_or_else(|| panic!("{json}"));
+    let count: u64 = repair
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(count >= 1, "Figure 2 needs a repair: {json}");
+    // Per-element and pipeline timings land in the histograms.
+    assert!(json.contains("\"xml.infer_dtd.ns\":{\"count\":1"), "{json}");
+    assert!(json.contains("\"core.idtd.ns\":"), "{json}");
+    assert!(json.contains("\"xml.element.expr_size\":"), "{json}");
+}
+
+#[test]
+fn stats_prints_per_element_report() {
+    let dir = tempdir();
+    let files = docs_from_words(&dir, &["ab", "b", "aab"]);
+    let mut args = vec!["stats".to_owned()];
+    args.extend(files);
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, ok) = run_with_stdin(&argv, "");
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("element"), "{stdout}");
+    assert!(stdout.contains("repairs"), "{stdout}");
+    assert!(stdout.contains("idtd"), "{stdout}");
+    assert!(stdout.lines().any(|l| l.starts_with('r')), "{stdout}");
+    assert!(stdout.contains("document(s)"), "{stdout}");
+}
+
+#[test]
+fn trace_writes_json_lines_and_verbose_reports_progress() {
+    let dir = tempdir();
+    let files = docs_from_words(&dir, &["bacacdacde", "cbacdbacde"]);
+    let trace_path = dir.join("trace.jsonl");
+    let mut args = vec![
+        "infer".to_owned(),
+        "-v".to_owned(),
+        "--trace".to_owned(),
+        trace_path.to_str().unwrap().to_owned(),
+    ];
+    args.extend(files);
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (_, stderr, ok) = run_with_stdin(&argv, "");
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("parsed"), "{stderr}");
+    assert!(stderr.contains("element r engine=idtd"), "{stderr}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(!trace.is_empty());
+    for line in trace.lines() {
+        assert!(
+            line.starts_with("{\"span\":") || line.starts_with("{\"event\":"),
+            "{line}"
+        );
+    }
+    assert!(trace.contains("{\"event\":\"core.idtd.repair\""), "{trace}");
+    assert!(trace.contains("\"span\":\"xml.infer_dtd\""), "{trace}");
+}
+
+#[test]
+fn learn_accepts_metrics_flag() {
+    let dir = tempdir();
+    let metrics_path = dir.join("learn-metrics.json");
+    let (stdout, stderr, ok) = run_with_stdin(
+        &["learn", "--metrics", metrics_path.to_str().unwrap()],
+        "a b\nb\n",
+    );
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.trim(), "a? b");
+    let json = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(json.contains("\"core.idtd.runs\":1"), "{json}");
 }

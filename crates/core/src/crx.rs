@@ -77,12 +77,14 @@ impl CrxState {
 
     /// Runs steps 1–4 of Algorithm 3 on the accumulated state.
     pub fn infer_factors(&self) -> Vec<ChareFactor> {
+        let _span = dtdinfer_obs::span("core.crx");
+        dtdinfer_obs::count("core.crx.runs", 1);
+        dtdinfer_obs::count("core.crx.words", self.num_words as u64);
         if self.syms.is_empty() {
             return Vec::new();
         }
         let syms: Vec<Sym> = self.syms.iter().copied().collect();
-        let index: HashMap<Sym, usize> =
-            syms.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let index: HashMap<Sym, usize> = syms.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         let n = syms.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(a, b) in &self.edges {
@@ -171,9 +173,7 @@ impl CrxState {
                 .min()
                 .expect("non-empty class")
         };
-        let mut indeg: Vec<usize> = (0..classes.len())
-            .map(|ci| dag_pred[ci].len())
-            .collect();
+        let mut indeg: Vec<usize> = (0..classes.len()).map(|ci| dag_pred[ci].len()).collect();
         let mut ready: BTreeSet<((usize, usize), usize)> = (0..classes.len())
             .filter(|&ci| alive[ci] && indeg[ci] == 0)
             .map(|ci| (class_key(ci), ci))
@@ -192,7 +192,7 @@ impl CrxState {
         }
 
         // Steps 5–13: qualifiers from per-word class occurrence counts.
-        order
+        let factors: Vec<ChareFactor> = order
             .into_iter()
             .map(|ci| {
                 let class = &classes[ci];
@@ -219,7 +219,9 @@ impl CrxState {
                 syms.sort_by_key(|s| self.first_seen[s]);
                 ChareFactor { syms, modifier }
             })
-            .collect()
+            .collect();
+        dtdinfer_obs::observe("core.crx.factors", factors.len() as u64);
+        factors
     }
 
     /// Serializes the summary to a line-oriented text format, so the §9
@@ -293,8 +295,9 @@ impl CrxState {
                         .ok_or_else(|| err("bad multiplicity"))?;
                     let mut vector = Vec::new();
                     for entry in parts {
-                        let (name, count) =
-                            entry.split_once('=').ok_or_else(|| err("bad count entry"))?;
+                        let (name, count) = entry
+                            .split_once('=')
+                            .ok_or_else(|| err("bad count entry"))?;
                         let c: u32 = count.parse().map_err(|_| err("bad count"))?;
                         vector.push((alphabet.intern(name), c));
                     }

@@ -149,6 +149,66 @@ pub fn idtd_with(soa: &Soa, cfg: IdtdConfig) -> InferredModel {
 }
 
 fn idtd_core(soa: &Soa, cfg: IdtdConfig, trace: &mut Vec<Event>) -> InferredModel {
+    let _span = dtdinfer_obs::span("core.idtd");
+    let before = trace.len();
+    let model = idtd_core_inner(soa, cfg, trace);
+    if dtdinfer_obs::is_enabled() {
+        record_derivation(soa, &trace[before..]);
+    }
+    model
+}
+
+/// Telemetry for one completed derivation: rewrite-rule applications by
+/// rule name, repair invocations by kind, fallback firings, and input
+/// automaton size. Only called when recording is on.
+fn record_derivation(soa: &Soa, events: &[Event]) {
+    // Pre-register the fixed derivation counters at zero so the emitted
+    // JSON has a stable key set whether or not each rule fired.
+    for rule in [
+        crate::rewrite::Rule::Disjunction,
+        crate::rewrite::Rule::Concatenation,
+        crate::rewrite::Rule::SelfLoop,
+        crate::rewrite::Rule::Optional,
+    ] {
+        dtdinfer_obs::count_labeled("core.rewrite.rule", rule.name(), 0);
+    }
+    for kind in [RepairKind::EnableDisjunction, RepairKind::EnableOptional] {
+        dtdinfer_obs::count_labeled("core.idtd.repair", kind.name(), 0);
+    }
+    dtdinfer_obs::count("core.idtd.fallback", 0);
+    dtdinfer_obs::count("core.idtd.runs", 1);
+    dtdinfer_obs::observe("core.idtd.soa_states", soa.num_states() as u64);
+    dtdinfer_obs::observe("core.idtd.soa_edges", soa.num_edges() as u64);
+    for e in events {
+        match e {
+            Event::Rewrite(step) => {
+                dtdinfer_obs::count_labeled("core.rewrite.rule", step.rule.name(), 1);
+            }
+            Event::Repair {
+                kind,
+                k,
+                edges_added,
+            } => {
+                dtdinfer_obs::count_labeled("core.idtd.repair", kind.name(), 1);
+                dtdinfer_obs::count("core.idtd.repair.edges_added", *edges_added as u64);
+                dtdinfer_obs::event(
+                    "core.idtd.repair",
+                    &[
+                        ("kind", kind.name().to_owned()),
+                        ("k", k.to_string()),
+                        ("edges_added", edges_added.to_string()),
+                    ],
+                );
+            }
+            Event::Fallback => {
+                dtdinfer_obs::count("core.idtd.fallback", 1);
+                dtdinfer_obs::event("core.idtd.fallback", &[]);
+            }
+        }
+    }
+}
+
+fn idtd_core_inner(soa: &Soa, cfg: IdtdConfig, trace: &mut Vec<Event>) -> InferredModel {
     if soa.states.is_empty() {
         return if soa.accepts_empty {
             InferredModel::EpsilonOnly
@@ -244,16 +304,8 @@ fn enable_disjunction(g: &mut Gfa, k: usize) -> Option<usize> {
     }
     let (_, r1, r2) = best?;
     let closure = g.closure();
-    let pred_union: BTreeSet<NodeId> = closure
-        .pred(r1)
-        .union(closure.pred(r2))
-        .copied()
-        .collect();
-    let succ_union: BTreeSet<NodeId> = closure
-        .succ(r1)
-        .union(closure.succ(r2))
-        .copied()
-        .collect();
+    let pred_union: BTreeSet<NodeId> = closure.pred(r1).union(closure.pred(r2)).copied().collect();
+    let succ_union: BTreeSet<NodeId> = closure.succ(r1).union(closure.succ(r2)).copied().collect();
     let mut added = 0usize;
     for &r in &[r1, r2] {
         for &p in &pred_union {
@@ -411,11 +463,7 @@ mod tests {
         let (soa, mut al) = learned(&["bacacdacde", "cbacdbacde"]);
         let r = idtd(&soa).into_regex().expect("regex");
         let target = parse("((b? (a|c))+ d)+ e", &mut al).unwrap();
-        assert!(
-            equiv_commutative(&r, &target),
-            "got {}",
-            render(&r, &al)
-        );
+        assert!(equiv_commutative(&r, &target), "got {}", render(&r, &al));
     }
 
     /// On representative samples iDTD coincides with rewrite.
@@ -558,10 +606,6 @@ mod tests {
         let soa = Soa::learn(&words);
         let r = idtd(&soa).into_regex().unwrap();
         let target = parse("(a | b | c | d)+", &mut al).unwrap();
-        assert!(
-            equiv_commutative(&r, &target),
-            "got {}",
-            render(&r, &al)
-        );
+        assert!(equiv_commutative(&r, &target), "got {}", render(&r, &al));
     }
 }

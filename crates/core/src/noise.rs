@@ -138,8 +138,7 @@ impl SupportSoa {
                 keep(&a) && keep(&b) && self.support(EdgeKind::Pair(a, b)) >= threshold
             })
             .collect();
-        soa.accepts_empty =
-            self.soa.accepts_empty && self.support(EdgeKind::Epsilon) >= threshold;
+        soa.accepts_empty = self.soa.accepts_empty && self.support(EdgeKind::Epsilon) >= threshold;
         soa
     }
 
@@ -260,7 +259,9 @@ mod tests {
     fn noisy_corpus(al: &mut Alphabet) -> Vec<Word> {
         let mut words = Vec::new();
         for _ in 0..30 {
-            for w in ["abc", "bca", "cab", "aa", "bb", "cc", "ac", "ca", "ab", "ba", "bc", "cb", ""] {
+            for w in [
+                "abc", "bca", "cab", "aa", "bb", "cc", "ac", "ca", "ab", "ba", "bc", "cb", "",
+            ] {
                 words.push(al.word_from_chars(w));
             }
         }

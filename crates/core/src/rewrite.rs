@@ -225,11 +225,7 @@ fn chain_from(g: &Gfa, start: NodeId) -> Option<Vec<NodeId>> {
     loop {
         let tail = *chain.last().expect("non-empty");
         match sole_inner_succ(g, tail) {
-            Some(q)
-                if q != start
-                    && !chain.contains(&q)
-                    && g.direct_pred(q).len() == 1 =>
-            {
+            Some(q) if q != start && !chain.contains(&q) && g.direct_pred(q).len() == 1 => {
                 chain.push(q);
             }
             _ => break,
@@ -241,10 +237,7 @@ fn chain_from(g: &Gfa, start: NodeId) -> Option<Vec<NodeId>> {
     loop {
         let head = chain[0];
         match sole_inner_pred(g, head) {
-            Some(p)
-                if !chain.contains(&p)
-                    && g.direct_succ(p).len() == 1 =>
-            {
+            Some(p) if !chain.contains(&p) && g.direct_succ(p).len() == 1 => {
                 chain.insert(0, p);
             }
             _ => break,
@@ -317,9 +310,9 @@ fn try_disjunction(g: &mut Gfa, closure: &Closure) -> Option<Step> {
     let members = found?;
     let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
     // Case (ii) iff G has a direct edge between members (incl. self-edges).
-    let internal = members.iter().any(|&m| {
-        g.direct_succ(m).iter().any(|t| member_set.contains(t))
-    });
+    let internal = members
+        .iter()
+        .any(|&m| g.direct_succ(m).iter().any(|t| member_set.contains(t)));
     let operands: Vec<Regex> = members.iter().map(|&m| g.label(m).clone()).collect();
     let label = normalize(&Regex::union(operands.clone()));
     let incoming: BTreeSet<NodeId> = members

@@ -9,10 +9,10 @@
 //! which every tested subsample succeeds.
 
 use crate::subsample::subsample_with_all_symbols;
+use dtdinfer_automata::soa::Soa;
 use dtdinfer_core::crx::crx;
 use dtdinfer_core::idtd::{idtd_with, IdtdConfig};
 use dtdinfer_core::rewrite::rewrite_soa;
-use dtdinfer_automata::soa::Soa;
 use dtdinfer_regex::alphabet::{Sym, Word};
 use dtdinfer_regex::ast::Regex;
 use dtdinfer_regex::normalize::equiv_commutative;
@@ -50,8 +50,9 @@ impl Learner {
     pub fn infer(self, words: &[Word]) -> Option<Regex> {
         match self {
             Learner::Crx => crx(words).into_regex(),
-            Learner::Idtd => idtd_with(&Soa::learn(words), IdtdConfig::paper_faithful())
-                .into_regex(),
+            Learner::Idtd => {
+                idtd_with(&Soa::learn(words), IdtdConfig::paper_faithful()).into_regex()
+            }
             Learner::IdtdUnrestricted => {
                 idtd_with(&Soa::learn(words), IdtdConfig::default()).into_regex()
             }
@@ -85,7 +86,12 @@ pub fn success_fraction(
 ) -> f64 {
     let mut successes = 0usize;
     for t in 0..trials {
-        let sub = subsample_with_all_symbols(base, k, required, seed ^ (t as u64).wrapping_mul(0x9e37_79b9));
+        let sub = subsample_with_all_symbols(
+            base,
+            k,
+            required,
+            seed ^ (t as u64).wrapping_mul(0x9e37_79b9),
+        );
         match learner.infer(&sub) {
             Some(r) if equiv_commutative(&r, target) => successes += 1,
             _ => {}
@@ -212,14 +218,32 @@ mod tests {
     #[test]
     fn critical_size_semantics() {
         let pts = [
-            SweepPoint { size: 10, fraction: 0.4 },
-            SweepPoint { size: 20, fraction: 1.0 },
-            SweepPoint { size: 30, fraction: 0.9 },
-            SweepPoint { size: 40, fraction: 1.0 },
-            SweepPoint { size: 50, fraction: 1.0 },
+            SweepPoint {
+                size: 10,
+                fraction: 0.4,
+            },
+            SweepPoint {
+                size: 20,
+                fraction: 1.0,
+            },
+            SweepPoint {
+                size: 30,
+                fraction: 0.9,
+            },
+            SweepPoint {
+                size: 40,
+                fraction: 1.0,
+            },
+            SweepPoint {
+                size: 50,
+                fraction: 1.0,
+            },
         ];
         assert_eq!(critical_size(&pts), Some(40));
-        let none = [SweepPoint { size: 10, fraction: 0.9 }];
+        let none = [SweepPoint {
+            size: 10,
+            fraction: 0.9,
+        }];
         assert_eq!(critical_size(&none), None);
     }
 }

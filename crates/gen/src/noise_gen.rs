@@ -93,7 +93,11 @@ pub fn noisy_paragraphs(params: NoiseParams, seed: u64) -> NoisyCorpus {
         for _ in 0..params.intruder_words_each {
             let i = rng.gen_range(0..words.len());
             let w = &mut words[i];
-            let pos = if w.is_empty() { 0 } else { rng.gen_range(0..=w.len()) };
+            let pos = if w.is_empty() {
+                0
+            } else {
+                rng.gen_range(0..=w.len())
+            };
             w.insert(pos, z);
         }
     }

@@ -47,8 +47,7 @@ impl Scenario {
         let original = parse(self.original, &mut alphabet).expect("original parses");
         let data = parse(self.data, &mut alphabet).expect("data expression parses");
         let expected_crx = parse(self.expected_crx, &mut alphabet).expect("crx expectation");
-        let expected_idtd =
-            parse(self.expected_idtd, &mut alphabet).expect("idtd expectation");
+        let expected_idtd = parse(self.expected_idtd, &mut alphabet).expect("idtd expectation");
         BuiltScenario {
             alphabet,
             original,
@@ -167,8 +166,7 @@ pub fn table1() -> Vec<Scenario> {
             xtract_size: None,
             expected_crx: "a1? a2* a3*",
             expected_idtd: "a1? a2* a3*",
-            reported_xtract:
-                "(a1(a2? a2? a3* | a2*(a3 a3)* | a2 a2 a2 a3) | a2(a2 a3* | a3*))",
+            reported_xtract: "(a1(a2? a2? a3* | a2*(a3 a3)* | a2 a2 a2 a3) | a2(a2 a3* | a3*))",
         },
         Scenario {
             name: "city",
@@ -278,8 +276,16 @@ mod tests {
         for s in table1().iter().chain(table2().iter()) {
             let b = s.build();
             assert!(b.original.symbol_count() >= 1, "{}", s.name);
-            assert!(is_chare(&b.expected_crx), "{} crx result must be a CHARE", s.name);
-            assert!(is_sore(&b.expected_idtd), "{} idtd result must be a SORE", s.name);
+            assert!(
+                is_chare(&b.expected_crx),
+                "{} crx result must be a CHARE",
+                s.name
+            );
+            assert!(
+                is_sore(&b.expected_idtd),
+                "{} idtd result must be a SORE",
+                s.name
+            );
         }
         for (s, _) in figure4() {
             let _ = s.build();
@@ -353,12 +359,7 @@ mod tests {
         // "only the regular expression for authors is not a CHARE"
         for s in table1() {
             let b = s.build();
-            assert_eq!(
-                is_chare(&b.original),
-                s.name != "authors",
-                "{}",
-                s.name
-            );
+            assert_eq!(is_chare(&b.original), s.name != "authors", "{}", s.name);
         }
     }
 }

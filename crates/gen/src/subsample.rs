@@ -119,8 +119,7 @@ mod tests {
         let required: Vec<Sym> = al.symbols().collect();
         for seed in 0..20 {
             let sub = subsample_with_all_symbols(&b, 4, &required, seed);
-            let present: BTreeSet<Sym> =
-                sub.iter().flat_map(|w| w.iter().copied()).collect();
+            let present: BTreeSet<Sym> = sub.iter().flat_map(|w| w.iter().copied()).collect();
             for s in &required {
                 assert!(present.contains(s), "seed {seed} missing symbol");
             }

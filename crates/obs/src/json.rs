@@ -1,0 +1,46 @@
+//! A minimal JSON writer — just enough for the stable serialization of
+//! metrics snapshots and trace logs, with no dependencies.
+
+/// Appends `s` to `out` as a JSON string literal (with escaping).
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `key: ` (the key string plus colon) to `out`.
+pub fn write_key(out: &mut String, key: &str) {
+    write_string(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        write_string(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn plain_strings_pass_through() {
+        let mut out = String::new();
+        write_string(&mut out, "core.rewrite.rule.disjunction");
+        assert_eq!(out, "\"core.rewrite.rule.disjunction\"");
+    }
+}

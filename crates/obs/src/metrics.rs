@@ -1,0 +1,306 @@
+//! The metrics registry: named monotonic counters and value histograms
+//! with percentile summaries and a stable JSON serialization.
+
+use crate::json::write_key;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Histograms keep at most this many raw samples; beyond it, reservoir
+/// sampling keeps the retained set uniform over everything observed while
+/// count/sum/max stay exact.
+const RESERVOIR: usize = 4096;
+
+/// One histogram's raw state.
+#[derive(Debug, Default, Clone)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    max: u64,
+    samples: Vec<u64>,
+    /// Cheap xorshift state for reservoir replacement decisions.
+    rng: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        if self.samples.len() < RESERVOIR {
+            self.samples.push(value);
+        } else {
+            // Algorithm R: replace a random slot with probability
+            // RESERVOIR / count.
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            let slot = (self.rng % self.count) as usize;
+            if slot < RESERVOIR {
+                self.samples[slot] = value;
+            }
+        }
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            p50: pct(0.50),
+            p95: pct(0.95),
+        }
+    }
+}
+
+/// Percentile summary of a histogram. p50/p95 come from a uniform
+/// reservoir of the observations; count, sum, and max are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Median observed value.
+    pub p50: u64,
+    /// 95th-percentile observed value.
+    pub p95: u64,
+}
+
+impl HistogramSummary {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A point-in-time copy of every counter and histogram.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → summary, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// The stable JSON form: `{"counters":{...},"histograms":{...}}` with
+    /// keys in sorted order, so diffs and golden tests are deterministic.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        write_key(&mut out, "counters");
+        out.push('{');
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, name);
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},");
+        write_key(&mut out, "histograms");
+        out.push('{');
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, name);
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.max
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-oriented rendering for `-v` / progress output: one
+    /// `name value` line per counter, then one summary line per histogram.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name} count={} mean={} p50={} p95={} max={}\n",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.max
+            ));
+        }
+        out
+    }
+}
+
+/// The process-wide registry. All mutation goes through [`crate::count`] /
+/// [`crate::observe`], which gate on the global enable flag first.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Adds `n` to a counter, creating it at zero first if needed.
+    pub fn count(&self, name: &str, n: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner.counters.get_mut(name) {
+            Some(slot) => *slot += n,
+            None => {
+                inner.counters.insert(name.to_owned(), n);
+            }
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram {
+                    // Seed per-histogram reservoir RNG from the name so
+                    // runs are deterministic for a fixed workload.
+                    rng: name.bytes().fold(0xcbf29ce484222325, |acc, b| {
+                        (acc ^ u64::from(b)).wrapping_mul(0x100000001b3)
+                    }) | 1,
+                    ..Histogram::default()
+                };
+                h.record(value);
+                inner.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Clears every counter and histogram.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// The global registry (created on first use).
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::default();
+        r.count("a", 1);
+        r.count("a", 41);
+        r.count("b", 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["a"], 42);
+        assert_eq!(snap.counters["b"], 7);
+    }
+
+    #[test]
+    fn histogram_percentiles_exact_when_small() {
+        let r = Registry::default();
+        for v in 1..=100u64 {
+            r.observe("h", v);
+        }
+        let h = &r.snapshot().histograms["h"];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.sum, 5050);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 50);
+        assert!((48..=52).contains(&h.p50), "p50={}", h.p50);
+        assert!((93..=97).contains(&h.p95), "p95={}", h.p95);
+    }
+
+    #[test]
+    fn histogram_reservoir_keeps_exact_aggregates() {
+        let r = Registry::default();
+        let n = (RESERVOIR * 3) as u64;
+        for v in 0..n {
+            r.observe("big", v);
+        }
+        let h = &r.snapshot().histograms["big"];
+        assert_eq!(h.count, n);
+        assert_eq!(h.max, n - 1);
+        assert_eq!(h.sum, n * (n - 1) / 2);
+        // The sampled median of 0..n should land near n/2.
+        let mid = n / 2;
+        assert!(
+            h.p50 > mid / 2 && h.p50 < mid + mid / 2,
+            "reservoir p50 wildly off: {} vs {mid}",
+            h.p50
+        );
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_sorted() {
+        let r = Registry::default();
+        r.count("z.last", 1);
+        r.count("a.first", 2);
+        r.observe("t", 5);
+        let json = r.snapshot().json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.first\":2,\"z.last\":1},\
+             \"histograms\":{\"t\":{\"count\":1,\"sum\":5,\"mean\":5,\
+             \"p50\":5,\"p95\":5,\"max\":5}}}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.json(), "{\"counters\":{},\"histograms\":{}}");
+        assert_eq!(snap.render_text(), "");
+    }
+
+    #[test]
+    fn render_text_lists_everything() {
+        let r = Registry::default();
+        r.count("c", 3);
+        r.observe("h", 9);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("c 3\n"));
+        assert!(text.contains("h count=1"));
+    }
+}

@@ -1,0 +1,218 @@
+//! The trace recorder: scoped spans with monotonic timings and key/value
+//! events, collected in order into a thread-safe in-memory buffer.
+
+use crate::json::{write_key, write_string};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One recorded trace entry. Offsets are nanoseconds since the recorder's
+/// epoch (process start of tracing), from a monotonic clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// A closed span: `name` ran from `start_ns` for `dur_ns`.
+    Span {
+        /// Span name (static call-site label).
+        name: &'static str,
+        /// Start offset in nanoseconds.
+        start_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point event with key/value fields.
+    Event {
+        /// Event name (static call-site label).
+        name: &'static str,
+        /// Offset in nanoseconds.
+        at_ns: u64,
+        /// Key/value payload.
+        fields: Vec<(String, String)>,
+    },
+}
+
+impl TraceEntry {
+    /// One JSON object (a JSON-lines record) for this entry.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        match self {
+            TraceEntry::Span {
+                name,
+                start_ns,
+                dur_ns,
+            } => {
+                write_key(&mut out, "span");
+                write_string(&mut out, name);
+                out.push_str(&format!(",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}"));
+            }
+            TraceEntry::Event {
+                name,
+                at_ns,
+                fields,
+            } => {
+                write_key(&mut out, "event");
+                write_string(&mut out, name);
+                out.push_str(&format!(",\"at_ns\":{at_ns}"));
+                for (k, v) in fields {
+                    out.push(',');
+                    write_key(&mut out, k);
+                    write_string(&mut out, v);
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The process-wide trace recorder.
+#[derive(Debug)]
+pub struct Recorder {
+    epoch: Instant,
+    entries: Mutex<Vec<TraceEntry>>,
+}
+
+impl Recorder {
+    fn new() -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records a point event.
+    pub fn event(&self, name: &'static str, fields: &[(&str, String)]) {
+        let entry = TraceEntry::Event {
+            name,
+            at_ns: self.now_ns(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        };
+        self.entries
+            .lock()
+            .expect("trace recorder poisoned")
+            .push(entry);
+    }
+
+    fn push_span(&self, name: &'static str, start_ns: u64, dur_ns: u64) {
+        self.entries
+            .lock()
+            .expect("trace recorder poisoned")
+            .push(TraceEntry::Span {
+                name,
+                start_ns,
+                dur_ns,
+            });
+    }
+
+    /// Clears the buffer.
+    pub fn reset(&self) {
+        self.entries
+            .lock()
+            .expect("trace recorder poisoned")
+            .clear();
+    }
+
+    /// Drains the buffer, oldest entry first.
+    pub fn take(&self) -> Vec<TraceEntry> {
+        std::mem::take(&mut *self.entries.lock().expect("trace recorder poisoned"))
+    }
+}
+
+/// The global recorder (created on first use; the epoch is its creation
+/// time).
+pub fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(Recorder::new)
+}
+
+/// Scoped span guard: measures from construction to drop.
+///
+/// When recording was off at open time the guard holds no timestamp and
+/// drop is free — so a span in a hot path costs exactly one atomic load
+/// while disabled.
+#[must_use = "a span measures until dropped; binding it to _ closes it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` when recording was disabled at open time.
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    pub(crate) fn open(name: &'static str) -> SpanGuard {
+        SpanGuard {
+            name,
+            start: crate::is_enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if crate::metrics_enabled() {
+            crate::metrics::registry().observe(&format!("{}.ns", self.name), dur_ns);
+        }
+        if crate::trace_enabled() {
+            let rec = recorder();
+            let start_ns =
+                u64::try_from(start.duration_since(rec.epoch).as_nanos()).unwrap_or(u64::MAX);
+            rec.push_span(self.name, start_ns, dur_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_serialize_to_json_lines() {
+        let span = TraceEntry::Span {
+            name: "learn",
+            start_ns: 10,
+            dur_ns: 5,
+        };
+        assert_eq!(
+            span.json(),
+            "{\"span\":\"learn\",\"start_ns\":10,\"dur_ns\":5}"
+        );
+        let event = TraceEntry::Event {
+            name: "repair",
+            at_ns: 12,
+            fields: vec![("kind".to_owned(), "enable-optional".to_owned())],
+        };
+        assert_eq!(
+            event.json(),
+            "{\"event\":\"repair\",\"at_ns\":12,\"kind\":\"enable-optional\"}"
+        );
+    }
+
+    #[test]
+    fn recorder_orders_and_drains() {
+        let rec = Recorder::new();
+        rec.event("first", &[]);
+        rec.event("second", &[("n", "1".to_owned())]);
+        let entries = rec.take();
+        assert_eq!(entries.len(), 2);
+        assert!(matches!(
+            &entries[0],
+            TraceEntry::Event { name: "first", .. }
+        ));
+        assert!(rec.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn span_guard_noop_when_disabled() {
+        crate::disable();
+        let g = SpanGuard::open("idle");
+        assert!(g.start.is_none());
+        drop(g);
+    }
+}

@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn entries_enumerates_in_order() {
         let a = Alphabet::from_names(["x", "y"]);
-        let v: Vec<_> = a.entries().map(|(s, n)| (s.index(), n.to_owned())).collect();
+        let v: Vec<_> = a
+            .entries()
+            .map(|(s, n)| (s.index(), n.to_owned()))
+            .collect();
         assert_eq!(v, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
     }
 }

@@ -87,9 +87,7 @@ impl Regex {
     /// like `((r+)?)*` flatten to `r*`).
     pub fn star(r: Regex) -> Self {
         match r {
-            Regex::Star(inner) | Regex::Plus(inner) | Regex::Optional(inner) => {
-                Regex::star(*inner)
-            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Optional(inner) => Regex::star(*inner),
             r => Regex::Star(Box::new(r)),
         }
     }
@@ -199,10 +197,16 @@ mod tests {
     fn unary_smart_constructors_collapse() {
         let (a, _, _) = syms();
         let s = Regex::sym(a);
-        assert_eq!(Regex::optional(Regex::optional(s.clone())), Regex::optional(s.clone()));
+        assert_eq!(
+            Regex::optional(Regex::optional(s.clone())),
+            Regex::optional(s.clone())
+        );
         assert_eq!(Regex::plus(Regex::plus(s.clone())), Regex::plus(s.clone()));
         // (r?)+ == r*
-        assert_eq!(Regex::plus(Regex::optional(s.clone())), Regex::star(s.clone()));
+        assert_eq!(
+            Regex::plus(Regex::optional(s.clone())),
+            Regex::star(s.clone())
+        );
         // (r+)? == (r+)? stays as Optional(Plus) via the raw variant, but the
         // smart constructor of star collapses everything:
         assert_eq!(Regex::star(Regex::plus(s.clone())), Regex::star(s.clone()));

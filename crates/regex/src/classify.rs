@@ -177,7 +177,10 @@ mod tests {
         assert_eq!(factors[1].modifier, ChareModifier::Star);
         assert_eq!(factors[2].modifier, ChareModifier::Plus);
         assert_eq!(factors[3].modifier, ChareModifier::Opt);
-        assert_eq!(render(&chare_to_regex(&factors), &a), "a (b | c)* d+ (e | f)?");
+        assert_eq!(
+            render(&chare_to_regex(&factors), &a),
+            "a (b | c)* d+ (e | f)?"
+        );
     }
 
     #[test]

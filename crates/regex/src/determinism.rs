@@ -44,11 +44,7 @@ pub fn is_deterministic(r: &Regex) -> bool {
     check_deterministic(r).is_ok()
 }
 
-fn find_conflict(
-    positions: &[Pos],
-    sym_at: &[Sym],
-    after: Option<Pos>,
-) -> Result<(), Ambiguity> {
+fn find_conflict(positions: &[Pos], sym_at: &[Sym], after: Option<Pos>) -> Result<(), Ambiguity> {
     // Position lists are small; a quadratic scan keeps the witness simple.
     for (i, &p) in positions.iter().enumerate() {
         for &q in &positions[i + 1..] {

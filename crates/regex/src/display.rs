@@ -46,12 +46,7 @@ impl fmt::Display for DisplayRegex<'_> {
     }
 }
 
-fn write_paper(
-    f: &mut fmt::Formatter<'_>,
-    r: &Regex,
-    a: &Alphabet,
-    min: Prec,
-) -> fmt::Result {
+fn write_paper(f: &mut fmt::Formatter<'_>, r: &Regex, a: &Alphabet, min: Prec) -> fmt::Result {
     let needs_parens = prec(r) < min;
     if needs_parens {
         f.write_str("(")?;

@@ -213,9 +213,9 @@ mod tests {
         let mut a = Alphabet::new();
         // Constructed through raw variants to bypass the smart constructors.
         let sym = a.intern("a");
-        let raw = Regex::Plus(Box::new(Regex::Plus(Box::new(Regex::Optional(
-            Box::new(Regex::Optional(Box::new(Regex::Symbol(sym)))),
-        )))));
+        let raw = Regex::Plus(Box::new(Regex::Plus(Box::new(Regex::Optional(Box::new(
+            Regex::Optional(Box::new(Regex::Symbol(sym))),
+        ))))));
         // ((a??)+)+  →  (a+)?
         assert_eq!(render(&normalize(&raw), &a), "(a+)?");
     }

@@ -126,11 +126,7 @@ impl NumericChare {
 /// keeps an unbounded upper limit (`max = None`) — matching the paper's use
 /// of `≥i`: observing many different high counts is evidence of "any number",
 /// not of a tight bound.
-pub fn tighten(
-    factors: &[ChareFactor],
-    sample: &[Word],
-    unbounded_threshold: u32,
-) -> NumericChare {
+pub fn tighten(factors: &[ChareFactor], sample: &[Word], unbounded_threshold: u32) -> NumericChare {
     let mut class_of: HashMap<Sym, usize> = HashMap::new();
     for (i, f) in factors.iter().enumerate() {
         for &s in &f.syms {
@@ -212,7 +208,10 @@ mod tests {
     fn bounded_interval() {
         let mut a = Alphabet::new();
         let factors = chare("a*", &mut a);
-        let words: Vec<Word> = ["aa", "aaa", ""].iter().map(|s| a.word_from_chars(s)).collect();
+        let words: Vec<Word> = ["aa", "aaa", ""]
+            .iter()
+            .map(|s| a.word_from_chars(s))
+            .collect();
         let num = tighten(&factors, &words, 10);
         assert_eq!(num.render(&a), "a{0,3}");
     }
@@ -221,7 +220,10 @@ mod tests {
     fn matches_respects_bounds() {
         let mut a = Alphabet::new();
         let factors = chare("a+ b+", &mut a);
-        let words: Vec<Word> = ["aabb", "aabbb"].iter().map(|s| a.word_from_chars(s)).collect();
+        let words: Vec<Word> = ["aabb", "aabbb"]
+            .iter()
+            .map(|s| a.word_from_chars(s))
+            .collect();
         let num = tighten(&factors, &words, 100);
         assert!(num.matches(&a.word_from_chars("aabb")));
         assert!(num.matches(&a.word_from_chars("aabbb")));
@@ -239,7 +241,13 @@ mod tests {
             .map(|s| a.word_from_chars(s))
             .collect();
         let num = tighten(&factors, &words, 100);
-        assert_eq!(num.factors[0].bounds, Bounds { min: 1, max: Some(2) });
+        assert_eq!(
+            num.factors[0].bounds,
+            Bounds {
+                min: 1,
+                max: Some(2)
+            }
+        );
         assert_eq!(num.factors[1].bounds, Bounds::ONE);
     }
 
@@ -247,7 +255,10 @@ mod tests {
     fn unbounded_threshold_triggers() {
         let mut a = Alphabet::new();
         let factors = chare("a+", &mut a);
-        let words: Vec<Word> = ["a", "aaaaaaaa"].iter().map(|s| a.word_from_chars(s)).collect();
+        let words: Vec<Word> = ["a", "aaaaaaaa"]
+            .iter()
+            .map(|s| a.word_from_chars(s))
+            .collect();
         let num = tighten(&factors, &words, 4);
         assert_eq!(num.factors[0].bounds, Bounds { min: 1, max: None });
         assert_eq!(num.render(&a), "a{>=1}");
@@ -255,10 +266,38 @@ mod tests {
 
     #[test]
     fn bounds_render_notation() {
-        assert_eq!(Bounds { min: 1, max: Some(1) }.render(), "");
-        assert_eq!(Bounds { min: 0, max: Some(1) }.render(), "?");
-        assert_eq!(Bounds { min: 2, max: Some(2) }.render(), "{=2}");
+        assert_eq!(
+            Bounds {
+                min: 1,
+                max: Some(1)
+            }
+            .render(),
+            ""
+        );
+        assert_eq!(
+            Bounds {
+                min: 0,
+                max: Some(1)
+            }
+            .render(),
+            "?"
+        );
+        assert_eq!(
+            Bounds {
+                min: 2,
+                max: Some(2)
+            }
+            .render(),
+            "{=2}"
+        );
         assert_eq!(Bounds { min: 2, max: None }.render(), "{>=2}");
-        assert_eq!(Bounds { min: 1, max: Some(3) }.render(), "{1,3}");
+        assert_eq!(
+            Bounds {
+                min: 1,
+                max: Some(3)
+            }
+            .render(),
+            "{1,3}"
+        );
     }
 }

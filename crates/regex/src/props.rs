@@ -279,7 +279,11 @@ mod tests {
         let mut al = Alphabet::new();
         let r = parse("(a | b)+ c", &mut al).unwrap();
         let prof = two_gram_profile(&r);
-        let (a, b, c) = (al.get("a").unwrap(), al.get("b").unwrap(), al.get("c").unwrap());
+        let (a, b, c) = (
+            al.get("a").unwrap(),
+            al.get("b").unwrap(),
+            al.get("c").unwrap(),
+        );
         assert!(!prof.nullable);
         assert_eq!(prof.first, vec![a, b]);
         assert_eq!(prof.last, vec![c]);
@@ -304,9 +308,20 @@ mod tests {
         });
         assert_eq!(prof.last, vec![s("e")]);
         let mut expect: Vec<(Sym, Sym)> = [
-            ("a", "a"), ("a", "d"), ("a", "c"), ("a", "b"), ("b", "a"),
-            ("b", "c"), ("c", "b"), ("c", "c"), ("c", "a"), ("c", "d"),
-            ("d", "a"), ("d", "b"), ("d", "c"), ("d", "e"),
+            ("a", "a"),
+            ("a", "d"),
+            ("a", "c"),
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "c"),
+            ("c", "b"),
+            ("c", "c"),
+            ("c", "a"),
+            ("c", "d"),
+            ("d", "a"),
+            ("d", "b"),
+            ("d", "c"),
+            ("d", "e"),
         ]
         .iter()
         .map(|&(x, y)| (s(x), s(y)))

@@ -199,16 +199,10 @@ pub fn covering_words(r: &Regex) -> Vec<Word> {
 /// One BFS step from `cur` toward the nearest position satisfying `goal`
 /// (including `cur`'s successors); `None` when no such position is
 /// reachable.
-fn step_toward(
-    lin: &Linearized,
-    cur: Pos,
-    goal: impl Fn(Pos) -> bool,
-) -> Option<Pos> {
+fn step_toward(lin: &Linearized, cur: Pos, goal: impl Fn(Pos) -> bool) -> Option<Pos> {
     let mut seen = vec![false; lin.len()];
-    let mut queue: std::collections::VecDeque<(Pos, Pos)> = lin.follow[cur]
-        .iter()
-        .map(|&q| (q, q))
-        .collect();
+    let mut queue: std::collections::VecDeque<(Pos, Pos)> =
+        lin.follow[cur].iter().map(|&q| (q, q)).collect();
     for &q in &lin.follow[cur] {
         seen[q] = true;
     }

@@ -117,9 +117,7 @@ pub fn infer_attdef(
     } else {
         AttDefault::Implied
     };
-    let all_nmtoken = values
-        .iter()
-        .all(|v| matches_type(v, XsdType::NmToken));
+    let all_nmtoken = values.iter().all(|v| matches_type(v, XsdType::NmToken));
     let distinct: BTreeSet<&String> = values.iter().collect();
     // All-distinct NMTOKEN values on every occurrence look like IDs.
     let id_like = all_nmtoken
@@ -166,10 +164,7 @@ mod tests {
     fn enumeration_for_closed_sets() {
         let values = strings(&["red", "blue", "red", "red", "blue", "blue"]);
         let def = infer_attdef("color", &values, 6, Default::default());
-        assert_eq!(
-            def.ty,
-            AttType::Enumeration(strings(&["blue", "red"]))
-        );
+        assert_eq!(def.ty, AttType::Enumeration(strings(&["blue", "red"])));
         assert!(def.accepts("red"));
         assert!(!def.accepts("green"));
     }

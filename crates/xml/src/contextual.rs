@@ -152,7 +152,10 @@ pub fn infer_contextual(corpus: &ContextualCorpus, engine: InferenceEngine) -> C
             InferredModel::Regex(r) => Some(r),
             InferredModel::EpsilonOnly | InferredModel::Empty => None,
         };
-        per_element.entry(element).or_default().push((parent, model));
+        per_element
+            .entry(element)
+            .or_default()
+            .push((parent, model));
     }
     // Merge language-equal contexts per element.
     let mut types = Vec::new();
@@ -163,8 +166,7 @@ pub fn infer_contextual(corpus: &ContextualCorpus, engine: InferenceEngine) -> C
                 let same = match (&group.model, &model) {
                     (None, None) => true,
                     (Some(a), Some(b)) => {
-                        compare_regexes(a, &corpus.alphabet, b, &corpus.alphabet)
-                            == Relation::Equal
+                        compare_regexes(a, &corpus.alphabet, b, &corpus.alphabet) == Relation::Equal
                     }
                     _ => false,
                 };
@@ -198,7 +200,13 @@ pub fn contextual_xsd(schema: &ContextualSchema) -> String {
     let mut by_context: BTreeMap<(Option<Sym>, Sym), usize> = BTreeMap::new();
     for (i, t) in schema.types.iter().enumerate() {
         let base = schema.alphabet.name(t.element);
-        let name = if schema.types.iter().filter(|u| u.element == t.element).count() == 1 {
+        let name = if schema
+            .types
+            .iter()
+            .filter(|u| u.element == t.element)
+            .count()
+            == 1
+        {
             format!("{base}Type")
         } else {
             format!("{base}Type{}", i)
@@ -269,9 +277,7 @@ fn render_particles(
             out.push_str(&format!("{pad}</xs:sequence>\n"));
         }
         Regex::Plus(p) => {
-            out.push_str(&format!(
-                "{pad}<xs:sequence maxOccurs=\"unbounded\">\n"
-            ));
+            out.push_str(&format!("{pad}<xs:sequence maxOccurs=\"unbounded\">\n"));
             render_particles(out, p, schema, _by_context, indent + 2);
             out.push_str(&format!("{pad}</xs:sequence>\n"));
         }
@@ -346,7 +352,9 @@ mod tests {
         let schema = infer_contextual(&c, InferenceEngine::Idtd);
         let xsd = contextual_xsd(&schema);
         assert!(
-            crate::parser::XmlPullParser::new(&xsd).collect_events().is_ok(),
+            crate::parser::XmlPullParser::new(&xsd)
+                .collect_events()
+                .is_ok(),
             "{xsd}"
         );
         // Two distinct car types appear.

@@ -55,10 +55,9 @@ pub fn matches_type(s: &str, t: XsdType) -> bool {
         XsdType::Double => is_double(s),
         XsdType::Date => is_date(s),
         XsdType::Time => is_time(s),
-        XsdType::DateTime => {
-            s.split_once('T')
-                .is_some_and(|(d, t)| is_date(d) && is_time(t))
-        }
+        XsdType::DateTime => s
+            .split_once('T')
+            .is_some_and(|(d, t)| is_date(d) && is_time(t)),
         XsdType::NmToken => {
             !s.is_empty()
                 && s.bytes()
@@ -116,9 +115,9 @@ fn is_time(s: &str) -> bool {
     };
     let parts: Vec<&str> = hms.split(':').collect();
     parts.len() == 3
-        && parts.iter().all(|p| {
-            p.len() == 2 && p.bytes().all(|b| b.is_ascii_digit())
-        })
+        && parts
+            .iter()
+            .all(|p| p.len() == 2 && p.bytes().all(|b| b.is_ascii_digit()))
         && parts[0].parse::<u32>().unwrap_or(99) < 24
         && parts[1].parse::<u32>().unwrap_or(99) < 60
         && parts[2].parse::<u32>().unwrap_or(99) < 60
@@ -182,7 +181,10 @@ mod tests {
 
     #[test]
     fn doubles() {
-        assert_eq!(infer_datatype(["1.5", "-0.25", "3e8", "NaN"]), XsdType::Double);
+        assert_eq!(
+            infer_datatype(["1.5", "-0.25", "3e8", "NaN"]),
+            XsdType::Double
+        );
         assert!(!matches_type("1.2.3", XsdType::Double));
         assert!(!matches_type("e8", XsdType::Double));
         assert!(matches_type(".5", XsdType::Double));

@@ -117,10 +117,8 @@ fn compare_specs(a: &ContentSpec, al_a: &Alphabet, b: &ContentSpec, al_b: &Alpha
         // languages (the text dimension is reported by validation instead).
         (C::Empty | C::PcData, C::Empty | C::PcData) => Relation::Equal,
         (C::Mixed(xs), C::Mixed(ys)) => {
-            let xs: std::collections::BTreeSet<&str> =
-                xs.iter().map(|&s| al_a.name(s)).collect();
-            let ys: std::collections::BTreeSet<&str> =
-                ys.iter().map(|&s| al_b.name(s)).collect();
+            let xs: std::collections::BTreeSet<&str> = xs.iter().map(|&s| al_a.name(s)).collect();
+            let ys: std::collections::BTreeSet<&str> = ys.iter().map(|&s| al_b.name(s)).collect();
             match (ys.is_subset(&xs), xs.is_subset(&ys)) {
                 (true, true) => Relation::Equal,
                 (true, false) => Relation::Stricter,
@@ -154,12 +152,7 @@ fn compare_specs(a: &ContentSpec, al_a: &Alphabet, b: &ContentSpec, al_b: &Alpha
 
 /// Language comparison of two expressions over (possibly) different
 /// alphabets, by name-aligning the symbols into a common alphabet.
-pub fn compare_regexes(
-    ra: &Regex,
-    al_a: &Alphabet,
-    rb: &Regex,
-    al_b: &Alphabet,
-) -> Relation {
+pub fn compare_regexes(ra: &Regex, al_a: &Alphabet, rb: &Regex, al_b: &Alphabet) -> Relation {
     let mut common = Alphabet::new();
     let map_a = remap(ra, al_a, &mut common);
     let map_b = remap(rb, al_b, &mut common);
@@ -240,8 +233,7 @@ mod tests {
         let a = Dtd::parse("<!ELEMENT r (x, y)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>").unwrap();
         let looser =
             Dtd::parse("<!ELEMENT r (x?, y?)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>").unwrap();
-        let incomp =
-            Dtd::parse("<!ELEMENT r (y, x)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>").unwrap();
+        let incomp = Dtd::parse("<!ELEMENT r (y, x)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>").unwrap();
         assert_eq!(relation_of(&diff(&a, &looser), "r"), Relation::Looser);
         assert_eq!(relation_of(&diff(&a, &incomp), "r"), Relation::Incomparable);
     }
@@ -267,8 +259,13 @@ mod tests {
 
     #[test]
     fn mixed_subset() {
-        let a = Dtd::parse("<!ELEMENT p (#PCDATA | em | strong)*><!ELEMENT em EMPTY><!ELEMENT strong EMPTY>").unwrap();
-        let b = Dtd::parse("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em EMPTY><!ELEMENT strong EMPTY>").unwrap();
+        let a = Dtd::parse(
+            "<!ELEMENT p (#PCDATA | em | strong)*><!ELEMENT em EMPTY><!ELEMENT strong EMPTY>",
+        )
+        .unwrap();
+        let b =
+            Dtd::parse("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em EMPTY><!ELEMENT strong EMPTY>")
+                .unwrap();
         assert_eq!(relation_of(&diff(&a, &b), "p"), Relation::Stricter);
     }
 }

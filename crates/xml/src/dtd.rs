@@ -121,11 +121,11 @@ impl Dtd {
     }
 
     fn parse_element_decl(&mut self, body: &str) -> Result<(), DtdParseError> {
-        let (name, spec_text) = body.split_once(char::is_whitespace).ok_or_else(|| {
-            DtdParseError {
-                message: format!("malformed element declaration: {body:?}"),
-            }
-        })?;
+        let (name, spec_text) =
+            body.split_once(char::is_whitespace)
+                .ok_or_else(|| DtdParseError {
+                    message: format!("malformed element declaration: {body:?}"),
+                })?;
         let spec_text = spec_text.trim();
         let spec = if spec_text == "EMPTY" {
             ContentSpec::Empty
@@ -147,10 +147,9 @@ impl Dtd {
                 .collect();
             ContentSpec::Mixed(syms)
         } else {
-            let regex =
-                parse_regex(spec_text, &mut self.alphabet).map_err(|e| DtdParseError {
-                    message: format!("bad content model for {name}: {e}"),
-                })?;
+            let regex = parse_regex(spec_text, &mut self.alphabet).map_err(|e| DtdParseError {
+                message: format!("bad content model for {name}: {e}"),
+            })?;
             ContentSpec::Children(regex)
         };
         let sym = self.alphabet.intern(name);
@@ -173,26 +172,24 @@ impl Dtd {
             let ty_token = tokens.next().ok_or_else(|| DtdParseError {
                 message: format!("ATTLIST {element}: missing type for {attr}"),
             })?;
-            let ty = if let Some(inner) = ty_token
-                .strip_prefix('(')
-                .and_then(|t| t.strip_suffix(')'))
-            {
-                AttType::Enumeration(
-                    inner
-                        .split('|')
-                        .map(|v| v.trim().to_owned())
-                        .filter(|v| !v.is_empty())
-                        .collect(),
-                )
-            } else {
-                match ty_token.as_str() {
-                    "CDATA" => AttType::CData,
-                    "ID" => AttType::Id,
-                    // NMTOKENS/IDREF/ENTITY… are treated as their closest
-                    // supported category.
-                    _ => AttType::NmToken,
-                }
-            };
+            let ty =
+                if let Some(inner) = ty_token.strip_prefix('(').and_then(|t| t.strip_suffix(')')) {
+                    AttType::Enumeration(
+                        inner
+                            .split('|')
+                            .map(|v| v.trim().to_owned())
+                            .filter(|v| !v.is_empty())
+                            .collect(),
+                    )
+                } else {
+                    match ty_token.as_str() {
+                        "CDATA" => AttType::CData,
+                        "ID" => AttType::Id,
+                        // NMTOKENS/IDREF/ENTITY… are treated as their closest
+                        // supported category.
+                        _ => AttType::NmToken,
+                    }
+                };
             let default_token = tokens.next().ok_or_else(|| DtdParseError {
                 message: format!("ATTLIST {element}: missing default for {attr}"),
             })?;
@@ -261,7 +258,9 @@ impl Dtd {
         let mut stack: Vec<(String, Vec<String>, bool)> = Vec::new(); // (name, children, has_text)
         for ev in events {
             match ev {
-                XmlEvent::StartElement { name, attributes, .. } => {
+                XmlEvent::StartElement {
+                    name, attributes, ..
+                } => {
                     self.check_attributes(&name, &attributes, &mut violations);
                     if stack.is_empty() {
                         if let Some(root) = self.root {
@@ -338,10 +337,7 @@ impl Dtd {
                         "<{name}> has character data but declares element content"
                     ));
                 }
-                let word: Option<Word> = children
-                    .iter()
-                    .map(|c| self.alphabet.get(c))
-                    .collect();
+                let word: Option<Word> = children.iter().map(|c| self.alphabet.get(c)).collect();
                 let matched = word
                     .as_ref()
                     .is_some_and(|w| Nfa::from_regex(regex).accepts(w));
@@ -395,9 +391,7 @@ impl Dtd {
         let Some(defs) = self.attlists.get(&sym) else {
             if !attributes.is_empty() && self.elements.contains_key(&sym) {
                 for (attr, _) in attributes {
-                    violations.push(format!(
-                        "attribute {attr:?} on <{name}> is not declared"
-                    ));
+                    violations.push(format!("attribute {attr:?} on <{name}> is not declared"));
                 }
             }
             return;
@@ -425,9 +419,7 @@ impl Dtd {
         }
         for (attr, _) in attributes {
             if !defs.iter().any(|d| &d.name == attr) {
-                violations.push(format!(
-                    "attribute {attr:?} on <{name}> is not declared"
-                ));
+                violations.push(format!("attribute {attr:?} on <{name}> is not declared"));
             }
         }
     }
@@ -449,7 +441,12 @@ fn tokenize_attlist(body: &str) -> impl Iterator<Item = String> + '_ {
             rest.find(char::is_whitespace).unwrap_or(rest.len())
         };
         // Enumerations may contain internal whitespace; normalize it away.
-        tokens.push(rest[..token_end].split_whitespace().collect::<Vec<_>>().join(" "));
+        tokens.push(
+            rest[..token_end]
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
         rest = rest[token_end..].trim_start();
     }
     tokens.into_iter()
@@ -530,8 +527,8 @@ mod tests {
 
     #[test]
     fn validate_empty_and_pcdata() {
-        let dtd = Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c (#PCDATA)>")
-            .unwrap();
+        let dtd =
+            Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c (#PCDATA)>").unwrap();
         assert_eq!(
             dtd.validate("<a><b/><c>text</c></a>").unwrap(),
             Vec::<String>::new()
@@ -544,7 +541,8 @@ mod tests {
     fn mixed_content() {
         let dtd = Dtd::parse("<!ELEMENT p (#PCDATA | em | strong)*><!ELEMENT em (#PCDATA)><!ELEMENT strong (#PCDATA)>").unwrap();
         assert_eq!(
-            dtd.validate("<p>a<em>b</em>c<strong>d</strong></p>").unwrap(),
+            dtd.validate("<p>a<em>b</em>c<strong>d</strong></p>")
+                .unwrap(),
             Vec::<String>::new()
         );
         let violations = dtd.validate("<p><em>x</em></p>").unwrap();
@@ -553,9 +551,10 @@ mod tests {
 
     #[test]
     fn mixed_content_rejects_intruder() {
-        let dtd =
-            Dtd::parse("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)><!ELEMENT h1 (#PCDATA)>")
-                .unwrap();
+        let dtd = Dtd::parse(
+            "<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)><!ELEMENT h1 (#PCDATA)>",
+        )
+        .unwrap();
         let violations = dtd.validate("<p><h1>big</h1></p>").unwrap();
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("h1"));
@@ -602,7 +601,10 @@ mod tests {
 <!ATTLIST a id ID #REQUIRED kind (x | y) #IMPLIED>
 "#;
         let dtd = Dtd::parse(text).unwrap();
-        assert_eq!(dtd.validate(r#"<a id="n1" kind="x"/>"#).unwrap(), Vec::<String>::new());
+        assert_eq!(
+            dtd.validate(r#"<a id="n1" kind="x"/>"#).unwrap(),
+            Vec::<String>::new()
+        );
         // Missing required attribute.
         let v = dtd.validate(r#"<a kind="y"/>"#).unwrap();
         assert!(v.iter().any(|m| m.contains("required attribute")), "{v:?}");
@@ -616,13 +618,19 @@ mod tests {
 
     #[test]
     fn lint_flags_nondeterministic_models() {
-        let dtd = Dtd::parse("<!ELEMENT a ((b, c) | (b, d))><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>").unwrap();
+        let dtd = Dtd::parse(
+            "<!ELEMENT a ((b, c) | (b, d))><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>",
+        )
+        .unwrap();
         let issues = dtd.lint();
         assert_eq!(issues.len(), 1);
         assert!(issues[0].contains("not deterministic"), "{issues:?}");
         assert!(issues[0].contains('b'));
         // Inferred (SORE) models always pass.
-        let clean = Dtd::parse("<!ELEMENT a (b?, (c | d)+)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>").unwrap();
+        let clean = Dtd::parse(
+            "<!ELEMENT a (b?, (c | d)+)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>",
+        )
+        .unwrap();
         assert!(clean.lint().is_empty());
     }
 

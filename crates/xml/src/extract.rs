@@ -56,15 +56,24 @@ impl Corpus {
 
     /// Parses one document and folds its statistics in.
     pub fn add_document(&mut self, doc: &str) -> Result<(), XmlError> {
+        let _span = dtdinfer_obs::span("xml.extract_document");
+        // Per-document tallies, flushed to the metrics registry at the end
+        // (one registry lock per document instead of one per event).
+        let (mut n_elems, mut n_attrs, mut n_text) = (0u64, 0u64, 0u64);
         let mut parser = XmlPullParser::new(doc);
         // Stack of (element symbol, children-so-far).
         let mut stack: Vec<(Sym, Word)> = Vec::new();
         let mut seen_root = false;
-        while let Some(event) = parser.next()? {
+        while let Some(event) = parser
+            .next()
+            .inspect_err(|_| dtdinfer_obs::count("xml.parse_errors", 1))?
+        {
             match event {
                 XmlEvent::StartElement {
                     name, attributes, ..
                 } => {
+                    n_elems += 1;
+                    n_attrs += attributes.len() as u64;
                     let sym = self.alphabet.intern(&name);
                     let facts = self.elements.entry(sym).or_default();
                     facts.occurrences += 1;
@@ -90,6 +99,7 @@ impl Corpus {
                 XmlEvent::Text(text) => {
                     let trimmed = text.trim();
                     if !trimmed.is_empty() {
+                        n_text += 1;
                         if let Some(&mut (sym, _)) = stack.last_mut() {
                             self.elements
                                 .entry(sym)
@@ -105,6 +115,10 @@ impl Corpus {
             }
         }
         self.num_documents += 1;
+        dtdinfer_obs::count("xml.documents", 1);
+        dtdinfer_obs::count("xml.elements", n_elems);
+        dtdinfer_obs::count("xml.attributes", n_attrs);
+        dtdinfer_obs::count("xml.text_chunks", n_text);
         Ok(())
     }
 
@@ -130,7 +144,9 @@ impl Corpus {
     /// The child sequences of one element name.
     pub fn sequences_of(&self, name: &str) -> Option<&[Word]> {
         let sym = self.alphabet.get(name)?;
-        self.elements.get(&sym).map(|f| f.child_sequences.as_slice())
+        self.elements
+            .get(&sym)
+            .map(|f| f.child_sequences.as_slice())
     }
 
     /// Total number of extracted words across all elements.

@@ -39,7 +39,10 @@ impl fmt::Display for GenerateError {
         match self {
             GenerateError::NoRoot => write!(f, "DTD has no root element"),
             GenerateError::RecursiveDtd { element } => {
-                write!(f, "recursive DTD: <{element}> (directly or indirectly) contains itself")
+                write!(
+                    f,
+                    "recursive DTD: <{element}> (directly or indirectly) contains itself"
+                )
             }
             GenerateError::Undeclared { element } => {
                 write!(f, "element <{element}> used but not declared")
@@ -168,9 +171,7 @@ fn emit(
                         break candidate;
                     }
                 },
-                AttType::Enumeration(values) => {
-                    values[rng.gen_range(0..values.len())].clone()
-                }
+                AttType::Enumeration(values) => values[rng.gen_range(0..values.len())].clone(),
             };
             out.push(' ');
             out.push_str(&def.name);
@@ -305,8 +306,7 @@ mod tests {
 
     #[test]
     fn mixed_content_generated() {
-        let dtd =
-            Dtd::parse("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>").unwrap();
+        let dtd = Dtd::parse("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>").unwrap();
         let docs = sample_documents(&dtd, &GenerateConfig::default(), 11, 30).unwrap();
         for d in &docs {
             assert!(dtd.validate(d).unwrap().is_empty(), "{d}");

@@ -5,15 +5,17 @@
 //! §1.2's two scenarios) learns one expression per element, and text/child
 //! mixtures are mapped onto the DTD content-spec forms.
 
+use crate::attlist::{infer_attdef, AttInferenceOptions};
 use crate::dtd::{ContentSpec, Dtd};
 use crate::extract::Corpus;
+use dtdinfer_automata::soa::Soa;
 use dtdinfer_core::crx::crx;
-use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_core::idtd::{idtd_traced, Event, IdtdConfig};
 use dtdinfer_core::model::InferredModel;
 use dtdinfer_core::noise::SupportSoa;
-use crate::attlist::{infer_attdef, AttInferenceOptions};
 use dtdinfer_regex::alphabet::Sym;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Which learning algorithm drives the per-element inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,39 +48,118 @@ pub enum InferenceEngine {
 /// ```
 /// Infers a complete DTD for the corpus.
 pub fn infer_dtd(corpus: &Corpus, engine: InferenceEngine) -> Dtd {
+    infer_dtd_with_stats(corpus, engine).0
+}
+
+/// Per-element derivation telemetry: which engine ran, how much data it
+/// saw, what the derivation did, and what it cost. Powers the
+/// `dtdinfer stats` report.
+#[derive(Debug, Clone)]
+pub struct ElementReport {
+    /// Element name.
+    pub name: String,
+    /// What produced the content model: `crx`, `idtd`, `idtd-noise`, or
+    /// one of the degenerate content kinds (`mixed`, `pcdata`, `empty`).
+    pub engine: &'static str,
+    /// Total occurrences of the element across the corpus.
+    pub occurrences: u64,
+    /// Sample size: number of child-name sequences the learner consumed.
+    pub words: usize,
+    /// Rewrite-rule applications in the iDTD derivation (0 for CRX).
+    pub rewrite_steps: usize,
+    /// Repair-rule invocations in the iDTD derivation (0 for CRX).
+    pub repairs: usize,
+    /// Merge-everything fallback firings (0 unless iDTD got stuck).
+    pub fallbacks: usize,
+    /// Size of the resulting content model, in regex tokens.
+    pub expr_size: usize,
+    /// Wall-clock inference time for this element.
+    pub duration_ns: u64,
+}
+
+/// Like [`infer_dtd`], additionally returning one [`ElementReport`] per
+/// element (sorted by element name, matching corpus iteration order).
+pub fn infer_dtd_with_stats(corpus: &Corpus, engine: InferenceEngine) -> (Dtd, Vec<ElementReport>) {
+    let _span = dtdinfer_obs::span("xml.infer_dtd");
     let mut dtd = Dtd {
         alphabet: corpus.alphabet.clone(),
         root: corpus.root(),
         elements: Default::default(),
         attlists: Default::default(),
     };
+    let mut reports = Vec::with_capacity(corpus.elements.len());
     for (&sym, facts) in &corpus.elements {
-        let spec = infer_element(corpus, sym, engine);
+        let (spec, report) = infer_element(corpus, sym, engine);
+        if dtdinfer_obs::is_enabled() {
+            dtdinfer_obs::count_labeled("xml.engine", report.engine, 1);
+            dtdinfer_obs::observe("xml.element.expr_size", report.expr_size as u64);
+            dtdinfer_obs::event(
+                "xml.element",
+                &[
+                    ("name", report.name.clone()),
+                    ("engine", report.engine.to_owned()),
+                    ("words", report.words.to_string()),
+                    ("repairs", report.repairs.to_string()),
+                ],
+            );
+        }
         dtd.elements.insert(sym, spec);
+        reports.push(report);
         let defs: Vec<_> = facts
             .attributes
             .iter()
             .map(|(attr, values)| {
-                infer_attdef(attr, values, facts.occurrences, AttInferenceOptions::default())
+                infer_attdef(
+                    attr,
+                    values,
+                    facts.occurrences,
+                    AttInferenceOptions::default(),
+                )
             })
             .collect();
         if !defs.is_empty() {
             dtd.attlists.insert(sym, defs);
         }
     }
-    dtd
+    (dtd, reports)
 }
 
-fn infer_element(corpus: &Corpus, sym: Sym, engine: InferenceEngine) -> ContentSpec {
+/// Content-model size in tokens, for the stats report.
+fn spec_size(spec: &ContentSpec) -> usize {
+    match spec {
+        ContentSpec::Empty | ContentSpec::Any | ContentSpec::PcData => 1,
+        ContentSpec::Mixed(syms) => syms.len() + 1,
+        ContentSpec::Children(r) => r.token_count(),
+    }
+}
+
+fn infer_element(
+    corpus: &Corpus,
+    sym: Sym,
+    engine: InferenceEngine,
+) -> (ContentSpec, ElementReport) {
+    let started = Instant::now();
     let facts = &corpus.elements[&sym];
+    let mut engine_used = match engine {
+        InferenceEngine::Crx => "crx",
+        InferenceEngine::Idtd => "idtd",
+        InferenceEngine::IdtdNoise { .. } => "idtd-noise",
+    };
+    let (mut rewrite_steps, mut repairs, mut fallbacks) = (0usize, 0usize, 0usize);
     let has_text = facts.has_text();
     let has_children = facts.has_element_children();
-    match (has_text, has_children) {
+    let spec = match (has_text, has_children) {
         // Never any content observed: EMPTY is the tight choice (the
         // specialization-over-generalization default of §1.2's rich-data
         // scenario; a later document with text would flip this to PCDATA).
-        (false, false) => ContentSpec::Empty,
-        (true, false) => ContentSpec::PcData,
+        (false, false) => {
+            engine_used = "empty";
+            ContentSpec::Empty
+        }
+        (true, false) => {
+            engine_used = "pcdata";
+            ContentSpec::PcData
+        }
         (true, true) => {
             // Mixed content: DTDs only allow (#PCDATA | a | b)*. This is
             // exactly the §9 XHTML-paragraph shape, so the noise engine's
@@ -99,12 +180,24 @@ fn infer_element(corpus: &Corpus, sym: Sym, engine: InferenceEngine) -> ContentS
                 .filter(|&(_, count)| count >= threshold.max(1))
                 .map(|(s, _)| s)
                 .collect();
+            engine_used = "mixed";
             ContentSpec::Mixed(syms.into_iter().collect())
         }
         (false, true) => {
             let model = match engine {
                 InferenceEngine::Crx => crx(&facts.child_sequences),
-                InferenceEngine::Idtd => idtd_from_words(&facts.child_sequences),
+                InferenceEngine::Idtd => {
+                    let soa = Soa::learn(&facts.child_sequences);
+                    let (model, trace) = idtd_traced(&soa, IdtdConfig::default());
+                    for e in &trace {
+                        match e {
+                            Event::Rewrite(_) => rewrite_steps += 1,
+                            Event::Repair { .. } => repairs += 1,
+                            Event::Fallback => fallbacks += 1,
+                        }
+                    }
+                    model
+                }
                 InferenceEngine::IdtdNoise { threshold } => {
                     SupportSoa::learn(&facts.child_sequences).infer_denoised(threshold)
                 }
@@ -114,7 +207,19 @@ fn infer_element(corpus: &Corpus, sym: Sym, engine: InferenceEngine) -> ContentS
                 InferredModel::EpsilonOnly | InferredModel::Empty => ContentSpec::Empty,
             }
         }
-    }
+    };
+    let report = ElementReport {
+        name: corpus.alphabet.name(sym).to_owned(),
+        engine: engine_used,
+        occurrences: facts.occurrences,
+        words: facts.child_sequences.len(),
+        rewrite_steps,
+        repairs,
+        fallbacks,
+        expr_size: spec_size(&spec),
+        duration_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    };
+    (spec, report)
 }
 
 #[cfg(test)]

@@ -286,8 +286,8 @@ impl<'a> XmlPullParser<'a> {
                 }
                 b'>' if depth == 0 => {
                     self.pos += 1;
-                    let content = String::from_utf8_lossy(&self.input[start..self.pos])
-                        .into_owned();
+                    let content =
+                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                     return Ok(XmlEvent::Doctype(content));
                 }
                 _ => {}
@@ -360,9 +360,7 @@ pub fn decode_entities(s: &str) -> String {
                         .strip_prefix("#x")
                         .or_else(|| entity.strip_prefix("#X"))
                         .and_then(|h| u32::from_str_radix(h, 16).ok())
-                        .or_else(|| {
-                            entity.strip_prefix('#').and_then(|d| d.parse::<u32>().ok())
-                        })
+                        .or_else(|| entity.strip_prefix('#').and_then(|d| d.parse::<u32>().ok()))
                         .and_then(char::from_u32),
                 };
                 match decoded {
@@ -410,7 +408,13 @@ mod tests {
         assert_eq!(evs.len(), 7);
         assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "a"));
         assert!(matches!(&evs[2], XmlEvent::Text(t) if t == "hi"));
-        assert!(matches!(&evs[4], XmlEvent::StartElement { self_closing: true, .. }));
+        assert!(matches!(
+            &evs[4],
+            XmlEvent::StartElement {
+                self_closing: true,
+                ..
+            }
+        ));
         assert!(matches!(&evs[5], XmlEvent::EndElement { name } if name == "c"));
     }
 
@@ -454,14 +458,19 @@ mod tests {
 
     #[test]
     fn entity_decoding() {
-        assert_eq!(decode_entities("a &lt; b &gt; c &amp; &quot;d&quot;"), "a < b > c & \"d\"");
+        assert_eq!(
+            decode_entities("a &lt; b &gt; c &amp; &quot;d&quot;"),
+            "a < b > c & \"d\""
+        );
         assert_eq!(decode_entities("&#65;&#x42;"), "AB");
         assert_eq!(decode_entities("&unknown; & bare"), "&unknown; & bare");
     }
 
     #[test]
     fn mismatched_tags_rejected() {
-        assert!(XmlPullParser::new("<a><b></a></b>").collect_events().is_err());
+        assert!(XmlPullParser::new("<a><b></a></b>")
+            .collect_events()
+            .is_err());
         assert!(XmlPullParser::new("<a>").collect_events().is_err());
         assert!(XmlPullParser::new("</a>").collect_events().is_err());
     }
@@ -475,10 +484,7 @@ mod tests {
 
     #[test]
     fn nested_structure_names() {
-        assert_eq!(
-            names("<a><b><c/></b><b/></a>"),
-            vec!["a", "b", "c", "b"]
-        );
+        assert_eq!(names("<a><b><c/></b><b/></a>"), vec!["a", "b", "c", "b"]);
     }
 
     #[test]
@@ -497,7 +503,9 @@ mod tests {
 
     #[test]
     fn unterminated_comment_rejected() {
-        assert!(XmlPullParser::new("<a><!-- oops</a>").collect_events().is_err());
+        assert!(XmlPullParser::new("<a><!-- oops</a>")
+            .collect_events()
+            .is_err());
     }
 
     #[test]
@@ -516,6 +524,9 @@ mod tests {
 
     #[test]
     fn unicode_element_names() {
-        assert_eq!(names("<livre><tête/><café>ü</café></livre>"), vec!["livre", "tête", "café"]);
+        assert_eq!(
+            names("<livre><tête/><café>ü</café></livre>"),
+            vec!["livre", "tête", "café"]
+        );
     }
 }

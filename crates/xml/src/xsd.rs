@@ -97,11 +97,7 @@ pub fn generate_xsd(dtd: &Dtd, corpus: Option<&Corpus>, options: XsdOptions) -> 
                 );
                 out.push_str("    <xs:choice minOccurs=\"0\" maxOccurs=\"unbounded\">\n");
                 for &c in children {
-                    let _ = writeln!(
-                        out,
-                        "      <xs:element ref=\"{}\"/>",
-                        dtd.alphabet.name(c)
-                    );
+                    let _ = writeln!(out, "      <xs:element ref=\"{}\"/>", dtd.alphabet.name(c));
                 }
                 out.push_str("    </xs:choice>\n");
                 out.push_str(&attrs.join(""));
@@ -184,8 +180,7 @@ fn render_content(
                 } else {
                     let _ = writeln!(out, "      <xs:choice{occurs}>");
                     for &s in &f.syms {
-                        let _ =
-                            writeln!(out, "        <xs:element ref=\"{}\"/>", alphabet.name(s));
+                        let _ = writeln!(out, "        <xs:element ref=\"{}\"/>", alphabet.name(s));
                     }
                     out.push_str("      </xs:choice>\n");
                 }
@@ -286,19 +281,25 @@ mod tests {
         let c = corpus(&["<r><n>42</n><n>7</n><d>2006-09-12</d></r>"]);
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
         let xsd = generate_xsd(&dtd, Some(&c), XsdOptions::default());
-        assert!(xsd.contains("<xs:element name=\"n\" type=\"xs:integer\"/>"), "{xsd}");
+        assert!(
+            xsd.contains("<xs:element name=\"n\" type=\"xs:integer\"/>"),
+            "{xsd}"
+        );
         assert!(xsd.contains("<xs:element name=\"d\" type=\"xs:date\"/>"));
     }
 
     #[test]
     fn numeric_bounds_emitted() {
         // a always appears exactly twice, b two-or-more times.
-        let c = corpus(&[
-            "<r><a/><a/><b/><b/></r>",
-            "<r><a/><a/><b/><b/><b/></r>",
-        ]);
+        let c = corpus(&["<r><a/><a/><b/><b/></r>", "<r><a/><a/><b/><b/><b/></r>"]);
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
-        let xsd = generate_xsd(&dtd, Some(&c), XsdOptions { numeric_threshold: Some(10) });
+        let xsd = generate_xsd(
+            &dtd,
+            Some(&c),
+            XsdOptions {
+                numeric_threshold: Some(10),
+            },
+        );
         assert!(
             xsd.contains("<xs:element ref=\"a\" minOccurs=\"2\" maxOccurs=\"2\"/>"),
             "{xsd}"
@@ -308,13 +309,19 @@ mod tests {
 
     #[test]
     fn numeric_threshold_unbounded() {
-        let c = corpus(&[
-            "<r><a/></r>",
-            "<r><a/><a/><a/><a/><a/><a/><a/><a/></r>",
-        ]);
+        let c = corpus(&["<r><a/></r>", "<r><a/><a/><a/><a/><a/><a/><a/><a/></r>"]);
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
-        let xsd = generate_xsd(&dtd, Some(&c), XsdOptions { numeric_threshold: Some(4) });
-        assert!(xsd.contains("<xs:element ref=\"a\" maxOccurs=\"unbounded\"/>"), "{xsd}");
+        let xsd = generate_xsd(
+            &dtd,
+            Some(&c),
+            XsdOptions {
+                numeric_threshold: Some(4),
+            },
+        );
+        assert!(
+            xsd.contains("<xs:element ref=\"a\" maxOccurs=\"unbounded\"/>"),
+            "{xsd}"
+        );
     }
 
     #[test]
@@ -341,7 +348,9 @@ mod tests {
         // Text + attributes → simpleContent extension over the datatype.
         assert!(xsd.contains("<xs:extension base=\"xs:integer\">"), "{xsd}");
         // Still well-formed XML.
-        assert!(crate::parser::XmlPullParser::new(&xsd).collect_events().is_ok());
+        assert!(crate::parser::XmlPullParser::new(&xsd)
+            .collect_events()
+            .is_ok());
     }
 
     #[test]
@@ -349,6 +358,9 @@ mod tests {
         let c = corpus(&["<r><a/><b/></r>", "<r><b/></r>"]);
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
         let xsd = generate_xsd(&dtd, Some(&c), XsdOptions::default());
-        assert!(xsd.contains("<xs:element ref=\"a\" minOccurs=\"0\"/>"), "{xsd}");
+        assert!(
+            xsd.contains("<xs:element ref=\"a\" minOccurs=\"0\"/>"),
+            "{xsd}"
+        );
     }
 }

@@ -57,7 +57,10 @@ fn main() {
         "with support threshold 50: {}",
         abbreviated(&render(&denoised, &corpus.alphabet))
     );
-    assert!(dtdinfer::automata::dfa::regex_equiv(&denoised, &corpus.target));
+    assert!(dtdinfer::automata::dfa::regex_equiv(
+        &denoised,
+        &corpus.target
+    ));
     println!("\nrecovered expression is language-equal to the clean (a1|…|a41)* ✓");
 }
 

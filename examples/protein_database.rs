@@ -52,7 +52,9 @@ fn refinfo_sequence(al: &mut Alphabet, rng: &mut StdRng) -> Word {
 fn main() {
     let mut al = Alphabet::new();
     let mut rng = StdRng::seed_from_u64(2006);
-    let sample: Vec<Word> = (0..500).map(|_| refinfo_sequence(&mut al, &mut rng)).collect();
+    let sample: Vec<Word> = (0..500)
+        .map(|_| refinfo_sequence(&mut al, &mut rng))
+        .collect();
 
     // The DTD as published (the paper's §1.1 "too general" definition).
     let published = {
@@ -100,7 +102,14 @@ fn main() {
         dtdinfer::xml::dtd::ContentSpec::Children(inferred_idtd),
     );
     for leaf in [
-        "authors", "citation", "volume", "month", "year", "pages", "title", "description",
+        "authors",
+        "citation",
+        "volume",
+        "month",
+        "year",
+        "pages",
+        "title",
+        "description",
     ] {
         let sym = dtd.alphabet.intern(leaf);
         dtd.elements

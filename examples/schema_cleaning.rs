@@ -54,7 +54,10 @@ fn main() {
     // 1. The corpus: 150 documents drawn from the ground truth.
     let docs = sample_documents(&ground_truth, &GenerateConfig::default(), 2006, 150)
         .expect("ground truth is acyclic");
-    println!("generated {} documents from the (hidden) ground truth", docs.len());
+    println!(
+        "generated {} documents from the (hidden) ground truth",
+        docs.len()
+    );
 
     // 2. They are all valid against the published schema too — the
     //    looseness is invisible to validation alone.
@@ -67,7 +70,9 @@ fn main() {
     // 3. Infer a schema from the data.
     let mut corpus = Corpus::new();
     for d in &docs {
-        corpus.add_document(d).expect("generated documents are well-formed");
+        corpus
+            .add_document(d)
+            .expect("generated documents are well-formed");
     }
     let inferred = infer_dtd(&corpus, InferenceEngine::Idtd);
     println!("\ninferred schema:\n{}", inferred.serialize());

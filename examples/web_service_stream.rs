@@ -20,11 +20,9 @@ fn main() {
     let mut al = Alphabet::new();
     // Ground truth the service follows (hidden from the learner):
     // status (warning | info)* payload+ (next | done)
-    let truth = dtdinfer::regex::parser::parse(
-        "status (warning | info)* payload+ (next | done)",
-        &mut al,
-    )
-    .unwrap();
+    let truth =
+        dtdinfer::regex::parser::parse("status (warning | info)* payload+ (next | done)", &mut al)
+            .unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     let cfg = SampleConfig::default();
 
@@ -35,7 +33,9 @@ fn main() {
     let mut last_crx = String::new();
     for batch in 1..=12 {
         // Each web-service call yields a handful of responses.
-        let words: Vec<Word> = (0..4).map(|_| sample_word(&truth, &cfg, &mut rng)).collect();
+        let words: Vec<Word> = (0..4)
+            .map(|_| sample_word(&truth, &cfg, &mut rng))
+            .collect();
         for w in &words {
             chare.absorb(w);
             sore.absorb(w);

@@ -27,8 +27,8 @@ fn xtract_covers_sample() {
         if words.is_empty() {
             continue;
         }
-        let out = xtract(&words, &XtractConfig::default())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let out =
+            xtract(&words, &XtractConfig::default()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         for w in &words {
             assert!(regex_matches(&out, w), "seed {seed}: xtract lost {w:?}");
         }

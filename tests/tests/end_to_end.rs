@@ -99,10 +99,10 @@ fn xsd_generation_emits_wellformed_xml() {
             let events = dtdinfer_xml::parser::XmlPullParser::new(&xsd)
                 .collect_events()
                 .unwrap_or_else(|e| panic!("seed {seed}: XSD not well-formed: {e}\n{xsd}"));
-            assert!(events
-                .iter()
-                .any(|e| matches!(e, dtdinfer_xml::parser::XmlEvent::StartElement { name, .. }
-                                  if name == "xs:schema")));
+            assert!(events.iter().any(
+                |e| matches!(e, dtdinfer_xml::parser::XmlEvent::StartElement { name, .. }
+                                  if name == "xs:schema")
+            ));
         }
     }
 }
@@ -124,11 +124,7 @@ fn incremental_document_stream_matches_batch() {
             let _ = infer_dtd(&stream, InferenceEngine::Idtd);
         }
         let stream_dtd = infer_dtd(&stream, InferenceEngine::Idtd);
-        assert_eq!(
-            stream_dtd.serialize(),
-            batch_dtd.serialize(),
-            "seed {seed}"
-        );
+        assert_eq!(stream_dtd.serialize(), batch_dtd.serialize(), "seed {seed}");
     }
 }
 
@@ -209,7 +205,9 @@ fn shipped_testdata_round_trips() {
     let inferred = infer_dtd(&corpus, InferenceEngine::Idtd);
     let text = inferred.serialize();
     assert!(
-        text.contains("<!ELEMENT book (title, author+, year, (publisher | self-published), price?)>"),
+        text.contains(
+            "<!ELEMENT book (title, author+, year, (publisher | self-published), price?)>"
+        ),
         "{text}"
     );
     assert!(text.contains("<!ATTLIST book id ID #REQUIRED>"), "{text}");

@@ -16,11 +16,7 @@ use dtdinfer_regex::alphabet::{numbered_alphabet, Sym};
 use dtdinfer_regex::classify::is_sore;
 
 /// Builds the SOA selected by the bit mask over the given edge menu.
-fn build(
-    syms: &[Sym],
-    mask: u32,
-    menu: &[(Option<Sym>, Option<Sym>)],
-) -> Soa {
+fn build(syms: &[Sym], mask: u32, menu: &[(Option<Sym>, Option<Sym>)]) -> Soa {
     let mut soa = Soa::new();
     for &s in syms {
         // States only exist when referenced by an edge; track separately.
@@ -92,7 +88,8 @@ fn check_soa(soa: &Soa) {
         }
     }
     // The restricted (paper) configuration obeys Theorem 2 as well.
-    if let InferredModel::Regex(r) = dtdinfer_core::idtd::idtd_with(soa, IdtdConfig::paper_faithful())
+    if let InferredModel::Regex(r) =
+        dtdinfer_core::idtd::idtd_with(soa, IdtdConfig::paper_faithful())
     {
         assert!(is_sore(&r));
         assert!(

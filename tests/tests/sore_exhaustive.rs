@@ -35,8 +35,7 @@ fn enumerate_sores(syms: &[Sym]) -> Vec<Regex> {
             if partition.len() < 2 {
                 continue;
             }
-            let group_choices: Vec<Vec<Regex>> =
-                partition.iter().map(|g| go(g)).collect();
+            let group_choices: Vec<Vec<Regex>> = partition.iter().map(|g| go(g)).collect();
             let mut idx = vec![0usize; group_choices.len()];
             loop {
                 let parts: Vec<Regex> = group_choices
@@ -136,8 +135,14 @@ fn theorem1_exhaustive_two_symbols() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with --release"
+)]
 fn theorem1_exhaustive_three_symbols() {
     let n = check(3);
-    assert!(n > 1000, "only {n} distinct normalized SOREs over 3 symbols");
+    assert!(
+        n > 1000,
+        "only {n} distinct normalized SOREs over 3 symbols"
+    );
 }

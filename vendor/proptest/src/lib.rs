@@ -1,0 +1,445 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use — [`Strategy`] with `prop_map`/`prop_recursive`, [`Just`],
+//! ranges and tuples as strategies, `prop::collection::vec`, simple
+//! regex-pattern string strategies, and the [`proptest!`] /
+//! [`prop_oneof!`] / [`prop_assert!`] macros — backed by a seeded
+//! deterministic RNG. No shrinking: a failing case panics with the
+//! generated inputs in the assertion message, and runs are reproducible
+//! because seeds derive from the case index alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Deterministic RNG handed to strategies by the [`proptest!`] runner.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Generator for the `case`-th test case (stable across runs).
+    pub fn for_case(case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            0x70726f70_u64 ^ case.wrapping_mul(0x9e3779b97f4a7c15),
+        ))
+    }
+
+    fn gen_index(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    fn gen_usize(&mut self, lo: usize, hi_incl: usize) -> usize {
+        self.0.gen_range(lo..=hi_incl)
+    }
+
+    fn gen_bool(&mut self) -> bool {
+        self.0.gen_bool(0.5)
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `recurse` builds one level on top of the
+    /// previous one; `depth` bounds the nesting. The size/branch hints of
+    /// the real API are accepted and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let base = self.clone().boxed();
+            let level = recurse(strat).boxed();
+            strat = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.gen_bool() {
+                    base.new_value(rng)
+                } else {
+                    level.new_value(rng)
+                }
+            }));
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.new_value(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives ([`prop_oneof!`] backend).
+pub struct OneOf<T>(pub Rc<Vec<BoxedStrategy<T>>>);
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_index(self.0.len());
+        self.0[i].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// String strategies from a small regex-pattern subset: `.{lo,hi}` (any
+/// printable char, no newline) and `\PC{lo,hi}` (printable non-control),
+/// the two shapes the workspace's robustness tests use. Unrecognized
+/// patterns generate themselves literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = match self.find('{').and_then(|open| {
+            let close = self.rfind('}')?;
+            let body = &self[open + 1..close];
+            let (a, b) = body.split_once(',')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        }) {
+            Some(bounds) => bounds,
+            None => return (*self).to_owned(),
+        };
+        // Char pool: ASCII printable (includes markup metacharacters the
+        // XML/regex fuzz tests care about) plus a few multibyte scalars.
+        const EXTRA: &[char] = &['é', 'Ω', '中', '🦀', '«', '»', 'ß'];
+        let len = rng.gen_usize(lo, hi);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            if rng.gen_index(8) == 0 {
+                out.push(EXTRA[rng.gen_index(EXTRA.len())]);
+            } else {
+                out.push(char::from(rng.gen_index(95) as u8 + 0x20));
+            }
+        }
+        out
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Sub-strategy namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Inclusive size bounds for generated collections.
+        #[derive(Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        /// Generates `Vec`s of values drawn from `element`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_usize(self.size.lo, self.size.hi);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec`: a vector strategy.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Supports the `#![proptest_config(expr)]` header and any number of
+/// `fn name(pat in strategy, ...) { body }` items (attributes and doc
+/// comments on the items are preserved).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    (@items ($cfg:expr)) => {};
+    (@items ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut prop_rng = $crate::TestRng::for_case(case as u64);
+                $(let $pat = $crate::Strategy::new_value(&($strat), &mut prop_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(std::rc::Rc::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ]))
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0u32..5, 5u32..10).prop_map(|(x, y)| (x, y))) {
+            prop_assert!(a < 5 && (5..10).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..3, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn oneof_covers(x in prop_oneof![Just(1u32), Just(2u32)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn recursion_bounded(t in Just(Tree::Leaf(0)).boxed().prop_recursive(
+            3, 16, 2,
+            |inner| prop::collection::vec(inner, 1..3).prop_map(Tree::Node),
+        )) {
+            prop_assert!(depth(&t) <= 3);
+        }
+
+        #[test]
+        fn string_patterns(s in ".{0,40}", t in "\\PC{2,8}") {
+            prop_assert!(s.chars().count() <= 40);
+            let n = t.chars().count();
+            prop_assert!((2..=8).contains(&n), "{t:?}");
+            prop_assert!(!t.chars().any(char::is_control));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = prop::collection::vec(0u32..1000, 5..10);
+        let a: Vec<_> = (0..20)
+            .map(|c| s.new_value(&mut crate::TestRng::for_case(c)))
+            .collect();
+        let b: Vec<_> = (0..20)
+            .map(|c| s.new_value(&mut crate::TestRng::for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
