@@ -91,6 +91,39 @@ impl Soa {
         }
     }
 
+    /// Merges `other` into this automaton: the result is the SOA of the
+    /// smallest 2-testable language containing both languages (componentwise
+    /// union of the `(I, F, S, ε)` characterization).
+    ///
+    /// Because 2T-INF is itself a union of per-word contributions,
+    /// `merge(learn(A), learn(B)) == learn(A ∪ B)` — the property that makes
+    /// sharded corpus ingestion exact: shard-local automata merged in any
+    /// order equal the sequential automaton.
+    pub fn merge(&mut self, other: &Soa) {
+        self.states.extend(other.states.iter().copied());
+        self.edges.extend(other.edges.iter().copied());
+        self.initial.extend(other.initial.iter().copied());
+        self.finals.extend(other.finals.iter().copied());
+        self.accepts_empty |= other.accepts_empty;
+        dtdinfer_obs::count("automata.soa.merges", 1);
+    }
+
+    /// Rebuilds the automaton under a symbol translation (used when merging
+    /// automata built over different [`Alphabet`]s: translate into the
+    /// target alphabet first, then [`Soa::merge`]).
+    ///
+    /// `f` must be injective on this automaton's states; otherwise distinct
+    /// states would collapse and the language would grow.
+    pub fn remap(&self, mut f: impl FnMut(Sym) -> Sym) -> Soa {
+        Soa {
+            states: self.states.iter().map(|&s| f(s)).collect(),
+            edges: self.edges.iter().map(|&(a, b)| (f(a), f(b))).collect(),
+            initial: self.initial.iter().map(|&s| f(s)).collect(),
+            finals: self.finals.iter().map(|&s| f(s)).collect(),
+            accepts_empty: self.accepts_empty,
+        }
+    }
+
     /// Builds an SOA from an explicit `(I, F, S)` triple.
     pub fn from_parts(
         initial: impl IntoIterator<Item = Sym>,
@@ -388,6 +421,50 @@ mod tests {
         assert_eq!(succ_b, vec![s("c"), s("d")]);
         let pred_b: Vec<Sym> = soa.pred(s("b")).collect();
         assert_eq!(pred_b, vec![s("a")]);
+    }
+
+    #[test]
+    fn merge_equals_learning_the_union() {
+        let mut al = Alphabet::new();
+        let all = sample(&mut al, &["bacacdacde", "cbacdbacde", "abccaadcde", ""]);
+        let whole = Soa::learn(&all);
+        // Every 2-way split merges back to the automaton of the union.
+        for cut in 0..=all.len() {
+            let mut left = Soa::learn(&all[..cut]);
+            let right = Soa::learn(&all[cut..]);
+            left.merge(&right);
+            assert_eq!(left, whole, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let mut al = Alphabet::new();
+        let a = Soa::learn(&sample(&mut al, &["abc", "ca"]));
+        let b = Soa::learn(&sample(&mut al, &["bb", "c"]));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut again = ab.clone();
+        again.merge(&ab.clone());
+        assert_eq!(again, ab);
+    }
+
+    #[test]
+    fn remap_translates_every_component() {
+        let mut al = Alphabet::new();
+        let soa = Soa::learn(&sample(&mut al, &["ab", ""]));
+        // Shift all ids by 10.
+        let shifted = soa.remap(|s| Sym(s.0 + 10));
+        assert!(shifted.accepts_empty);
+        assert_eq!(shifted.num_states(), soa.num_states());
+        assert_eq!(shifted.num_edges(), soa.num_edges());
+        assert!(shifted.accepts(&[Sym(10), Sym(11)]));
+        assert!(!shifted.accepts(&al.word_from_chars("ab")));
+        // Remapping back round-trips.
+        assert_eq!(shifted.remap(|s| Sym(s.0 - 10)), soa);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Worker-pool scaling benchmark: ingest a synthetic corpus with 1, 2, 4,
+//! and 8 shards and report wall-clock speedup over the sequential run.
+//!
+//! ```sh
+//! cargo run --release -p dtdinfer-bench --bin scaling            # 10k docs
+//! cargo run --release -p dtdinfer-bench --bin scaling -- --quick # CI-sized
+//! cargo run --release -p dtdinfer-bench --bin scaling -- --docs 50000
+//! ```
+//!
+//! Besides timing, every run checks that the DTD derived from each worker
+//! count is byte-identical to the sequential one — the engine's core
+//! guarantee — and fails loudly if not. Speedups are whatever the host
+//! actually delivers: on a single-core machine the parallel runs only add
+//! scheduling and merge overhead, and the table will honestly say so.
+
+use dtdinfer_engine::pool::ingest;
+use dtdinfer_xml::infer::InferenceEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One synthetic "publication record" document. The shape exercises every
+/// engine path: nested element structure, optional/repeated children,
+/// attributes, text content, and an occasional empty element.
+fn document(rng: &mut StdRng, i: usize) -> String {
+    let mut doc = String::with_capacity(512);
+    doc.push_str(&format!("<library id=\"L{i}\">"));
+    for _ in 0..rng.gen_range(1..=4) {
+        doc.push_str("<book>");
+        doc.push_str(&format!("<title>Volume {}</title>", rng.gen_range(1..500)));
+        for a in 0..rng.gen_range(1..=3) {
+            doc.push_str(&format!("<author>Writer {a}</author>"));
+        }
+        doc.push_str(&format!("<year>{}</year>", rng.gen_range(1950..2026)));
+        if rng.gen_bool(0.7) {
+            doc.push_str(&format!(
+                "<publisher>House {}</publisher>",
+                rng.gen_range(0..20)
+            ));
+        } else {
+            doc.push_str("<self-published/>");
+        }
+        if rng.gen_bool(0.5) {
+            doc.push_str(&format!("<price>{}.99</price>", rng.gen_range(5..80)));
+        }
+        doc.push_str("</book>");
+    }
+    doc.push_str("</library>");
+    doc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut docs = 10_000usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => docs = 500,
+            "--docs" => {
+                docs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--docs needs a number");
+            }
+            other => {
+                eprintln!("usage: scaling [--quick | --docs N] (unknown {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let corpus: Vec<String> = (0..docs).map(|i| document(&mut rng, i)).collect();
+    let bytes: usize = corpus.iter().map(String::len).sum();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "scaling: {docs} documents, {:.1} MiB, {cores} core(s) available",
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>10}",
+        "jobs", "ingest", "merge", "speedup", "identical"
+    );
+
+    let mut baseline: Option<(f64, String)> = None;
+    for jobs in [1usize, 2, 4, 8] {
+        let started = Instant::now();
+        let ingested = ingest(&corpus, jobs).expect("synthetic corpus parses");
+        let elapsed = started.elapsed().as_secs_f64();
+        let dtd = ingested.state.derive(InferenceEngine::Idtd).0.serialize();
+        let (base_secs, base_dtd) = baseline.get_or_insert((elapsed, dtd.clone()));
+        let identical = dtd == *base_dtd;
+        println!(
+            "{jobs:>5} {:>12} {:>12} {:>8.2}x {:>10}",
+            format!("{:.0} ms", elapsed * 1e3),
+            format!("{:.1} ms", ingested.merge_ns as f64 / 1e6),
+            *base_secs / elapsed,
+            if identical { "yes" } else { "NO" },
+        );
+        assert!(identical, "jobs {jobs} derived a different DTD");
+    }
+    if cores == 1 {
+        println!("note: single-core host; speedups above reflect overhead only");
+    }
+}

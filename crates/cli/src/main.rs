@@ -1,8 +1,9 @@
 //! The `dtdinfer` command-line tool.
 //!
 //! ```text
-//! dtdinfer infer [--engine crx|idtd|idtd-noise:<N>] [--xsd] [--numeric <N>] FILE...
-//! dtdinfer stats [--engine ...] FILE...  (per-element derivation report)
+//! dtdinfer infer [--engine crx|idtd|idtd-noise:<N>] [--jobs N] [--xsd] [--numeric <N>] FILE...
+//! dtdinfer stats [--engine ...] [--jobs N] FILE...  (per-element derivation report)
+//! dtdinfer snapshot save|load|update     (persist engine state, warm-start)
 //! dtdinfer validate --dtd SCHEMA.dtd FILE...
 //! dtdinfer sample [--count N] [--seed S] 'EXPRESSION'
 //! dtdinfer learn [--engine ...] [--render dtd|paper]  (words on stdin)
@@ -14,6 +15,8 @@
 
 use dtdinfer_core::crx::crx;
 use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_engine::pool::{ingest, ingest_into, Ingest, IngestError};
+use dtdinfer_engine::{snapshot, EngineState};
 use dtdinfer_regex::alphabet::{Alphabet, Word};
 use dtdinfer_xml::dtd::Dtd;
 use dtdinfer_xml::extract::Corpus;
@@ -111,6 +114,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("infer") => cmd_infer(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("learn") => cmd_learn(&args[1..]),
@@ -144,10 +148,24 @@ USAGE:
                                         may depend on the parent element
       --numeric <N>                     tighten ?/+/* to numeric bounds
                                         (unbounded above N occurrences)
+      --jobs <N>                        shard the corpus across N worker
+                                        threads; output is byte-identical
+                                        for every N
   dtdinfer stats [OPTIONS] FILE...      per-element derivation report:
                                         engine used, sample size, repairs,
                                         expression size, time
       --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --jobs <N>                        shard ingestion; also prints a
+                                        per-shard summary and merge time
+  dtdinfer snapshot save --out SNAP [--jobs N] FILE...
+                                        ingest XML and persist the engine
+                                        state as a versioned snapshot
+  dtdinfer snapshot load [--engine E] [--xsd] SNAP
+                                        derive a DTD (or XSD) from a
+                                        snapshot without re-reading XML
+  dtdinfer snapshot update [--jobs N] SNAP FILE...
+                                        warm start: absorb more documents
+                                        into a snapshot and rewrite it
   dtdinfer validate --dtd S.dtd FILE... validate XML files against a DTD
       --lint                            also check the DTD itself for
                                         non-deterministic content models
@@ -169,7 +187,7 @@ USAGE:
                                         (schema cleaning: find where the
                                         second is stricter/looser)
 
-OBSERVABILITY (infer, stats, learn):
+OBSERVABILITY (infer, stats, snapshot, learn):
       --metrics <FILE|->                write pipeline counters and timing
                                         histograms as one JSON line
       --trace <FILE|->                  write spans and events as JSON lines
@@ -197,6 +215,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     let mut xsd = false;
     let mut contextual = false;
     let mut numeric: Option<u32> = None;
+    let mut jobs: Option<usize> = None;
     let mut obs = ObsOptions::default();
     let mut files = Vec::new();
     let mut it = args.iter();
@@ -212,6 +231,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--numeric needs a value")?;
                 numeric = Some(v.parse().map_err(|e| format!("bad --numeric: {e}"))?);
             }
+            "--jobs" => jobs = Some(parse_jobs(it.next())?),
             a if obs.take(a, &mut it)? => {}
             f if f.starts_with('-') => {
                 return Err(format!("unknown option {f:?} (try --help)"));
@@ -221,6 +241,50 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     }
     if files.is_empty() {
         return Err("no input files".to_owned());
+    }
+    if let Some(jobs) = jobs {
+        if contextual {
+            return Err("--contextual does not support --jobs yet".to_owned());
+        }
+        if numeric.is_some() {
+            return Err(
+                "--numeric needs the full child sequences, which the sharded engine \
+                 does not retain; drop --jobs to use it"
+                    .to_owned(),
+            );
+        }
+        obs.activate();
+        let docs = read_documents(&files, &obs)?;
+        let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
+        let (dtd, reports) = ingested.state.derive(engine);
+        if obs.verbose {
+            for r in &reports {
+                eprintln!(
+                    "dtdinfer: element {} engine={} words={} repairs={} in {}",
+                    r.name,
+                    r.engine,
+                    r.words,
+                    r.repairs,
+                    fmt_ns(r.duration_ns)
+                );
+            }
+        }
+        if xsd {
+            let facts = ingested.state.facts_corpus();
+            print!(
+                "{}",
+                generate_xsd(
+                    &dtd,
+                    Some(&facts),
+                    XsdOptions {
+                        numeric_threshold: None,
+                    }
+                )
+            );
+        } else {
+            print!("{}", dtd.serialize());
+        }
+        return obs.finish();
     }
     obs.activate();
     if contextual {
@@ -295,6 +359,40 @@ fn read_corpus(files: &[String], obs: &ObsOptions) -> Result<Corpus, String> {
     Ok(corpus)
 }
 
+fn parse_jobs(value: Option<&String>) -> Result<usize, String> {
+    let jobs: usize = value
+        .ok_or("--jobs needs a value")?
+        .parse()
+        .map_err(|e| format!("bad --jobs: {e}"))?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".to_owned());
+    }
+    Ok(jobs)
+}
+
+/// Reads every input file into memory for the sharded engine, with `-v`
+/// progress.
+fn read_documents(files: &[String], obs: &ObsOptions) -> Result<Vec<String>, String> {
+    files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+            if obs.verbose {
+                eprintln!("dtdinfer: read {f}");
+            }
+            Ok(text)
+        })
+        .collect()
+}
+
+/// Maps an ingestion error's document index back to the input file name.
+fn attribute_error(files: &[String], e: IngestError) -> String {
+    match files.get(e.doc_index) {
+        Some(f) => format!("{f}: {}", e.error),
+        None => e.to_string(),
+    }
+}
+
 /// Adaptive duration rendering for report tables (ns → µs → ms → s).
 fn fmt_ns(ns: u64) -> String {
     match ns {
@@ -308,6 +406,7 @@ fn fmt_ns(ns: u64) -> String {
 /// `dtdinfer stats FILE...` — the per-element derivation report.
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let mut engine = InferenceEngine::Idtd;
+    let mut jobs: Option<usize> = None;
     let mut obs = ObsOptions::default();
     let mut files = Vec::new();
     let mut it = args.iter();
@@ -317,6 +416,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--engine needs a value")?;
                 engine = parse_engine(v)?;
             }
+            "--jobs" => jobs = Some(parse_jobs(it.next())?),
             a if obs.take(a, &mut it)? => {}
             f if f.starts_with('-') => {
                 return Err(format!("unknown option {f:?} (try --help)"));
@@ -328,13 +428,35 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         return Err("no input files".to_owned());
     }
     obs.activate();
+    if let Some(jobs) = jobs {
+        let docs = read_documents(&files, &obs)?;
+        let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
+        let (_, reports) = ingested.state.derive(engine);
+        print_stats(ingested.state.num_documents, &reports);
+        print_shards(&ingested);
+        return obs.finish();
+    }
     let corpus = read_corpus(&files, &obs)?;
     let (_, reports) = infer_dtd_with_stats(&corpus, engine);
-    print_stats(&corpus, &reports);
+    print_stats(corpus.num_documents, &reports);
     obs.finish()
 }
 
-fn print_stats(corpus: &Corpus, reports: &[ElementReport]) {
+/// The per-shard ingestion summary for `stats --jobs N`.
+fn print_shards(ingested: &Ingest) {
+    for s in &ingested.shards {
+        println!(
+            "shard {}: {} document(s), {} word(s), ingest {}",
+            s.shard,
+            s.documents,
+            s.words,
+            fmt_ns(s.duration_ns)
+        );
+    }
+    println!("shard merge {}", fmt_ns(ingested.merge_ns));
+}
+
+fn print_stats(num_documents: u64, reports: &[ElementReport]) {
     println!(
         "{:<24} {:>8} {:>7} {:>9} {:>8} {:>5} {:>10}",
         "element", "engine", "words", "rewrites", "repairs", "size", "time"
@@ -360,11 +482,148 @@ fn print_stats(corpus: &Corpus, reports: &[ElementReport]) {
         total_ns += r.duration_ns;
     }
     println!(
-        "{} document(s), {} element(s), inference {}",
-        corpus.num_documents,
+        "{num_documents} document(s), {} element(s), inference {}",
         reports.len(),
         fmt_ns(total_ns)
     );
+}
+
+/// `dtdinfer snapshot save|load|update` — persist engine state (§9:
+/// the learner's internal representation is its complete memory) and
+/// warm-start later runs from it.
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("save") => cmd_snapshot_save(&args[1..]),
+        Some("load") => cmd_snapshot_load(&args[1..]),
+        Some("update") => cmd_snapshot_update(&args[1..]),
+        _ => Err("usage: dtdinfer snapshot save|load|update ... (try --help)".to_owned()),
+    }
+}
+
+/// `dtdinfer snapshot save --out SNAP [--jobs N] FILE...`
+fn cmd_snapshot_save(args: &[String]) -> Result<(), String> {
+    let mut out: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut obs = ObsOptions::default();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.to_owned()),
+            "--jobs" => jobs = parse_jobs(it.next())?,
+            a if obs.take(a, &mut it)? => {}
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
+            f => files.push(f.to_owned()),
+        }
+    }
+    let out = out.ok_or("--out is required")?;
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    obs.activate();
+    let docs = read_documents(&files, &obs)?;
+    let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
+    let text = snapshot::save(&ingested.state);
+    std::fs::write(&out, &text).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "{out}: {} document(s), {} element(s), {} bytes",
+        ingested.state.num_documents,
+        ingested.state.elements.len(),
+        text.len()
+    );
+    obs.finish()
+}
+
+/// Reads and parses a snapshot file.
+fn read_snapshot(path: &str) -> Result<EngineState, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    snapshot::load(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `dtdinfer snapshot load [--engine E] [--xsd] SNAP` — derive a schema
+/// from persisted state without re-reading any XML.
+fn cmd_snapshot_load(args: &[String]) -> Result<(), String> {
+    let mut engine = InferenceEngine::Idtd;
+    let mut xsd = false;
+    let mut obs = ObsOptions::default();
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                engine = parse_engine(v)?;
+            }
+            "--xsd" => xsd = true,
+            a if obs.take(a, &mut it)? => {}
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
+            f => paths.push(f.to_owned()),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        return Err("exactly one snapshot file is required".to_owned());
+    };
+    obs.activate();
+    let state = read_snapshot(path)?;
+    let (dtd, _) = state.derive(engine);
+    if xsd {
+        let facts = state.facts_corpus();
+        print!(
+            "{}",
+            generate_xsd(
+                &dtd,
+                Some(&facts),
+                XsdOptions {
+                    numeric_threshold: None,
+                }
+            )
+        );
+    } else {
+        print!("{}", dtd.serialize());
+    }
+    obs.finish()
+}
+
+/// `dtdinfer snapshot update [--jobs N] SNAP FILE...` — warm start:
+/// absorb more documents into persisted state and write it back.
+fn cmd_snapshot_update(args: &[String]) -> Result<(), String> {
+    let mut jobs = 1usize;
+    let mut obs = ObsOptions::default();
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => jobs = parse_jobs(it.next())?,
+            a if obs.take(a, &mut it)? => {}
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
+            f => paths.push(f.to_owned()),
+        }
+    }
+    let [snap, files @ ..] = paths.as_slice() else {
+        return Err("usage: dtdinfer snapshot update [--jobs N] SNAP FILE...".to_owned());
+    };
+    if files.is_empty() {
+        return Err("no input files to absorb".to_owned());
+    }
+    obs.activate();
+    let base = read_snapshot(snap)?;
+    let docs = read_documents(files, &obs)?;
+    let ingested = ingest_into(base, &docs, jobs).map_err(|e| attribute_error(files, e))?;
+    let text = snapshot::save(&ingested.state);
+    std::fs::write(snap, &text).map_err(|e| format!("{snap}: {e}"))?;
+    println!(
+        "{snap}: {} document(s), {} element(s), {} bytes",
+        ingested.state.num_documents,
+        ingested.state.elements.len(),
+        text.len()
+    );
+    obs.finish()
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {

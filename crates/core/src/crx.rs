@@ -32,15 +32,18 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// This is the "internal representation" the incremental-computation
 /// extension of §9 keeps per element name; `absorb` folds in new words and
 /// `infer` recomputes the CHARE at any point.
+/// Every component is a set, a multiset, or a count, so the state is
+/// invariant under permutation of the absorbed words and two states can be
+/// [merged](CrxState::merge) in any order — the property the sharded
+/// ingestion engine relies on. Ties (topological order, members of a
+/// disjunction) are broken by `Sym` order, which equals first-occurrence
+/// order whenever the alphabet was interned from the same word stream.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrxState {
     /// 2-gram successor relation `→W`.
     edges: BTreeSet<(Sym, Sym)>,
     /// All symbols seen.
     syms: BTreeSet<Sym>,
-    /// First occurrence (word index, position) per symbol — used to make
-    /// the topological sort deterministic and corpus-faithful.
-    first_seen: BTreeMap<Sym, (usize, usize)>,
     /// Occurrence-count vector per word (sorted sparse), with multiplicity.
     count_vectors: BTreeMap<Vec<(Sym, u32)>, usize>,
     /// Total number of words absorbed.
@@ -55,12 +58,10 @@ impl CrxState {
 
     /// Folds one word into the state.
     pub fn absorb(&mut self, w: &Word) {
-        let word_idx = self.num_words;
         self.num_words += 1;
         let mut counts: BTreeMap<Sym, u32> = BTreeMap::new();
-        for (pos, &s) in w.iter().enumerate() {
+        for &s in w {
             self.syms.insert(s);
-            self.first_seen.entry(s).or_insert((word_idx, pos));
             *counts.entry(s).or_insert(0) += 1;
         }
         for pair in w.windows(2) {
@@ -73,6 +74,45 @@ impl CrxState {
     /// Number of words absorbed so far.
     pub fn num_words(&self) -> usize {
         self.num_words
+    }
+
+    /// Whether any non-empty word was absorbed (the element has children).
+    pub fn has_symbols(&self) -> bool {
+        !self.syms.is_empty()
+    }
+
+    /// Merges another state in: the result equals absorbing both word
+    /// multisets into one state, in any order. This is the CRX counterpart
+    /// of `Soa::merge` for sharded ingestion — the summary of §7 is a union
+    /// of per-word contributions, so shard-local summaries lose nothing.
+    pub fn merge(&mut self, other: &CrxState) {
+        self.edges.extend(other.edges.iter().copied());
+        self.syms.extend(other.syms.iter().copied());
+        for (vector, &mult) in &other.count_vectors {
+            *self.count_vectors.entry(vector.clone()).or_insert(0) += mult;
+        }
+        self.num_words += other.num_words;
+        dtdinfer_obs::count("core.crx.merges", 1);
+    }
+
+    /// Rebuilds the state under a symbol translation (for merging states
+    /// built over different alphabets). `f` must be injective on the
+    /// state's symbols.
+    pub fn remap(&self, mut f: impl FnMut(Sym) -> Sym) -> CrxState {
+        CrxState {
+            edges: self.edges.iter().map(|&(a, b)| (f(a), f(b))).collect(),
+            syms: self.syms.iter().map(|&s| f(s)).collect(),
+            count_vectors: self
+                .count_vectors
+                .iter()
+                .map(|(vector, &mult)| {
+                    let mut v: Vec<(Sym, u32)> = vector.iter().map(|&(s, c)| (f(s), c)).collect();
+                    v.sort_unstable();
+                    (v, mult)
+                })
+                .collect(),
+            num_words: self.num_words,
+        }
     }
 
     /// Runs steps 1–4 of Algorithm 3 on the accumulated state.
@@ -164,17 +204,13 @@ impl CrxState {
             }
         }
 
-        // Step 4: topological sort, deterministic by earliest first
-        // occurrence in the corpus among class members.
-        let class_key = |ci: usize| -> (usize, usize) {
-            classes[ci]
-                .iter()
-                .map(|s| self.first_seen[s])
-                .min()
-                .expect("non-empty class")
-        };
+        // Step 4: topological sort, deterministic by smallest symbol among
+        // class members (= first corpus occurrence when the alphabet was
+        // interned from the same word stream).
+        let class_key =
+            |ci: usize| -> Sym { classes[ci].iter().min().copied().expect("non-empty class") };
         let mut indeg: Vec<usize> = (0..classes.len()).map(|ci| dag_pred[ci].len()).collect();
-        let mut ready: BTreeSet<((usize, usize), usize)> = (0..classes.len())
+        let mut ready: BTreeSet<(Sym, usize)> = (0..classes.len())
             .filter(|&ci| alive[ci] && indeg[ci] == 0)
             .map(|ci| (class_key(ci), ci))
             .collect();
@@ -213,10 +249,9 @@ impl CrxState {
                     (1.., 2..) => ChareModifier::Plus,
                     _ => ChareModifier::Star,
                 };
-                // Order alternatives by first corpus occurrence so the
-                // rendering is stable and corpus-faithful.
-                let mut syms: Vec<Sym> = class.iter().copied().collect();
-                syms.sort_by_key(|s| self.first_seen[s]);
+                // Alternatives in symbol order: stable, and faithful to
+                // first corpus occurrence for stream-interned alphabets.
+                let syms: Vec<Sym> = class.iter().copied().collect();
                 ChareFactor { syms, modifier }
             })
             .collect();
@@ -228,13 +263,15 @@ impl CrxState {
     /// incremental workflow can persist CRX state between sessions (the
     /// counterpart of `Soa::to_text` for iDTD).
     ///
-    /// Records: `words N`, `sym NAME FIRST_WORD FIRST_POS`,
-    /// `edge NAME NAME`, `vec MULTIPLICITY NAME=COUNT …`.
+    /// Records: `words N`, `sym NAME`, `edge NAME NAME`,
+    /// `vec MULTIPLICITY NAME=COUNT …`. (Older files carrying first-seen
+    /// positions after the `sym` name still parse; the extra fields are
+    /// ignored.)
     pub fn to_text(&self, alphabet: &dtdinfer_regex::alphabet::Alphabet) -> String {
         let mut out = String::from("#dtdinfer-crx v1\n");
         out.push_str(&format!("words {}\n", self.num_words));
-        for (&s, &(w, p)) in &self.first_seen {
-            out.push_str(&format!("sym {} {w} {p}\n", alphabet.name(s)));
+        for &s in &self.syms {
+            out.push_str(&format!("sym {}\n", alphabet.name(s)));
         }
         for &(a, b) in &self.edges {
             out.push_str(&format!("edge {} {}\n", alphabet.name(a), alphabet.name(b)));
@@ -271,17 +308,8 @@ impl CrxState {
                 }
                 "sym" => {
                     let name = parts.next().ok_or_else(|| err("missing name"))?;
-                    let w: usize = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| err("bad first-seen word"))?;
-                    let p: usize = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| err("bad first-seen position"))?;
-                    let s = alphabet.intern(name);
-                    state.syms.insert(s);
-                    state.first_seen.insert(s, (w, p));
+                    // Legacy first-seen fields after the name are ignored.
+                    state.syms.insert(alphabet.intern(name));
                 }
                 "edge" => {
                     let a = alphabet.intern(parts.next().ok_or_else(|| err("missing name"))?);
@@ -639,8 +667,62 @@ mod tests {
         let mut al = Alphabet::new();
         assert!(CrxState::from_text("nonsense", &mut al).is_err());
         assert!(CrxState::from_text("vec x", &mut al).is_err());
-        assert!(CrxState::from_text("sym a 0", &mut al).is_err());
+        assert!(CrxState::from_text("sym", &mut al).is_err());
+        assert!(CrxState::from_text("edge a", &mut al).is_err());
         assert!(CrxState::from_text("#ok\nwords 3\n", &mut al).is_ok());
+        // Legacy files carrying first-seen fields still parse.
+        assert!(CrxState::from_text("sym a 0 2\n", &mut al).is_ok());
+    }
+
+    #[test]
+    fn merge_equals_absorbing_everything() {
+        let words = ["abccde", "cccad", "bfegg", "bfehi", ""];
+        let mut al = Alphabet::new();
+        let ws: Vec<Word> = words.iter().map(|w| al.word_from_chars(w)).collect();
+        let mut whole = CrxState::new();
+        for w in &ws {
+            whole.absorb(w);
+        }
+        for cut in 0..=ws.len() {
+            let mut left = CrxState::new();
+            for w in &ws[..cut] {
+                left.absorb(w);
+            }
+            let mut right = CrxState::new();
+            for w in &ws[cut..] {
+                right.absorb(w);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "cut at {cut}");
+            assert_eq!(left.infer(), whole.infer());
+        }
+    }
+
+    #[test]
+    fn state_is_word_order_invariant() {
+        let words = ["abd", "bcdee", "cade", "", "abd"];
+        let mut al = Alphabet::new();
+        let ws: Vec<Word> = words.iter().map(|w| al.word_from_chars(w)).collect();
+        let mut forward = CrxState::new();
+        ws.iter().for_each(|w| forward.absorb(w));
+        let mut backward = CrxState::new();
+        ws.iter().rev().for_each(|w| backward.absorb(w));
+        assert_eq!(forward, backward);
+        assert_eq!(forward.infer(), backward.infer());
+    }
+
+    #[test]
+    fn remap_preserves_inference_modulo_renaming() {
+        let mut al = Alphabet::new();
+        let ws: Vec<Word> = ["abd", "bcdee", "cade"]
+            .iter()
+            .map(|w| al.word_from_chars(w))
+            .collect();
+        let mut state = CrxState::new();
+        ws.iter().for_each(|w| state.absorb(w));
+        let shifted = state.remap(|s| Sym(s.0 + 7));
+        assert_eq!(shifted.num_words(), state.num_words());
+        assert_eq!(shifted.remap(|s| Sym(s.0 - 7)), state);
     }
 
     #[test]

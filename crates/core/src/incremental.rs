@@ -61,6 +61,23 @@ impl IncrementalSore {
         }
     }
 
+    /// Wraps an existing automaton (e.g. restored from a snapshot or built
+    /// by a shard worker).
+    pub fn from_soa(soa: Soa) -> Self {
+        Self {
+            soa,
+            cfg: IdtdConfig::default(),
+            cached: None,
+        }
+    }
+
+    /// Merges another shard's state in: the SOAs are unioned, so the result
+    /// equals having absorbed both word multisets into one state.
+    pub fn merge(&mut self, other: &IncrementalSore) {
+        self.soa.merge(other.soa());
+        self.cached = None;
+    }
+
     /// The current SORE (recomputed only when the SOA changed).
     pub fn infer(&mut self) -> InferredModel {
         if self.cached.is_none() {
@@ -86,6 +103,22 @@ impl IncrementalChare {
     /// An empty inference state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps an existing summary (e.g. restored from a snapshot or built
+    /// by a shard worker).
+    pub fn from_state(state: CrxState) -> Self {
+        Self {
+            state,
+            cached: None,
+        }
+    }
+
+    /// Merges another shard's summary in; equal to absorbing both word
+    /// multisets into one state, in any order.
+    pub fn merge(&mut self, other: &IncrementalChare) {
+        self.state.merge(other.state());
+        self.cached = None;
     }
 
     /// Absorbs one new word.
@@ -179,6 +212,31 @@ mod tests {
         inc.absorb(&ws[1]); // no new edges → cache preserved
         assert!(inc.cached.is_some());
         assert_eq!(inc.infer(), m1);
+    }
+
+    #[test]
+    fn sharded_merge_equals_sequential() {
+        let mut al = Alphabet::new();
+        let ws = words(&mut al, &["bacacdacde", "cbacdbacde", "abccaadcde", "bc"]);
+        for cut in 0..=ws.len() {
+            let mut sore_a = IncrementalSore::new();
+            sore_a.absorb_all(&ws[..cut]);
+            let mut sore_b = IncrementalSore::new();
+            sore_b.absorb_all(&ws[cut..]);
+            sore_a.merge(&sore_b);
+            let mut whole = IncrementalSore::new();
+            whole.absorb_all(&ws);
+            assert_eq!(sore_a.infer(), whole.infer(), "sore cut {cut}");
+
+            let mut chare_a = IncrementalChare::new();
+            chare_a.absorb_all(&ws[..cut]);
+            let mut chare_b = IncrementalChare::new();
+            chare_b.absorb_all(&ws[cut..]);
+            chare_a.merge(&chare_b);
+            let mut whole = IncrementalChare::new();
+            whole.absorb_all(&ws);
+            assert_eq!(chare_a.infer(), whole.infer(), "chare cut {cut}");
+        }
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! The sharded inference engine: a layer between XML extraction and the
+//! per-element learners that drives §9's incremental machinery at scale.
+//!
+//! The paper observes that both iDTD and CRX keep compact internal state —
+//! the SOA and the CHARE partial-order summary — so the generating XML can
+//! be discarded and schemas maintained as data "trickles in". This crate
+//! exploits a second consequence of that design: the state is a union of
+//! per-word contributions, so it can be built **in parallel**:
+//!
+//! 1. **Shard** — a std-only worker pool ([`pool::ingest`]) pulls documents
+//!    off a shared queue; each worker folds child-word multisets into a
+//!    shard-local [`EngineState`].
+//! 2. **Merge** — shard states are combined with [`EngineState::merge`]
+//!    (alphabets reconciled by name, automata unioned via `Soa::merge`,
+//!    CRX summaries and support counters added pointwise). Every merge is
+//!    commutative, so the result is independent of how documents were
+//!    distributed over shards.
+//! 3. **Derive** — [`EngineState::derive`] canonicalizes the alphabet
+//!    (name-sorted, making the output independent of document arrival
+//!    order) and runs the same per-element derivation as
+//!    `dtdinfer_xml::infer::infer_dtd_with_stats`, byte-for-byte.
+//!
+//! [`snapshot`] persists an [`EngineState`] as a versioned text file so a
+//! later run can warm-start and absorb only new documents.
+
+pub mod pool;
+pub mod snapshot;
+
+use dtdinfer_core::crx::CrxState;
+use dtdinfer_core::idtd::{idtd_traced, Event, IdtdConfig};
+use dtdinfer_core::model::InferredModel;
+use dtdinfer_core::noise::SupportSoa;
+use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
+use dtdinfer_xml::attlist::{infer_attdef, AttInferenceOptions};
+use dtdinfer_xml::dtd::{ContentSpec, Dtd};
+use dtdinfer_xml::extract::{Corpus, ElementFacts};
+use dtdinfer_xml::infer::{spec_size, ElementReport, InferenceEngine};
+use dtdinfer_xml::parser::{XmlError, XmlEvent, XmlPullParser};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Compact learner state for one element name: everything any of the three
+/// engines needs at derive time, none of the raw corpus.
+#[derive(Debug, Clone, Default)]
+pub struct ElementState {
+    /// Support-annotated SOA: serves iDTD (the plain automaton), the §9
+    /// noise treatment (edge supports), and mixed-content thresholds
+    /// (symbol supports). Its word count is the element's sample size.
+    pub support: SupportSoa,
+    /// CRX partial-order summary (§7), for the CHARE engine.
+    pub crx: CrxState,
+    /// Non-whitespace text chunks, for PCDATA detection and XSD datatypes.
+    pub text_samples: Vec<String>,
+    /// Attribute name → sample values.
+    pub attributes: BTreeMap<String, Vec<String>>,
+    /// Total occurrences across the corpus.
+    pub occurrences: u64,
+}
+
+impl ElementState {
+    /// Folds one child-name sequence into both learner summaries.
+    fn absorb_word(&mut self, w: &Word) {
+        self.support.absorb(w);
+        self.crx.absorb(w);
+    }
+
+    /// Merges another shard's state for the same element name.
+    fn merge(&mut self, other: &ElementState, mut f: impl FnMut(Sym) -> Sym) {
+        self.support.merge(&other.support.remap(&mut f));
+        self.crx.merge(&other.crx.remap(&mut f));
+        self.text_samples.extend(other.text_samples.iter().cloned());
+        for (attr, values) in &other.attributes {
+            self.attributes
+                .entry(attr.clone())
+                .or_default()
+                .extend(values.iter().cloned());
+        }
+        self.occurrences += other.occurrences;
+    }
+}
+
+/// The engine's whole-corpus state: one [`ElementState`] per element name
+/// plus root statistics. Unlike `Corpus`, memory is bounded by the schema
+/// (quadratic in the number of element names), not by the corpus.
+#[derive(Debug, Clone, Default)]
+pub struct EngineState {
+    /// Interned element names (shard-local interning order; derivation
+    /// canonicalizes).
+    pub alphabet: Alphabet,
+    /// Learner state per element name.
+    pub elements: BTreeMap<Sym, ElementState>,
+    /// Root elements observed, with counts.
+    pub roots: BTreeMap<Sym, u64>,
+    /// Documents absorbed.
+    pub num_documents: u64,
+}
+
+impl EngineState {
+    /// An empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses one document and folds its statistics in — the engine-side
+    /// twin of `Corpus::add_document`, absorbing each child-name sequence
+    /// into the compact learner state instead of retaining it.
+    pub fn absorb_document(&mut self, doc: &str) -> Result<(), XmlError> {
+        let mut parser = XmlPullParser::new(doc);
+        // Stack of (element symbol, children-so-far).
+        let mut stack: Vec<(Sym, Word)> = Vec::new();
+        let mut seen_root = false;
+        while let Some(event) = parser
+            .next()
+            .inspect_err(|_| dtdinfer_obs::count("engine.parse_errors", 1))?
+        {
+            match event {
+                XmlEvent::StartElement {
+                    name, attributes, ..
+                } => {
+                    let sym = self.alphabet.intern(&name);
+                    let state = self.elements.entry(sym).or_default();
+                    state.occurrences += 1;
+                    for (attr, value) in attributes {
+                        state.attributes.entry(attr).or_default().push(value);
+                    }
+                    if let Some((_, children)) = stack.last_mut() {
+                        children.push(sym);
+                    } else if !seen_root {
+                        seen_root = true;
+                        *self.roots.entry(sym).or_insert(0) += 1;
+                    }
+                    stack.push((sym, Word::new()));
+                }
+                XmlEvent::EndElement { .. } => {
+                    let (sym, children) = stack.pop().expect("parser checks balance");
+                    self.elements.entry(sym).or_default().absorb_word(&children);
+                }
+                XmlEvent::Text(text) => {
+                    let trimmed = text.trim();
+                    if !trimmed.is_empty() {
+                        if let Some(&mut (sym, _)) = stack.last_mut() {
+                            self.elements
+                                .entry(sym)
+                                .or_default()
+                                .text_samples
+                                .push(trimmed.to_owned());
+                        }
+                    }
+                }
+                XmlEvent::Comment(_)
+                | XmlEvent::ProcessingInstruction(_)
+                | XmlEvent::Doctype(_) => {}
+            }
+        }
+        self.num_documents += 1;
+        dtdinfer_obs::count("engine.documents", 1);
+        Ok(())
+    }
+
+    /// Merges another state in, reconciling the two alphabets by element
+    /// name. Commutative up to alphabet interning order, which
+    /// [`EngineState::derive`] canonicalizes away — so the merged result's
+    /// derived DTD does not depend on shard assignment or merge order.
+    pub fn merge(&mut self, other: &EngineState) {
+        let map: Vec<Sym> = other
+            .alphabet
+            .entries()
+            .map(|(_, name)| self.alphabet.intern(name))
+            .collect();
+        let f = |s: Sym| map[s.index()];
+        for (&sym, state) in &other.elements {
+            self.elements.entry(f(sym)).or_default().merge(state, f);
+        }
+        for (&root, &count) in &other.roots {
+            *self.roots.entry(f(root)).or_insert(0) += count;
+        }
+        self.num_documents += other.num_documents;
+        dtdinfer_obs::count("engine.merges", 1);
+    }
+
+    /// Total absorbed child-name sequences across all elements.
+    pub fn total_words(&self) -> u64 {
+        self.elements.values().map(|s| s.support.num_words()).sum()
+    }
+
+    /// The dominant root element; ties go to the smallest name (same rule
+    /// as `Corpus::root`).
+    pub fn root(&self) -> Option<Sym> {
+        self.roots
+            .iter()
+            .max_by(|a, b| {
+                a.1.cmp(b.1)
+                    .then_with(|| self.alphabet.name(*b.0).cmp(self.alphabet.name(*a.0)))
+            })
+            .map(|(&sym, _)| sym)
+    }
+
+    /// A copy re-interned over a name-sorted alphabet (the engine twin of
+    /// `Corpus::canonicalized`).
+    pub fn canonicalized(&self) -> EngineState {
+        let mut names: Vec<&str> = self.alphabet.entries().map(|(_, n)| n).collect();
+        if names.windows(2).all(|w| w[0] < w[1]) {
+            return self.clone();
+        }
+        names.sort_unstable();
+        let alphabet = Alphabet::from_names(names);
+        let map = |s: Sym| alphabet.get(self.alphabet.name(s)).expect("same name set");
+        let elements = self
+            .elements
+            .iter()
+            .map(|(&sym, state)| {
+                let mut remapped = ElementState {
+                    support: state.support.remap(map),
+                    crx: state.crx.remap(map),
+                    ..ElementState::default()
+                };
+                remapped.text_samples = state.text_samples.clone();
+                remapped.attributes = state.attributes.clone();
+                remapped.occurrences = state.occurrences;
+                (map(sym), remapped)
+            })
+            .collect();
+        let roots = self.roots.iter().map(|(&s, &c)| (map(s), c)).collect();
+        EngineState {
+            alphabet,
+            elements,
+            roots,
+            num_documents: self.num_documents,
+        }
+    }
+
+    /// Derives the DTD and per-element reports from the accumulated state.
+    /// Guaranteed (and test-enforced) to serialize byte-identically to
+    /// `infer_dtd_with_stats` over a corpus of the same documents, for
+    /// every engine.
+    pub fn derive(&self, engine: InferenceEngine) -> (Dtd, Vec<ElementReport>) {
+        let _span = dtdinfer_obs::span("engine.derive");
+        let state = self.canonicalized();
+        let mut dtd = Dtd {
+            alphabet: state.alphabet.clone(),
+            root: state.root(),
+            elements: Default::default(),
+            attlists: Default::default(),
+        };
+        let mut reports = Vec::with_capacity(state.elements.len());
+        for (&sym, element) in &state.elements {
+            let (spec, report) = derive_element(&state.alphabet, sym, element, engine);
+            if dtdinfer_obs::is_enabled() {
+                dtdinfer_obs::count_labeled("xml.engine", report.engine, 1);
+                dtdinfer_obs::observe("xml.element.expr_size", report.expr_size as u64);
+            }
+            dtd.elements.insert(sym, spec);
+            reports.push(report);
+            let defs: Vec<_> = element
+                .attributes
+                .iter()
+                .map(|(attr, values)| {
+                    infer_attdef(
+                        attr,
+                        values,
+                        element.occurrences,
+                        AttInferenceOptions::default(),
+                    )
+                })
+                .collect();
+            if !defs.is_empty() {
+                dtd.attlists.insert(sym, defs);
+            }
+        }
+        (dtd, reports)
+    }
+
+    /// A corpus view of the retained per-element facts (text samples,
+    /// attributes, occurrences) for XSD datatype inference. Child
+    /// sequences are *not* retained by the engine, so the view cannot
+    /// drive numeric tightening.
+    pub fn facts_corpus(&self) -> Corpus {
+        let mut corpus = Corpus::new();
+        corpus.alphabet = self.alphabet.clone();
+        corpus.roots = self.roots.clone();
+        corpus.num_documents = self.num_documents;
+        for (&sym, state) in &self.elements {
+            corpus.elements.insert(
+                sym,
+                ElementFacts {
+                    child_sequences: Vec::new(),
+                    text_samples: state.text_samples.clone(),
+                    attributes: state.attributes.clone(),
+                    occurrences: state.occurrences,
+                },
+            );
+        }
+        corpus
+    }
+}
+
+/// The per-element derivation, mirroring `infer_element` in
+/// `dtdinfer_xml::infer` over the compact state.
+fn derive_element(
+    alphabet: &Alphabet,
+    sym: Sym,
+    element: &ElementState,
+    engine: InferenceEngine,
+) -> (ContentSpec, ElementReport) {
+    let started = Instant::now();
+    let mut engine_used = match engine {
+        InferenceEngine::Crx => "crx",
+        InferenceEngine::Idtd => "idtd",
+        InferenceEngine::IdtdNoise { .. } => "idtd-noise",
+    };
+    let (mut rewrite_steps, mut repairs, mut fallbacks) = (0usize, 0usize, 0usize);
+    let has_text = !element.text_samples.is_empty();
+    // A non-empty child word puts its symbols into the SOA's state set.
+    let has_children = !element.support.soa().states.is_empty();
+    let spec = match (has_text, has_children) {
+        (false, false) => {
+            engine_used = "empty";
+            ContentSpec::Empty
+        }
+        (true, false) => {
+            engine_used = "pcdata";
+            ContentSpec::PcData
+        }
+        (true, true) => {
+            // Mixed content with the §9 support threshold; the engine's
+            // symbol supports are exactly the per-child occurrence counts
+            // the corpus path computes.
+            let threshold = match engine {
+                InferenceEngine::IdtdNoise { threshold } => threshold,
+                _ => 0,
+            };
+            let syms: Vec<Sym> = element
+                .support
+                .symbol_supports()
+                .into_iter()
+                .filter(|&(_, count)| count >= threshold.max(1))
+                .map(|(s, _)| s)
+                .collect();
+            engine_used = "mixed";
+            ContentSpec::Mixed(syms)
+        }
+        (false, true) => {
+            let model = match engine {
+                InferenceEngine::Crx => element.crx.infer(),
+                InferenceEngine::Idtd => {
+                    let (model, trace) = idtd_traced(element.support.soa(), IdtdConfig::default());
+                    for e in &trace {
+                        match e {
+                            Event::Rewrite(_) => rewrite_steps += 1,
+                            Event::Repair { .. } => repairs += 1,
+                            Event::Fallback => fallbacks += 1,
+                        }
+                    }
+                    model
+                }
+                InferenceEngine::IdtdNoise { threshold } => {
+                    element.support.infer_denoised(threshold)
+                }
+            };
+            match model {
+                InferredModel::Regex(r) => ContentSpec::Children(r),
+                InferredModel::EpsilonOnly | InferredModel::Empty => ContentSpec::Empty,
+            }
+        }
+    };
+    let report = ElementReport {
+        name: alphabet.name(sym).to_owned(),
+        engine: engine_used,
+        occurrences: element.occurrences,
+        words: usize::try_from(element.support.num_words()).unwrap_or(usize::MAX),
+        rewrite_steps,
+        repairs,
+        fallbacks,
+        expr_size: spec_size(&spec),
+        duration_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    };
+    (spec, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_xml::infer::infer_dtd_with_stats;
+
+    fn docs() -> Vec<String> {
+        let mut docs = vec![
+            "<lib><book id=\"b1\"><title>T</title><author>A</author></book></lib>".to_owned(),
+            "<lib><book id=\"b2\"><title>U</title><author>B</author><author>C</author></book>\
+             <journal/></lib>"
+                .to_owned(),
+            "<lib><journal/><journal/></lib>".to_owned(),
+            "<lib><note>mixed <b>x</b> tail</note></lib>".to_owned(),
+        ];
+        for i in 0..20 {
+            docs.push(format!(
+                "<lib><book id=\"g{i}\"><title>V{i}</title><author>D</author></book></lib>"
+            ));
+        }
+        docs
+    }
+
+    fn engine_state(docs: &[String]) -> EngineState {
+        let mut state = EngineState::new();
+        for d in docs {
+            state.absorb_document(d).unwrap();
+        }
+        state
+    }
+
+    fn corpus(docs: &[String]) -> Corpus {
+        let mut c = Corpus::new();
+        for d in docs {
+            c.add_document(d).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn derive_matches_corpus_inference_for_all_engines() {
+        let docs = docs();
+        let state = engine_state(&docs);
+        let corpus = corpus(&docs);
+        for engine in [
+            InferenceEngine::Crx,
+            InferenceEngine::Idtd,
+            InferenceEngine::IdtdNoise { threshold: 3 },
+        ] {
+            let (engine_dtd, engine_reports) = state.derive(engine);
+            let (corpus_dtd, corpus_reports) = infer_dtd_with_stats(&corpus, engine);
+            assert_eq!(engine_dtd.serialize(), corpus_dtd.serialize(), "{engine:?}");
+            assert_eq!(engine_reports.len(), corpus_reports.len());
+            for (e, c) in engine_reports.iter().zip(&corpus_reports) {
+                assert_eq!(e.name, c.name, "{engine:?}");
+                assert_eq!(e.engine, c.engine, "{engine:?} {}", e.name);
+                assert_eq!(e.words, c.words, "{engine:?} {}", e.name);
+                assert_eq!(e.occurrences, c.occurrences, "{engine:?} {}", e.name);
+                assert_eq!(e.repairs, c.repairs, "{engine:?} {}", e.name);
+                assert_eq!(e.expr_size, c.expr_size, "{engine:?} {}", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_split_equals_whole() {
+        let docs = docs();
+        let whole = engine_state(&docs);
+        for cut in [1, docs.len() / 2, docs.len() - 1] {
+            let mut merged = engine_state(&docs[..cut]);
+            merged.merge(&engine_state(&docs[cut..]));
+            assert_eq!(merged.num_documents, whole.num_documents);
+            assert_eq!(merged.total_words(), whole.total_words());
+            for engine in [InferenceEngine::Crx, InferenceEngine::Idtd] {
+                assert_eq!(
+                    merged.derive(engine).0.serialize(),
+                    whole.derive(engine).0.serialize(),
+                    "cut {cut} {engine:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_reconciles_disjoint_interning_orders() {
+        // Shard A sees <b> before <a>; shard B the reverse: the merged
+        // derivation must not care.
+        let mut a = EngineState::new();
+        a.absorb_document("<r><b/><a/></r>").unwrap();
+        let mut b = EngineState::new();
+        b.absorb_document("<r><a/><c/></r>").unwrap();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(
+            ab.derive(InferenceEngine::Idtd).0.serialize(),
+            ba.derive(InferenceEngine::Idtd).0.serialize()
+        );
+    }
+
+    #[test]
+    fn xsd_from_facts_corpus_matches_corpus_path() {
+        use dtdinfer_xml::xsd::{generate_xsd, XsdOptions};
+        let docs = docs();
+        let state = engine_state(&docs);
+        let corpus = corpus(&docs);
+        let engine_dtd = state.derive(InferenceEngine::Idtd).0;
+        let corpus_dtd = infer_dtd_with_stats(&corpus, InferenceEngine::Idtd).0;
+        assert_eq!(
+            generate_xsd(
+                &engine_dtd,
+                Some(&state.facts_corpus()),
+                XsdOptions::default()
+            ),
+            generate_xsd(&corpus_dtd, Some(&corpus), XsdOptions::default())
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Std-only worker pool for sharded corpus ingestion.
+//!
+//! Workers (`std::thread::scope` + an atomic work queue, no external
+//! dependencies) pull documents off a shared counter and fold each into a
+//! shard-local [`EngineState`]; the shards are then merged in index order.
+//! Which document lands on which shard is scheduling-dependent, but every
+//! per-element summary is a commutative union of per-word contributions
+//! and derivation canonicalizes the alphabet, so the derived DTD is
+//! byte-identical for any worker count.
+
+use crate::EngineState;
+use dtdinfer_xml::parser::XmlError;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// What one shard did during ingestion, for the stats report and the
+/// `--metrics` JSON.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Documents this shard absorbed.
+    pub documents: u64,
+    /// Child-name sequences this shard absorbed.
+    pub words: u64,
+    /// Wall-clock time the shard spent ingesting.
+    pub duration_ns: u64,
+}
+
+/// Result of a (possibly parallel) ingestion run.
+#[derive(Debug, Clone)]
+pub struct Ingest {
+    /// The merged engine state.
+    pub state: EngineState,
+    /// Per-shard accounting, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Wall-clock time spent merging shard states (0 for one shard).
+    pub merge_ns: u64,
+}
+
+/// A parse failure during ingestion, attributed to the input document.
+///
+/// With multiple workers, documents after the failing one may already have
+/// been absorbed elsewhere, but the *reported* failure is always the
+/// lowest-indexed bad document — the same one sequential ingestion stops
+/// at — so error output is deterministic too.
+#[derive(Debug, Clone)]
+pub struct IngestError {
+    /// Index into the ingested document slice.
+    pub doc_index: usize,
+    /// The underlying parse error.
+    pub error: XmlError,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "document {}: {}", self.doc_index, self.error)
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Ingests `docs` into a fresh state with `jobs` workers.
+pub fn ingest<D: AsRef<str> + Sync>(docs: &[D], jobs: usize) -> Result<Ingest, IngestError> {
+    ingest_into(EngineState::new(), docs, jobs)
+}
+
+/// Ingests `docs` into an existing state (warm start from a snapshot) with
+/// `jobs` workers. The base state is merged with the freshly built shards,
+/// so parallelism is available even when resuming.
+pub fn ingest_into<D: AsRef<str> + Sync>(
+    base: EngineState,
+    docs: &[D],
+    jobs: usize,
+) -> Result<Ingest, IngestError> {
+    let _span = dtdinfer_obs::span("engine.ingest");
+    let jobs = jobs.max(1).min(docs.len().max(1));
+    if jobs == 1 {
+        return ingest_sequential(base, docs);
+    }
+    let next = AtomicUsize::new(0);
+    let workers: Vec<(EngineState, ShardReport, Option<IngestError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|shard| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let started = Instant::now();
+                        let mut local = EngineState::new();
+                        let mut documents = 0u64;
+                        let mut first_error: Option<IngestError> = None;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= docs.len() {
+                                break;
+                            }
+                            match local.absorb_document(docs[i].as_ref()) {
+                                Ok(()) => documents += 1,
+                                Err(error) => {
+                                    let earlier =
+                                        first_error.as_ref().is_none_or(|e| i < e.doc_index);
+                                    if earlier {
+                                        first_error = Some(IngestError {
+                                            doc_index: i,
+                                            error,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        let report = ShardReport {
+                            shard,
+                            documents,
+                            words: local.total_words(),
+                            duration_ns: elapsed_ns(started),
+                        };
+                        (local, report, first_error)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+    if let Some(err) = workers
+        .iter()
+        .filter_map(|(_, _, e)| e.clone())
+        .min_by_key(|e| e.doc_index)
+    {
+        return Err(err);
+    }
+    let merge_started = Instant::now();
+    let mut state = base;
+    let mut shards = Vec::with_capacity(workers.len());
+    for (local, report, _) in workers {
+        state.merge(&local);
+        record_shard(&report);
+        shards.push(report);
+    }
+    let merge_ns = elapsed_ns(merge_started);
+    dtdinfer_obs::observe("engine.merge_ns", merge_ns);
+    Ok(Ingest {
+        state,
+        shards,
+        merge_ns,
+    })
+}
+
+fn ingest_sequential<D: AsRef<str>>(base: EngineState, docs: &[D]) -> Result<Ingest, IngestError> {
+    let started = Instant::now();
+    let mut state = base;
+    let words_before = state.total_words();
+    for (doc_index, doc) in docs.iter().enumerate() {
+        state
+            .absorb_document(doc.as_ref())
+            .map_err(|error| IngestError { doc_index, error })?;
+    }
+    let report = ShardReport {
+        shard: 0,
+        documents: docs.len() as u64,
+        words: state.total_words() - words_before,
+        duration_ns: elapsed_ns(started),
+    };
+    record_shard(&report);
+    Ok(Ingest {
+        state,
+        shards: vec![report],
+        merge_ns: 0,
+    })
+}
+
+fn record_shard(report: &ShardReport) {
+    if !dtdinfer_obs::is_enabled() {
+        return;
+    }
+    let label = report.shard.to_string();
+    dtdinfer_obs::count_labeled("engine.shard.documents", &label, report.documents);
+    dtdinfer_obs::count_labeled("engine.shard.words", &label, report.words);
+    dtdinfer_obs::observe("engine.shard.duration_ns", report.duration_ns);
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_xml::infer::InferenceEngine;
+
+    fn docs(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| match i % 5 {
+                0 => format!("<r><a/><b/><c>x{i}</c></r>"),
+                1 => "<r><b/><a/></r>".to_owned(),
+                2 => format!("<r><c>y{i}</c></r>"),
+                3 => "<r><a/><a/><b/></r>".to_owned(),
+                _ => "<r/>".to_owned(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_equals_sequential_for_all_job_counts() {
+        let docs = docs(53);
+        let sequential = ingest(&docs, 1).unwrap();
+        let baseline = sequential.state.derive(InferenceEngine::Idtd).0.serialize();
+        for jobs in [2, 3, 4, 8] {
+            let sharded = ingest(&docs, jobs).unwrap();
+            assert_eq!(sharded.state.num_documents, docs.len() as u64);
+            assert_eq!(sharded.shards.len(), jobs.min(docs.len()));
+            assert_eq!(
+                sharded.state.derive(InferenceEngine::Idtd).0.serialize(),
+                baseline,
+                "jobs {jobs}"
+            );
+            assert_eq!(
+                sharded.shards.iter().map(|s| s.documents).sum::<u64>(),
+                docs.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn error_reporting_is_deterministic() {
+        let mut docs = docs(40);
+        docs[17] = "<r><unclosed></r>".to_owned();
+        docs[31] = "<also><bad></also>".to_owned();
+        for jobs in [1, 4] {
+            let err = ingest(&docs, jobs).unwrap_err();
+            assert_eq!(err.doc_index, 17, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_documents() {
+        let docs = docs(3);
+        let r = ingest(&docs, 16).unwrap();
+        assert_eq!(r.state.num_documents, 3);
+        assert!(r.shards.len() <= 3);
+    }
+
+    #[test]
+    fn warm_start_equals_one_shot() {
+        let docs = docs(30);
+        let one_shot = ingest(&docs, 4).unwrap();
+        let first = ingest(&docs[..12], 4).unwrap();
+        let resumed = ingest_into(first.state, &docs[12..], 4).unwrap();
+        for engine in [InferenceEngine::Crx, InferenceEngine::Idtd] {
+            assert_eq!(
+                resumed.state.derive(engine).0.serialize(),
+                one_shot.state.derive(engine).0.serialize(),
+                "{engine:?}"
+            );
+        }
+    }
+}

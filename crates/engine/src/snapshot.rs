@@ -1,0 +1,328 @@
+//! Versioned engine snapshots: persist an [`EngineState`] and warm-start a
+//! later run from it.
+//!
+//! The format is line-oriented text, built on the learners' own
+//! serializations (`SupportSoa::to_text`, `CrxState::to_text` — the §9
+//! "internal representation is the complete memory" property):
+//!
+//! ```text
+//! #dtdinfer-engine v1
+//! documents 24
+//! root lib 24
+//! element author
+//! occurrences 23
+//! text A
+//! attr id b1
+//! s words 23
+//! s sym title 23
+//! s pair title author 23
+//! c words 23
+//! c sym title
+//! ```
+//!
+//! `s `-prefixed lines carry the element's support-SOA records and `c `
+//! lines its CRX summary. Free-form values (`text`, both `attr` fields,
+//! element names in `element`/`root`) are percent-escaped so they stay
+//! single whitespace-free tokens: `%` → `%25`, space → `%20`, tab →
+//! `%09`, newline → `%0A`, carriage return → `%0D`.
+//!
+//! The header is mandatory; files with a different version or missing
+//! header are rejected with a descriptive error rather than misread.
+
+use crate::{ElementState, EngineState};
+use dtdinfer_core::crx::CrxState;
+use dtdinfer_core::noise::SupportSoa;
+use dtdinfer_regex::alphabet::Sym;
+use std::fmt::Write as _;
+
+/// The header every readable snapshot must start with.
+pub const HEADER: &str = "#dtdinfer-engine v1";
+
+/// Serializes the state. The state is canonicalized first, so snapshots of
+/// the same document multiset are byte-identical regardless of ingestion
+/// order or sharding.
+pub fn save(state: &EngineState) -> String {
+    let mut state = state.canonicalized();
+    // Sample lists accumulate in ingestion order; downstream inference
+    // (datatypes, attribute defaults) is multiset-invariant, so sorting
+    // them here costs nothing and makes the bytes canonical.
+    for element in state.elements.values_mut() {
+        element.text_samples.sort_unstable();
+        for values in element.attributes.values_mut() {
+            values.sort_unstable();
+        }
+    }
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    let _ = writeln!(out, "documents {}", state.num_documents);
+    for (&root, count) in &state.roots {
+        let _ = writeln!(out, "root {} {count}", esc(state.alphabet.name(root)));
+    }
+    for (&sym, element) in &state.elements {
+        let _ = writeln!(out, "element {}", esc(state.alphabet.name(sym)));
+        let _ = writeln!(out, "occurrences {}", element.occurrences);
+        for text in &element.text_samples {
+            let _ = writeln!(out, "text {}", esc(text));
+        }
+        for (attr, values) in &element.attributes {
+            for value in values {
+                let _ = writeln!(out, "attr {} {}", esc(attr), esc(value));
+            }
+        }
+        for line in element.support.to_text(&state.alphabet).lines() {
+            if !line.starts_with('#') {
+                let _ = writeln!(out, "s {line}");
+            }
+        }
+        for line in element.crx.to_text(&state.alphabet).lines() {
+            if !line.starts_with('#') {
+                let _ = writeln!(out, "c {line}");
+            }
+        }
+    }
+    dtdinfer_obs::observe("engine.snapshot.bytes", out.len() as u64);
+    out
+}
+
+/// Parses a snapshot produced by [`save`]. Rejects missing headers, other
+/// versions, and malformed records with a descriptive error.
+pub fn load(text: &str) -> Result<EngineState, String> {
+    match text.lines().next().map(str::trim) {
+        Some(HEADER) => {}
+        Some(h) if h.starts_with("#dtdinfer-engine ") => {
+            let version = h.trim_start_matches("#dtdinfer-engine ").trim();
+            return Err(format!(
+                "unsupported snapshot version {version:?} (this build reads v1)"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "not a dtdinfer engine snapshot (expected a {HEADER:?} first line)"
+            ));
+        }
+    }
+    let mut state = EngineState::new();
+    // The element section currently being accumulated: its symbol plus the
+    // raw support/CRX record blocks, parsed when the section closes.
+    let mut current: Option<(Sym, ElementState, String, String)> = None;
+    let flush = |state: &mut EngineState,
+                 current: &mut Option<(Sym, ElementState, String, String)>|
+     -> Result<(), String> {
+        if let Some((sym, mut element, support, crx)) = current.take() {
+            element.support = SupportSoa::from_text(&support, &mut state.alphabet)
+                .map_err(|e| format!("support section of {:?}: {e}", state.alphabet.name(sym)))?;
+            element.crx = CrxState::from_text(&crx, &mut state.alphabet)
+                .map_err(|e| format!("crx section of {:?}: {e}", state.alphabet.name(sym)))?;
+            state.elements.insert(sym, element);
+        }
+        Ok(())
+    };
+    for (lineno, line) in text.lines().enumerate().skip(1) {
+        let err = |m: String| format!("line {}: {m}", lineno + 1);
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kind {
+            "documents" => {
+                state.num_documents = rest
+                    .parse()
+                    .map_err(|e| err(format!("bad document count: {e}")))?;
+            }
+            "root" => {
+                let (name, count) = rest
+                    .rsplit_once(' ')
+                    .ok_or_else(|| err("root needs a name and a count".into()))?;
+                let sym = state.alphabet.intern(&unesc(name).map_err(err)?);
+                let count: u64 = count.parse().map_err(|e| err(format!("bad count: {e}")))?;
+                *state.roots.entry(sym).or_insert(0) += count;
+            }
+            "element" => {
+                flush(&mut state, &mut current)?;
+                let sym = state.alphabet.intern(&unesc(rest).map_err(err)?);
+                current = Some((sym, ElementState::default(), String::new(), String::new()));
+            }
+            "occurrences" | "text" | "attr" | "s" | "c" => {
+                let (_, element, support, crx) = current
+                    .as_mut()
+                    .ok_or_else(|| err(format!("{kind:?} record outside an element section")))?;
+                match kind {
+                    "occurrences" => {
+                        element.occurrences = rest
+                            .parse()
+                            .map_err(|e| err(format!("bad occurrence count: {e}")))?;
+                    }
+                    "text" => element.text_samples.push(unesc(rest).map_err(err)?),
+                    "attr" => {
+                        let (name, value) = rest
+                            .split_once(' ')
+                            .ok_or_else(|| err("attr needs a name and a value".into()))?;
+                        element
+                            .attributes
+                            .entry(unesc(name).map_err(err)?)
+                            .or_default()
+                            .push(unesc(value).map_err(err)?);
+                    }
+                    "s" => {
+                        support.push_str(rest);
+                        support.push('\n');
+                    }
+                    _ => {
+                        crx.push_str(rest);
+                        crx.push('\n');
+                    }
+                }
+            }
+            other => return Err(err(format!("unknown record {other:?}"))),
+        }
+    }
+    flush(&mut state, &mut current)?;
+    dtdinfer_obs::observe("engine.snapshot.bytes", text.len() as u64);
+    Ok(state)
+}
+
+/// Escapes a value into a single whitespace-free token.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`esc`]; rejects truncated or non-hex escapes.
+fn unesc(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        if hex.len() != 2 {
+            return Err(format!("truncated escape in {s:?}"));
+        }
+        let code =
+            u32::from_str_radix(&hex, 16).map_err(|_| format!("bad escape %{hex} in {s:?}"))?;
+        out.push(char::from_u32(code).ok_or_else(|| format!("bad escape %{hex} in {s:?}"))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ingest;
+    use dtdinfer_xml::infer::InferenceEngine;
+
+    fn docs() -> Vec<String> {
+        let mut docs = vec![
+            "<r a=\"1 % two\"><x>hello world</x><y/></r>".to_owned(),
+            "<r><y/><x>line\nbreak</x></r>".to_owned(),
+        ];
+        for i in 0..10 {
+            docs.push(format!("<r><x>v{i}</x><y/><y/></r>"));
+        }
+        docs
+    }
+
+    #[test]
+    fn round_trip_preserves_state_and_output() {
+        let state = ingest(&docs(), 2).unwrap().state;
+        let text = save(&state);
+        let restored = load(&text).unwrap();
+        assert_eq!(restored.num_documents, state.num_documents);
+        assert_eq!(restored.total_words(), state.total_words());
+        // Re-saving is the identity: the format is canonical.
+        assert_eq!(save(&restored), text);
+        for engine in [
+            InferenceEngine::Crx,
+            InferenceEngine::Idtd,
+            InferenceEngine::IdtdNoise { threshold: 2 },
+        ] {
+            assert_eq!(
+                restored.derive(engine).0.serialize(),
+                state.derive(engine).0.serialize(),
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_absorb_more_equals_one_shot() {
+        let docs = docs();
+        let one_shot = ingest(&docs, 2).unwrap().state;
+        let warm = load(&save(&ingest(&docs[..4], 2).unwrap().state)).unwrap();
+        let resumed = crate::pool::ingest_into(warm, &docs[4..], 2).unwrap().state;
+        assert_eq!(
+            resumed.derive(InferenceEngine::Idtd).0.serialize(),
+            one_shot.derive(InferenceEngine::Idtd).0.serialize()
+        );
+        // The snapshots themselves coincide too.
+        assert_eq!(save(&resumed), save(&one_shot));
+    }
+
+    #[test]
+    fn snapshot_is_ingestion_order_invariant() {
+        let docs = docs();
+        let forward = ingest(&docs, 1).unwrap().state;
+        let reversed: Vec<String> = docs.iter().rev().cloned().collect();
+        let backward = ingest(&reversed, 3).unwrap().state;
+        assert_eq!(save(&forward), save(&backward));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = load("documents 3\n").unwrap_err();
+        assert!(err.contains("not a dtdinfer engine snapshot"), "{err}");
+    }
+
+    #[test]
+    fn rejects_other_versions() {
+        let err = load("#dtdinfer-engine v2\ndocuments 3\n").unwrap_err();
+        assert!(err.contains("unsupported snapshot version"), "{err}");
+        assert!(err.contains("v1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupted_records() {
+        for (bad, needle) in [
+            (
+                format!("{HEADER}\ndocuments not-a-number\n"),
+                "bad document count",
+            ),
+            (format!("{HEADER}\nfroz x\n"), "unknown record"),
+            (
+                format!("{HEADER}\noccurrences 3\n"),
+                "outside an element section",
+            ),
+            (format!("{HEADER}\nelement a\nattr only-name\n"), "attr"),
+            (
+                format!("{HEADER}\nelement a\ns pair x\n"),
+                "support section",
+            ),
+            (format!("{HEADER}\nelement a%2\n"), "truncated escape"),
+        ] {
+            let err = load(&bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["", "plain", "with space", "100%", "a\tb\nc\rd", "%20", "%%"] {
+            let e = esc(s);
+            assert!(!e.contains(char::is_whitespace), "{e:?}");
+            assert_eq!(unesc(&e).unwrap(), s, "{s:?}");
+        }
+    }
+}

@@ -133,12 +133,51 @@ impl Corpus {
         Ok(())
     }
 
-    /// The dominant root element (most documents), if any.
+    /// The dominant root element (most documents), if any. Ties go to the
+    /// lexicographically smallest name, so the choice does not depend on
+    /// document arrival order.
     pub fn root(&self) -> Option<Sym> {
         self.roots
             .iter()
-            .max_by_key(|&(_, count)| count)
+            .max_by(|a, b| {
+                a.1.cmp(b.1)
+                    .then_with(|| self.alphabet.name(*b.0).cmp(self.alphabet.name(*a.0)))
+            })
             .map(|(&sym, _)| sym)
+    }
+
+    /// A copy of the corpus re-interned over a name-sorted alphabet, so
+    /// symbol order equals lexicographic name order. Every learner in this
+    /// workspace breaks ties in symbol order, so inference over the
+    /// canonical corpus is independent of document arrival order.
+    pub fn canonicalized(&self) -> Corpus {
+        let mut names: Vec<&str> = self.alphabet.entries().map(|(_, n)| n).collect();
+        if names.windows(2).all(|w| w[0] < w[1]) {
+            return self.clone();
+        }
+        names.sort_unstable();
+        let alphabet = Alphabet::from_names(&names);
+        let map = |s: Sym| alphabet.get(self.alphabet.name(s)).expect("same name set");
+        let elements = self
+            .elements
+            .iter()
+            .map(|(&sym, facts)| {
+                let mut facts = facts.clone();
+                for w in &mut facts.child_sequences {
+                    for s in w.iter_mut() {
+                        *s = map(*s);
+                    }
+                }
+                (map(sym), facts)
+            })
+            .collect();
+        let roots = self.roots.iter().map(|(&s, &c)| (map(s), c)).collect();
+        Corpus {
+            alphabet,
+            elements,
+            roots,
+            num_documents: self.num_documents,
+        }
     }
 
     /// The child sequences of one element name.
@@ -215,6 +254,42 @@ mod tests {
     fn parse_errors_propagate() {
         let mut c = Corpus::new();
         assert!(c.add_document("<r><a></r>").is_err());
+    }
+
+    #[test]
+    fn canonicalized_sorts_alphabet_by_name() {
+        let mut c = Corpus::new();
+        c.add_document("<z><m/><a/></z>").unwrap();
+        let canon = c.canonicalized();
+        let names: Vec<_> = canon
+            .alphabet
+            .entries()
+            .map(|(_, n)| n.to_owned())
+            .collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+        // Same facts, relabeled.
+        assert_eq!(canon.num_documents, 1);
+        let z = canon.alphabet.get("z").unwrap();
+        assert_eq!(
+            canon
+                .alphabet
+                .render_word(&canon.elements[&z].child_sequences[0], " "),
+            "m a"
+        );
+        assert_eq!(canon.root(), Some(z));
+        // Already-canonical corpora come back unchanged.
+        assert_eq!(canon.canonicalized().alphabet, canon.alphabet);
+    }
+
+    #[test]
+    fn root_ties_break_by_name() {
+        let mut c = Corpus::new();
+        c.add_document("<z/>").unwrap();
+        c.add_document("<a/>").unwrap();
+        assert_eq!(c.root(), c.alphabet.get("a"));
+        // More documents beat name order.
+        c.add_document("<z/>").unwrap();
+        assert_eq!(c.root(), c.alphabet.get("z"));
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub struct ElementReport {
 /// element (sorted by element name, matching corpus iteration order).
 pub fn infer_dtd_with_stats(corpus: &Corpus, engine: InferenceEngine) -> (Dtd, Vec<ElementReport>) {
     let _span = dtdinfer_obs::span("xml.infer_dtd");
+    // Canonicalize so document arrival order cannot leak into the output:
+    // every learner breaks ties in symbol order, which equals name order
+    // after this remap. The returned DTD's alphabet is the canonical one.
+    let corpus = &corpus.canonicalized();
     let mut dtd = Dtd {
         alphabet: corpus.alphabet.clone(),
         root: corpus.root(),
@@ -125,7 +129,7 @@ pub fn infer_dtd_with_stats(corpus: &Corpus, engine: InferenceEngine) -> (Dtd, V
 }
 
 /// Content-model size in tokens, for the stats report.
-fn spec_size(spec: &ContentSpec) -> usize {
+pub fn spec_size(spec: &ContentSpec) -> usize {
     match spec {
         ContentSpec::Empty | ContentSpec::Any | ContentSpec::PcData => 1,
         ContentSpec::Mixed(syms) => syms.len() + 1,
@@ -264,12 +268,14 @@ mod tests {
             "<r><c/></r>",
         ]);
         let dtd = infer_dtd(&c, InferenceEngine::Idtd);
-        let r = c.alphabet.get("r").unwrap();
+        let canon = c.canonicalized();
+        let r = dtd.alphabet.get("r").unwrap();
         match &dtd.elements[&r] {
             ContentSpec::Children(regex) => {
                 assert!(dtdinfer_regex::classify::is_sore(regex));
-                // Training sequences all match.
-                for w in c.sequences_of("r").unwrap() {
+                // Training sequences all match (over the canonical corpus,
+                // whose symbols the DTD's expressions are written in).
+                for w in canon.sequences_of("r").unwrap() {
                     assert!(dtdinfer_automata::nfa::regex_matches(regex, w));
                 }
             }
@@ -281,7 +287,7 @@ mod tests {
     fn mixed_content_detected() {
         let c = corpus(&["<p>text <em>x</em> more <strong>y</strong></p>"]);
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
-        let p = c.alphabet.get("p").unwrap();
+        let p = dtd.alphabet.get("p").unwrap();
         match &dtd.elements[&p] {
             ContentSpec::Mixed(syms) => assert_eq!(syms.len(), 2),
             other => panic!("{other:?}"),
@@ -292,7 +298,7 @@ mod tests {
     fn empty_elements_declared_empty() {
         let c = corpus(&["<r><hr/><hr/></r>"]);
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
-        let hr = c.alphabet.get("hr").unwrap();
+        let hr = dtd.alphabet.get("hr").unwrap();
         assert_eq!(dtd.elements[&hr], ContentSpec::Empty);
     }
 
@@ -300,7 +306,7 @@ mod tests {
     fn root_is_set() {
         let c = corpus(&["<top><a/></top>"]);
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
-        assert_eq!(dtd.root, c.alphabet.get("top"));
+        assert_eq!(dtd.root, dtd.alphabet.get("top"));
         assert!(dtd.serialize().starts_with("<!ELEMENT top"));
     }
 
@@ -319,10 +325,10 @@ mod tests {
         for d in &docs {
             c.add_document(d).unwrap();
         }
-        let p_sym = c.alphabet.get("p").unwrap();
-        let h1 = c.alphabet.get("h1").unwrap();
         let noisy = infer_dtd(&c, InferenceEngine::Idtd);
         let clean = infer_dtd(&c, InferenceEngine::IdtdNoise { threshold: 5 });
+        let p_sym = noisy.alphabet.get("p").unwrap();
+        let h1 = noisy.alphabet.get("h1").unwrap();
         match (&noisy.elements[&p_sym], &clean.elements[&p_sym]) {
             (ContentSpec::Mixed(with), ContentSpec::Mixed(without)) => {
                 assert!(with.contains(&h1));
@@ -351,8 +357,8 @@ mod tests {
             c.add_document(d).unwrap();
         }
         let dtd = infer_dtd(&c, InferenceEngine::IdtdNoise { threshold: 5 });
-        let r = c.alphabet.get("r").unwrap();
-        let z = c.alphabet.get("z").unwrap();
+        let r = dtd.alphabet.get("r").unwrap();
+        let z = dtd.alphabet.get("z").unwrap();
         match &dtd.elements[&r] {
             ContentSpec::Children(regex) => {
                 assert!(!regex.symbols().contains(&z), "{}", dtd.serialize());

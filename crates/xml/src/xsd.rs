@@ -16,7 +16,7 @@ use crate::attlist::{AttDefault, AttType};
 use crate::datatype::infer_datatype;
 use crate::dtd::{ContentSpec, Dtd};
 use crate::extract::Corpus;
-use dtdinfer_regex::alphabet::Alphabet;
+use dtdinfer_regex::alphabet::{Alphabet, Word};
 use dtdinfer_regex::ast::Regex;
 use dtdinfer_regex::classify::as_chare;
 use dtdinfer_regex::numeric::tighten;
@@ -67,8 +67,11 @@ pub fn generate_xsd(dtd: &Dtd, corpus: Option<&Corpus>, options: XsdOptions) -> 
                 );
             }
             ContentSpec::PcData => {
+                // Corpus facts are looked up by name: the DTD's alphabet is
+                // canonical (name-sorted) and need not share ids with the
+                // corpus the caller extracted.
                 let ty = corpus
-                    .and_then(|c| c.elements.get(&sym))
+                    .and_then(|c| c.alphabet.get(name).and_then(|s| c.elements.get(&s)))
                     .map(|f| infer_datatype(f.text_samples.iter().map(String::as_str)))
                     .unwrap_or(crate::datatype::XsdType::String);
                 if attrs.is_empty() {
@@ -166,8 +169,30 @@ fn render_content(
     options: XsdOptions,
 ) -> String {
     if let (Some(threshold), Some(corpus)) = (options.numeric_threshold, corpus) {
-        if let (Some(factors), Some(facts)) = (as_chare(regex), corpus.elements.get(&sym)) {
-            let numeric = tighten(&factors, &facts.child_sequences, threshold);
+        let facts = corpus
+            .alphabet
+            .get(alphabet.name(sym))
+            .and_then(|s| corpus.elements.get(&s));
+        if let (Some(factors), Some(facts)) = (as_chare(regex), facts) {
+            // The corpus may intern names in a different order than the
+            // canonical DTD alphabet: translate the observed words by name
+            // before counting factor occurrences. Names unknown to the DTD
+            // (corpus/DTD mismatch) disable tightening for this element.
+            let sequences: Option<Vec<Word>> = facts
+                .child_sequences
+                .iter()
+                .map(|w| {
+                    w.iter()
+                        .map(|&s| alphabet.get(corpus.alphabet.name(s)))
+                        .collect()
+                })
+                .collect();
+            let Some(sequences) = sequences else {
+                let mut out = String::new();
+                render_regex(&mut out, regex, alphabet, 4, 1, Some(1));
+                return out;
+            };
+            let numeric = tighten(&factors, &sequences, threshold);
             let mut out = String::from("    <xs:sequence>\n");
             for f in &numeric.factors {
                 let occurs = occurs_attrs(f.bounds.min, f.bounds.max);

@@ -34,11 +34,11 @@ fn main() {
     let dtd = infer_dtd(&flat, InferenceEngine::Idtd);
     println!("=== DTD inference (context-blind) ===");
     print!("{}", dtd.serialize());
-    let car = flat.alphabet.get("car").unwrap();
+    let car = dtd.alphabet.get("car").unwrap();
     if let dtdinfer::xml::dtd::ContentSpec::Children(model) = &dtd.elements[&car] {
         println!(
             "\nthe single car model must cover both kinds: {}",
-            dtdinfer::regex::display::render(model, &flat.alphabet)
+            dtdinfer::regex::display::render(model, &dtd.alphabet)
         );
     }
 

@@ -148,10 +148,12 @@ fn noise_engine_end_to_end() {
     }
     let noisy = infer_dtd(&corpus, InferenceEngine::Idtd);
     let clean = infer_dtd(&corpus, InferenceEngine::IdtdNoise { threshold: 10 });
-    let zz = corpus.alphabet.get("zz").unwrap();
-    let has_zz = |dtd: &Dtd| match &dtd.elements[&corpus.alphabet.get("r").unwrap()] {
-        dtdinfer_xml::dtd::ContentSpec::Children(r) => r.symbols().contains(&zz),
-        other => panic!("{other:?}"),
+    let has_zz = |dtd: &Dtd| {
+        let zz = dtd.alphabet.get("zz").unwrap();
+        match &dtd.elements[&dtd.alphabet.get("r").unwrap()] {
+            dtdinfer_xml::dtd::ContentSpec::Children(r) => r.symbols().contains(&zz),
+            other => panic!("{other:?}"),
+        }
     };
     assert!(has_zz(&noisy), "plain engine keeps the intruder");
     assert!(!has_zz(&clean), "noise engine drops the intruder");
@@ -161,6 +163,43 @@ fn noise_engine_end_to_end() {
         .filter(|d| clean.validate(d).unwrap().is_empty())
         .count();
     assert!(valid >= 200, "only {valid} of 202 validate");
+}
+
+#[test]
+fn document_order_cannot_affect_inferred_dtd() {
+    // Regression guard for the sharded engine: any permutation of the
+    // input documents must yield a byte-identical DTD (and XSD), for every
+    // engine. Rotations exercise both "new name first seen late" and "root
+    // seen in different orders".
+    for seed in 0..10 {
+        let docs = random_documents(seed, 8);
+        for engine in [
+            InferenceEngine::Crx,
+            InferenceEngine::Idtd,
+            InferenceEngine::IdtdNoise { threshold: 2 },
+        ] {
+            let mut baseline: Option<(String, String)> = None;
+            for rotation in 0..docs.len() {
+                let mut corpus = Corpus::new();
+                for i in 0..docs.len() {
+                    corpus
+                        .add_document(&docs[(i + rotation) % docs.len()])
+                        .unwrap();
+                }
+                let dtd = infer_dtd(&corpus, engine);
+                let rendered = (
+                    dtd.serialize(),
+                    generate_xsd(&dtd, Some(&corpus), XsdOptions::default()),
+                );
+                match &baseline {
+                    None => baseline = Some(rendered),
+                    Some(b) => {
+                        assert_eq!(b, &rendered, "seed {seed} {engine:?} rotation {rotation}")
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[test]
