@@ -1,0 +1,299 @@
+//! Perf-gate harness: measures a fixed suite of representative workloads
+//! and persists the numbers as a machine-readable `BENCH_<label>.json`, so
+//! every later performance PR has a baseline to be compared against — and
+//! CI can fail when a tracked metric regresses.
+//!
+//! ```sh
+//! # Measure (writes BENCH_local.json):
+//! cargo run --release -p dtdinfer-bench --bin perfgate
+//! # CI-sized run with an explicit artifact path:
+//! cargo run --release -p dtdinfer-bench --bin perfgate -- --quick --out BENCH_ci.json
+//! # Gate: nonzero exit when any tracked metric regresses > threshold %:
+//! cargo run --release -p dtdinfer-bench --bin perfgate -- \
+//!     compare bench/baseline.json BENCH_ci.json --threshold 15
+//! ```
+//!
+//! The suite covers the pipeline's hot paths end to end: corpus
+//! extraction, 2T-INF SOA construction, the iDTD rewrite, CRX, and
+//! sharded engine ingestion at `--jobs 1/2/4/8` over synthetic corpora of
+//! several sizes. Each phase runs N repetitions and reports nearest-rank
+//! p50/p95/max plus docs/s and MB/s throughput where a corpus is
+//! processed; one extra instrumented repetition captures the obs
+//! registry's counters (and per-worker gauges) into the report. See the
+//! "Performance tracking" section of `EXPERIMENTS.md` for the field
+//! reference and the baseline-refresh workflow.
+
+use dtdinfer_automata::soa::Soa;
+use dtdinfer_bench::synth_corpus;
+use dtdinfer_core::crx::crx;
+use dtdinfer_core::idtd::idtd;
+use dtdinfer_engine::pool::ingest;
+use dtdinfer_obs::bench::{compare, BenchReport, PhaseStats};
+use dtdinfer_regex::alphabet::{Alphabet, Word};
+use dtdinfer_xml::extract::Corpus;
+use dtdinfer_xml::infer::InferenceEngine;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The paper's Figure 2 target expression — the canonical iDTD workload.
+const PAPER_EXPR: &str = "((b? (a | c))+ d)+ e";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("compare") {
+        cmd_compare(&args[1..])
+    } else {
+        cmd_run(&args)
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Workload scale, fixed per mode so runs are comparable over time.
+struct Suite {
+    /// Synthetic corpus sizes (documents) for extraction and ingestion.
+    corpus_sizes: Vec<usize>,
+    /// Sample size for the word-level learners (2T-INF, iDTD, CRX).
+    words: usize,
+    /// Timed repetitions per phase.
+    reps: usize,
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut label = "local".to_owned();
+    let mut out: Option<String> = None;
+    let mut reps_override: Option<usize> = None;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = it.next().ok_or("--label needs a value")?.to_owned(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.to_owned()),
+            "--reps" => {
+                reps_override = Some(
+                    it.next()
+                        .ok_or("--reps needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --reps: {e}"))?,
+                );
+            }
+            other => {
+                return Err(format!(
+                    "unknown option {other:?} \
+                     (usage: perfgate [--quick] [--label L] [--out FILE] [--reps N] \
+                     | perfgate compare BASELINE CANDIDATE [--threshold PCT])"
+                ));
+            }
+        }
+    }
+    let suite = if quick {
+        Suite {
+            corpus_sizes: vec![300],
+            words: 500,
+            reps: reps_override.unwrap_or(3),
+        }
+    } else {
+        Suite {
+            corpus_sizes: vec![2_000, 10_000],
+            words: 5_000,
+            reps: reps_override.unwrap_or(7),
+        }
+    };
+    let out = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
+
+    let report = run_suite(&label, &suite);
+    for (name, p) in &report.phases {
+        let throughput = match p.docs_per_sec {
+            Some(d) => format!("  {d:>10.0} docs/s"),
+            None => String::new(),
+        };
+        println!(
+            "{name:<20} p50 {:>10}  p95 {:>10}{throughput}",
+            fmt_ns(p.p50_ns),
+            fmt_ns(p.p95_ns)
+        );
+    }
+    std::fs::write(&out, format!("{}\n", report.json())).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out} ({} phases, commit {}, {} reps/phase)",
+        report.phases.len(),
+        report.commit,
+        suite.reps
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Runs the whole fixed suite and assembles the report.
+fn run_suite(label: &str, suite: &Suite) -> BenchReport {
+    let mut phases: BTreeMap<String, PhaseStats> = BTreeMap::new();
+
+    // Word-level learner workload: the paper expression's language,
+    // sampled deterministically.
+    let mut al = Alphabet::new();
+    let expr = dtdinfer_regex::parser::parse(PAPER_EXPR, &mut al).expect("paper expression parses");
+    let words: Vec<Word> = dtdinfer_gen::generator::generate_sample(&expr, suite.words, 7);
+    let soa = Soa::learn(&words);
+
+    phases.insert(
+        "tinf".to_owned(),
+        time_phase(suite.reps, None, || {
+            black_box(Soa::learn(black_box(&words)))
+        }),
+    );
+    phases.insert(
+        "idtd".to_owned(),
+        time_phase(suite.reps, None, || black_box(idtd(black_box(&soa)))),
+    );
+    phases.insert(
+        "crx".to_owned(),
+        time_phase(suite.reps, None, || black_box(crx(black_box(&words)))),
+    );
+
+    for &size in &suite.corpus_sizes {
+        let corpus = synth_corpus(size, 42);
+        let bytes: usize = corpus.iter().map(String::len).sum();
+        let workload = Some((size as u64, bytes as u64));
+        phases.insert(
+            format!("extract.n{size}"),
+            time_phase(suite.reps, workload, || {
+                let mut c = Corpus::new();
+                for doc in &corpus {
+                    c.add_document(doc).expect("synthetic corpus parses");
+                }
+                black_box(c)
+            }),
+        );
+        for jobs in [1usize, 2, 4, 8] {
+            phases.insert(
+                format!("ingest.n{size}.j{jobs}"),
+                time_phase(suite.reps, workload, || {
+                    black_box(ingest(black_box(&corpus), jobs).expect("synthetic corpus parses"))
+                }),
+            );
+        }
+    }
+
+    // One instrumented pass over the largest corpus pulls the pipeline
+    // counters (and the engine's per-worker gauges) into the report.
+    let largest = *suite.corpus_sizes.iter().max().expect("nonempty sizes");
+    let corpus = synth_corpus(largest, 42);
+    let (_, snap) = dtdinfer_bench::with_metrics(|| {
+        let ingested = ingest(&corpus, 4).expect("synthetic corpus parses");
+        black_box(ingested.state.derive(InferenceEngine::Idtd))
+    });
+    let mut counters = snap.counters;
+    counters.extend(snap.gauges);
+
+    BenchReport {
+        label: label.to_owned(),
+        commit: commit_hash(),
+        os: std::env::consts::OS.to_owned(),
+        arch: std::env::consts::ARCH.to_owned(),
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        phases,
+        counters,
+    }
+}
+
+/// Times `reps` repetitions of `f` and summarizes them; `workload` is
+/// `(docs, bytes)` processed per repetition, for throughput.
+fn time_phase<T>(
+    reps: usize,
+    workload: Option<(u64, u64)>,
+    mut f: impl FnMut() -> T,
+) -> PhaseStats {
+    let samples: Vec<u64> = (0..reps.max(1))
+        .map(|_| {
+            let started = Instant::now();
+            black_box(f());
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    PhaseStats::from_samples(&samples, workload)
+}
+
+/// The current git commit, or `unknown` outside a repository.
+fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut threshold = 15.0f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            f if f.starts_with('-') => return Err(format!("unknown option {f:?}")),
+            f => paths.push(f.to_owned()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err("usage: perfgate compare BASELINE CANDIDATE [--threshold PCT]".to_owned());
+    };
+    let read = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let candidate = read(candidate_path)?;
+    let shared = baseline
+        .phases
+        .keys()
+        .filter(|k| candidate.phases.contains_key(*k))
+        .count();
+    println!(
+        "perfgate: {baseline_path} (commit {}) vs {candidate_path} (commit {}), \
+         {shared} shared phase(s), threshold {threshold}%",
+        baseline.commit, candidate.commit
+    );
+    let regressions = compare(&baseline, &candidate, threshold);
+    for r in &regressions {
+        println!(
+            "  REGRESSION {}: {:.0} -> {:.0} ({:+.0}%)",
+            r.metric, r.baseline, r.candidate, r.change_pct
+        );
+    }
+    if regressions.is_empty() {
+        println!("no regressions beyond {threshold}%");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("{} regression(s)", regressions.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Adaptive duration rendering for the summary table.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{} µs", ns / 1_000),
+        10_000_000..=9_999_999_999 => format!("{} ms", ns / 1_000_000),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}

@@ -13,41 +13,10 @@
 //! actually delivers: on a single-core machine the parallel runs only add
 //! scheduling and merge overhead, and the table will honestly say so.
 
+use dtdinfer_bench::synth_corpus;
 use dtdinfer_engine::pool::ingest;
 use dtdinfer_xml::infer::InferenceEngine;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
-
-/// One synthetic "publication record" document. The shape exercises every
-/// engine path: nested element structure, optional/repeated children,
-/// attributes, text content, and an occasional empty element.
-fn document(rng: &mut StdRng, i: usize) -> String {
-    let mut doc = String::with_capacity(512);
-    doc.push_str(&format!("<library id=\"L{i}\">"));
-    for _ in 0..rng.gen_range(1..=4) {
-        doc.push_str("<book>");
-        doc.push_str(&format!("<title>Volume {}</title>", rng.gen_range(1..500)));
-        for a in 0..rng.gen_range(1..=3) {
-            doc.push_str(&format!("<author>Writer {a}</author>"));
-        }
-        doc.push_str(&format!("<year>{}</year>", rng.gen_range(1950..2026)));
-        if rng.gen_bool(0.7) {
-            doc.push_str(&format!(
-                "<publisher>House {}</publisher>",
-                rng.gen_range(0..20)
-            ));
-        } else {
-            doc.push_str("<self-published/>");
-        }
-        if rng.gen_bool(0.5) {
-            doc.push_str(&format!("<price>{}.99</price>", rng.gen_range(5..80)));
-        }
-        doc.push_str("</book>");
-    }
-    doc.push_str("</library>");
-    doc
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,8 +38,7 @@ fn main() {
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(42);
-    let corpus: Vec<String> = (0..docs).map(|i| document(&mut rng, i)).collect();
+    let corpus = synth_corpus(docs, 42);
     let bytes: usize = corpus.iter().map(String::len).sum();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(

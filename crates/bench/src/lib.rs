@@ -12,6 +12,8 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::Write;
 use std::time::{Duration, Instant};
 
@@ -20,6 +22,44 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// One synthetic "publication record" document. The shape exercises every
+/// engine path: nested element structure, optional/repeated children,
+/// attributes, text content, and an occasional empty element.
+fn synth_document(rng: &mut StdRng, i: usize) -> String {
+    let mut doc = String::with_capacity(512);
+    doc.push_str(&format!("<library id=\"L{i}\">"));
+    for _ in 0..rng.gen_range(1..=4) {
+        doc.push_str("<book>");
+        doc.push_str(&format!("<title>Volume {}</title>", rng.gen_range(1..500)));
+        for a in 0..rng.gen_range(1..=3) {
+            doc.push_str(&format!("<author>Writer {a}</author>"));
+        }
+        doc.push_str(&format!("<year>{}</year>", rng.gen_range(1950..2026)));
+        if rng.gen_bool(0.7) {
+            doc.push_str(&format!(
+                "<publisher>House {}</publisher>",
+                rng.gen_range(0..20)
+            ));
+        } else {
+            doc.push_str("<self-published/>");
+        }
+        if rng.gen_bool(0.5) {
+            doc.push_str(&format!("<price>{}.99</price>", rng.gen_range(5..80)));
+        }
+        doc.push_str("</book>");
+    }
+    doc.push_str("</library>");
+    doc
+}
+
+/// A deterministic synthetic corpus of `n` documents — the shared workload
+/// of the `scaling` and `perfgate` binaries, so their numbers are
+/// comparable.
+pub fn synth_corpus(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| synth_document(&mut rng, i)).collect()
 }
 
 /// Runs `f` with metrics recording enabled against a clean registry and
@@ -83,5 +123,18 @@ mod tests {
         assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
         assert!(fmt_duration(Duration::from_millis(5)).ends_with(" ms"));
         assert!(fmt_duration(Duration::from_micros(7)).ends_with(" µs"));
+    }
+
+    #[test]
+    fn synth_corpus_is_deterministic_and_parses() {
+        let a = synth_corpus(20, 42);
+        let b = synth_corpus(20, 42);
+        assert_eq!(a, b, "same seed, same corpus");
+        assert_ne!(a, synth_corpus(20, 7), "different seed differs");
+        let mut corpus = dtdinfer_xml::extract::Corpus::new();
+        for doc in &a {
+            corpus.add_document(doc).expect("synthetic corpus parses");
+        }
+        assert_eq!(corpus.num_documents, 20);
     }
 }

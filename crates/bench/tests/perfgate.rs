@@ -1,0 +1,187 @@
+//! End-to-end tests for the `perfgate` binary: a quick run must produce a
+//! parseable BENCH report covering the whole suite, comparing a report
+//! against itself must pass, and an injected 2x regression must trip the
+//! gate with a nonzero exit.
+
+use dtdinfer_obs::bench::BenchReport;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn perfgate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perfgate"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perfgate_test_{}_{name}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_quick(out: &Path) -> String {
+    let output = perfgate()
+        .args(["--quick", "--reps", "2", "--label", "test"])
+        .arg("--out")
+        .arg(out)
+        .output()
+        .expect("perfgate runs");
+    assert!(
+        output.status.success(),
+        "perfgate --quick failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn quick_run_writes_a_valid_full_coverage_report() {
+    let dir = scratch("run");
+    let out = dir.join("BENCH_test.json");
+    let stdout = run_quick(&out);
+    assert!(stdout.contains("wrote "), "summary line present: {stdout}");
+
+    let text = std::fs::read_to_string(&out).expect("report written");
+    let report = BenchReport::parse(&text).expect("report parses");
+    assert_eq!(report.label, "test");
+    assert_ne!(report.commit, "", "commit field populated");
+    assert!(report.cores >= 1);
+    assert!(report.created_unix > 1_700_000_000, "plausible timestamp");
+
+    // The quick suite covers every pipeline stage at size 300.
+    for phase in [
+        "tinf",
+        "idtd",
+        "crx",
+        "extract.n300",
+        "ingest.n300.j1",
+        "ingest.n300.j2",
+        "ingest.n300.j4",
+        "ingest.n300.j8",
+    ] {
+        let p = report
+            .phases
+            .get(phase)
+            .unwrap_or_else(|| panic!("phase {phase} in report; got {:?}", report.phases.keys()));
+        assert_eq!(p.reps, 2);
+        assert!(p.p50_ns > 0, "{phase} measured");
+        assert!(
+            p.p50_ns <= p.p95_ns && p.p95_ns <= p.max_ns,
+            "{phase} order"
+        );
+    }
+    // Corpus phases carry throughput, learner phases don't.
+    assert!(report.phases["ingest.n300.j4"].docs_per_sec.is_some());
+    assert!(report.phases["ingest.n300.j4"].mb_per_sec.is_some());
+    assert!(report.phases["tinf"].docs_per_sec.is_none());
+
+    // The instrumented pass pulled pipeline counters and per-worker
+    // gauges into the report.
+    assert!(
+        report
+            .counters
+            .keys()
+            .any(|k| k.starts_with("engine.worker.")),
+        "worker gauges present: {:?}",
+        report.counters.keys()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_passes_on_identical_reports_and_gates_a_2x_regression() {
+    let dir = scratch("compare");
+    let baseline = dir.join("baseline.json");
+    run_quick(&baseline);
+
+    // Self-comparison: zero exit, no regressions.
+    let ok = perfgate()
+        .arg("compare")
+        .args([&baseline, &baseline])
+        .output()
+        .expect("compare runs");
+    assert!(
+        ok.status.success(),
+        "self-compare must pass: {}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("no regressions"));
+
+    // Inject a 2x slowdown into the slowest phase — well above the 10µs
+    // noise floor — and the gate must fail at the default 15% threshold.
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    let mut report = BenchReport::parse(&text).expect("baseline parses");
+    let slowest = report
+        .phases
+        .iter()
+        .max_by_key(|(_, p)| p.p50_ns)
+        .map(|(name, _)| name.clone())
+        .expect("phases present");
+    let p = report.phases.get_mut(&slowest).expect("slowest phase");
+    assert!(
+        p.p50_ns > 10 * dtdinfer_obs::bench::MIN_TIME_DELTA_NS,
+        "slowest phase dwarfs the noise floor ({} ns)",
+        p.p50_ns
+    );
+    p.p50_ns *= 2;
+    p.p95_ns *= 2;
+    p.max_ns *= 2;
+    let candidate = dir.join("candidate.json");
+    std::fs::write(&candidate, format!("{}\n", report.json())).expect("write candidate");
+
+    let bad = perfgate()
+        .arg("compare")
+        .args([&baseline, &candidate])
+        .output()
+        .expect("compare runs");
+    assert!(
+        !bad.status.success(),
+        "2x regression must trip the gate: {}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains(&format!("REGRESSION {slowest}")),
+        "names the regressed phase: {stdout}"
+    );
+
+    // A generous threshold lets the same candidate through.
+    let lax = perfgate()
+        .args(["compare", "--threshold", "150"])
+        .args([&baseline, &candidate])
+        .output()
+        .expect("compare runs");
+    assert!(
+        lax.status.success(),
+        "150% threshold tolerates 2x: {}",
+        String::from_utf8_lossy(&lax.stdout)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_rejects_missing_and_malformed_inputs() {
+    let dir = scratch("errors");
+    let missing = perfgate()
+        .args(["compare", "no_such_a.json", "no_such_b.json"])
+        .output()
+        .expect("compare runs");
+    assert_eq!(missing.status.code(), Some(2), "I/O error exits 2");
+
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{not json").expect("write garbage");
+    let malformed = perfgate()
+        .arg("compare")
+        .args([&garbage, &garbage])
+        .output()
+        .expect("compare runs");
+    assert_eq!(malformed.status.code(), Some(2), "parse error exits 2");
+
+    let unknown = perfgate().arg("--bogus").output().expect("perfgate runs");
+    assert_eq!(unknown.status.code(), Some(2), "unknown flag exits 2");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,8 +10,8 @@
 //! ```
 //!
 //! `infer`, `stats`, and `learn` also accept the observability flags
-//! `--metrics <FILE|->`, `--trace <FILE|->`, and `-v`/`--verbose`; see
-//! the README's Observability section.
+//! `--metrics <FILE|->`, `--trace <FILE|->`, `--trace-format jsonl|chrome`,
+//! and `-v`/`--verbose`; see the README's Observability section.
 
 use dtdinfer_core::crx::crx;
 use dtdinfer_core::idtd::idtd_from_words;
@@ -30,11 +30,24 @@ use std::process::ExitCode;
 struct ObsOptions {
     /// `--metrics <FILE|->`: write the metrics snapshot as JSON.
     metrics: Option<String>,
-    /// `--trace <FILE|->`: write the span/event trace as JSON lines.
+    /// `--trace <FILE|->`: write the span/event trace.
     trace: Option<String>,
+    /// `--trace-format jsonl|chrome`: trace serialization (default jsonl;
+    /// chrome is the trace-event JSON loadable in Perfetto). `None` when
+    /// the flag was not given, so a lone `--trace-format` can be rejected.
+    trace_format: Option<TraceFormat>,
     /// `-v` / `--verbose`: human-oriented progress and counter summary on
     /// stderr.
     verbose: bool,
+}
+
+/// How `--trace` output is serialized.
+#[derive(Debug, PartialEq)]
+enum TraceFormat {
+    /// One JSON object per line — the crate's native format.
+    Jsonl,
+    /// Chrome trace-event JSON array (Perfetto / `chrome://tracing`).
+    Chrome,
 }
 
 impl ObsOptions {
@@ -58,6 +71,19 @@ impl ObsOptions {
                 );
                 Ok(true)
             }
+            "--trace-format" => {
+                self.trace_format = Some(match it.next().map(String::as_str) {
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("chrome") => TraceFormat::Chrome,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown trace format {other:?} (expected jsonl or chrome)"
+                        ));
+                    }
+                    None => return Err("--trace-format needs a value (jsonl or chrome)".to_owned()),
+                });
+                Ok(true)
+            }
             "-v" | "--verbose" => {
                 self.verbose = true;
                 Ok(true)
@@ -66,33 +92,47 @@ impl ObsOptions {
         }
     }
 
-    /// Turns recording on (cleanly) when any flag asked for it.
-    fn activate(&self) {
+    /// Validates flag combinations and turns recording on (cleanly) when
+    /// any flag asked for it.
+    fn activate(&self) -> Result<(), String> {
+        if self.trace_format.is_some() && self.trace.is_none() {
+            return Err("--trace-format requires --trace".to_owned());
+        }
         let metrics = self.metrics.is_some() || self.verbose;
         let trace = self.trace.is_some();
         if metrics || trace {
             dtdinfer_obs::enable(metrics, trace);
             dtdinfer_obs::reset();
         }
+        Ok(())
     }
 
     /// Emits everything recorded since [`ObsOptions::activate`] and turns
-    /// recording back off. The metrics JSON is a single line, so it stays
-    /// machine-separable even when sharing stdout with the DTD.
+    /// recording back off. Fixed emission order: the trace block first,
+    /// the metrics JSON last — so when both share stdout with the DTD, a
+    /// consumer always finds the single-line metrics object as the final
+    /// line.
     fn finish(&self) -> Result<(), String> {
         if self.verbose {
             eprint!("{}", dtdinfer_obs::snapshot().render_text());
         }
+        if let Some(target) = &self.trace {
+            let entries = dtdinfer_obs::take_trace();
+            let out = match self.trace_format {
+                Some(TraceFormat::Chrome) => format!("{}\n", dtdinfer_obs::chrome_trace(&entries)),
+                Some(TraceFormat::Jsonl) | None => {
+                    let mut out = String::new();
+                    for entry in &entries {
+                        out.push_str(&entry.json());
+                        out.push('\n');
+                    }
+                    out
+                }
+            };
+            write_output(target, &out)?;
+        }
         if let Some(target) = &self.metrics {
             write_output(target, &format!("{}\n", dtdinfer_obs::snapshot().json()))?;
-        }
-        if let Some(target) = &self.trace {
-            let mut out = String::new();
-            for entry in dtdinfer_obs::take_trace() {
-                out.push_str(&entry.json());
-                out.push('\n');
-            }
-            write_output(target, &out)?;
         }
         dtdinfer_obs::disable();
         Ok(())
@@ -156,7 +196,8 @@ USAGE:
                                         expression size, time
       --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
       --jobs <N>                        shard ingestion; also prints a
-                                        per-shard summary and merge time
+                                        per-shard summary, merge time, and
+                                        a per-worker utilization table
   dtdinfer snapshot save --out SNAP [--jobs N] FILE...
                                         ingest XML and persist the engine
                                         state as a versioned snapshot
@@ -191,8 +232,13 @@ OBSERVABILITY (infer, stats, snapshot, learn):
       --metrics <FILE|->                write pipeline counters and timing
                                         histograms as one JSON line
       --trace <FILE|->                  write spans and events as JSON lines
+      --trace-format jsonl|chrome       trace serialization; chrome emits
+                                        trace-event JSON for Perfetto /
+                                        chrome://tracing (requires --trace)
       -v, --verbose                     progress and counter summary on
-                                        stderr"
+                                        stderr
+      When --metrics - and --trace - share stdout, the trace block is
+      written first and the metrics JSON is always the final line."
     );
 }
 
@@ -253,7 +299,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
                     .to_owned(),
             );
         }
-        obs.activate();
+        obs.activate()?;
         let docs = read_documents(&files, &obs)?;
         let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
         let (dtd, reports) = ingested.state.derive(engine);
@@ -286,7 +332,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         }
         return obs.finish();
     }
-    obs.activate();
+    obs.activate()?;
     if contextual {
         // Context-aware (XSD-strength) inference: one type per
         // (parent, element) context, merged when language-equal.
@@ -427,7 +473,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err("no input files".to_owned());
     }
-    obs.activate();
+    obs.activate()?;
     if let Some(jobs) = jobs {
         let docs = read_documents(&files, &obs)?;
         let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
@@ -442,7 +488,8 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     obs.finish()
 }
 
-/// The per-shard ingestion summary for `stats --jobs N`.
+/// The per-shard ingestion summary and worker utilization table for
+/// `stats --jobs N`.
 fn print_shards(ingested: &Ingest) {
     for s in &ingested.shards {
         println!(
@@ -454,6 +501,21 @@ fn print_shards(ingested: &Ingest) {
         );
     }
     println!("shard merge {}", fmt_ns(ingested.merge_ns));
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>7}",
+        "worker", "documents", "busy", "wall", "idle polls", "util"
+    );
+    for s in &ingested.shards {
+        println!(
+            "{:<8} {:>10} {:>12} {:>12} {:>12} {:>6.1}%",
+            s.shard,
+            s.documents,
+            fmt_ns(s.busy_ns),
+            fmt_ns(s.duration_ns),
+            s.idle_polls,
+            s.utilization_pct()
+        );
+    }
 }
 
 fn print_stats(num_documents: u64, reports: &[ElementReport]) {
@@ -522,7 +584,7 @@ fn cmd_snapshot_save(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err("no input files".to_owned());
     }
-    obs.activate();
+    obs.activate()?;
     let docs = read_documents(&files, &obs)?;
     let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
     let text = snapshot::save(&ingested.state);
@@ -567,7 +629,7 @@ fn cmd_snapshot_load(args: &[String]) -> Result<(), String> {
     let [path] = paths.as_slice() else {
         return Err("exactly one snapshot file is required".to_owned());
     };
-    obs.activate();
+    obs.activate()?;
     let state = read_snapshot(path)?;
     let (dtd, _) = state.derive(engine);
     if xsd {
@@ -611,7 +673,7 @@ fn cmd_snapshot_update(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err("no input files to absorb".to_owned());
     }
-    obs.activate();
+    obs.activate()?;
     let base = read_snapshot(snap)?;
     let docs = read_documents(files, &obs)?;
     let ingested = ingest_into(base, &docs, jobs).map_err(|e| attribute_error(files, e))?;
@@ -805,7 +867,7 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    obs.activate();
+    obs.activate()?;
     let mut input = String::new();
     std::io::stdin()
         .read_to_string(&mut input)

@@ -349,6 +349,136 @@ fn trace_writes_json_lines_and_verbose_reports_progress() {
 }
 
 #[test]
+fn metrics_and_trace_on_stdout_keep_a_fixed_order() {
+    let dir = tempdir();
+    let mut args = vec![
+        "infer".to_owned(),
+        "--metrics".to_owned(),
+        "-".to_owned(),
+        "--trace".to_owned(),
+        "-".to_owned(),
+    ];
+    args.extend(docs_from_words(&dir, &["bacacdacde", "cbacdbacde"]));
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, ok) = run_with_stdin(&argv, "");
+    assert!(ok, "{stderr}");
+    // Pinned interleaving: the DTD leads, the trace block follows, and the
+    // single-line metrics object is always the very last line.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].starts_with("<!ELEMENT"), "{stdout}");
+    let first_trace = lines
+        .iter()
+        .position(|l| l.starts_with("{\"span\":") || l.starts_with("{\"event\":"))
+        .unwrap_or_else(|| panic!("no trace lines: {stdout}"));
+    let metrics = lines
+        .iter()
+        .position(|l| l.starts_with("{\"counters\":{"))
+        .unwrap_or_else(|| panic!("no metrics line: {stdout}"));
+    assert_eq!(metrics, lines.len() - 1, "metrics must be last: {stdout}");
+    for (i, line) in lines.iter().enumerate().skip(first_trace) {
+        if i < metrics {
+            assert!(
+                line.starts_with("{\"span\":") || line.starts_with("{\"event\":"),
+                "line {i} between trace start and metrics is not a trace entry: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_format_emits_trace_events_with_distinct_tids() {
+    let dir = tempdir();
+    let trace_path = dir.join("trace-chrome.json");
+    let mut args = vec![
+        "infer".to_owned(),
+        "--jobs".to_owned(),
+        "4".to_owned(),
+        "--trace".to_owned(),
+        trace_path.to_str().unwrap().to_owned(),
+        "--trace-format".to_owned(),
+        "chrome".to_owned(),
+    ];
+    args.extend(docs_from_words(
+        &dir,
+        &["bacacdacde", "cbacdbacde", "ab", "b"],
+    ));
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (stdout, stderr, ok) = run_with_stdin(&argv, "");
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("<!ELEMENT"), "{stdout}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    // Chrome trace-event shape: a JSON array of complete ("X") and
+    // instant ("i") events carrying pid/tid rows.
+    assert!(trace.starts_with("[\n"), "{trace}");
+    assert!(trace.ends_with("\n]\n"), "{trace}");
+    assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+    assert!(trace.contains("\"pid\":1"), "{trace}");
+    assert!(
+        trace.contains("\"name\":\"engine.shard\""),
+        "worker spans present: {trace}"
+    );
+    let tids: std::collections::BTreeSet<u64> = trace
+        .match_indices("\"tid\":")
+        .map(|(i, m)| {
+            trace[i + m.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("numeric tid")
+        })
+        .collect();
+    assert!(
+        tids.len() >= 2,
+        "--jobs 4 must record at least two distinct thread ids, got {tids:?}: {trace}"
+    );
+}
+
+#[test]
+fn trace_format_flag_is_validated() {
+    let dir = tempdir();
+    let files = docs_from_words(&dir, &["ab"]);
+    // chrome without --trace is rejected before any work happens.
+    let (_, stderr, ok) = run_with_stdin(
+        &["infer", "--trace-format", "chrome", files[0].as_str()],
+        "",
+    );
+    assert!(!ok);
+    assert!(
+        stderr.contains("--trace-format requires --trace"),
+        "{stderr}"
+    );
+    // Unknown formats are named in the error.
+    let (_, stderr, ok) = run_with_stdin(
+        &[
+            "infer",
+            "--trace",
+            "-",
+            "--trace-format",
+            "perfetto",
+            files[0].as_str(),
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown trace format"), "{stderr}");
+    // An explicit jsonl with --trace is fine.
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "infer",
+            "--trace",
+            "-",
+            "--trace-format",
+            "jsonl",
+            files[0].as_str(),
+        ],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("{\"span\":"), "{stdout}");
+}
+
+#[test]
 fn learn_accepts_metrics_flag() {
     let dir = tempdir();
     let metrics_path = dir.join("learn-metrics.json");

@@ -147,6 +147,74 @@ fn stats_jobs_reports_shards_and_merge_time() {
 }
 
 #[test]
+fn stats_jobs_prints_a_per_worker_utilization_table() {
+    let files = testdata();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+    let out = run(&[&["stats", "--jobs", "3"][..], &refs].concat());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let header = text
+        .lines()
+        .find(|l| l.starts_with("worker"))
+        .unwrap_or_else(|| panic!("no worker table header: {text}"));
+    for col in ["documents", "busy", "wall", "idle polls", "util"] {
+        assert!(header.contains(col), "missing column {col}: {header}");
+    }
+    // One row per worker, each ending in a percentage.
+    let rows: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.starts_with("worker"))
+        .skip(1)
+        .take_while(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .collect();
+    assert_eq!(rows.len(), 3, "one row per worker: {text}");
+    for row in rows {
+        assert!(row.trim_end().ends_with('%'), "utilization column: {row}");
+    }
+}
+
+/// Drops a trailing `<number> <unit>` time column from a report line, so
+/// tables can be compared across runs whose wall-clock times differ.
+fn strip_time_column(line: &str) -> String {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.as_slice() {
+        [head @ .., value, unit]
+            if matches!(*unit, "ns" | "µs" | "ms" | "s")
+                && value.chars().all(|c| c.is_ascii_digit() || c == '.') =>
+        {
+            head.join(" ")
+        }
+        _ => tokens.join(" "),
+    }
+}
+
+#[test]
+fn stats_derivation_table_is_identical_for_every_worker_count() {
+    let files = testdata();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+    // The derivation table (everything up to the document summary line),
+    // times stripped, must not depend on the worker count: sharding may
+    // change the timings but never what was derived.
+    let table = |jobs: &str| -> Vec<String> {
+        let out = run(&[&["stats", "--jobs", jobs][..], &refs].concat());
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        let mut lines = Vec::new();
+        for line in text.lines() {
+            let done = line.contains("document(s)");
+            lines.push(strip_time_column(line));
+            if done {
+                return lines;
+            }
+        }
+        panic!("no summary line in stats output: {text}");
+    };
+    let baseline = table("1");
+    assert!(baseline.len() > 2, "table has rows: {baseline:?}");
+    for jobs in ["2", "4", "8"] {
+        assert_eq!(table(jobs), baseline, "--jobs {jobs}");
+    }
+}
+
+#[test]
 fn parse_errors_name_the_failing_file_deterministically() {
     let dir = scratch("badxml");
     let good = dir.join("good.xml");

@@ -24,8 +24,28 @@ pub struct ShardReport {
     pub documents: u64,
     /// Child-name sequences this shard absorbed.
     pub words: u64,
-    /// Wall-clock time the shard spent ingesting.
+    /// Wall-clock time the shard spent ingesting (claiming + parsing).
     pub duration_ns: u64,
+    /// Time actually spent inside document absorption — the worker's
+    /// utilization is `busy_ns / duration_ns`; the rest is queue traffic
+    /// and scheduling.
+    pub busy_ns: u64,
+    /// Queue polls that found no work left (1 per worker with the current
+    /// counter queue — its exit poll; 0 on the sequential path, which has
+    /// no queue).
+    pub idle_polls: u64,
+}
+
+impl ShardReport {
+    /// Fraction of the shard's wall-clock spent absorbing documents, in
+    /// percent (0 when the shard did not run long enough to measure).
+    pub fn utilization_pct(&self) -> f64 {
+        if self.duration_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.duration_ns as f64 * 100.0
+        }
+    }
 }
 
 /// Result of a (possibly parallel) ingestion run.
@@ -86,15 +106,22 @@ pub fn ingest_into<D: AsRef<str> + Sync>(
                 .map(|shard| {
                     let next = &next;
                     scope.spawn(move || {
+                        // The span runs on the worker thread, so traces
+                        // carry one distinct tid per worker.
+                        let _span = dtdinfer_obs::span("engine.shard");
                         let started = Instant::now();
                         let mut local = EngineState::new();
                         let mut documents = 0u64;
+                        let mut busy_ns = 0u64;
+                        let mut idle_polls = 0u64;
                         let mut first_error: Option<IngestError> = None;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= docs.len() {
+                                idle_polls += 1;
                                 break;
                             }
+                            let doc_started = Instant::now();
                             match local.absorb_document(docs[i].as_ref()) {
                                 Ok(()) => documents += 1,
                                 Err(error) => {
@@ -108,12 +135,15 @@ pub fn ingest_into<D: AsRef<str> + Sync>(
                                     }
                                 }
                             }
+                            busy_ns += elapsed_ns(doc_started);
                         }
                         let report = ShardReport {
                             shard,
                             documents,
                             words: local.total_words(),
                             duration_ns: elapsed_ns(started),
+                            busy_ns,
+                            idle_polls,
                         };
                         (local, report, first_error)
                     })
@@ -152,16 +182,21 @@ fn ingest_sequential<D: AsRef<str>>(base: EngineState, docs: &[D]) -> Result<Ing
     let started = Instant::now();
     let mut state = base;
     let words_before = state.total_words();
+    let mut busy_ns = 0u64;
     for (doc_index, doc) in docs.iter().enumerate() {
+        let doc_started = Instant::now();
         state
             .absorb_document(doc.as_ref())
             .map_err(|error| IngestError { doc_index, error })?;
+        busy_ns += elapsed_ns(doc_started);
     }
     let report = ShardReport {
         shard: 0,
         documents: docs.len() as u64,
         words: state.total_words() - words_before,
         duration_ns: elapsed_ns(started),
+        busy_ns,
+        idle_polls: 0,
     };
     record_shard(&report);
     Ok(Ingest {
@@ -179,6 +214,12 @@ fn record_shard(report: &ShardReport) {
     dtdinfer_obs::count_labeled("engine.shard.documents", &label, report.documents);
     dtdinfer_obs::count_labeled("engine.shard.words", &label, report.words);
     dtdinfer_obs::observe("engine.shard.duration_ns", report.duration_ns);
+    // Per-worker point-in-time telemetry: gauges, since re-ingesting in
+    // the same process should replace — not accumulate — a worker's stats.
+    let worker = format!("engine.worker.{}", report.shard);
+    dtdinfer_obs::gauge(&format!("{worker}.busy_ns"), report.busy_ns);
+    dtdinfer_obs::gauge(&format!("{worker}.documents"), report.documents);
+    dtdinfer_obs::gauge(&format!("{worker}.idle_polls"), report.idle_polls);
 }
 
 fn elapsed_ns(started: Instant) -> u64 {
@@ -232,6 +273,58 @@ mod tests {
             let err = ingest(&docs, jobs).unwrap_err();
             assert_eq!(err.doc_index, 17, "jobs {jobs}");
         }
+    }
+
+    #[test]
+    fn shard_reports_account_for_busy_time_and_idle_polls() {
+        let docs = docs(60);
+        let sequential = ingest(&docs, 1).unwrap();
+        let seq = &sequential.shards[0];
+        assert_eq!(seq.idle_polls, 0, "no queue on the sequential path");
+        assert!(seq.busy_ns <= seq.duration_ns, "{seq:?}");
+        assert!(seq.busy_ns > 0, "60 documents take measurable time");
+
+        let parallel = ingest(&docs, 4).unwrap();
+        for s in &parallel.shards {
+            assert_eq!(s.idle_polls, 1, "one exhausted poll per worker: {s:?}");
+            assert!(s.busy_ns <= s.duration_ns, "{s:?}");
+            assert!(s.utilization_pct() <= 100.0, "{s:?}");
+        }
+    }
+
+    // The obs registry and recorder are process-global, so everything that
+    // records through them lives in one test to avoid cross-test races
+    // under the parallel runner.
+    #[test]
+    fn worker_telemetry_lands_in_gauges_and_trace() {
+        let docs = docs(40);
+        dtdinfer_obs::enable(true, true);
+        dtdinfer_obs::reset();
+        let ingested = ingest(&docs, 4).unwrap();
+        let snap = dtdinfer_obs::snapshot();
+        let trace = dtdinfer_obs::take_trace();
+        dtdinfer_obs::disable();
+
+        for s in &ingested.shards {
+            let prefix = format!("engine.worker.{}", s.shard);
+            assert_eq!(snap.gauges[&format!("{prefix}.busy_ns")], s.busy_ns);
+            assert_eq!(snap.gauges[&format!("{prefix}.documents")], s.documents);
+            assert_eq!(snap.gauges[&format!("{prefix}.idle_polls")], s.idle_polls);
+        }
+
+        let mut shard_tids: Vec<u64> = trace
+            .iter()
+            .filter_map(|e| match e {
+                dtdinfer_obs::TraceEntry::Span { name, tid, .. } if *name == "engine.shard" => {
+                    Some(*tid)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shard_tids.len(), 4, "one span per worker: {trace:?}");
+        shard_tids.sort_unstable();
+        shard_tids.dedup();
+        assert_eq!(shard_tids.len(), 4, "each worker has its own tid");
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! The `BENCH_*.json` performance-report model: what `perfgate` writes,
+//! what `perfgate compare` reads back, and the regression test between the
+//! two. Kept here (not in the bench crate) so the serialization lives next
+//! to the JSON writer/reader it uses and every later perf PR shares one
+//! format.
+//!
+//! A report is a set of named **phases** (`extract.n2000`, `ingest.n2000.j4`,
+//! `idtd`, …), each with wall-clock percentiles over N repetitions and
+//! optional throughput, plus counters pulled from the metrics registry and
+//! enough host/commit metadata to interpret the numbers later.
+
+use crate::json::{write_key, write_string, Value};
+use std::collections::BTreeMap;
+
+/// Wall-clock and throughput statistics for one benchmark phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Number of timed repetitions the percentiles summarize.
+    pub reps: u64,
+    /// Median wall-clock nanoseconds per repetition.
+    pub p50_ns: u64,
+    /// 95th-percentile wall-clock nanoseconds per repetition.
+    pub p95_ns: u64,
+    /// Slowest repetition in nanoseconds.
+    pub max_ns: u64,
+    /// Documents per second at the median, for corpus-driven phases.
+    pub docs_per_sec: Option<f64>,
+    /// Megabytes per second at the median, for corpus-driven phases.
+    pub mb_per_sec: Option<f64>,
+}
+
+impl PhaseStats {
+    /// Builds stats from raw per-repetition durations, attaching
+    /// throughput when the phase processed `docs` documents of `bytes`
+    /// total size per repetition.
+    pub fn from_samples(samples_ns: &[u64], workload: Option<(u64, u64)>) -> PhaseStats {
+        let (p50_ns, p95_ns, max_ns) = percentiles(samples_ns);
+        let throughput = |units: f64| {
+            if p50_ns == 0 {
+                None
+            } else {
+                Some(units / (p50_ns as f64 / 1e9))
+            }
+        };
+        let (docs_per_sec, mb_per_sec) = match workload {
+            Some((docs, bytes)) => (
+                throughput(docs as f64),
+                throughput(bytes as f64 / (1024.0 * 1024.0)),
+            ),
+            None => (None, None),
+        };
+        PhaseStats {
+            reps: samples_ns.len() as u64,
+            p50_ns,
+            p95_ns,
+            max_ns,
+            docs_per_sec,
+            mb_per_sec,
+        }
+    }
+}
+
+/// Nearest-rank p50/p95/max of a sample set (0s when empty) — the same
+/// rule the metrics histograms use.
+pub fn percentiles(samples: &[u64]) -> (u64, u64, u64) {
+    if samples.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    (pct(0.50), pct(0.95), sorted[sorted.len() - 1])
+}
+
+/// One persisted performance report (`BENCH_<label>.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The report's label (CLI `--label`, e.g. `baseline` or `ci`).
+    pub label: String,
+    /// Git commit the numbers were measured at (`unknown` outside a repo).
+    pub commit: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available hardware parallelism when measured.
+    pub cores: u64,
+    /// Seconds since the Unix epoch when the report was written.
+    pub created_unix: u64,
+    /// Phase name → timing/throughput stats, sorted by name.
+    pub phases: BTreeMap<String, PhaseStats>,
+    /// Pipeline counters (and worker gauges) from one instrumented run.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Renders a float deterministically for the report (3 decimals).
+fn write_f64(out: &mut String, value: f64) {
+    out.push_str(&format!("{value:.3}"));
+}
+
+impl BenchReport {
+    /// The stable JSON form, keys sorted, floats at 3 decimals.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        write_key(&mut out, "label");
+        write_string(&mut out, &self.label);
+        out.push(',');
+        write_key(&mut out, "commit");
+        write_string(&mut out, &self.commit);
+        out.push(',');
+        write_key(&mut out, "host");
+        out.push('{');
+        write_key(&mut out, "os");
+        write_string(&mut out, &self.os);
+        out.push(',');
+        write_key(&mut out, "arch");
+        write_string(&mut out, &self.arch);
+        out.push_str(&format!(",\"cores\":{}}},", self.cores));
+        out.push_str(&format!("\"created_unix\":{},", self.created_unix));
+        write_key(&mut out, "phases");
+        out.push('{');
+        for (i, (name, p)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            write_key(&mut out, name);
+            out.push_str(&format!(
+                "{{\"reps\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}",
+                p.reps, p.p50_ns, p.p95_ns, p.max_ns
+            ));
+            if let Some(d) = p.docs_per_sec {
+                out.push_str(",\"docs_per_sec\":");
+                write_f64(&mut out, d);
+            }
+            if let Some(m) = p.mb_per_sec {
+                out.push_str(",\"mb_per_sec\":");
+                write_f64(&mut out, m);
+            }
+            out.push('}');
+        }
+        out.push_str("},\n");
+        write_key(&mut out, "counters");
+        out.push('{');
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, name);
+            out.push_str(&value.to_string());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a report back from its JSON form.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = Value::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let host = v.get("host").ok_or("missing host object")?;
+        let mut phases = BTreeMap::new();
+        for (name, p) in v
+            .get("phases")
+            .and_then(Value::as_obj)
+            .ok_or("missing phases object")?
+        {
+            let u64_field = |key: &str| -> Result<u64, String> {
+                p.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("phase {name:?}: missing numeric field {key:?}"))
+            };
+            phases.insert(
+                name.clone(),
+                PhaseStats {
+                    reps: u64_field("reps")?,
+                    p50_ns: u64_field("p50_ns")?,
+                    p95_ns: u64_field("p95_ns")?,
+                    max_ns: u64_field("max_ns")?,
+                    docs_per_sec: p.get("docs_per_sec").and_then(Value::as_f64),
+                    mb_per_sec: p.get("mb_per_sec").and_then(Value::as_f64),
+                },
+            );
+        }
+        let mut counters = BTreeMap::new();
+        for (name, value) in v
+            .get("counters")
+            .and_then(Value::as_obj)
+            .ok_or("missing counters object")?
+        {
+            counters.insert(
+                name.clone(),
+                value
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {name:?} is not a u64"))?,
+            );
+        }
+        Ok(BenchReport {
+            label: str_field("label")?,
+            commit: str_field("commit")?,
+            os: host
+                .get("os")
+                .and_then(Value::as_str)
+                .ok_or("missing host.os")?
+                .to_owned(),
+            arch: host
+                .get("arch")
+                .and_then(Value::as_str)
+                .ok_or("missing host.arch")?
+                .to_owned(),
+            cores: host
+                .get("cores")
+                .and_then(Value::as_u64)
+                .ok_or("missing host.cores")?,
+            created_unix: v
+                .get("created_unix")
+                .and_then(Value::as_u64)
+                .ok_or("missing created_unix")?,
+            phases,
+            counters,
+        })
+    }
+}
+
+/// One metric that got worse than the comparison threshold allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `<phase>.<field>`, e.g. `ingest.n2000.j4.p50_ns`.
+    pub metric: String,
+    /// The baseline's value.
+    pub baseline: f64,
+    /// The candidate's value.
+    pub candidate: f64,
+    /// Signed percentage change from baseline to candidate.
+    pub change_pct: f64,
+}
+
+/// Time regressions below this absolute delta are ignored regardless of
+/// ratio: a 3 µs phase doubling to 6 µs is scheduler noise, not a
+/// regression worth failing CI over.
+pub const MIN_TIME_DELTA_NS: u64 = 10_000;
+
+/// Compares every phase present in both reports. A regression is a median
+/// time that grew, or a throughput that shrank, by more than
+/// `threshold_pct` percent (times also must exceed [`MIN_TIME_DELTA_NS`]).
+/// Returns the offending metrics, sorted by phase name; empty means the
+/// candidate passes the gate.
+pub fn compare(
+    baseline: &BenchReport,
+    candidate: &BenchReport,
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    let factor = 1.0 + threshold_pct / 100.0;
+    for (name, base) in &baseline.phases {
+        let Some(cand) = candidate.phases.get(name) else {
+            continue;
+        };
+        let (b, c) = (base.p50_ns as f64, cand.p50_ns as f64);
+        if c > b * factor && cand.p50_ns.saturating_sub(base.p50_ns) > MIN_TIME_DELTA_NS {
+            regressions.push(Regression {
+                metric: format!("{name}.p50_ns"),
+                baseline: b,
+                candidate: c,
+                change_pct: change_pct(b, c),
+            });
+        }
+        for (field, b, c) in [
+            ("docs_per_sec", base.docs_per_sec, cand.docs_per_sec),
+            ("mb_per_sec", base.mb_per_sec, cand.mb_per_sec),
+        ] {
+            let (Some(b), Some(c)) = (b, c) else { continue };
+            // Throughput is inverse time: a drop to 1/factor of baseline
+            // is the same size of regression as time growing by factor.
+            if c < b / factor && b > 0.0 {
+                regressions.push(Regression {
+                    metric: format!("{name}.{field}"),
+                    baseline: b,
+                    candidate: c,
+                    change_pct: change_pct(b, c),
+                });
+            }
+        }
+    }
+    regressions
+}
+
+fn change_pct(baseline: f64, candidate: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (candidate - baseline) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(p50_ms: u64) -> PhaseStats {
+        PhaseStats {
+            reps: 5,
+            p50_ns: p50_ms * 1_000_000,
+            p95_ns: p50_ms * 1_200_000,
+            max_ns: p50_ms * 1_500_000,
+            docs_per_sec: Some(1000.0 / p50_ms as f64),
+            mb_per_sec: Some(10.0 / p50_ms as f64),
+        }
+    }
+
+    fn report() -> BenchReport {
+        BenchReport {
+            label: "baseline".into(),
+            commit: "abc123".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cores: 8,
+            created_unix: 1_754_000_000,
+            phases: [
+                ("idtd".to_owned(), phase(2)),
+                ("ingest.n2000.j4".to_owned(), phase(40)),
+            ]
+            .into(),
+            counters: [("engine.documents".to_owned(), 2000u64)].into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report();
+        let parsed = BenchReport::parse(&r.json()).unwrap();
+        assert_eq!(parsed, r);
+        // And the re-serialization is byte-identical (stable format).
+        assert_eq!(parsed.json(), r.json());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_reports() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse("{\"label\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = report();
+        assert!(compare(&r, &r, 15.0).is_empty());
+    }
+
+    #[test]
+    fn injected_2x_time_regression_is_caught() {
+        let base = report();
+        let mut worse = base.clone();
+        let p = worse.phases.get_mut("ingest.n2000.j4").unwrap();
+        p.p50_ns *= 2;
+        p.docs_per_sec = p.docs_per_sec.map(|d| d / 2.0);
+        p.mb_per_sec = p.mb_per_sec.map(|m| m / 2.0);
+        let regressions = compare(&base, &worse, 15.0);
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"ingest.n2000.j4.p50_ns"), "{metrics:?}");
+        assert!(
+            metrics.contains(&"ingest.n2000.j4.docs_per_sec"),
+            "{metrics:?}"
+        );
+        let time = &regressions[0];
+        assert!((time.change_pct - 100.0).abs() < 1e-9, "{time:?}");
+        // A looser-but-still-sane threshold (CI's 50%) also catches 2x.
+        assert!(!compare(&base, &worse, 50.0).is_empty());
+        // A threshold above the regression does not.
+        assert!(compare(&base, &worse, 150.0).is_empty());
+    }
+
+    #[test]
+    fn improvements_and_noise_are_not_regressions() {
+        let base = report();
+        let mut faster = base.clone();
+        faster.phases.get_mut("idtd").unwrap().p50_ns /= 2;
+        assert!(compare(&base, &faster, 15.0).is_empty(), "faster is fine");
+
+        // A big ratio on a tiny absolute delta is ignored (noise floor).
+        let mut tiny_base = base.clone();
+        let mut tiny_cand = base.clone();
+        tiny_base.phases.get_mut("idtd").unwrap().p50_ns = 3_000;
+        let cand_phase = tiny_cand.phases.get_mut("idtd").unwrap();
+        cand_phase.p50_ns = 9_000;
+        cand_phase.docs_per_sec = None;
+        cand_phase.mb_per_sec = None;
+        tiny_base.phases.get_mut("idtd").unwrap().docs_per_sec = None;
+        tiny_base.phases.get_mut("idtd").unwrap().mb_per_sec = None;
+        assert!(compare(&tiny_base, &tiny_cand, 15.0).is_empty());
+    }
+
+    #[test]
+    fn phases_only_in_one_report_are_skipped() {
+        let base = report();
+        let mut cand = report();
+        cand.phases.remove("idtd");
+        cand.phases.insert("brand-new".to_owned(), phase(1));
+        assert!(compare(&base, &cand, 15.0).is_empty());
+    }
+
+    #[test]
+    fn percentile_rule_matches_histograms() {
+        assert_eq!(percentiles(&[]), (0, 0, 0));
+        assert_eq!(percentiles(&[7]), (7, 7, 7));
+        let samples: Vec<u64> = (1..=100).collect();
+        let (p50, p95, max) = percentiles(&samples);
+        assert_eq!(max, 100);
+        assert!((48..=52).contains(&p50), "{p50}");
+        assert!((93..=97).contains(&p95), "{p95}");
+    }
+
+    #[test]
+    fn from_samples_computes_throughput_at_the_median() {
+        let stats = PhaseStats::from_samples(&[2_000_000_000], Some((100, 1024 * 1024)));
+        assert_eq!(stats.p50_ns, 2_000_000_000);
+        assert_eq!(stats.docs_per_sec, Some(50.0));
+        assert_eq!(stats.mb_per_sec, Some(0.5));
+        let bare = PhaseStats::from_samples(&[10, 20, 30], None);
+        assert_eq!(bare.reps, 3);
+        assert_eq!(bare.docs_per_sec, None);
+    }
+}

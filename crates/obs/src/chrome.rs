@@ -1,0 +1,128 @@
+//! Chrome trace-event export: renders a recorded trace as the JSON array
+//! format understood by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! Spans become `"ph":"X"` *complete* events (one slice per span, placed on
+//! the row of the thread that ran it via `tid`), point events become
+//! `"ph":"i"` *instant* events with their key/value payload under `args`.
+//! Timestamps are microseconds with nanosecond precision kept in the
+//! fractional part, rendered as exact decimals so the output is
+//! byte-deterministic for a fixed trace.
+
+use crate::json::{write_key, write_string};
+use crate::trace::TraceEntry;
+
+/// Nanosecond offset → Chrome's microsecond timestamp, exact to the ns.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders `entries` as one Chrome trace-event JSON array. Every event
+/// carries `pid:1` (single process) and the recording thread's id as
+/// `tid`, so a run with `--jobs N` shows one row per worker thread.
+pub fn chrome_trace(entries: &[TraceEntry]) -> String {
+    let mut out = String::from("[");
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push('{');
+        match entry {
+            TraceEntry::Span {
+                name,
+                start_ns,
+                dur_ns,
+                tid,
+            } => {
+                write_key(&mut out, "name");
+                write_string(&mut out, name);
+                out.push_str(&format!(
+                    ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid}",
+                    us(*start_ns),
+                    us(*dur_ns)
+                ));
+            }
+            TraceEntry::Event {
+                name,
+                at_ns,
+                tid,
+                fields,
+            } => {
+                write_key(&mut out, "name");
+                write_string(&mut out, name);
+                out.push_str(&format!(
+                    ",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{tid}",
+                    us(*at_ns)
+                ));
+                out.push(',');
+                write_key(&mut out, "args");
+                out.push('{');
+                for (j, (k, v)) in fields.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    write_key(&mut out, k);
+                    write_string(&mut out, v);
+                }
+                out.push('}');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_become_complete_events() {
+        let entries = vec![
+            TraceEntry::Span {
+                name: "engine.shard",
+                start_ns: 1_234_567,
+                dur_ns: 2_000,
+                tid: 2,
+            },
+            TraceEntry::Event {
+                name: "repair",
+                at_ns: 1_500,
+                tid: 0,
+                fields: vec![("k".to_owned(), "2".to_owned())],
+            },
+        ];
+        let json = chrome_trace(&entries);
+        assert_eq!(
+            json,
+            "[\n\
+             {\"name\":\"engine.shard\",\"cat\":\"span\",\"ph\":\"X\",\
+             \"ts\":1234.567,\"dur\":2.000,\"pid\":1,\"tid\":2},\n\
+             {\"name\":\"repair\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":1.500,\"pid\":1,\"tid\":0,\"args\":{\"k\":\"2\"}}\n]"
+        );
+    }
+
+    #[test]
+    fn output_parses_as_a_json_array() {
+        let entries = vec![TraceEntry::Span {
+            name: "a",
+            start_ns: 0,
+            dur_ns: 1,
+            tid: 0,
+        }];
+        let value = crate::json::Value::parse(&chrome_trace(&entries)).unwrap();
+        let arr = value.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        let ev = arr[0].as_obj().expect("object");
+        assert_eq!(ev["ph"].as_str(), Some("X"));
+        assert_eq!(ev["pid"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        assert_eq!(chrome_trace(&[]), "[\n]");
+        assert!(crate::json::Value::parse(&chrome_trace(&[])).is_ok());
+    }
+}

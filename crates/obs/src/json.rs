@@ -1,5 +1,9 @@
-//! A minimal JSON writer — just enough for the stable serialization of
-//! metrics snapshots and trace logs, with no dependencies.
+//! A minimal JSON writer and reader — just enough for the stable
+//! serialization of metrics snapshots and trace logs, and for parsing the
+//! `BENCH_*.json` reports back in `perfgate compare`, with no
+//! dependencies.
+
+use std::collections::BTreeMap;
 
 /// Appends `s` to `out` as a JSON string literal (with escaping).
 pub fn write_string(out: &mut String, s: &str) {
@@ -26,6 +30,251 @@ pub fn write_key(out: &mut String, key: &str) {
     out.push(':');
 }
 
+/// A parsed JSON value. Numbers are kept as `f64` — every number this
+/// workspace serializes (counters, nanosecond percentiles, throughputs)
+/// stays well inside `f64`'s 2^53 exact-integer range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys sorted (JSON objects are unordered anyway).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// The object form, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The array form, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string form, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric form, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric form rounded to u64, if this is a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` on anything else).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|map| map.get(key))
+    }
+}
+
+/// Recursive-descent parser state over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            // Surrogate pairs are not emitted by this
+                            // workspace's writer; reject rather than
+                            // silently corrupt.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad code point \\u{code:04x}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are valid).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,5 +291,56 @@ mod tests {
         let mut out = String::new();
         write_string(&mut out, "core.rewrite.rule.disjunction");
         assert_eq!(out, "\"core.rewrite.rule.disjunction\"");
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = Value::parse(
+            "{\"a\": [1, -2.5, 1e3], \"b\": {\"c\": \"x\\ny\"}, \"d\": true, \"e\": null}",
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(1000.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("e"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn round_trips_the_writer_output() {
+        let mut written = String::from("{");
+        write_key(&mut written, "name");
+        write_string(&mut written, "a\"b\\c\nd\u{1}");
+        written.push_str(",\"n\":42}");
+        let v = Value::parse(&written).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b\\c\nd\u{1}"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":1} extra",
+            "\"unterminated",
+            "nul",
+            "{\"a\":01x}",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn u64_conversion_guards_sign() {
+        assert_eq!(Value::Num(5.0).as_u64(), Some(5));
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Str("5".into()).as_u64(), None);
     }
 }

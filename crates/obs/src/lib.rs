@@ -6,11 +6,15 @@
 //! and every future performance PR needs a baseline to be measured
 //! against. This crate provides that substrate with zero dependencies:
 //!
-//! * a [`metrics`] registry of named **counters** and **histograms**
-//!   (p50/p95/max) with a stable JSON serialization;
+//! * a [`metrics`] registry of named **counters**, **gauges**, and
+//!   **histograms** (p50/p95/max) with a stable JSON serialization;
 //! * lightweight structured [`trace`] spans (scoped, monotonic timings)
-//!   and key/value events, collected into a thread-safe in-memory
-//!   recorder.
+//!   and key/value events, tagged with the recording thread's id and
+//!   collected into a thread-safe in-memory recorder;
+//! * a [`chrome`] exporter rendering a trace as Chrome trace-event JSON
+//!   (loadable in Perfetto / `chrome://tracing`);
+//! * the [`bench`] report model behind `perfgate`'s `BENCH_*.json`
+//!   artifacts and its baseline-vs-candidate regression gate.
 //!
 //! ## No-op by default
 //!
@@ -40,12 +44,15 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
+pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use chrome::chrome_trace;
 pub use metrics::{HistogramSummary, MetricsSnapshot};
-pub use trace::{SpanGuard, TraceEntry};
+pub use trace::{current_tid, SpanGuard, TraceEntry};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -114,6 +121,16 @@ pub fn observe(name: &str, value: u64) {
     }
 }
 
+/// Sets the named gauge to `value` (last write wins). For point-in-time
+/// facts — per-worker busy time, queue depths — where summing across
+/// recordings would be meaningless. No-op unless metrics are enabled.
+#[inline]
+pub fn gauge(name: &str, value: u64) {
+    if metrics_enabled() {
+        metrics::registry().gauge(name, value);
+    }
+}
+
 /// Opens a scoped span: the guard measures monotonic wall-clock time from
 /// construction to drop. On drop the duration lands in the histogram
 /// `<name>.ns` (when metrics are on) and as a span entry in the trace
@@ -160,6 +177,7 @@ mod tests {
     fn end_to_end_recording_and_gating() {
         disable();
         count("gated", 1);
+        gauge("gated.g", 1);
         observe("gated.h", 1);
         {
             let _s = span("gated.span");
@@ -168,11 +186,14 @@ mod tests {
         reset();
         let snap = snapshot();
         assert!(snap.counters.is_empty(), "disabled calls must not record");
+        assert!(snap.gauges.is_empty(), "disabled gauges must not record");
         assert!(take_trace().is_empty());
 
         count("words", 2);
         count("words", 3);
         count_labeled("rule", "disjunction", 1);
+        gauge("depth", 9);
+        gauge("depth", 4);
         observe("sizes", 10);
         observe("sizes", 20);
         {
@@ -182,6 +203,7 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counters["words"], 5);
         assert_eq!(snap.counters["rule.disjunction"], 1);
+        assert_eq!(snap.gauges["depth"], 4, "gauges are last-write-wins");
         let h = &snap.histograms["sizes"];
         assert_eq!((h.count, h.max), (2, 20));
         assert!(snap.histograms.contains_key("stage.ns"));

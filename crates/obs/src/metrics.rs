@@ -84,23 +84,36 @@ impl HistogramSummary {
     }
 }
 
-/// A point-in-time copy of every counter and histogram.
+/// A point-in-time copy of every counter, gauge, and histogram.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// Counter name → value, sorted by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last set value, sorted by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram name → summary, sorted by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
 }
 
 impl MetricsSnapshot {
-    /// The stable JSON form: `{"counters":{...},"histograms":{...}}` with
-    /// keys in sorted order, so diffs and golden tests are deterministic.
+    /// The stable JSON form:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}` with keys in
+    /// sorted order, so diffs and golden tests are deterministic.
     pub fn json(&self) -> String {
         let mut out = String::from("{");
         write_key(&mut out, "counters");
         out.push('{');
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, name);
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},");
+        write_key(&mut out, "gauges");
+        out.push('{');
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -136,6 +149,9 @@ impl MetricsSnapshot {
         for (name, value) in &self.counters {
             out.push_str(&format!("{name} {value}\n"));
         }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("{name} {value}\n"));
+        }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
                 "{name} count={} mean={} p50={} p95={} max={}\n",
@@ -160,6 +176,7 @@ pub struct Registry {
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -173,6 +190,14 @@ impl Registry {
                 inner.counters.insert(name.to_owned(), n);
             }
         }
+    }
+
+    /// Sets a gauge to `value` (last write wins). Gauges record
+    /// point-in-time facts — per-worker busy time, queue depths — where
+    /// accumulation across runs would be meaningless.
+    pub fn gauge(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.insert(name.to_owned(), value);
     }
 
     /// Records one histogram observation.
@@ -195,10 +220,11 @@ impl Registry {
         }
     }
 
-    /// Clears every counter and histogram.
+    /// Clears every counter, gauge, and histogram.
     pub fn reset(&self) {
         let mut inner = self.inner.lock().expect("metrics registry poisoned");
         inner.counters.clear();
+        inner.gauges.clear();
         inner.histograms.clear();
     }
 
@@ -207,6 +233,7 @@ impl Registry {
         let inner = self.inner.lock().expect("metrics registry poisoned");
         MetricsSnapshot {
             counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
             histograms: inner
                 .histograms
                 .iter()
@@ -277,11 +304,13 @@ mod tests {
         let r = Registry::default();
         r.count("z.last", 1);
         r.count("a.first", 2);
+        r.gauge("g.worker", 7);
         r.observe("t", 5);
         let json = r.snapshot().json();
         assert_eq!(
             json,
             "{\"counters\":{\"a.first\":2,\"z.last\":1},\
+             \"gauges\":{\"g.worker\":7},\
              \"histograms\":{\"t\":{\"count\":1,\"sum\":5,\"mean\":5,\
              \"p50\":5,\"p95\":5,\"max\":5}}}"
         );
@@ -290,8 +319,42 @@ mod tests {
     #[test]
     fn empty_snapshot_serializes() {
         let snap = MetricsSnapshot::default();
-        assert_eq!(snap.json(), "{\"counters\":{},\"histograms\":{}}");
+        assert_eq!(
+            snap.json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
         assert_eq!(snap.render_text(), "");
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Registry::default();
+        r.gauge("depth", 3);
+        r.gauge("depth", 9);
+        r.gauge("depth", 4);
+        assert_eq!(r.snapshot().gauges["depth"], 4);
+    }
+
+    /// The reservoir's xorshift replacement is seeded from the histogram
+    /// name, so an identical observation sequence — including one long
+    /// enough to exercise replacement — must produce identical percentile
+    /// summaries and a byte-identical snapshot across runs.
+    #[test]
+    fn reservoir_summaries_are_deterministic_across_runs() {
+        let sequence: Vec<u64> = (0..(RESERVOIR as u64) * 4)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 1_000_000)
+            .collect();
+        let run = || {
+            let r = Registry::default();
+            for &v in &sequence {
+                r.observe("latency", v);
+            }
+            r.snapshot()
+        };
+        let (a, b) = (run(), run());
+        let (ha, hb) = (&a.histograms["latency"], &b.histograms["latency"]);
+        assert_eq!((ha.p50, ha.p95, ha.max), (hb.p50, hb.p95, hb.max));
+        assert_eq!(a.json(), b.json(), "snapshot JSON must be byte-identical");
     }
 
     #[test]

@@ -2,8 +2,24 @@
 //! events, collected in order into a thread-safe in-memory buffer.
 
 use crate::json::{write_key, write_string};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+/// Source of the small sequential thread ids used in trace entries.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// A small stable id for the calling thread, assigned in first-use order
+/// (the main thread is almost always 0). Worker threads in the engine's
+/// pool each get their own id, so spans recorded on different threads are
+/// distinguishable in the trace — and land in separate rows of a Chrome
+/// trace viewer (see [`crate::chrome`]).
+pub fn current_tid() -> u64 {
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
 
 /// One recorded trace entry. Offsets are nanoseconds since the recorder's
 /// epoch (process start of tracing), from a monotonic clock.
@@ -17,6 +33,8 @@ pub enum TraceEntry {
         start_ns: u64,
         /// Duration in nanoseconds.
         dur_ns: u64,
+        /// Id of the thread that ran the span (see [`current_tid`]).
+        tid: u64,
     },
     /// A point event with key/value fields.
     Event {
@@ -24,6 +42,8 @@ pub enum TraceEntry {
         name: &'static str,
         /// Offset in nanoseconds.
         at_ns: u64,
+        /// Id of the thread that recorded the event (see [`current_tid`]).
+        tid: u64,
         /// Key/value payload.
         fields: Vec<(String, String)>,
     },
@@ -38,19 +58,23 @@ impl TraceEntry {
                 name,
                 start_ns,
                 dur_ns,
+                tid,
             } => {
                 write_key(&mut out, "span");
                 write_string(&mut out, name);
-                out.push_str(&format!(",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}"));
+                out.push_str(&format!(
+                    ",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns},\"tid\":{tid}"
+                ));
             }
             TraceEntry::Event {
                 name,
                 at_ns,
+                tid,
                 fields,
             } => {
                 write_key(&mut out, "event");
                 write_string(&mut out, name);
-                out.push_str(&format!(",\"at_ns\":{at_ns}"));
+                out.push_str(&format!(",\"at_ns\":{at_ns},\"tid\":{tid}"));
                 for (k, v) in fields {
                     out.push(',');
                     write_key(&mut out, k);
@@ -87,6 +111,7 @@ impl Recorder {
         let entry = TraceEntry::Event {
             name,
             at_ns: self.now_ns(),
+            tid: current_tid(),
             fields: fields
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.clone()))
@@ -106,6 +131,7 @@ impl Recorder {
                 name,
                 start_ns,
                 dur_ns,
+                tid: current_tid(),
             });
     }
 
@@ -178,20 +204,53 @@ mod tests {
             name: "learn",
             start_ns: 10,
             dur_ns: 5,
+            tid: 0,
         };
         assert_eq!(
             span.json(),
-            "{\"span\":\"learn\",\"start_ns\":10,\"dur_ns\":5}"
+            "{\"span\":\"learn\",\"start_ns\":10,\"dur_ns\":5,\"tid\":0}"
         );
         let event = TraceEntry::Event {
             name: "repair",
             at_ns: 12,
+            tid: 3,
             fields: vec![("kind".to_owned(), "enable-optional".to_owned())],
         };
         assert_eq!(
             event.json(),
-            "{\"event\":\"repair\",\"at_ns\":12,\"kind\":\"enable-optional\"}"
+            "{\"event\":\"repair\",\"at_ns\":12,\"tid\":3,\"kind\":\"enable-optional\"}"
         );
+    }
+
+    #[test]
+    fn thread_ids_are_stable_per_thread_and_distinct_across_threads() {
+        let here = current_tid();
+        assert_eq!(here, current_tid(), "tid must not change within a thread");
+        let handles: Vec<_> = (0..3).map(|_| std::thread::spawn(current_tid)).collect();
+        let mut tids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        tids.push(here);
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4, "every thread gets its own id: {tids:?}");
+    }
+
+    #[test]
+    fn recorded_entries_carry_the_recording_thread() {
+        let rec = Recorder::new();
+        rec.event("main-side", &[]);
+        let rec_ref = &rec;
+        std::thread::scope(|s| {
+            s.spawn(move || rec_ref.event("worker-side", &[]));
+        });
+        let entries = rec.take();
+        let tids: Vec<u64> = entries
+            .iter()
+            .map(|e| match e {
+                TraceEntry::Event { tid, .. } | TraceEntry::Span { tid, .. } => *tid,
+            })
+            .collect();
+        assert_eq!(tids.len(), 2);
+        assert_ne!(tids[0], tids[1], "entries from two threads: {tids:?}");
     }
 
     #[test]
