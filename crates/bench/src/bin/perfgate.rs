@@ -13,10 +13,11 @@
 //!     compare bench/baseline.json BENCH_ci.json --threshold 15
 //! ```
 //!
-//! The suite covers the pipeline's hot paths end to end: corpus
-//! extraction, 2T-INF SOA construction, the iDTD rewrite, CRX, and
-//! sharded engine ingestion at `--jobs 1/2/4/8` over synthetic corpora of
-//! several sizes. Each phase runs N repetitions and reports nearest-rank
+//! The suite covers the pipeline's hot paths end to end: raw pull-parse
+//! throughput (borrowed events vs the owned-event shim — the zero-copy
+//! gap), corpus extraction, 2T-INF SOA construction, the iDTD rewrite,
+//! CRX, and sharded engine ingestion at `--jobs 1/2/4/8` over synthetic
+//! corpora of several sizes. Each phase runs N repetitions and reports nearest-rank
 //! p50/p95/max plus docs/s and MB/s throughput where a corpus is
 //! processed; one extra instrumented repetition captures the obs
 //! registry's counters (and per-worker gauges) into the report. See the
@@ -32,6 +33,7 @@ use dtdinfer_obs::bench::{compare, BenchReport, PhaseStats};
 use dtdinfer_regex::alphabet::{Alphabet, Word};
 use dtdinfer_xml::extract::Corpus;
 use dtdinfer_xml::infer::InferenceEngine;
+use dtdinfer_xml::parser::XmlPullParser;
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -161,6 +163,39 @@ fn run_suite(label: &str, suite: &Suite) -> BenchReport {
         let corpus = synth_corpus(size, 42);
         let bytes: usize = corpus.iter().map(String::len).sum();
         let workload = Some((size as u64, bytes as u64));
+        // Raw pull-parse throughput (MB/s), borrowed events only: the
+        // zero-copy floor every higher layer builds on.
+        phases.insert(
+            format!("parse.n{size}"),
+            time_phase(suite.reps, workload, || {
+                let mut events = 0usize;
+                for doc in &corpus {
+                    let mut p = XmlPullParser::new(doc);
+                    while let Some(ev) = p.next().expect("synthetic corpus parses") {
+                        black_box(&ev);
+                        events += 1;
+                    }
+                }
+                black_box(events)
+            }),
+        );
+        // The same stream with every event deep-copied through the owned
+        // shim — what an owning parser would cost. The parse.nN /
+        // parse.owned.nN gap is the zero-copy win.
+        phases.insert(
+            format!("parse.owned.n{size}"),
+            time_phase(suite.reps, workload, || {
+                let mut events = 0usize;
+                for doc in &corpus {
+                    let mut p = XmlPullParser::new(doc);
+                    while let Some(ev) = p.next().expect("synthetic corpus parses") {
+                        black_box(ev.to_owned_event());
+                        events += 1;
+                    }
+                }
+                black_box(events)
+            }),
+        );
         phases.insert(
             format!("extract.n{size}"),
             time_phase(suite.reps, workload, || {

@@ -15,7 +15,8 @@
 
 use dtdinfer_core::crx::crx;
 use dtdinfer_core::idtd::idtd_from_words;
-use dtdinfer_engine::pool::{ingest, ingest_into, Ingest, IngestError};
+use dtdinfer_engine::pool::{ingest_source, Ingest};
+use dtdinfer_engine::source::PathSource;
 use dtdinfer_engine::{snapshot, EngineState};
 use dtdinfer_regex::alphabet::{Alphabet, Word};
 use dtdinfer_xml::dtd::Dtd;
@@ -300,8 +301,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             );
         }
         obs.activate()?;
-        let docs = read_documents(&files, &obs)?;
-        let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
+        let ingested = stream_ingest(EngineState::new(), &files, jobs, &obs)?;
         let (dtd, reports) = ingested.state.derive(engine);
         if obs.verbose {
             for r in &reports {
@@ -390,14 +390,20 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     obs.finish()
 }
 
-/// Parses every input file into one corpus, with `-v` progress.
+/// Parses every input file into one corpus, with `-v` progress. Files are
+/// read one at a time into a reused buffer and dropped after extraction,
+/// so peak memory is one document, not the corpus.
 fn read_corpus(files: &[String], obs: &ObsOptions) -> Result<Corpus, String> {
     let mut corpus = Corpus::new();
+    let mut buf = String::new();
     for f in files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        corpus
-            .add_document(&text)
+        buf.clear();
+        std::fs::File::open(f)
+            .and_then(|mut file| file.read_to_string(&mut buf))
             .map_err(|e| format!("{f}: {e}"))?;
+        corpus
+            .add_document_from(&buf, f)
+            .map_err(|e| e.to_string())?;
         if obs.verbose {
             eprintln!("dtdinfer: parsed {f}");
         }
@@ -416,27 +422,31 @@ fn parse_jobs(value: Option<&String>) -> Result<usize, String> {
     Ok(jobs)
 }
 
-/// Reads every input file into memory for the sharded engine, with `-v`
-/// progress.
-fn read_documents(files: &[String], obs: &ObsOptions) -> Result<Vec<String>, String> {
-    files
-        .iter()
-        .map(|f| {
-            let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-            if obs.verbose {
-                eprintln!("dtdinfer: read {f}");
-            }
-            Ok(text)
-        })
-        .collect()
-}
-
-/// Maps an ingestion error's document index back to the input file name.
-fn attribute_error(files: &[String], e: IngestError) -> String {
-    match files.get(e.doc_index) {
-        Some(f) => format!("{f}: {}", e.error),
-        None => e.to_string(),
+/// Streams the input files through the sharded engine: workers read,
+/// parse, and drop each document themselves, so no file is resident
+/// before a worker claims it and peak memory is O(jobs · max document).
+/// Errors carry the file name straight from the source.
+fn stream_ingest(
+    base: EngineState,
+    files: &[String],
+    jobs: usize,
+    obs: &ObsOptions,
+) -> Result<Ingest, String> {
+    if obs.verbose {
+        eprintln!(
+            "dtdinfer: streaming {} file(s) across {jobs} worker(s)",
+            files.len()
+        );
     }
+    let source = PathSource::new(files.iter().map(std::path::PathBuf::from).collect());
+    let ingested = ingest_source(base, &source, jobs).map_err(|e| e.to_string())?;
+    if obs.verbose {
+        eprintln!(
+            "dtdinfer: peak in flight {} byte(s) across {} document(s)",
+            ingested.peak_bytes_in_flight, ingested.peak_docs_in_flight
+        );
+    }
+    Ok(ingested)
 }
 
 /// Adaptive duration rendering for report tables (ns → µs → ms → s).
@@ -475,8 +485,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
     obs.activate()?;
     if let Some(jobs) = jobs {
-        let docs = read_documents(&files, &obs)?;
-        let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
+        let ingested = stream_ingest(EngineState::new(), &files, jobs, &obs)?;
         let (_, reports) = ingested.state.derive(engine);
         print_stats(ingested.state.num_documents, &reports);
         print_shards(&ingested);
@@ -502,16 +511,22 @@ fn print_shards(ingested: &Ingest) {
     }
     println!("shard merge {}", fmt_ns(ingested.merge_ns));
     println!(
-        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>7}",
-        "worker", "documents", "busy", "wall", "idle polls", "util"
+        "peak in flight: {} byte(s), {} doc(s)",
+        ingested.peak_bytes_in_flight, ingested.peak_docs_in_flight
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>7} {:>12} {:>7}",
+        "worker", "documents", "bytes", "busy", "wall", "claims", "idle polls", "util"
     );
     for s in &ingested.shards {
         println!(
-            "{:<8} {:>10} {:>12} {:>12} {:>12} {:>6.1}%",
+            "{:<8} {:>10} {:>10} {:>12} {:>12} {:>7} {:>12} {:>6.1}%",
             s.shard,
             s.documents,
+            s.bytes,
             fmt_ns(s.busy_ns),
             fmt_ns(s.duration_ns),
+            s.claims,
             s.idle_polls,
             s.utilization_pct()
         );
@@ -585,8 +600,7 @@ fn cmd_snapshot_save(args: &[String]) -> Result<(), String> {
         return Err("no input files".to_owned());
     }
     obs.activate()?;
-    let docs = read_documents(&files, &obs)?;
-    let ingested = ingest(&docs, jobs).map_err(|e| attribute_error(&files, e))?;
+    let ingested = stream_ingest(EngineState::new(), &files, jobs, &obs)?;
     let text = snapshot::save(&ingested.state);
     std::fs::write(&out, &text).map_err(|e| format!("{out}: {e}"))?;
     println!(
@@ -675,8 +689,7 @@ fn cmd_snapshot_update(args: &[String]) -> Result<(), String> {
     }
     obs.activate()?;
     let base = read_snapshot(snap)?;
-    let docs = read_documents(files, &obs)?;
-    let ingested = ingest_into(base, &docs, jobs).map_err(|e| attribute_error(files, e))?;
+    let ingested = stream_ingest(base, files, jobs, &obs)?;
     let text = snapshot::save(&ingested.state);
     std::fs::write(snap, &text).map_err(|e| format!("{snap}: {e}"))?;
     println!(

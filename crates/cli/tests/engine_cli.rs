@@ -120,7 +120,7 @@ fn corrupted_and_future_snapshots_are_rejected() {
     std::fs::write(&future, "#dtdinfer-engine v99\ndocuments 1\n").unwrap();
     let err = run_err(&["snapshot", "load", future.to_str().unwrap()]);
     assert!(err.contains("unsupported snapshot version"), "{err}");
-    assert!(err.contains("v1"), "{err}");
+    assert!(err.contains("v2"), "{err}");
 }
 
 #[test]

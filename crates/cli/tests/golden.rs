@@ -1,0 +1,78 @@
+//! Golden-output regression tests: the DTD and XSD inferred from the
+//! shipped book catalogs are pinned byte-for-byte against
+//! `testdata/golden/`, for the sequential path and every `--jobs` count.
+//!
+//! These files were produced by the pre-streaming extractor (unbounded
+//! sample collection, owned parser events); the streaming pipeline must
+//! reproduce them exactly.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// The shipped book catalogs, sorted for a stable argument order.
+fn testdata() -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(repo_path("testdata/books"))
+        .expect("testdata/books")
+        .map(|e| e.unwrap().path().to_str().unwrap().to_owned())
+        .filter(|p| p.ends_with(".xml"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn infer(extra: &[&str]) -> Vec<u8> {
+    let files = testdata();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+    let out = Command::new(env!("CARGO_BIN_EXE_dtdinfer"))
+        .args([&["infer"][..], extra, &refs].concat())
+        .output()
+        .expect("spawn dtdinfer");
+    assert!(
+        out.status.success(),
+        "infer {extra:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn golden(name: &str) -> Vec<u8> {
+    std::fs::read(repo_path("testdata/golden").join(name))
+        .unwrap_or_else(|e| panic!("testdata/golden/{name}: {e}"))
+}
+
+#[test]
+fn idtd_dtd_matches_golden_for_every_job_count() {
+    let expected = golden("books.idtd.dtd");
+    assert_eq!(infer(&[]), expected, "sequential");
+    for jobs in ["1", "2", "4", "8"] {
+        assert_eq!(infer(&["--jobs", jobs]), expected, "--jobs {jobs}");
+    }
+}
+
+#[test]
+fn crx_dtd_matches_golden_for_every_job_count() {
+    let expected = golden("books.crx.dtd");
+    assert_eq!(infer(&["--engine", "crx"]), expected, "sequential");
+    for jobs in ["1", "4"] {
+        assert_eq!(
+            infer(&["--engine", "crx", "--jobs", jobs]),
+            expected,
+            "--jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn idtd_xsd_matches_golden_for_every_job_count() {
+    let expected = golden("books.idtd.xsd");
+    assert_eq!(infer(&["--xsd"]), expected, "sequential");
+    for jobs in ["1", "2", "4", "8"] {
+        assert_eq!(infer(&["--xsd", "--jobs", jobs]), expected, "--jobs {jobs}");
+    }
+}

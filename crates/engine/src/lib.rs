@@ -25,17 +25,19 @@
 
 pub mod pool;
 pub mod snapshot;
+pub mod source;
 
 use dtdinfer_core::crx::CrxState;
 use dtdinfer_core::idtd::{idtd_traced, Event, IdtdConfig};
 use dtdinfer_core::model::InferredModel;
 use dtdinfer_core::noise::SupportSoa;
 use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
-use dtdinfer_xml::attlist::{infer_attdef, AttInferenceOptions};
+use dtdinfer_xml::attlist::{infer_attdef_from_bag, AttInferenceOptions};
 use dtdinfer_xml::dtd::{ContentSpec, Dtd};
 use dtdinfer_xml::extract::{Corpus, ElementFacts};
 use dtdinfer_xml::infer::{spec_size, ElementReport, InferenceEngine};
 use dtdinfer_xml::parser::{XmlError, XmlEvent, XmlPullParser};
+use dtdinfer_xml::samples::SampleBag;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -49,10 +51,11 @@ pub struct ElementState {
     pub support: SupportSoa,
     /// CRX partial-order summary (§7), for the CHARE engine.
     pub crx: CrxState,
-    /// Non-whitespace text chunks, for PCDATA detection and XSD datatypes.
-    pub text_samples: Vec<String>,
-    /// Attribute name → sample values.
-    pub attributes: BTreeMap<String, Vec<String>>,
+    /// Non-whitespace text chunks (bounded reservoir; exact total and
+    /// datatype mask), for PCDATA detection and XSD datatypes.
+    pub text_samples: SampleBag,
+    /// Attribute name → sampled values (bounded reservoir per attribute).
+    pub attributes: BTreeMap<String, SampleBag>,
     /// Total occurrences across the corpus.
     pub occurrences: u64,
 }
@@ -68,12 +71,12 @@ impl ElementState {
     fn merge(&mut self, other: &ElementState, mut f: impl FnMut(Sym) -> Sym) {
         self.support.merge(&other.support.remap(&mut f));
         self.crx.merge(&other.crx.remap(&mut f));
-        self.text_samples.extend(other.text_samples.iter().cloned());
+        self.text_samples.merge(&other.text_samples);
         for (attr, values) in &other.attributes {
             self.attributes
                 .entry(attr.clone())
                 .or_default()
-                .extend(values.iter().cloned());
+                .merge(values);
         }
         self.occurrences += other.occurrences;
     }
@@ -101,6 +104,12 @@ impl EngineState {
         Self::default()
     }
 
+    /// [`EngineState::absorb_document`], attributing any parse error to
+    /// `source` (usually the file path).
+    pub fn absorb_document_from(&mut self, doc: &str, source: &str) -> Result<(), XmlError> {
+        self.absorb_document(doc).map_err(|e| e.with_source(source))
+    }
+
     /// Parses one document and folds its statistics in — the engine-side
     /// twin of `Corpus::add_document`, absorbing each child-name sequence
     /// into the compact learner state instead of retaining it.
@@ -117,11 +126,20 @@ impl EngineState {
                 XmlEvent::StartElement {
                     name, attributes, ..
                 } => {
-                    let sym = self.alphabet.intern(&name);
+                    let sym = self.alphabet.intern(name);
                     let state = self.elements.entry(sym).or_default();
                     state.occurrences += 1;
-                    for (attr, value) in attributes {
-                        state.attributes.entry(attr).or_default().push(value);
+                    for (attr, value) in &attributes {
+                        // Allocate the attribute name only on first sight.
+                        if let Some(bag) = state.attributes.get_mut(*attr) {
+                            bag.insert(value);
+                        } else {
+                            state
+                                .attributes
+                                .entry((*attr).to_owned())
+                                .or_default()
+                                .insert(value);
+                        }
                     }
                     if let Some((_, children)) = stack.last_mut() {
                         children.push(sym);
@@ -143,7 +161,7 @@ impl EngineState {
                                 .entry(sym)
                                 .or_default()
                                 .text_samples
-                                .push(trimmed.to_owned());
+                                .insert(trimmed);
                         }
                     }
                 }
@@ -255,7 +273,7 @@ impl EngineState {
                 .attributes
                 .iter()
                 .map(|(attr, values)| {
-                    infer_attdef(
+                    infer_attdef_from_bag(
                         attr,
                         values,
                         element.occurrences,

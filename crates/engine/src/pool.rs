@@ -1,17 +1,25 @@
 //! Std-only worker pool for sharded corpus ingestion.
 //!
 //! Workers (`std::thread::scope` + an atomic work queue, no external
-//! dependencies) pull documents off a shared counter and fold each into a
-//! shard-local [`EngineState`]; the shards are then merged in index order.
-//! Which document lands on which shard is scheduling-dependent, but every
-//! per-element summary is a commutative union of per-word contributions
-//! and derivation canonicalizes the alphabet, so the derived DTD is
-//! byte-identical for any worker count.
+//! dependencies) claim document indices off a shared counter in adaptive
+//! chunks, load each document themselves from a [`DocSource`] (a reused
+//! per-worker buffer — at most one document resident per worker), fold it
+//! into a shard-local [`EngineState`], and drop it. The shards are then
+//! merged in index order. Which document lands on which shard is
+//! scheduling-dependent, but every per-element summary is a commutative
+//! union of per-word contributions and derivation canonicalizes the
+//! alphabet, so the derived DTD is byte-identical for any worker count.
+//!
+//! Chunked claiming: one `fetch_add` hands a worker a run of consecutive
+//! indices, sized to the work remaining (`remaining / (jobs * 4)`, clamped
+//! to 1..=64), so queue traffic is O(jobs · log n) instead of O(n) while
+//! the tail still balances one document at a time.
 
+use crate::source::{DocSource, MemSource};
 use crate::EngineState;
 use dtdinfer_xml::parser::XmlError;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// What one shard did during ingestion, for the stats report and the
@@ -24,12 +32,18 @@ pub struct ShardReport {
     pub documents: u64,
     /// Child-name sequences this shard absorbed.
     pub words: u64,
+    /// Document bytes this shard loaded and parsed.
+    pub bytes: u64,
     /// Wall-clock time the shard spent ingesting (claiming + parsing).
     pub duration_ns: u64,
-    /// Time actually spent inside document absorption — the worker's
-    /// utilization is `busy_ns / duration_ns`; the rest is queue traffic
-    /// and scheduling.
+    /// Time actually spent inside document loading + absorption — the
+    /// worker's utilization is `busy_ns / duration_ns`; the rest is queue
+    /// traffic and scheduling.
     pub busy_ns: u64,
+    /// Queue claims that handed this shard at least one document. With
+    /// chunked claiming this is far below `documents` on large corpora —
+    /// the contention win `stats --jobs` reports.
+    pub claims: u64,
     /// Queue polls that found no work left (1 per worker with the current
     /// counter queue — its exit poll; 0 on the sequential path, which has
     /// no queue).
@@ -57,9 +71,33 @@ pub struct Ingest {
     pub shards: Vec<ShardReport>,
     /// Wall-clock time spent merging shard states (0 for one shard).
     pub merge_ns: u64,
+    /// Peak bytes of document text resident across all workers at any
+    /// moment — the ingestion memory high-water mark (O(jobs · max
+    /// document), not O(corpus)).
+    pub peak_bytes_in_flight: u64,
+    /// Peak number of documents resident at once (≤ worker count).
+    pub peak_docs_in_flight: u64,
 }
 
-/// A parse failure during ingestion, attributed to the input document.
+/// Why a document failed to ingest.
+#[derive(Debug, Clone)]
+pub enum IngestFailure {
+    /// The document could not be read from its source.
+    Read(String),
+    /// The document did not parse.
+    Parse(XmlError),
+}
+
+impl fmt::Display for IngestFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestFailure::Read(m) => write!(f, "{m}"),
+            IngestFailure::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A failure during ingestion, attributed to the input document.
 ///
 /// With multiple workers, documents after the failing one may already have
 /// been absorbed elsewhere, but the *reported* failure is always the
@@ -67,82 +105,151 @@ pub struct Ingest {
 /// at — so error output is deterministic too.
 #[derive(Debug, Clone)]
 pub struct IngestError {
-    /// Index into the ingested document slice.
+    /// Index into the ingested document sequence.
     pub doc_index: usize,
-    /// The underlying parse error.
-    pub error: XmlError,
+    /// The source's name for the document (file path), when it has one.
+    pub source: Option<String>,
+    /// The underlying failure.
+    pub error: IngestFailure,
 }
 
 impl fmt::Display for IngestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "document {}: {}", self.doc_index, self.error)
+        // Parse errors already carry the source name via
+        // `XmlError::with_source`; read errors carry the path in their
+        // message. Only anonymous documents need the index prefix.
+        match (&self.source, &self.error) {
+            (Some(_), _) => write!(f, "{}", self.error),
+            (None, _) => write!(f, "document {}: {}", self.doc_index, self.error),
+        }
     }
 }
 
 impl std::error::Error for IngestError {}
 
-/// Ingests `docs` into a fresh state with `jobs` workers.
+/// Tracks documents/bytes resident across workers and their peaks.
+#[derive(Default)]
+struct InFlight {
+    bytes: AtomicU64,
+    bytes_peak: AtomicU64,
+    docs: AtomicU64,
+    docs_peak: AtomicU64,
+}
+
+impl InFlight {
+    fn enter(&self, bytes: u64) {
+        let b = self.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.bytes_peak.fetch_max(b, Ordering::Relaxed);
+        let d = self.docs.fetch_add(1, Ordering::Relaxed) + 1;
+        self.docs_peak.fetch_max(d, Ordering::Relaxed);
+    }
+
+    fn exit(&self, bytes: u64) {
+        self.bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.docs.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn peaks(&self) -> (u64, u64) {
+        (
+            self.bytes_peak.load(Ordering::Relaxed),
+            self.docs_peak.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// How many indices one claim should take: an equal share of the
+/// remaining work spread 4× finer than the worker count (large chunks
+/// while the queue is deep, single documents near the tail), clamped
+/// to 1..=64.
+fn chunk_size(total: usize, claimed: usize, jobs: usize) -> usize {
+    let remaining = total.saturating_sub(claimed);
+    (remaining / (jobs * 4)).clamp(1, 64)
+}
+
+/// Ingests in-memory `docs` into a fresh state with `jobs` workers.
 pub fn ingest<D: AsRef<str> + Sync>(docs: &[D], jobs: usize) -> Result<Ingest, IngestError> {
     ingest_into(EngineState::new(), docs, jobs)
 }
 
-/// Ingests `docs` into an existing state (warm start from a snapshot) with
-/// `jobs` workers. The base state is merged with the freshly built shards,
-/// so parallelism is available even when resuming.
+/// Ingests in-memory `docs` into an existing state (warm start from a
+/// snapshot) with `jobs` workers.
 pub fn ingest_into<D: AsRef<str> + Sync>(
     base: EngineState,
     docs: &[D],
     jobs: usize,
 ) -> Result<Ingest, IngestError> {
+    ingest_source(base, &MemSource::new(docs), jobs)
+}
+
+/// Ingests every document of `source` into `base` with `jobs` workers.
+/// Workers pull indices and load documents themselves, so peak memory is
+/// O(jobs · max document size) regardless of corpus size.
+pub fn ingest_source<S: DocSource>(
+    base: EngineState,
+    source: &S,
+    jobs: usize,
+) -> Result<Ingest, IngestError> {
     let _span = dtdinfer_obs::span("engine.ingest");
-    let jobs = jobs.max(1).min(docs.len().max(1));
+    let total = source.len();
+    let jobs = jobs.max(1).min(total.max(1));
     if jobs == 1 {
-        return ingest_sequential(base, docs);
+        return ingest_sequential(base, source);
     }
     let next = AtomicUsize::new(0);
+    let in_flight = InFlight::default();
     let workers: Vec<(EngineState, ShardReport, Option<IngestError>)> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..jobs)
                 .map(|shard| {
                     let next = &next;
+                    let in_flight = &in_flight;
                     scope.spawn(move || {
                         // The span runs on the worker thread, so traces
                         // carry one distinct tid per worker.
                         let _span = dtdinfer_obs::span("engine.shard");
                         let started = Instant::now();
                         let mut local = EngineState::new();
+                        let mut buf = String::new();
                         let mut documents = 0u64;
+                        let mut bytes = 0u64;
                         let mut busy_ns = 0u64;
+                        let mut claims = 0u64;
                         let mut idle_polls = 0u64;
                         let mut first_error: Option<IngestError> = None;
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= docs.len() {
+                            let k = chunk_size(total, next.load(Ordering::Relaxed), jobs);
+                            let start = next.fetch_add(k, Ordering::Relaxed);
+                            if start >= total {
                                 idle_polls += 1;
                                 break;
                             }
-                            let doc_started = Instant::now();
-                            match local.absorb_document(docs[i].as_ref()) {
-                                Ok(()) => documents += 1,
-                                Err(error) => {
-                                    let earlier =
-                                        first_error.as_ref().is_none_or(|e| i < e.doc_index);
-                                    if earlier {
-                                        first_error = Some(IngestError {
-                                            doc_index: i,
-                                            error,
-                                        });
+                            claims += 1;
+                            for i in start..(start + k).min(total) {
+                                let doc_started = Instant::now();
+                                match absorb_one(&mut local, source, i, &mut buf, in_flight) {
+                                    Ok(len) => {
+                                        documents += 1;
+                                        bytes += len;
+                                    }
+                                    Err(error) => {
+                                        let earlier =
+                                            first_error.as_ref().is_none_or(|e| i < e.doc_index);
+                                        if earlier {
+                                            first_error = Some(error);
+                                        }
                                     }
                                 }
+                                busy_ns += elapsed_ns(doc_started);
                             }
-                            busy_ns += elapsed_ns(doc_started);
                         }
                         let report = ShardReport {
                             shard,
                             documents,
                             words: local.total_words(),
+                            bytes,
                             duration_ns: elapsed_ns(started),
                             busy_ns,
+                            claims,
                             idle_polls,
                         };
                         (local, report, first_error)
@@ -171,38 +278,77 @@ pub fn ingest_into<D: AsRef<str> + Sync>(
     }
     let merge_ns = elapsed_ns(merge_started);
     dtdinfer_obs::observe("engine.merge_ns", merge_ns);
+    let (peak_bytes_in_flight, peak_docs_in_flight) = in_flight.peaks();
+    record_peaks(peak_bytes_in_flight, peak_docs_in_flight);
     Ok(Ingest {
         state,
         shards,
         merge_ns,
+        peak_bytes_in_flight,
+        peak_docs_in_flight,
     })
 }
 
-fn ingest_sequential<D: AsRef<str>>(base: EngineState, docs: &[D]) -> Result<Ingest, IngestError> {
+/// Loads document `i` and folds it into `local`, tracking residency.
+/// Returns the document's size in bytes.
+fn absorb_one<S: DocSource>(
+    local: &mut EngineState,
+    source: &S,
+    i: usize,
+    buf: &mut String,
+    in_flight: &InFlight,
+) -> Result<u64, IngestError> {
+    let fail = |error: IngestFailure| IngestError {
+        doc_index: i,
+        source: source.name(i),
+        error,
+    };
+    let doc = source
+        .load(i, buf)
+        .map_err(|m| fail(IngestFailure::Read(m)))?;
+    let len = doc.len() as u64;
+    in_flight.enter(len);
+    let absorbed = match source.name(i) {
+        Some(name) => local.absorb_document_from(doc, &name),
+        None => local.absorb_document(doc),
+    };
+    in_flight.exit(len);
+    absorbed.map_err(|e| fail(IngestFailure::Parse(e)))?;
+    Ok(len)
+}
+
+fn ingest_sequential<S: DocSource>(base: EngineState, source: &S) -> Result<Ingest, IngestError> {
     let started = Instant::now();
     let mut state = base;
     let words_before = state.total_words();
+    let mut buf = String::new();
+    let in_flight = InFlight::default();
     let mut busy_ns = 0u64;
-    for (doc_index, doc) in docs.iter().enumerate() {
+    let mut bytes = 0u64;
+    for i in 0..source.len() {
         let doc_started = Instant::now();
-        state
-            .absorb_document(doc.as_ref())
-            .map_err(|error| IngestError { doc_index, error })?;
+        bytes += absorb_one(&mut state, source, i, &mut buf, &in_flight)?;
         busy_ns += elapsed_ns(doc_started);
     }
     let report = ShardReport {
         shard: 0,
-        documents: docs.len() as u64,
+        documents: source.len() as u64,
         words: state.total_words() - words_before,
+        bytes,
         duration_ns: elapsed_ns(started),
         busy_ns,
+        claims: u64::from(source.len() > 0),
         idle_polls: 0,
     };
     record_shard(&report);
+    let (peak_bytes_in_flight, peak_docs_in_flight) = in_flight.peaks();
+    record_peaks(peak_bytes_in_flight, peak_docs_in_flight);
     Ok(Ingest {
         state,
         shards: vec![report],
         merge_ns: 0,
+        peak_bytes_in_flight,
+        peak_docs_in_flight,
     })
 }
 
@@ -219,7 +365,16 @@ fn record_shard(report: &ShardReport) {
     let worker = format!("engine.worker.{}", report.shard);
     dtdinfer_obs::gauge(&format!("{worker}.busy_ns"), report.busy_ns);
     dtdinfer_obs::gauge(&format!("{worker}.documents"), report.documents);
+    dtdinfer_obs::gauge(&format!("{worker}.bytes"), report.bytes);
+    dtdinfer_obs::gauge(&format!("{worker}.claims"), report.claims);
     dtdinfer_obs::gauge(&format!("{worker}.idle_polls"), report.idle_polls);
+}
+
+fn record_peaks(peak_bytes: u64, peak_docs: u64) {
+    if dtdinfer_obs::is_enabled() {
+        dtdinfer_obs::gauge("engine.ingest.peak_bytes_in_flight", peak_bytes);
+        dtdinfer_obs::gauge("engine.ingest.peak_docs_in_flight", peak_docs);
+    }
 }
 
 fn elapsed_ns(started: Instant) -> u64 {
@@ -229,6 +384,7 @@ fn elapsed_ns(started: Instant) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::PathSource;
     use dtdinfer_xml::infer::InferenceEngine;
 
     fn docs(n: usize) -> Vec<String> {
@@ -272,7 +428,57 @@ mod tests {
         for jobs in [1, 4] {
             let err = ingest(&docs, jobs).unwrap_err();
             assert_eq!(err.doc_index, 17, "jobs {jobs}");
+            assert!(matches!(err.error, IngestFailure::Parse(_)), "{err}");
+            assert!(err.to_string().starts_with("document 17:"), "{err}");
         }
+    }
+
+    #[test]
+    fn path_source_errors_name_the_file() {
+        let dir = std::env::temp_dir().join(format!("dtdinfer-pool-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.xml");
+        let bad = dir.join("bad.xml");
+        std::fs::write(&good, "<r><a/></r>").unwrap();
+        std::fs::write(&bad, "<r><broken></r>").unwrap();
+        for jobs in [1, 2] {
+            let source = PathSource::new(vec![good.clone(), bad.clone(), good.clone()]);
+            let err = ingest_source(EngineState::new(), &source, jobs).unwrap_err();
+            assert_eq!(err.doc_index, 1, "jobs {jobs}");
+            assert_eq!(err.source.as_deref(), Some(&*bad.display().to_string()));
+            assert!(err.to_string().contains("bad.xml"), "{err}");
+            // The index prefix is redundant once the path is known.
+            assert!(!err.to_string().starts_with("document 1"), "{err}");
+
+            let source = PathSource::new(vec![good.clone(), dir.join("absent.xml")]);
+            let err = ingest_source(EngineState::new(), &source, jobs).unwrap_err();
+            assert!(matches!(err.error, IngestFailure::Read(_)), "{err}");
+            assert!(err.to_string().contains("absent.xml"), "{err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn path_source_matches_in_memory_ingestion() {
+        let docs = docs(30);
+        let dir = std::env::temp_dir().join(format!("dtdinfer-pool-eq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<_> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let p = dir.join(format!("{i:03}.xml"));
+                std::fs::write(&p, d).unwrap();
+                p
+            })
+            .collect();
+        let memory = ingest(&docs, 4).unwrap();
+        let streamed = ingest_source(EngineState::new(), &PathSource::new(paths), 4).unwrap();
+        assert_eq!(
+            streamed.state.derive(InferenceEngine::Idtd).0.serialize(),
+            memory.state.derive(InferenceEngine::Idtd).0.serialize()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -281,6 +487,7 @@ mod tests {
         let sequential = ingest(&docs, 1).unwrap();
         let seq = &sequential.shards[0];
         assert_eq!(seq.idle_polls, 0, "no queue on the sequential path");
+        assert_eq!(seq.claims, 1, "sequential path claims everything once");
         assert!(seq.busy_ns <= seq.duration_ns, "{seq:?}");
         assert!(seq.busy_ns > 0, "60 documents take measurable time");
 
@@ -289,6 +496,51 @@ mod tests {
             assert_eq!(s.idle_polls, 1, "one exhausted poll per worker: {s:?}");
             assert!(s.busy_ns <= s.duration_ns, "{s:?}");
             assert!(s.utilization_pct() <= 100.0, "{s:?}");
+            assert!(s.claims <= s.documents.max(1), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_claims_stay_below_document_count() {
+        // 400 docs over 4 workers: per-claim chunks start at 400/16 = 25,
+        // so total claims must be far below one per document.
+        let docs = docs(400);
+        let parallel = ingest(&docs, 4).unwrap();
+        let total_claims: u64 = parallel.shards.iter().map(|s| s.claims).sum();
+        let total_docs: u64 = parallel.shards.iter().map(|s| s.documents).sum();
+        assert_eq!(total_docs, 400);
+        assert!(
+            total_claims < total_docs / 2,
+            "chunking should cut queue traffic: {total_claims} claims for {total_docs} docs"
+        );
+    }
+
+    #[test]
+    fn chunk_size_is_adaptive() {
+        assert_eq!(chunk_size(400, 0, 4), 25);
+        assert_eq!(chunk_size(400, 396, 4), 1, "tail balances one at a time");
+        assert_eq!(chunk_size(10_000, 0, 4), 64, "clamped above");
+        assert_eq!(chunk_size(10, 10, 4), 1, "empty remainder still claims 1");
+    }
+
+    #[test]
+    fn in_flight_peaks_are_bounded_by_workers() {
+        let docs = docs(120);
+        let max_doc = docs.iter().map(String::len).max().unwrap() as u64;
+        for jobs in [1usize, 4] {
+            let r = ingest(&docs, jobs).unwrap();
+            assert!(r.peak_docs_in_flight >= 1, "{:?}", r.peak_docs_in_flight);
+            assert!(
+                r.peak_docs_in_flight <= jobs as u64,
+                "at most one resident document per worker"
+            );
+            assert!(r.peak_bytes_in_flight >= 1);
+            assert!(
+                r.peak_bytes_in_flight <= jobs as u64 * max_doc,
+                "peak {} vs bound {}",
+                r.peak_bytes_in_flight,
+                jobs as u64 * max_doc
+            );
         }
     }
 
@@ -309,8 +561,18 @@ mod tests {
             let prefix = format!("engine.worker.{}", s.shard);
             assert_eq!(snap.gauges[&format!("{prefix}.busy_ns")], s.busy_ns);
             assert_eq!(snap.gauges[&format!("{prefix}.documents")], s.documents);
+            assert_eq!(snap.gauges[&format!("{prefix}.bytes")], s.bytes);
+            assert_eq!(snap.gauges[&format!("{prefix}.claims")], s.claims);
             assert_eq!(snap.gauges[&format!("{prefix}.idle_polls")], s.idle_polls);
         }
+        assert_eq!(
+            snap.gauges["engine.ingest.peak_bytes_in_flight"],
+            ingested.peak_bytes_in_flight
+        );
+        assert_eq!(
+            snap.gauges["engine.ingest.peak_docs_in_flight"],
+            ingested.peak_docs_in_flight
+        );
 
         let mut shard_tids: Vec<u64> = trace
             .iter()

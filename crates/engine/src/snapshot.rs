@@ -6,13 +6,16 @@
 //! "internal representation is the complete memory" property):
 //!
 //! ```text
-//! #dtdinfer-engine v1
+//! #dtdinfer-engine v2
 //! documents 24
 //! root lib 24
 //! element author
 //! occurrences 23
-//! text A
-//! attr id b1
+//! text 23 64 0
+//! tv A 22
+//! tv B 1
+//! attr id 23 64 0
+//! av id b1 1
 //! s words 23
 //! s sym title 23
 //! s pair title author 23
@@ -20,38 +23,56 @@
 //! c sym title
 //! ```
 //!
+//! `text total viable overflowed` opens an element's text reservoir
+//! (`viable` is the datatype-viability bitmask, `overflowed` 0/1) and each
+//! `tv value count` line carries one retained sample; `attr name total
+//! viable overflowed` / `av name value count` do the same per attribute.
 //! `s `-prefixed lines carry the element's support-SOA records and `c `
-//! lines its CRX summary. Free-form values (`text`, both `attr` fields,
+//! lines its CRX summary. Free-form values (samples, attribute names,
 //! element names in `element`/`root`) are percent-escaped so they stay
 //! single whitespace-free tokens: `%` → `%25`, space → `%20`, tab →
 //! `%09`, newline → `%0A`, carriage return → `%0D`.
 //!
-//! The header is mandatory; files with a different version or missing
+//! The header is mandatory; files with a different version (including v1,
+//! whose unbounded sample lists this build no longer keeps) or missing
 //! header are rejected with a descriptive error rather than misread.
 
 use crate::{ElementState, EngineState};
 use dtdinfer_core::crx::CrxState;
 use dtdinfer_core::noise::SupportSoa;
 use dtdinfer_regex::alphabet::Sym;
+use dtdinfer_xml::samples::{SampleBag, DEFAULT_SAMPLE_CAP};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The header every readable snapshot must start with.
-pub const HEADER: &str = "#dtdinfer-engine v1";
+pub const HEADER: &str = "#dtdinfer-engine v2";
 
-/// Serializes the state. The state is canonicalized first, so snapshots of
-/// the same document multiset are byte-identical regardless of ingestion
-/// order or sharding.
-pub fn save(state: &EngineState) -> String {
-    let mut state = state.canonicalized();
-    // Sample lists accumulate in ingestion order; downstream inference
-    // (datatypes, attribute defaults) is multiset-invariant, so sorting
-    // them here costs nothing and makes the bytes canonical.
-    for element in state.elements.values_mut() {
-        element.text_samples.sort_unstable();
-        for values in element.attributes.values_mut() {
-            values.sort_unstable();
-        }
+fn write_bag(out: &mut String, kind: &str, prefix: &str, bag: &SampleBag) {
+    if bag.is_empty() {
+        return;
     }
+    let (total, viable, overflowed) = bag.export_header();
+    let _ = writeln!(
+        out,
+        "{kind}{prefix} {total} {viable} {}",
+        u8::from(overflowed)
+    );
+    let value_kind = match kind {
+        "text" => "tv".to_owned(),
+        _ => format!("av{prefix}"),
+    };
+    for (value, count) in bag.entries() {
+        let _ = writeln!(out, "{value_kind} {} {count}", esc(value));
+    }
+}
+
+/// Serializes the state. The state is canonicalized first (and sample
+/// reservoirs are canonical by construction), so snapshots of the same
+/// document multiset are byte-identical regardless of ingestion order or
+/// sharding.
+pub fn save(state: &EngineState) -> String {
+    let state = state.canonicalized();
     let mut out = String::from(HEADER);
     out.push('\n');
     let _ = writeln!(out, "documents {}", state.num_documents);
@@ -61,13 +82,9 @@ pub fn save(state: &EngineState) -> String {
     for (&sym, element) in &state.elements {
         let _ = writeln!(out, "element {}", esc(state.alphabet.name(sym)));
         let _ = writeln!(out, "occurrences {}", element.occurrences);
-        for text in &element.text_samples {
-            let _ = writeln!(out, "text {}", esc(text));
-        }
+        write_bag(&mut out, "text", "", &element.text_samples);
         for (attr, values) in &element.attributes {
-            for value in values {
-                let _ = writeln!(out, "attr {} {}", esc(attr), esc(value));
-            }
+            write_bag(&mut out, "attr", &format!(" {}", esc(attr)), values);
         }
         for line in element.support.to_text(&state.alphabet).lines() {
             if !line.starts_with('#') {
@@ -84,6 +101,67 @@ pub fn save(state: &EngineState) -> String {
     out
 }
 
+/// Reservoir parts accumulated while a section is read; assembled into a
+/// [`SampleBag`] when the section closes.
+#[derive(Default)]
+struct BagParts {
+    total: u64,
+    viable: u8,
+    overflowed: bool,
+    entries: Vec<(String, u64)>,
+}
+
+impl BagParts {
+    fn parse_header(rest: &str) -> Result<BagParts, String> {
+        let fields: Vec<&str> = rest.split(' ').collect();
+        let [total, viable, overflowed] = fields.as_slice() else {
+            return Err("reservoir header needs total, viability mask, overflow flag".into());
+        };
+        Ok(BagParts {
+            total: total.parse().map_err(|e| format!("bad total: {e}"))?,
+            viable: viable
+                .parse()
+                .map_err(|e| format!("bad viability mask: {e}"))?,
+            overflowed: match *overflowed {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("bad overflow flag {other:?}")),
+            },
+            entries: Vec::new(),
+        })
+    }
+
+    fn push_value(&mut self, rest: &str) -> Result<(), String> {
+        let (value, count) = rest
+            .rsplit_once(' ')
+            .ok_or("sample record needs a value and a count")?;
+        let count: u64 = count.parse().map_err(|e| format!("bad count: {e}"))?;
+        self.entries.push((unesc(value)?, count));
+        Ok(())
+    }
+
+    fn into_bag(self) -> Result<SampleBag, String> {
+        SampleBag::from_parts(
+            DEFAULT_SAMPLE_CAP,
+            self.total,
+            self.viable,
+            self.overflowed,
+            self.entries,
+        )
+    }
+}
+
+/// One element section being accumulated: the raw support/CRX record
+/// blocks and reservoir parts are parsed when the section closes.
+struct Section {
+    sym: Sym,
+    element: ElementState,
+    support: String,
+    crx: String,
+    text: Option<BagParts>,
+    attrs: BTreeMap<String, BagParts>,
+}
+
 /// Parses a snapshot produced by [`save`]. Rejects missing headers, other
 /// versions, and malformed records with a descriptive error.
 pub fn load(text: &str) -> Result<EngineState, String> {
@@ -92,7 +170,7 @@ pub fn load(text: &str) -> Result<EngineState, String> {
         Some(h) if h.starts_with("#dtdinfer-engine ") => {
             let version = h.trim_start_matches("#dtdinfer-engine ").trim();
             return Err(format!(
-                "unsupported snapshot version {version:?} (this build reads v1)"
+                "unsupported snapshot version {version:?} (this build reads v2)"
             ));
         }
         _ => {
@@ -102,17 +180,33 @@ pub fn load(text: &str) -> Result<EngineState, String> {
         }
     }
     let mut state = EngineState::new();
-    // The element section currently being accumulated: its symbol plus the
-    // raw support/CRX record blocks, parsed when the section closes.
-    let mut current: Option<(Sym, ElementState, String, String)> = None;
-    let flush = |state: &mut EngineState,
-                 current: &mut Option<(Sym, ElementState, String, String)>|
-     -> Result<(), String> {
-        if let Some((sym, mut element, support, crx)) = current.take() {
+    let mut current: Option<Section> = None;
+    let flush = |state: &mut EngineState, current: &mut Option<Section>| -> Result<(), String> {
+        if let Some(section) = current.take() {
+            let Section {
+                sym,
+                mut element,
+                support,
+                crx,
+                text,
+                attrs,
+            } = section;
+            let name = |state: &EngineState| state.alphabet.name(sym).to_owned();
             element.support = SupportSoa::from_text(&support, &mut state.alphabet)
-                .map_err(|e| format!("support section of {:?}: {e}", state.alphabet.name(sym)))?;
+                .map_err(|e| format!("support section of {:?}: {e}", name(state)))?;
             element.crx = CrxState::from_text(&crx, &mut state.alphabet)
-                .map_err(|e| format!("crx section of {:?}: {e}", state.alphabet.name(sym)))?;
+                .map_err(|e| format!("crx section of {:?}: {e}", name(state)))?;
+            if let Some(parts) = text {
+                element.text_samples = parts
+                    .into_bag()
+                    .map_err(|e| format!("text reservoir of {:?}: {e}", name(state)))?;
+            }
+            for (attr, parts) in attrs {
+                let bag = parts.into_bag().map_err(|e| {
+                    format!("attribute {attr:?} reservoir of {:?}: {e}", name(state))
+                })?;
+                element.attributes.insert(attr, bag);
+            }
             state.elements.insert(sym, element);
         }
         Ok(())
@@ -141,36 +235,68 @@ pub fn load(text: &str) -> Result<EngineState, String> {
             "element" => {
                 flush(&mut state, &mut current)?;
                 let sym = state.alphabet.intern(&unesc(rest).map_err(err)?);
-                current = Some((sym, ElementState::default(), String::new(), String::new()));
+                current = Some(Section {
+                    sym,
+                    element: ElementState::default(),
+                    support: String::new(),
+                    crx: String::new(),
+                    text: None,
+                    attrs: BTreeMap::new(),
+                });
             }
-            "occurrences" | "text" | "attr" | "s" | "c" => {
-                let (_, element, support, crx) = current
+            "occurrences" | "text" | "tv" | "attr" | "av" | "s" | "c" => {
+                let section = current
                     .as_mut()
                     .ok_or_else(|| err(format!("{kind:?} record outside an element section")))?;
                 match kind {
                     "occurrences" => {
-                        element.occurrences = rest
+                        section.element.occurrences = rest
                             .parse()
                             .map_err(|e| err(format!("bad occurrence count: {e}")))?;
                     }
-                    "text" => element.text_samples.push(unesc(rest).map_err(err)?),
+                    "text" => {
+                        if section.text.is_some() {
+                            return Err(err("duplicate text reservoir".into()));
+                        }
+                        section.text = Some(BagParts::parse_header(rest).map_err(err)?);
+                    }
+                    "tv" => section
+                        .text
+                        .as_mut()
+                        .ok_or_else(|| err("\"tv\" record before its \"text\" header".into()))?
+                        .push_value(rest)
+                        .map_err(err)?,
                     "attr" => {
+                        let (name, header) = rest
+                            .split_once(' ')
+                            .ok_or_else(|| err("attr needs a name and a header".into()))?;
+                        let name = unesc(name).map_err(err)?;
+                        let parts = BagParts::parse_header(header).map_err(err)?;
+                        if section.attrs.insert(name.clone(), parts).is_some() {
+                            return Err(err(format!("duplicate attribute reservoir {name:?}")));
+                        }
+                    }
+                    "av" => {
                         let (name, value) = rest
                             .split_once(' ')
-                            .ok_or_else(|| err("attr needs a name and a value".into()))?;
-                        element
-                            .attributes
-                            .entry(unesc(name).map_err(err)?)
-                            .or_default()
-                            .push(unesc(value).map_err(err)?);
+                            .ok_or_else(|| err("av needs a name, a value and a count".into()))?;
+                        let name = unesc(name).map_err(err)?;
+                        section
+                            .attrs
+                            .get_mut(&name)
+                            .ok_or_else(|| {
+                                err(format!("\"av\" record before its {name:?} header"))
+                            })?
+                            .push_value(value)
+                            .map_err(err)?;
                     }
                     "s" => {
-                        support.push_str(rest);
-                        support.push('\n');
+                        section.support.push_str(rest);
+                        section.support.push('\n');
                     }
                     _ => {
-                        crx.push_str(rest);
-                        crx.push('\n');
+                        section.crx.push_str(rest);
+                        section.crx.push('\n');
                     }
                 }
             }
@@ -288,9 +414,11 @@ mod tests {
 
     #[test]
     fn rejects_other_versions() {
-        let err = load("#dtdinfer-engine v2\ndocuments 3\n").unwrap_err();
-        assert!(err.contains("unsupported snapshot version"), "{err}");
-        assert!(err.contains("v1"), "{err}");
+        for old in ["v1", "v3"] {
+            let err = load(&format!("#dtdinfer-engine {old}\ndocuments 3\n")).unwrap_err();
+            assert!(err.contains("unsupported snapshot version"), "{err}");
+            assert!(err.contains("v2"), "{err}");
+        }
     }
 
     #[test]
@@ -307,6 +435,21 @@ mod tests {
             ),
             (format!("{HEADER}\nelement a\nattr only-name\n"), "attr"),
             (
+                format!("{HEADER}\nelement a\nattr id 3 127\n"),
+                "reservoir header",
+            ),
+            (
+                format!("{HEADER}\nelement a\ntext 3 127 2\n"),
+                "bad overflow flag",
+            ),
+            (format!("{HEADER}\nelement a\ntv x 1\n"), "before its"),
+            (format!("{HEADER}\nelement a\nav id x 1\n"), "before its"),
+            (
+                // Non-overflowed reservoir whose counts don't add up.
+                format!("{HEADER}\nelement a\ntext 5 127 0\ntv x 1\n"),
+                "text reservoir",
+            ),
+            (
                 format!("{HEADER}\nelement a\ns pair x\n"),
                 "support section",
             ),
@@ -315,6 +458,22 @@ mod tests {
             let err = load(&bad).unwrap_err();
             assert!(err.contains(needle), "{bad:?} → {err}");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_overflowed_reservoirs() {
+        let cap = dtdinfer_xml::samples::DEFAULT_SAMPLE_CAP;
+        let docs: Vec<String> = (0..cap * 3)
+            .map(|i| format!("<r><x>value {i}</x></r>"))
+            .collect();
+        let state = ingest(&docs, 2).unwrap().state;
+        let restored = load(&save(&state)).unwrap();
+        assert_eq!(save(&restored), save(&state));
+        let x = restored.alphabet.get("x").unwrap();
+        let bag = &restored.elements[&x].text_samples;
+        assert!(bag.overflowed());
+        assert_eq!(bag.distinct_retained(), cap);
+        assert_eq!(bag.total(), (cap * 3) as u64);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   else `CDATA`.
 
 use crate::datatype::{matches_type, XsdType};
+use crate::samples::SampleBag;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -144,6 +145,56 @@ pub fn infer_attdef(
     }
 }
 
+/// [`infer_attdef`] over a bounded [`SampleBag`] instead of a value slice.
+///
+/// When the bag has not overflowed its cap this makes *exactly* the
+/// decisions of the slice-based path: totals and per-value counts are
+/// exact, and the NMTOKEN check rides the bag's exact viability mask.
+/// When it has overflowed (more distinct values than the cap, which must
+/// be ≥ `max_enumeration`):
+///
+/// * enumeration is correctly ruled out — distinct > cap ≥ the maximum
+///   enumeration size, so the slice path would reject it too;
+/// * the ID heuristic's all-distinct test becomes evidence from a uniform
+///   sample of the distinct values (retained counts all 1) instead of a
+///   full scan — the only decision that is sampled rather than exact.
+pub fn infer_attdef_from_bag(
+    name: &str,
+    values: &SampleBag,
+    occurrences: u64,
+    options: AttInferenceOptions,
+) -> AttDef {
+    let default = if values.total() == occurrences && occurrences > 0 {
+        AttDefault::Required
+    } else {
+        AttDefault::Implied
+    };
+    let all_nmtoken = values.all_nmtoken();
+    let id_like = all_nmtoken
+        && default == AttDefault::Required
+        && values.total() >= 3
+        && values.looks_all_distinct();
+    let ty = if id_like {
+        AttType::Id
+    } else if all_nmtoken
+        && !values.is_empty()
+        && !values.overflowed()
+        && values.distinct_retained() <= options.max_enumeration
+        && values.total() >= (values.distinct_retained() * options.min_support_per_value) as u64
+    {
+        AttType::Enumeration(values.entries().map(|(v, _)| v.to_owned()).collect())
+    } else if all_nmtoken && !values.is_empty() {
+        AttType::NmToken
+    } else {
+        AttType::CData
+    };
+    AttDef {
+        name: name.to_owned(),
+        ty,
+        default,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +258,45 @@ mod tests {
         let def = infer_attdef("x", &[], 5, Default::default());
         assert_eq!(def.default, AttDefault::Implied);
         assert_eq!(def.ty, AttType::CData);
+        let bag = SampleBag::default();
+        assert_eq!(infer_attdef_from_bag("x", &bag, 5, Default::default()), def);
+    }
+
+    #[test]
+    fn bag_path_matches_slice_path_when_not_overflowed() {
+        let cases: Vec<(Vec<String>, u64)> = vec![
+            (strings(&["red", "blue", "red", "red", "blue", "blue"]), 6),
+            (strings(&["n1", "n2", "n3", "n4"]), 4),
+            (strings(&["a"]), 2),
+            (strings(&["hello world", "two words"]), 2),
+            ((0..40).map(|i| format!("v{}", i % 20)).collect(), 41),
+            (strings(&["x", "x", "x"]), 3),
+        ];
+        for (values, occurrences) in cases {
+            let mut bag = SampleBag::default();
+            for v in &values {
+                bag.insert(v);
+            }
+            assert!(!bag.overflowed());
+            assert_eq!(
+                infer_attdef_from_bag("a", &bag, occurrences, Default::default()),
+                infer_attdef("a", &values, occurrences, Default::default()),
+                "{values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflowed_bag_never_enumerates() {
+        // More distinct NMTOKEN values than the cap: enumeration is
+        // impossible (distinct > cap ≥ max_enumeration), NMTOKEN stands.
+        let mut bag = SampleBag::default();
+        for i in 0..(bag.cap() * 4) {
+            bag.insert(&format!("v{i}"));
+            bag.insert(&format!("v{i}")); // duplicate: defeats the ID heuristic
+        }
+        assert!(bag.overflowed());
+        let def = infer_attdef_from_bag("v", &bag, bag.total(), Default::default());
+        assert_eq!(def.ty, AttType::NmToken);
     }
 }

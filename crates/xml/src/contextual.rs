@@ -50,7 +50,7 @@ impl ContextualCorpus {
         while let Some(ev) = parser.next()? {
             match ev {
                 crate::parser::XmlEvent::StartElement { name, .. } => {
-                    let sym = self.alphabet.intern(&name);
+                    let sym = self.alphabet.intern(name);
                     if let Some((_, children)) = stack.last_mut() {
                         children.push(sym);
                     } else if self.root.is_none() {

@@ -253,15 +253,17 @@ impl Dtd {
     /// violations (empty = valid). Elements without a declaration are
     /// violations; so are content-model mismatches.
     pub fn validate(&self, doc: &str) -> Result<Vec<String>, XmlError> {
-        let events = XmlPullParser::new(doc).collect_events()?;
+        let mut parser = XmlPullParser::new(doc);
         let mut violations = Vec::new();
-        let mut stack: Vec<(String, Vec<String>, bool)> = Vec::new(); // (name, children, has_text)
-        for ev in events {
+        // (name, children, has_text) — names borrow from the document, so
+        // validation streams without per-event allocation.
+        let mut stack: Vec<(&str, Vec<&str>, bool)> = Vec::new();
+        while let Some(ev) = parser.next()? {
             match ev {
                 XmlEvent::StartElement {
                     name, attributes, ..
                 } => {
-                    self.check_attributes(&name, &attributes, &mut violations);
+                    self.check_attributes(name, &attributes, &mut violations);
                     if stack.is_empty() {
                         if let Some(root) = self.root {
                             if self.alphabet.name(root) != name {
@@ -273,7 +275,7 @@ impl Dtd {
                         }
                     }
                     if let Some((_, children, _)) = stack.last_mut() {
-                        children.push(name.clone());
+                        children.push(name);
                     }
                     stack.push((name, Vec::new(), false));
                 }
@@ -286,7 +288,7 @@ impl Dtd {
                 }
                 XmlEvent::EndElement { .. } => {
                     let (name, children, has_text) = stack.pop().expect("balanced");
-                    self.check_element(&name, &children, has_text, &mut violations);
+                    self.check_element(name, &children, has_text, &mut violations);
                 }
                 _ => {}
             }
@@ -297,7 +299,7 @@ impl Dtd {
     fn check_element(
         &self,
         name: &str,
-        children: &[String],
+        children: &[&str],
         has_text: bool,
         violations: &mut Vec<String>,
     ) {
@@ -382,7 +384,7 @@ impl Dtd {
     fn check_attributes(
         &self,
         name: &str,
-        attributes: &[(String, String)],
+        attributes: &[(&str, std::borrow::Cow<'_, str>)],
         violations: &mut Vec<String>,
     ) {
         let Some(sym) = self.alphabet.get(name) else {

@@ -6,6 +6,7 @@
 //! attribute samples needed for the XSD datatype heuristics of §9.
 
 use crate::parser::{XmlError, XmlEvent, XmlPullParser};
+use crate::samples::SampleBag;
 use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
 use std::collections::BTreeMap;
 
@@ -14,10 +15,11 @@ use std::collections::BTreeMap;
 pub struct ElementFacts {
     /// One word per occurrence: the sequence of child element names.
     pub child_sequences: Vec<Word>,
-    /// Non-whitespace text chunks observed directly under the element.
-    pub text_samples: Vec<String>,
-    /// Attribute name → sample values.
-    pub attributes: BTreeMap<String, Vec<String>>,
+    /// Non-whitespace text chunks observed directly under the element
+    /// (bounded reservoir; exact total and datatype mask).
+    pub text_samples: SampleBag,
+    /// Attribute name → sampled values (bounded reservoir per attribute).
+    pub attributes: BTreeMap<String, SampleBag>,
     /// Total number of occurrences.
     pub occurrences: u64,
 }
@@ -54,6 +56,12 @@ impl Corpus {
         Self::default()
     }
 
+    /// Parses one document and folds its statistics in, attributing any
+    /// parse error to `source` (usually the file path).
+    pub fn add_document_from(&mut self, doc: &str, source: &str) -> Result<(), XmlError> {
+        self.add_document(doc).map_err(|e| e.with_source(source))
+    }
+
     /// Parses one document and folds its statistics in.
     pub fn add_document(&mut self, doc: &str) -> Result<(), XmlError> {
         let _span = dtdinfer_obs::span("xml.extract_document");
@@ -74,11 +82,21 @@ impl Corpus {
                 } => {
                     n_elems += 1;
                     n_attrs += attributes.len() as u64;
-                    let sym = self.alphabet.intern(&name);
+                    let sym = self.alphabet.intern(name);
                     let facts = self.elements.entry(sym).or_default();
                     facts.occurrences += 1;
-                    for (attr, value) in attributes {
-                        facts.attributes.entry(attr).or_default().push(value);
+                    for (attr, value) in &attributes {
+                        // Allocate the attribute name only the first time
+                        // it is seen on this element.
+                        if let Some(bag) = facts.attributes.get_mut(*attr) {
+                            bag.insert(value);
+                        } else {
+                            facts
+                                .attributes
+                                .entry((*attr).to_owned())
+                                .or_default()
+                                .insert(value);
+                        }
                     }
                     if let Some((_, children)) = stack.last_mut() {
                         children.push(sym);
@@ -105,7 +123,7 @@ impl Corpus {
                                 .entry(sym)
                                 .or_default()
                                 .text_samples
-                                .push(trimmed.to_owned());
+                                .insert(trimmed);
                         }
                     }
                 }
@@ -221,15 +239,45 @@ mod tests {
         c.add_document(r#"<r id="7"><t>  hello </t><t>42</t></r>"#)
             .unwrap();
         let t = c.alphabet.get("t").unwrap();
-        assert_eq!(
-            c.elements[&t].text_samples,
-            vec!["hello".to_owned(), "42".to_owned()]
-        );
+        let texts: Vec<_> = c.elements[&t].text_samples.entries().collect();
+        assert_eq!(texts, vec![("42", 1), ("hello", 1)]);
         let r = c.alphabet.get("r").unwrap();
-        assert_eq!(c.elements[&r].attributes["id"], vec!["7".to_owned()]);
+        let ids: Vec<_> = c.elements[&r].attributes["id"].entries().collect();
+        assert_eq!(ids, vec![("7", 1)]);
         assert!(c.elements[&t].has_text());
         assert!(!c.elements[&t].has_element_children());
         assert!(c.elements[&r].has_element_children());
+    }
+
+    #[test]
+    fn text_and_attribute_memory_is_bounded() {
+        // A corpus with far more distinct values than the reservoir cap:
+        // retained sample counts stay at the cap while totals stay exact.
+        let mut c = Corpus::new();
+        let cap = crate::samples::DEFAULT_SAMPLE_CAP;
+        for i in 0..(cap * 10) {
+            c.add_document(&format!(r#"<r k="val{i}"><t>text {i}</t></r>"#))
+                .unwrap();
+        }
+        let t = c.alphabet.get("t").unwrap();
+        let bag = &c.elements[&t].text_samples;
+        assert_eq!(bag.distinct_retained(), cap);
+        assert!(bag.overflowed());
+        assert_eq!(bag.total(), (cap * 10) as u64);
+        let r = c.alphabet.get("r").unwrap();
+        let ids = &c.elements[&r].attributes["k"];
+        assert_eq!(ids.distinct_retained(), cap);
+        assert_eq!(ids.total(), (cap * 10) as u64);
+    }
+
+    #[test]
+    fn parse_error_carries_source_when_named() {
+        let mut c = Corpus::new();
+        let err = c
+            .add_document_from("<r><a></r>", "corpus/broken.xml")
+            .unwrap_err();
+        assert_eq!(err.source.as_deref(), Some("corpus/broken.xml"));
+        assert!(err.to_string().starts_with("corpus/broken.xml: "));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! §1.2's two scenarios) learns one expression per element, and text/child
 //! mixtures are mapped onto the DTD content-spec forms.
 
-use crate::attlist::{infer_attdef, AttInferenceOptions};
+use crate::attlist::{infer_attdef_from_bag, AttInferenceOptions};
 use crate::dtd::{ContentSpec, Dtd};
 use crate::extract::Corpus;
 use dtdinfer_automata::soa::Soa;
@@ -113,7 +113,7 @@ pub fn infer_dtd_with_stats(corpus: &Corpus, engine: InferenceEngine) -> (Dtd, V
             .attributes
             .iter()
             .map(|(attr, values)| {
-                infer_attdef(
+                infer_attdef_from_bag(
                     attr,
                     values,
                     facts.occurrences,

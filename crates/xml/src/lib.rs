@@ -9,6 +9,9 @@
 //!   instructions, DOCTYPE, predefined/numeric entities);
 //! * [`extract`] — corpus construction: one multiset of child sequences per
 //!   element name, plus text/attribute samples;
+//! * [`samples`] — bounded, shard-merge-deterministic reservoirs backing
+//!   those text/attribute samples, so corpus memory is O(schema) rather
+//!   than O(input);
 //! * [`dtd`] — DTD document types: content-spec model, parsing of
 //!   `<!ELEMENT>`/`<!ATTLIST>` declarations, serialization, and validation
 //!   of documents against a DTD;
@@ -41,6 +44,7 @@ pub mod extract;
 pub mod generate;
 pub mod infer;
 pub mod parser;
+pub mod samples;
 pub mod xsd;
 
 pub use dtd::{ContentSpec, Dtd};

@@ -1,24 +1,34 @@
-//! A streaming XML pull parser.
+//! A streaming, zero-copy XML pull parser.
 //!
-//! Hand-written, dependency-free, and scoped to what schema inference needs:
-//! well-formed element structure, attributes, character data (with
+//! Hand-written, dependency-free, and scoped to what schema inference
+//! needs: well-formed element structure, attributes, character data (with
 //! predefined and numeric entity decoding), CDATA sections, comments,
 //! processing instructions, and DOCTYPE declarations (skipped, including
 //! internal subsets). It checks tag balance — mismatched or dangling tags
 //! are errors — but does not validate against any schema; that is the job
 //! of [`crate::dtd`].
+//!
+//! Events *borrow* from the input buffer: names are `&'a str` slices,
+//! text and attribute values are [`Cow`]s that only allocate when entity
+//! decoding actually rewrites bytes, and skipped constructs (comments,
+//! processing instructions, DOCTYPE) are raw slices that never
+//! materialize. The paper's premise (§9) is that the generating XML can be
+//! discarded as data trickles in; the parser's job is to touch it exactly
+//! once on the way through.
 
+use std::borrow::Cow;
 use std::fmt;
 
-/// A parse event.
+/// A parse event, borrowing from the document buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum XmlEvent {
+pub enum XmlEvent<'a> {
     /// `<name attr="v" …>`; `self_closing` for `<name … />`.
     StartElement {
-        /// Element name.
-        name: String,
-        /// Attributes in document order.
-        attributes: Vec<(String, String)>,
+        /// Element name (a slice of the input).
+        name: &'a str,
+        /// Attributes in document order; values are borrowed unless entity
+        /// decoding forced an allocation.
+        attributes: Vec<(&'a str, Cow<'a, str>)>,
         /// Whether the tag closed itself (`<a/>`); an `EndElement` is still
         /// emitted.
         self_closing: bool,
@@ -26,15 +36,75 @@ pub enum XmlEvent {
     /// `</name>` (also emitted after a self-closing tag).
     EndElement {
         /// Element name.
-        name: String,
+        name: &'a str,
     },
     /// Character data (entity-decoded) or CDATA content.
+    Text(Cow<'a, str>),
+    /// `<!-- … -->` content, as a raw slice (never allocated).
+    Comment(&'a str),
+    /// `<?target data?>`, as a raw slice (never allocated).
+    ProcessingInstruction(&'a str),
+    /// A `<!DOCTYPE …>` declaration was skipped; the raw slice.
+    Doctype(&'a str),
+}
+
+impl XmlEvent<'_> {
+    /// Copies the event into an owned form. This is the reference shim for
+    /// consumers (and tests) that need events to outlive the buffer; the
+    /// hot paths never call it.
+    pub fn to_owned_event(&self) -> OwnedXmlEvent {
+        match self {
+            XmlEvent::StartElement {
+                name,
+                attributes,
+                self_closing,
+            } => OwnedXmlEvent::StartElement {
+                name: (*name).to_owned(),
+                attributes: attributes
+                    .iter()
+                    .map(|(a, v)| ((*a).to_owned(), v.clone().into_owned()))
+                    .collect(),
+                self_closing: *self_closing,
+            },
+            XmlEvent::EndElement { name } => OwnedXmlEvent::EndElement {
+                name: (*name).to_owned(),
+            },
+            XmlEvent::Text(t) => OwnedXmlEvent::Text(t.clone().into_owned()),
+            XmlEvent::Comment(c) => OwnedXmlEvent::Comment((*c).to_owned()),
+            XmlEvent::ProcessingInstruction(p) => {
+                OwnedXmlEvent::ProcessingInstruction((*p).to_owned())
+            }
+            XmlEvent::Doctype(d) => OwnedXmlEvent::Doctype((*d).to_owned()),
+        }
+    }
+}
+
+/// An owned copy of an [`XmlEvent`] — the pre-zero-copy event shape, kept
+/// as a reference implementation so equivalence tests can compare the
+/// borrowed parser against an owned replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OwnedXmlEvent {
+    /// `<name attr="v" …>`.
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+        /// Whether the tag closed itself.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data or CDATA content.
     Text(String),
-    /// `<!-- … -->` content.
+    /// Comment content.
     Comment(String),
-    /// `<?target data?>`.
+    /// Processing instruction.
     ProcessingInstruction(String),
-    /// A `<!DOCTYPE …>` declaration was skipped.
+    /// Skipped DOCTYPE declaration.
     Doctype(String),
 }
 
@@ -49,10 +119,28 @@ pub struct XmlError {
     pub column: usize,
     /// Description.
     pub message: String,
+    /// The originating document (file path or another caller-supplied
+    /// label), when known. Attached by [`XmlError::with_source`]; `None`
+    /// straight out of the parser.
+    pub source: Option<String>,
+}
+
+impl XmlError {
+    /// Attaches the originating document name (usually a file path) if one
+    /// is not already recorded.
+    pub fn with_source(mut self, source: &str) -> XmlError {
+        if self.source.is_none() {
+            self.source = Some(source.to_owned());
+        }
+        self
+    }
 }
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(source) = &self.source {
+            write!(f, "{source}: ")?;
+        }
         write!(
             f,
             "XML error at line {}, column {}: {}",
@@ -65,49 +153,75 @@ impl std::error::Error for XmlError {}
 
 /// Pull parser over a full document held in memory.
 pub struct XmlPullParser<'a> {
-    input: &'a [u8],
+    input: &'a str,
     pos: usize,
-    /// Open-element stack for well-formedness checking.
-    stack: Vec<String>,
+    /// Open-element stack for well-formedness checking (slices of the
+    /// input — the stack never copies names).
+    stack: Vec<&'a str>,
     /// Pending synthetic end event after a self-closing tag.
-    pending_end: Option<String>,
+    pending_end: Option<&'a str>,
     finished: bool,
+    /// Reject malformed entity references instead of passing them through.
+    strict_entities: bool,
 }
 
 impl<'a> XmlPullParser<'a> {
-    /// Creates a parser over `input`.
+    /// Creates a parser over `input`. Entity handling is lenient (unknown
+    /// and malformed references pass through verbatim, as §9's noisy
+    /// real-world data requires); see [`XmlPullParser::new_strict`].
     pub fn new(input: &'a str) -> Self {
         Self {
-            input: input.as_bytes(),
+            input,
             pos: 0,
             stack: Vec::new(),
             pending_end: None,
             finished: false,
+            strict_entities: false,
         }
     }
 
+    /// Like [`XmlPullParser::new`], but malformed entity references
+    /// (`&#xZZ;`, unterminated `&amp`, surrogate code points, unknown
+    /// names) are hard errors with exact line/column positions.
+    pub fn new_strict(input: &'a str) -> Self {
+        Self {
+            strict_entities: true,
+            ..Self::new(input)
+        }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
     fn err<T>(&self, message: &str) -> Result<T, XmlError> {
-        let before = &self.input[..self.pos.min(self.input.len())];
+        self.err_at(self.pos, message)
+    }
+
+    fn err_at<T>(&self, offset: usize, message: &str) -> Result<T, XmlError> {
+        let offset = offset.min(self.input.len());
+        let before = &self.bytes()[..offset];
         let line = before.iter().filter(|&&b| b == b'\n').count() + 1;
         let column = before
             .iter()
             .rposition(|&b| b == b'\n')
-            .map(|i| self.pos - i)
-            .unwrap_or(self.pos + 1);
+            .map(|i| offset - i)
+            .unwrap_or(offset + 1);
         Err(XmlError {
-            offset: self.pos,
+            offset,
             line,
             column,
             message: message.to_owned(),
+            source: None,
         })
     }
 
     fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
+        self.bytes().get(self.pos).copied()
     }
 
     fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s.as_bytes())
+        self.bytes()[self.pos..].starts_with(s.as_bytes())
     }
 
     fn skip_ws(&mut self) {
@@ -116,11 +230,13 @@ impl<'a> XmlPullParser<'a> {
         }
     }
 
-    fn take_until(&mut self, delim: &str) -> Result<String, XmlError> {
-        let hay = &self.input[self.pos..];
+    /// Returns the slice up to (excluding) `delim` and skips past it. All
+    /// delimiters are ASCII, so the slice boundaries are char boundaries.
+    fn take_until(&mut self, delim: &str) -> Result<&'a str, XmlError> {
+        let hay = &self.bytes()[self.pos..];
         match find_subslice(hay, delim.as_bytes()) {
             Some(i) => {
-                let content = String::from_utf8_lossy(&hay[..i]).into_owned();
+                let content = &self.input[self.pos..self.pos + i];
                 self.pos += i + delim.len();
                 Ok(content)
             }
@@ -128,7 +244,7 @@ impl<'a> XmlPullParser<'a> {
         }
     }
 
-    fn read_name(&mut self) -> Result<String, XmlError> {
+    fn read_name(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
             self.pos += 1;
@@ -136,13 +252,29 @@ impl<'a> XmlPullParser<'a> {
         if self.pos == start {
             return self.err("expected a name");
         }
-        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+        // Name scanning stops at an ASCII delimiter and non-ASCII bytes
+        // are all name characters, so both ends are char boundaries.
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Entity-decodes a raw slice that started at absolute byte `offset`,
+    /// borrowing when no decoding is needed. In strict mode a malformed
+    /// reference is an error positioned at its `&`.
+    fn decode(&self, raw: &'a str, offset: usize) -> Result<Cow<'a, str>, XmlError> {
+        if self.strict_entities {
+            match decode_entities_strict(raw) {
+                Ok(decoded) => Ok(decoded),
+                Err(e) => self.err_at(offset + e.offset, &e.message),
+            }
+        } else {
+            Ok(decode_entities_cow(raw))
+        }
     }
 
     /// Pulls the next event; `Ok(None)` at end of input (only legal once all
     /// elements are closed).
     #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+    pub fn next(&mut self) -> Result<Option<XmlEvent<'a>>, XmlError> {
         if let Some(name) = self.pending_end.take() {
             return Ok(Some(XmlEvent::EndElement { name }));
         }
@@ -165,18 +297,18 @@ impl<'a> XmlPullParser<'a> {
             while self.pos < self.input.len() && self.peek() != Some(b'<') {
                 self.pos += 1;
             }
-            let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            let raw = &self.input[start..self.pos];
             if self.stack.is_empty() {
                 if raw.trim().is_empty() {
                     continue; // whitespace between prolog and root
                 }
                 return self.err("character data outside the root element");
             }
-            return Ok(Some(XmlEvent::Text(decode_entities(&raw))));
+            return Ok(Some(XmlEvent::Text(self.decode(raw, start)?)));
         }
     }
 
-    fn parse_markup(&mut self) -> Result<XmlEvent, XmlError> {
+    fn parse_markup(&mut self) -> Result<XmlEvent<'a>, XmlError> {
         debug_assert_eq!(self.peek(), Some(b'<'));
         if self.starts_with("<!--") {
             self.pos += 4;
@@ -189,7 +321,7 @@ impl<'a> XmlPullParser<'a> {
             if self.stack.is_empty() {
                 return self.err("CDATA outside the root element");
             }
-            return Ok(XmlEvent::Text(content));
+            return Ok(XmlEvent::Text(Cow::Borrowed(content)));
         }
         if self.starts_with("<?") {
             self.pos += 2;
@@ -221,7 +353,7 @@ impl<'a> XmlPullParser<'a> {
                 match self.peek() {
                     Some(b'>') => {
                         self.pos += 1;
-                        self.stack.push(name.clone());
+                        self.stack.push(name);
                         return Ok(XmlEvent::StartElement {
                             name,
                             attributes,
@@ -234,7 +366,7 @@ impl<'a> XmlPullParser<'a> {
                             return self.err("expected '>' after '/'");
                         }
                         self.pos += 1;
-                        self.pending_end = Some(name.clone());
+                        self.pending_end = Some(name);
                         return Ok(XmlEvent::StartElement {
                             name,
                             attributes,
@@ -250,13 +382,14 @@ impl<'a> XmlPullParser<'a> {
                         self.pos += 1;
                         self.skip_ws();
                         let quote = match self.peek() {
-                            Some(q @ (b'"' | b'\'')) => q,
+                            Some(b'"') => "\"",
+                            Some(b'\'') => "'",
                             _ => return self.err("expected quoted attribute value"),
                         };
                         self.pos += 1;
-                        let value =
-                            self.take_until(std::str::from_utf8(&[quote]).expect("ascii"))?;
-                        attributes.push((attr, decode_entities(&value)));
+                        let value_start = self.pos;
+                        let value = self.take_until(quote)?;
+                        attributes.push((attr, self.decode(value, value_start)?));
                     }
                     _ => return self.err("malformed start tag"),
                 }
@@ -264,7 +397,7 @@ impl<'a> XmlPullParser<'a> {
         }
     }
 
-    fn parse_doctype(&mut self) -> Result<XmlEvent, XmlError> {
+    fn parse_doctype(&mut self) -> Result<XmlEvent<'a>, XmlError> {
         let start = self.pos;
         self.pos += "<!DOCTYPE".len();
         // Scan to the matching '>', skipping an internal subset in [...]
@@ -286,9 +419,7 @@ impl<'a> XmlPullParser<'a> {
                 }
                 b'>' if depth == 0 => {
                     self.pos += 1;
-                    let content =
-                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-                    return Ok(XmlEvent::Doctype(content));
+                    return Ok(XmlEvent::Doctype(&self.input[start..self.pos]));
                 }
                 _ => {}
             }
@@ -298,7 +429,7 @@ impl<'a> XmlPullParser<'a> {
     }
 
     /// Drains the parser into an event vector.
-    pub fn collect_events(mut self) -> Result<Vec<XmlEvent>, XmlError> {
+    pub fn collect_events(mut self) -> Result<Vec<XmlEvent<'a>>, XmlError> {
         let mut out = Vec::new();
         while let Some(ev) = self.next()? {
             out.push(ev);
@@ -335,12 +466,37 @@ pub fn encode_entities(s: &str) -> String {
     out
 }
 
+/// Resolves one entity body (the text between `&` and `;`), or `None` when
+/// it is not a recognized reference.
+fn resolve_entity(entity: &str) -> Option<char> {
+    match entity {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => entity
+            .strip_prefix("#x")
+            .or_else(|| entity.strip_prefix("#X"))
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .or_else(|| entity.strip_prefix('#').and_then(|d| d.parse::<u32>().ok()))
+            .and_then(char::from_u32),
+    }
+}
+
 /// Decodes the predefined XML entities and numeric character references.
 /// Unknown entities are passed through verbatim (lenient, like the noisy
 /// real-world data of §9 requires).
 pub fn decode_entities(s: &str) -> String {
+    decode_entities_cow(s).into_owned()
+}
+
+/// [`decode_entities`] without the copy: borrows `s` when it contains no
+/// ampersand (the common case on real data), allocating only when a
+/// reference actually has to be rewritten.
+pub fn decode_entities_cow(s: &str) -> Cow<'_, str> {
     if !s.contains('&') {
-        return s.to_owned();
+        return Cow::Borrowed(s);
     }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
@@ -348,32 +504,16 @@ pub fn decode_entities(s: &str) -> String {
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
         match rest.find(';') {
-            Some(semi) if semi <= 12 => {
-                let entity = &rest[1..semi];
-                let decoded = match entity {
-                    "lt" => Some('<'),
-                    "gt" => Some('>'),
-                    "amp" => Some('&'),
-                    "apos" => Some('\''),
-                    "quot" => Some('"'),
-                    _ => entity
-                        .strip_prefix("#x")
-                        .or_else(|| entity.strip_prefix("#X"))
-                        .and_then(|h| u32::from_str_radix(h, 16).ok())
-                        .or_else(|| entity.strip_prefix('#').and_then(|d| d.parse::<u32>().ok()))
-                        .and_then(char::from_u32),
-                };
-                match decoded {
-                    Some(c) => {
-                        out.push(c);
-                        rest = &rest[semi + 1..];
-                    }
-                    None => {
-                        out.push('&');
-                        rest = &rest[1..];
-                    }
+            Some(semi) if semi <= 12 => match resolve_entity(&rest[1..semi]) {
+                Some(c) => {
+                    out.push(c);
+                    rest = &rest[semi + 1..];
                 }
-            }
+                None => {
+                    out.push('&');
+                    rest = &rest[1..];
+                }
+            },
             _ => {
                 out.push('&');
                 rest = &rest[1..];
@@ -381,14 +521,72 @@ pub fn decode_entities(s: &str) -> String {
         }
     }
     out.push_str(rest);
-    out
+    Cow::Owned(out)
+}
+
+/// A malformed entity reference found by [`decode_entities_strict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityError {
+    /// Byte offset of the offending `&` within the decoded slice.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Strict variant of [`decode_entities_cow`]: every `&` must begin a
+/// well-formed reference — terminated by `;`, naming a predefined entity
+/// or a numeric character reference that decodes to a scalar value (no
+/// surrogates, nothing past U+10FFFF).
+pub fn decode_entities_strict(s: &str) -> Result<Cow<'_, str>, EntityError> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    let mut consumed = 0usize;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let at = consumed + amp;
+        rest = &rest[amp..];
+        let semi = match rest.find(';') {
+            Some(semi) if semi <= 12 => semi,
+            _ => {
+                return Err(EntityError {
+                    offset: at,
+                    message: format!(
+                        "unterminated entity reference {:?}",
+                        &rest[..rest.len().min(8)]
+                    ),
+                });
+            }
+        };
+        let entity = &rest[1..semi];
+        match resolve_entity(entity) {
+            Some(c) => out.push(c),
+            None => {
+                let what = if entity.starts_with('#') {
+                    "invalid character reference"
+                } else {
+                    "unknown entity"
+                };
+                return Err(EntityError {
+                    offset: at,
+                    message: format!("{what} &{entity};"),
+                });
+            }
+        }
+        consumed = at + semi + 1;
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn events(doc: &str) -> Vec<XmlEvent> {
+    fn events(doc: &str) -> Vec<XmlEvent<'_>> {
         XmlPullParser::new(doc).collect_events().expect("parse")
     }
 
@@ -396,7 +594,7 @@ mod tests {
         events(doc)
             .into_iter()
             .filter_map(|e| match e {
-                XmlEvent::StartElement { name, .. } => Some(name),
+                XmlEvent::StartElement { name, .. } => Some(name.to_owned()),
                 _ => None,
             })
             .collect()
@@ -406,7 +604,7 @@ mod tests {
     fn simple_document() {
         let evs = events("<a><b>hi</b><c/></a>");
         assert_eq!(evs.len(), 7);
-        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "a"));
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if *name == "a"));
         assert!(matches!(&evs[2], XmlEvent::Text(t) if t == "hi"));
         assert!(matches!(
             &evs[4],
@@ -415,7 +613,7 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(&evs[5], XmlEvent::EndElement { name } if name == "c"));
+        assert!(matches!(&evs[5], XmlEvent::EndElement { name } if *name == "c"));
     }
 
     #[test]
@@ -423,11 +621,31 @@ mod tests {
         let evs = events(r#"<a x="1" y='two &amp; three'/>"#);
         match &evs[0] {
             XmlEvent::StartElement { attributes, .. } => {
-                assert_eq!(attributes[0], ("x".to_owned(), "1".to_owned()));
+                assert_eq!(attributes[0].0, "x");
+                assert_eq!(attributes[0].1, "1");
                 assert_eq!(attributes[1].1, "two & three");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn borrowed_events_do_not_allocate_for_plain_content() {
+        let doc = r#"<a x="plain">text</a>"#;
+        for ev in events(doc) {
+            match ev {
+                XmlEvent::Text(t) => assert!(matches!(t, Cow::Borrowed(_)), "{t:?}"),
+                XmlEvent::StartElement { attributes, .. } => {
+                    for (_, v) in &attributes {
+                        assert!(matches!(v, Cow::Borrowed(_)), "{v:?}");
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Entity decoding is the one thing that forces an allocation.
+        let evs = events("<a>x &amp; y</a>");
+        assert!(matches!(&evs[1], XmlEvent::Text(Cow::Owned(_))));
     }
 
     #[test]
@@ -447,6 +665,8 @@ mod tests {
     fn cdata_is_text() {
         let evs = events("<a><![CDATA[<not-a-tag> & raw]]></a>");
         assert!(matches!(&evs[1], XmlEvent::Text(t) if t == "<not-a-tag> & raw"));
+        // CDATA content is never decoded, hence never copied.
+        assert!(matches!(&evs[1], XmlEvent::Text(Cow::Borrowed(_))));
     }
 
     #[test]
@@ -464,6 +684,43 @@ mod tests {
         );
         assert_eq!(decode_entities("&#65;&#x42;"), "AB");
         assert_eq!(decode_entities("&unknown; & bare"), "&unknown; & bare");
+    }
+
+    #[test]
+    fn cow_decoding_borrows_when_clean() {
+        assert!(matches!(
+            decode_entities_cow("no entities"),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(decode_entities_cow("a &amp; b"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn strict_decoding_rejects_malformed_references() {
+        assert_eq!(decode_entities_strict("a &lt; b").unwrap(), "a < b");
+        for (input, needle) in [
+            ("&#xZZ;", "invalid character reference"),
+            ("bad &amp tail", "unterminated entity reference"),
+            ("&#xD800;", "invalid character reference"),
+            ("&#1114112;", "invalid character reference"),
+            ("&nbsp;", "unknown entity"),
+        ] {
+            let err = decode_entities_strict(input).unwrap_err();
+            assert!(err.message.contains(needle), "{input:?} → {err:?}");
+        }
+        // The error points at the ampersand.
+        assert_eq!(decode_entities_strict("ab&#xZZ;").unwrap_err().offset, 2);
+    }
+
+    #[test]
+    fn strict_parser_positions_malformed_entities() {
+        let err = XmlPullParser::new_strict("<a>\n  bad &#xZZ; ref</a>")
+            .collect_events()
+            .unwrap_err();
+        assert_eq!((err.line, err.column), (2, 7), "{err}");
+        // The lenient default passes the same reference through.
+        let evs = events("<a>\n  bad &#xZZ; ref</a>");
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t.contains("&#xZZ;")));
     }
 
     #[test]
@@ -518,6 +775,22 @@ mod tests {
     }
 
     #[test]
+    fn error_source_attribution() {
+        let err = XmlPullParser::new("<a>").collect_events().unwrap_err();
+        assert_eq!(err.source, None);
+        let named = err.with_source("corpus/doc01.xml");
+        assert!(
+            named.to_string().starts_with("corpus/doc01.xml: XML error"),
+            "{named}"
+        );
+        // An already-attributed error keeps its first source.
+        assert_eq!(
+            named.with_source("other.xml").source.as_deref(),
+            Some("corpus/doc01.xml")
+        );
+    }
+
+    #[test]
     fn namespaced_names() {
         assert_eq!(names("<ns:a><ns:b/></ns:a>"), vec!["ns:a", "ns:b"]);
     }
@@ -528,5 +801,21 @@ mod tests {
             names("<livre><tête/><café>ü</café></livre>"),
             vec!["livre", "tête", "café"]
         );
+    }
+
+    #[test]
+    fn owned_shim_mirrors_borrowed_events() {
+        let doc = r#"<a x="1 &amp; 2"><!--c--><b>t</b><?pi d?></a>"#;
+        let owned: Vec<OwnedXmlEvent> = events(doc).iter().map(XmlEvent::to_owned_event).collect();
+        assert_eq!(
+            owned[0],
+            OwnedXmlEvent::StartElement {
+                name: "a".to_owned(),
+                attributes: vec![("x".to_owned(), "1 & 2".to_owned())],
+                self_closing: false,
+            }
+        );
+        assert!(matches!(&owned[1], OwnedXmlEvent::Comment(c) if c == "c"));
+        assert!(matches!(&owned[3], OwnedXmlEvent::Text(t) if t == "t"));
     }
 }

@@ -1,0 +1,500 @@
+//! Bounded, deterministic sample reservoirs for text and attribute values.
+//!
+//! The paper's premise (§9) is that inference state stays compact while
+//! "the generating XML can be discarded as data trickles in" — yet naively
+//! collecting every text chunk and attribute value makes memory scale with
+//! the corpus, not the schema. A [`SampleBag`] caps that: it keeps value →
+//! count statistics for at most `cap` *distinct* values, chosen by a
+//! content hash so the retained set is a pure function of the set of
+//! values seen — independent of arrival order and of how a corpus was
+//! split across shards.
+//!
+//! # Determinism under sharding
+//!
+//! Each distinct value gets a fixed priority `(hash(value), value)`; the
+//! bag keeps the `cap` smallest priorities (a K-minimum-values sketch).
+//! Two invariants make `--jobs N` byte-identical to sequential ingestion:
+//!
+//! 1. **Never-evicted counts are exact.** The eviction threshold (the
+//!    cap-th smallest priority) only ever decreases, so a value that is in
+//!    the final kept set can never have been rejected or evicted earlier —
+//!    its count has been incremented since its first arrival.
+//! 2. **Merge = union, re-trim.** A value in the merged kept set has one
+//!    of the `cap` smallest global priorities, hence one of the `cap`
+//!    smallest in every shard where it appeared (a shard sees a subset of
+//!    the distinct values), hence was kept with an exact count in each —
+//!    so summed shard counts equal the sequential count.
+//!
+//! Alongside the capped counts the bag folds every observation into an
+//! exact datatype-viability bitmask, so [`SampleBag::datatype`] and
+//! [`SampleBag::all_nmtoken`] are computed over *all* values ever seen,
+//! not just the retained sample.
+
+use crate::datatype::{matches_type, XsdType};
+use std::collections::BTreeMap;
+
+/// Default cap on distinct retained values. Must stay ≥ the attribute
+/// inference `max_enumeration` so that an overflowed bag can never have
+/// been enumeration-eligible (see [`crate::attlist`]).
+pub const DEFAULT_SAMPLE_CAP: usize = 64;
+
+/// Datatype preference order mirrored by the viability bitmask (most
+/// specific first; `xs:string` is the implicit fallback).
+const ORDER: [XsdType; 7] = [
+    XsdType::Boolean,
+    XsdType::Integer,
+    XsdType::Double,
+    XsdType::Date,
+    XsdType::Time,
+    XsdType::DateTime,
+    XsdType::NmToken,
+];
+
+/// All seven viability bits set (the empty-bag state).
+const ALL_VIABLE: u8 = 0x7f;
+
+/// A retained value's bookkeeping: its exact occurrence count and its
+/// fixed priority (cached so eviction scans never re-hash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Kept {
+    count: u64,
+    prio: u64,
+}
+
+/// A bounded multiset sketch over observed string values.
+#[derive(Debug, Clone)]
+pub struct SampleBag {
+    /// Retained distinct values with exact occurrence counts.
+    kept: BTreeMap<String, Kept>,
+    /// Total observations, including values not retained.
+    total: u64,
+    /// Datatype-viability bitmask over *all* observations (bit i ↔
+    /// `ORDER[i]` still matches every value seen).
+    viable: u8,
+    /// Whether more than `cap` distinct values were observed.
+    overflowed: bool,
+    /// Maximum number of distinct values to retain.
+    cap: usize,
+    /// Cached eviction threshold: the largest `(priority, value)` among
+    /// `kept`, valid only while the kept set is unchanged. Pure cache —
+    /// excluded from equality — that makes the common overflow case
+    /// (arriving value rejected) O(1) instead of an O(cap) rescan.
+    threshold: Option<(u64, String)>,
+}
+
+impl PartialEq for SampleBag {
+    fn eq(&self, other: &Self) -> bool {
+        self.kept == other.kept
+            && self.total == other.total
+            && self.viable == other.viable
+            && self.overflowed == other.overflowed
+            && self.cap == other.cap
+    }
+}
+
+impl Eq for SampleBag {}
+
+impl Default for SampleBag {
+    fn default() -> Self {
+        Self::with_cap(DEFAULT_SAMPLE_CAP)
+    }
+}
+
+impl SampleBag {
+    /// An empty bag retaining at most `cap` distinct values (`cap` ≥ 1).
+    pub fn with_cap(cap: usize) -> Self {
+        Self {
+            kept: BTreeMap::new(),
+            total: 0,
+            viable: ALL_VIABLE,
+            overflowed: false,
+            cap: cap.max(1),
+            threshold: None,
+        }
+    }
+
+    /// The largest `(priority, value)` among the kept values, computing
+    /// and caching it on demand (from stored priorities — no hashing).
+    fn threshold(&mut self) -> &(u64, String) {
+        if self.threshold.is_none() {
+            self.threshold = self
+                .kept
+                .iter()
+                .map(|(v, k)| (k.prio, v.clone()))
+                .max()
+                .or_else(|| Some((u64::MAX, String::new())));
+        }
+        self.threshold.as_ref().expect("just computed")
+    }
+
+    /// Records one observation of `value`.
+    pub fn insert(&mut self, value: &str) {
+        self.total += 1;
+        if self.viable != 0 {
+            for (i, t) in ORDER.iter().enumerate() {
+                if self.viable & (1 << i) != 0 && !matches_type(value, *t) {
+                    self.viable &= !(1 << i);
+                }
+            }
+        }
+        if let Some(kept) = self.kept.get_mut(value) {
+            kept.count += 1;
+            return;
+        }
+        if self.kept.len() < self.cap {
+            let prio = priority(value);
+            self.kept.insert(value.to_owned(), Kept { count: 1, prio });
+            self.threshold = None;
+            return;
+        }
+        // Full: keep the cap smallest (hash, value) priorities. The
+        // arriving value enters only by beating the current maximum; a
+        // value already evicted or rejected can never return, because the
+        // threshold only decreases.
+        self.overflowed = true;
+        let p = priority(value);
+        let (evict_p, evict) = self.threshold();
+        if (p, value) < (*evict_p, evict.as_str()) {
+            let evict = evict.clone();
+            self.kept.remove(&evict);
+            self.kept
+                .insert(value.to_owned(), Kept { count: 1, prio: p });
+            self.threshold = None;
+        }
+    }
+
+    /// Folds another bag in: totals add, viability masks intersect,
+    /// retained counts union-sum, then the union is re-trimmed to the cap
+    /// smallest priorities. Commutative and associative up to the shared
+    /// cap, so shard merges reproduce sequential ingestion exactly.
+    pub fn merge(&mut self, other: &SampleBag) {
+        self.threshold = None;
+        self.total += other.total;
+        self.viable &= other.viable;
+        self.overflowed |= other.overflowed;
+        for (value, kept) in &other.kept {
+            self.kept
+                .entry(value.clone())
+                .and_modify(|k| k.count += kept.count)
+                .or_insert_with(|| Kept {
+                    count: kept.count,
+                    prio: kept.prio,
+                });
+        }
+        if self.kept.len() > self.cap {
+            self.overflowed = true;
+            let mut ranked: Vec<(u64, &str)> = self
+                .kept
+                .iter()
+                .map(|(v, k)| (k.prio, v.as_str()))
+                .collect();
+            ranked.sort_unstable();
+            let doomed: Vec<String> = ranked[self.cap..]
+                .iter()
+                .map(|(_, v)| (*v).to_owned())
+                .collect();
+            for v in doomed {
+                self.kept.remove(&v);
+            }
+        }
+    }
+
+    /// Total observations (including values not retained).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of retained distinct values. Equal to the true distinct
+    /// count unless [`SampleBag::overflowed`].
+    pub fn distinct_retained(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Whether more than `cap` distinct values were observed (so the
+    /// retained set is a sample of the distinct values, not all of them).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// The retention cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Retained `(value, count)` pairs in lexicographic value order.
+    /// Counts are exact (see the module docs).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.kept.iter().map(|(v, k)| (v.as_str(), k.count))
+    }
+
+    /// Whether every observed value appeared exactly once, as far as the
+    /// retained sample can tell. Exact when not overflowed; under overflow
+    /// it is evidence from a uniform sample of the distinct values.
+    pub fn looks_all_distinct(&self) -> bool {
+        self.kept.values().all(|k| k.count == 1)
+    }
+
+    /// Whether every observed value (retained or not) is a NMTOKEN.
+    /// Vacuously true for an empty bag, matching slice-based `all()`.
+    pub fn all_nmtoken(&self) -> bool {
+        self.viable & (1 << 6) != 0
+    }
+
+    /// The most specific datatype covering every observed value — exact
+    /// even under overflow, because the viability mask is updated on every
+    /// observation. Empty bags default to `xs:string`.
+    pub fn datatype(&self) -> XsdType {
+        if self.total == 0 {
+            return XsdType::String;
+        }
+        ORDER
+            .iter()
+            .enumerate()
+            .find(|(i, _)| self.viable & (1 << i) != 0)
+            .map(|(_, &t)| t)
+            .unwrap_or(XsdType::String)
+    }
+
+    /// Serializable parts: `(total, viable mask, overflowed)`; the counts
+    /// come from [`SampleBag::entries`].
+    pub fn export_header(&self) -> (u64, u8, bool) {
+        (self.total, self.viable, self.overflowed)
+    }
+
+    /// Rebuilds a bag from snapshot parts. `entries` must hold at most
+    /// `cap` pairs of distinct values; the retained-count sum must not
+    /// exceed `total`.
+    pub fn from_parts(
+        cap: usize,
+        total: u64,
+        viable: u8,
+        overflowed: bool,
+        entries: impl IntoIterator<Item = (String, u64)>,
+    ) -> Result<SampleBag, String> {
+        let mut kept = BTreeMap::new();
+        for (value, count) in entries {
+            if count == 0 {
+                return Err(format!("zero count for sample {value:?}"));
+            }
+            let prio = priority(&value);
+            if kept.insert(value.clone(), Kept { count, prio }).is_some() {
+                return Err(format!("duplicate sample {value:?}"));
+            }
+        }
+        let cap = cap.max(1);
+        if kept.len() > cap {
+            return Err(format!("{} samples exceed cap {cap}", kept.len()));
+        }
+        let sum: u64 = kept.values().map(|k| k.count).sum();
+        if sum > total {
+            return Err(format!("sample counts {sum} exceed total {total}"));
+        }
+        if !overflowed && sum != total {
+            return Err(format!(
+                "non-overflowed bag must account for every observation ({sum} != {total})"
+            ));
+        }
+        Ok(SampleBag {
+            kept,
+            total,
+            viable: viable & ALL_VIABLE,
+            overflowed,
+            cap,
+            threshold: None,
+        })
+    }
+}
+
+/// The fixed priority hash: FNV-1a folded through a splitmix64-style
+/// finalizer for avalanche. Ties (hash collisions) are broken by value
+/// order, so priorities form a strict total order over distinct values.
+fn priority(value: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in value.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[&str], cap: usize) -> SampleBag {
+        let mut bag = SampleBag::with_cap(cap);
+        for v in values {
+            bag.insert(v);
+        }
+        bag
+    }
+
+    #[test]
+    fn exact_below_cap() {
+        let bag = filled(&["a", "b", "a", "c", "a"], 8);
+        assert_eq!(bag.total(), 5);
+        assert!(!bag.overflowed());
+        let entries: Vec<_> = bag.entries().collect();
+        assert_eq!(entries, vec![("a", 3), ("b", 1), ("c", 1)]);
+    }
+
+    #[test]
+    fn caps_distinct_values() {
+        let values: Vec<String> = (0..100).map(|i| format!("v{i}")).collect();
+        let mut bag = SampleBag::with_cap(16);
+        for v in &values {
+            bag.insert(v);
+        }
+        assert_eq!(bag.distinct_retained(), 16);
+        assert!(bag.overflowed());
+        assert_eq!(bag.total(), 100);
+    }
+
+    #[test]
+    fn retained_set_is_order_invariant() {
+        let mut values: Vec<String> = (0..200).map(|i| format!("v{i}")).collect();
+        let forward = {
+            let mut bag = SampleBag::with_cap(10);
+            values.iter().for_each(|v| bag.insert(v));
+            bag
+        };
+        values.reverse();
+        let backward = {
+            let mut bag = SampleBag::with_cap(10);
+            values.iter().for_each(|v| bag.insert(v));
+            bag
+        };
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn retained_counts_are_exact_under_overflow() {
+        // Repeat every value 3 times, way past the cap: whatever survives
+        // must carry its true count.
+        let mut bag = SampleBag::with_cap(8);
+        for round in 0..3 {
+            for i in 0..50 {
+                let _ = round;
+                bag.insert(&format!("v{i}"));
+            }
+        }
+        assert!(bag.overflowed());
+        assert!(bag.entries().all(|(_, c)| c == 3), "{bag:?}");
+        assert_eq!(bag.total(), 150);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let values: Vec<String> = (0..120).map(|i| format!("v{}", i % 37)).collect();
+        let sequential = {
+            let mut bag = SampleBag::with_cap(12);
+            values.iter().for_each(|v| bag.insert(v));
+            bag
+        };
+        for split in [1, 13, 60, 119] {
+            let (left, right) = values.split_at(split);
+            let mut a = SampleBag::with_cap(12);
+            left.iter().for_each(|v| a.insert(v));
+            let mut b = SampleBag::with_cap(12);
+            right.iter().for_each(|v| b.insert(v));
+            a.merge(&b);
+            assert_eq!(a, sequential, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = filled(&["x", "y", "x"], 4);
+        let mut b = filled(&["y", "z", "w", "q", "r"], 4);
+        let ab = {
+            let mut m = a.clone();
+            m.merge(&b);
+            m
+        };
+        b.merge(&a);
+        assert_eq!(ab, b);
+        a = ab;
+        assert_eq!(a.total(), 8);
+    }
+
+    #[test]
+    fn datatype_exact_despite_eviction() {
+        // One non-integer value among hundreds of integers: even if the
+        // string sample gets evicted, the viability mask remembers it.
+        let mut bag = SampleBag::with_cap(4);
+        bag.insert("not a number");
+        for i in 0..500 {
+            bag.insert(&i.to_string());
+        }
+        assert_eq!(bag.datatype(), XsdType::String);
+        assert!(!bag.all_nmtoken());
+
+        let mut ints = SampleBag::with_cap(4);
+        for i in 0..500 {
+            ints.insert(&i.to_string());
+        }
+        assert_eq!(ints.datatype(), XsdType::Integer);
+        assert!(ints.all_nmtoken());
+    }
+
+    #[test]
+    fn empty_bag_defaults() {
+        let bag = SampleBag::default();
+        assert!(bag.is_empty());
+        assert_eq!(bag.datatype(), XsdType::String);
+        assert!(bag.all_nmtoken());
+        assert!(bag.looks_all_distinct());
+        assert_eq!(bag.cap(), DEFAULT_SAMPLE_CAP);
+    }
+
+    #[test]
+    fn all_distinct_exact_when_not_overflowed() {
+        assert!(filled(&["a", "b", "c"], 8).looks_all_distinct());
+        assert!(!filled(&["a", "b", "a"], 8).looks_all_distinct());
+    }
+
+    #[test]
+    fn export_round_trip() {
+        let bag = filled(&["a", "b", "a", "c"], 2);
+        let (total, viable, overflowed) = bag.export_header();
+        let rebuilt = SampleBag::from_parts(
+            bag.cap(),
+            total,
+            viable,
+            overflowed,
+            bag.entries().map(|(v, c)| (v.to_owned(), c)),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, bag);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_state() {
+        let none: Vec<(String, u64)> = Vec::new();
+        assert!(SampleBag::from_parts(4, 0, ALL_VIABLE, false, none).is_ok());
+        // Zero count.
+        assert!(SampleBag::from_parts(4, 1, ALL_VIABLE, false, vec![("a".to_owned(), 0)]).is_err());
+        // Counts above total.
+        assert!(SampleBag::from_parts(4, 1, ALL_VIABLE, false, vec![("a".to_owned(), 2)]).is_err());
+        // Non-overflowed bag missing observations.
+        assert!(SampleBag::from_parts(4, 5, ALL_VIABLE, false, vec![("a".to_owned(), 2)]).is_err());
+        // Over cap.
+        assert!(SampleBag::from_parts(
+            1,
+            2,
+            ALL_VIABLE,
+            false,
+            vec![("a".to_owned(), 1), ("b".to_owned(), 1)]
+        )
+        .is_err());
+    }
+}

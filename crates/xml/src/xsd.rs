@@ -13,7 +13,6 @@
 //!   [`crate::datatype`].
 
 use crate::attlist::{AttDefault, AttType};
-use crate::datatype::infer_datatype;
 use crate::dtd::{ContentSpec, Dtd};
 use crate::extract::Corpus;
 use dtdinfer_regex::alphabet::{Alphabet, Word};
@@ -72,7 +71,7 @@ pub fn generate_xsd(dtd: &Dtd, corpus: Option<&Corpus>, options: XsdOptions) -> 
                 // corpus the caller extracted.
                 let ty = corpus
                     .and_then(|c| c.alphabet.get(name).and_then(|s| c.elements.get(&s)))
-                    .map(|f| infer_datatype(f.text_samples.iter().map(String::as_str)))
+                    .map(|f| f.text_samples.datatype())
                     .unwrap_or(crate::datatype::XsdType::String);
                 if attrs.is_empty() {
                     let _ = writeln!(

@@ -101,7 +101,7 @@ fn xsd_generation_emits_wellformed_xml() {
                 .unwrap_or_else(|e| panic!("seed {seed}: XSD not well-formed: {e}\n{xsd}"));
             assert!(events.iter().any(
                 |e| matches!(e, dtdinfer_xml::parser::XmlEvent::StartElement { name, .. }
-                                  if name == "xs:schema")
+                                  if *name == "xs:schema")
             ));
         }
     }
