@@ -5,6 +5,7 @@
 //! dtdinfer stats [--engine ...] [--jobs N] FILE...  (per-element derivation report)
 //! dtdinfer snapshot save|load|update     (persist engine state, warm-start)
 //! dtdinfer validate --dtd SCHEMA.dtd FILE...
+//! dtdinfer fuzz [--seed S] [--cases N] [--replay CASE]
 //! dtdinfer sample [--count N] [--seed S] 'EXPRESSION'
 //! dtdinfer learn [--engine ...] [--render dtd|paper]  (words on stdin)
 //! ```
@@ -160,6 +161,7 @@ fn main() -> ExitCode {
         Some("sample") => cmd_sample(&args[1..]),
         Some("learn") => cmd_learn(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -211,6 +213,21 @@ USAGE:
   dtdinfer validate --dtd S.dtd FILE... validate XML files against a DTD
       --lint                            also check the DTD itself for
                                         non-deterministic content models
+  dtdinfer fuzz [OPTIONS] [CASE...]     closed-loop differential fuzzing:
+                                        random DTDs, sampled corpora, a
+                                        metamorphic oracle battery, and
+                                        automatic case reduction; exits
+                                        nonzero on any oracle violation
+      --seed <S>                        master seed (default 0); the whole
+                                        run is deterministic in the seed
+      --cases <N>                       cases to run (default 100)
+      --time-budget <SECS>              stop early after this much wall
+                                        clock (forfeits determinism)
+      --corpus-dir <DIR>                where reduced failing cases are
+                                        persisted (default fuzz/corpus)
+      --replay <CASE>                   re-run the oracle battery on a
+                                        persisted case file instead of
+                                        fuzzing (bare arguments work too)
   dtdinfer sample [OPTIONS] 'EXPR'      generate words from an expression
       --count <N>                       number of words (default 10)
       --seed <S>                        RNG seed (default 0)
@@ -229,7 +246,7 @@ USAGE:
                                         (schema cleaning: find where the
                                         second is stricter/looser)
 
-OBSERVABILITY (infer, stats, snapshot, learn):
+OBSERVABILITY (infer, stats, snapshot, learn, fuzz):
       --metrics <FILE|->                write pipeline counters and timing
                                         histograms as one JSON line
       --trace <FILE|->                  write spans and events as JSON lines
@@ -747,6 +764,102 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{total_violations} violation(s)"))
+    }
+}
+
+/// `dtdinfer fuzz` — closed-loop differential fuzzing: random target DTDs,
+/// sampled corpora, the full oracle battery, automatic case reduction.
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut cfg = dtdinfer_fuzz::FuzzConfig::default();
+    let mut replay: Vec<String> = Vec::new();
+    let mut obs = ObsOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--cases" => {
+                cfg.cases = it
+                    .next()
+                    .ok_or("--cases needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cases: {e}"))?;
+            }
+            "--time-budget" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--time-budget needs a value in seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --time-budget: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--time-budget must be a positive number of seconds".to_owned());
+                }
+                cfg.time_budget = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--corpus-dir" => {
+                cfg.corpus_dir =
+                    std::path::PathBuf::from(it.next().ok_or("--corpus-dir needs a value")?);
+            }
+            "--replay" => replay.push(it.next().ok_or("--replay needs a case file")?.to_owned()),
+            // Hidden: inject a known-wrong oracle so the reduce/persist
+            // path can be exercised end to end (see EXPERIMENTS.md).
+            "--plant-bug" => {
+                cfg.planted = Some(dtdinfer_fuzz::PlantedBug::parse(
+                    it.next().ok_or("--plant-bug needs a value")?,
+                )?);
+            }
+            a if obs.take(a, &mut it)? => {}
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
+            // Bare arguments are treated as case files to replay, so
+            // `dtdinfer fuzz fuzz/corpus/*.case` just works.
+            f => replay.push(f.to_owned()),
+        }
+    }
+    obs.activate()?;
+    if !replay.is_empty() {
+        let mut total = 0usize;
+        for path in &replay {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let (case, result) =
+                dtdinfer_fuzz::replay_file(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: seed {} case {} ({}, {} doc(s)): {}",
+                case.seed,
+                case.case,
+                case.oracle,
+                case.docs.len(),
+                if result.violations.is_empty() {
+                    "clean"
+                } else {
+                    "FAIL"
+                }
+            );
+            for v in &result.violations {
+                println!("{path}: [{}] {}", v.oracle, v.detail);
+            }
+            total += result.violations.len();
+        }
+        obs.finish()?;
+        return if total == 0 {
+            Ok(())
+        } else {
+            Err(format!("{total} violation(s) on replay"))
+        };
+    }
+    let report = dtdinfer_fuzz::run(&cfg)?;
+    print!("{}", report.render_text());
+    obs.finish()?;
+    if report.total_violations() == 0 {
+        Ok(())
+    } else {
+        Err(format!("{} oracle violation(s)", report.total_violations()))
     }
 }
 

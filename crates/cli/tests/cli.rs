@@ -132,6 +132,65 @@ fn infer_validate_round_trip() {
     );
     assert!(!ok, "{stdout} {stderr}");
     assert!(stdout.contains("do not match"), "{stdout}");
+    // The violation carries a counterexample witness: the first child at
+    // which the content model's Glushkov simulation dies.
+    assert!(stdout.contains("mismatch at child 1 (<note>)"), "{stdout}");
+}
+
+#[test]
+fn validate_prints_witness_and_exit_codes() {
+    let dir = tempdir();
+    let schema = dir.join("wit.dtd");
+    std::fs::write(
+        &schema,
+        "<!ELEMENT a (b, c)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n",
+    )
+    .unwrap();
+    let good = dir.join("wit-good.xml");
+    std::fs::write(&good, "<a><b/><c/></a>").unwrap();
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--dtd",
+            schema.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("all 1 document(s) valid"), "{stdout}");
+    // Wrong child at position 2 → nonzero exit and a positioned witness.
+    let bad = dir.join("wit-bad.xml");
+    std::fs::write(&bad, "<a><b/><b/></a>").unwrap();
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--dtd",
+            schema.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(stdout.contains("mismatch at child 2 (<b>)"), "{stdout}");
+    assert!(stderr.contains("1 violation(s)"), "{stderr}");
+    // Truncated content → the witness says what was expected next.
+    let short = dir.join("wit-short.xml");
+    std::fs::write(&short, "<a><b/></a>").unwrap();
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--dtd",
+            schema.to_str().unwrap(),
+            short.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(
+        stdout.contains("content ends after child 1 (<b>), more children expected"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -476,6 +535,72 @@ fn trace_format_flag_is_validated() {
     );
     assert!(ok, "{stderr}");
     assert!(stdout.contains("{\"span\":"), "{stdout}");
+}
+
+#[test]
+fn fuzz_smoke_is_clean_and_deterministic() {
+    let dir = tempdir();
+    let corpus = dir.join("fuzz-corpus");
+    let args = [
+        "fuzz",
+        "--seed",
+        "11",
+        "--cases",
+        "25",
+        "--corpus-dir",
+        corpus.to_str().unwrap(),
+    ];
+    let (stdout, stderr, ok) = run_with_stdin(&args, "");
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("25 case(s), 0 violation(s)"), "{stdout}");
+    // Every oracle appears in the counter table and actually ran.
+    for oracle in [
+        "membership.idtd",
+        "theorem5.sore-recovery",
+        "identity.shards",
+    ] {
+        assert!(stdout.contains(oracle), "{stdout}");
+    }
+    // A clean run persists nothing.
+    assert!(!corpus.exists() || std::fs::read_dir(&corpus).unwrap().next().is_none());
+    // Byte-identical report for the same seed.
+    let (stdout2, _, ok2) = run_with_stdin(&args, "");
+    assert!(ok2);
+    assert_eq!(
+        stdout, stdout2,
+        "fuzz report must be deterministic in the seed"
+    );
+}
+
+#[test]
+fn fuzz_planted_bug_reduces_and_replays() {
+    let dir = tempdir();
+    let corpus = dir.join("planted-corpus");
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "fuzz",
+            "--seed",
+            "42",
+            "--cases",
+            "6",
+            "--plant-bug",
+            "repeated-sibling",
+            "--corpus-dir",
+            corpus.to_str().unwrap(),
+        ],
+        "",
+    );
+    // The planted bug must fire, exit nonzero, and persist a reduction.
+    assert!(!ok, "{stdout}{stderr}");
+    assert!(stdout.contains("reduced regression written"), "{stdout}");
+    let entries: Vec<_> = std::fs::read_dir(&corpus).unwrap().collect();
+    assert!(!entries.is_empty());
+    // Replaying the persisted case without the planted bug is clean: the
+    // defect was in the (synthetic) checker, not the pipeline.
+    let case = entries[0].as_ref().unwrap().path();
+    let (stdout, stderr, ok) = run_with_stdin(&["fuzz", "--replay", case.to_str().unwrap()], "");
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("clean"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,200 @@
+//! Replayable regression cases: persistence format for `fuzz/corpus/`.
+//!
+//! Each file stores everything needed to re-run the oracle battery on a
+//! reduced failure: the driving seed, the case index, the oracle that
+//! fired, the generating (target) DTD, and the reduced documents.
+//!
+//! ```text
+//! #dtdinfer-fuzz case v1
+//! seed 42
+//! case 17
+//! oracle membership.idtd
+//! == target ==
+//! <!ELEMENT e0 (e1, e2?)>
+//! …
+//! == document ==
+//! <e0>…</e0>
+//! == end ==
+//! ```
+//!
+//! Section markers start with `== `; documents and DTD text never produce
+//! such lines (serialized DTDs start with `<!`, documents with `<`).
+
+/// The first line of every case file.
+pub const CASE_HEADER: &str = "#dtdinfer-fuzz case v1";
+
+/// One persisted regression case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseFile {
+    /// The driver seed that produced the case.
+    pub seed: u64,
+    /// The case index under that seed.
+    pub case: usize,
+    /// The oracle that fired (one of [`crate::oracle::ORACLES`]).
+    pub oracle: String,
+    /// The generating DTD, serialized (empty when unknown).
+    pub target: String,
+    /// The reduced failing documents.
+    pub docs: Vec<String>,
+}
+
+impl CaseFile {
+    /// Deterministic file name for this case.
+    pub fn file_name(&self) -> String {
+        format!(
+            "seed{}-case{}-{}.case",
+            self.seed,
+            self.case,
+            self.oracle.replace('.', "-")
+        )
+    }
+
+    /// Serializes the case file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CASE_HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("case {}\n", self.case));
+        out.push_str(&format!("oracle {}\n", self.oracle));
+        if !self.target.is_empty() {
+            out.push_str("== target ==\n");
+            out.push_str(&self.target);
+            if !self.target.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        for d in &self.docs {
+            out.push_str("== document ==\n");
+            out.push_str(d);
+            out.push('\n');
+        }
+        out.push_str("== end ==\n");
+        out
+    }
+
+    /// Parses a case file, rejecting unknown headers and malformed
+    /// records with a descriptive error.
+    pub fn parse(text: &str) -> Result<CaseFile, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l.trim() == CASE_HEADER => {}
+            other => {
+                return Err(format!(
+                    "not a dtdinfer fuzz case (expected {CASE_HEADER:?}, got {other:?})"
+                ))
+            }
+        }
+        let mut case = CaseFile {
+            seed: 0,
+            case: 0,
+            oracle: String::new(),
+            target: String::new(),
+            docs: Vec::new(),
+        };
+        // Section being accumulated: None = header, Some(true) = target,
+        // Some(false) = current document.
+        let mut section: Option<bool> = None;
+        let mut buf = String::new();
+        let flush = |case: &mut CaseFile, section: &Option<bool>, buf: &mut String| {
+            match section {
+                None => {}
+                Some(true) => case.target = std::mem::take(buf),
+                Some(false) => case.docs.push(std::mem::take(buf).trim_end().to_owned()),
+            }
+            buf.clear();
+        };
+        for line in lines {
+            match line.trim_end() {
+                "== target ==" => {
+                    flush(&mut case, &section, &mut buf);
+                    section = Some(true);
+                }
+                "== document ==" => {
+                    flush(&mut case, &section, &mut buf);
+                    section = Some(false);
+                }
+                "== end ==" => {
+                    flush(&mut case, &section, &mut buf);
+                    return Ok(case);
+                }
+                other => match section {
+                    None => {
+                        let (key, value) = other.split_once(' ').unwrap_or((other, ""));
+                        match key {
+                            "seed" => {
+                                case.seed = value.parse().map_err(|e| format!("bad seed: {e}"))?;
+                            }
+                            "case" => {
+                                case.case =
+                                    value.parse().map_err(|e| format!("bad case index: {e}"))?;
+                            }
+                            "oracle" => case.oracle = value.to_owned(),
+                            "" => {}
+                            other => return Err(format!("unknown case record {other:?}")),
+                        }
+                    }
+                    Some(_) => {
+                        buf.push_str(line);
+                        buf.push('\n');
+                    }
+                },
+            }
+        }
+        Err("case file is truncated (missing \"== end ==\")".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CaseFile {
+        CaseFile {
+            seed: 42,
+            case: 17,
+            oracle: "membership.idtd".into(),
+            target: "<!ELEMENT r (x*)>\n<!ELEMENT x EMPTY>\n".into(),
+            docs: vec!["<r><x/><x/></r>".into(), "<r/>".into()],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let case = sample();
+        let text = case.render();
+        let parsed = CaseFile::parse(&text).unwrap();
+        assert_eq!(parsed, case);
+        // Render is a fixpoint.
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn file_name_is_path_safe() {
+        let name = sample().file_name();
+        assert_eq!(name, "seed42-case17-membership-idtd.case");
+        assert!(!name.contains(['/', ' ']));
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(CaseFile::parse("").unwrap_err().contains("not a dtdinfer"));
+        assert!(CaseFile::parse("#dtdinfer-fuzz case v2\n== end ==\n").is_err());
+        let truncated = format!("{CASE_HEADER}\nseed 1\n");
+        assert!(CaseFile::parse(&truncated)
+            .unwrap_err()
+            .contains("truncated"));
+        let bad_seed = format!("{CASE_HEADER}\nseed x\n== end ==\n");
+        assert!(CaseFile::parse(&bad_seed).unwrap_err().contains("bad seed"));
+    }
+
+    #[test]
+    fn case_without_target_round_trips() {
+        let case = CaseFile {
+            target: String::new(),
+            ..sample()
+        };
+        let parsed = CaseFile::parse(&case.render()).unwrap();
+        assert_eq!(parsed, case);
+    }
+}

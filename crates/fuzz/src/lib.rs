@@ -1,0 +1,27 @@
+//! Closed-loop differential fuzzer for the DTD inference pipeline.
+//!
+//! The fuzzer closes the loop the paper leaves open: it *generates* a
+//! random target DTD ([`schema`]), samples corpora from it at controlled
+//! coverage levels (via the Glushkov-based sampler in `dtdinfer-xml`),
+//! runs the full inference pipeline — sequentially, sharded, and through
+//! snapshot round-trips — and checks a battery of metamorphic and
+//! differential oracles ([`oracle`]). Violations are shrunk by a
+//! deterministic ddmin-style reducer ([`reduce`]) and persisted as
+//! replayable regression files ([`corpus`]).
+//!
+//! Everything is seed-driven and deterministic: the same
+//! [`runner::FuzzConfig`] produces a byte-identical [`runner::FuzzReport`]
+//! (unless a wall-clock time budget cuts the run short).
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod doc;
+pub mod oracle;
+pub mod reduce;
+pub mod runner;
+pub mod schema;
+
+pub use corpus::CaseFile;
+pub use oracle::{check_case, CaseResult, OracleOptions, PlantedBug, Violation, ORACLES};
+pub use runner::{replay_file, run, FuzzConfig, FuzzReport};

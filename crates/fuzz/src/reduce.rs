@@ -1,0 +1,154 @@
+//! Automatic case reduction: shrink a failing corpus to a minimal
+//! replayable regression.
+//!
+//! Two deterministic stages, in the ddmin spirit:
+//!
+//! 1. **Documents** — greedily delete chunks of the document list (halving
+//!    chunk sizes) while the failure persists.
+//! 2. **Tree content** — inside each surviving document, repeatedly try to
+//!    delete element subtrees and text chunks (preorder, to a fixpoint).
+//!    Deleting a child element also shrinks its parent's child *word*, so
+//!    this stage covers both element- and word-level reduction.
+//!
+//! The predicate re-runs the failing oracle on each candidate corpus, so a
+//! reduction step is kept only when it still reproduces the same failure.
+
+use crate::doc;
+
+/// Shrinks `docs` while `still_fails` holds. The input corpus must itself
+/// fail (callers only reduce observed violations); if it unexpectedly does
+/// not, it is returned unchanged.
+pub fn reduce<F: FnMut(&[String]) -> bool>(docs: &[String], mut still_fails: F) -> Vec<String> {
+    let mut current: Vec<String> = docs.to_vec();
+    if !still_fails(&current) {
+        return current;
+    }
+    current = reduce_documents(current, &mut still_fails);
+    reduce_content(&mut current, &mut still_fails);
+    current
+}
+
+/// Stage 1: drop whole documents, largest chunks first.
+fn reduce_documents<F: FnMut(&[String]) -> bool>(
+    mut docs: Vec<String>,
+    fails: &mut F,
+) -> Vec<String> {
+    let mut chunk = docs.len().div_ceil(2).max(1);
+    while docs.len() > 1 {
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < docs.len() && docs.len() > 1 {
+            let end = (start + chunk).min(docs.len());
+            let mut candidate = docs.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && fails(&candidate) {
+                docs = candidate;
+                shrunk = true;
+                // Retry the same offset: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !shrunk {
+            break;
+        }
+        if !shrunk {
+            chunk = (chunk / 2).max(1);
+        } else {
+            chunk = chunk.min(docs.len()).max(1);
+        }
+    }
+    docs
+}
+
+/// Stage 2: delete subtrees / text chunks inside each document until no
+/// single deletion preserves the failure.
+fn reduce_content<F: FnMut(&[String]) -> bool>(docs: &mut [String], fails: &mut F) {
+    for i in 0..docs.len() {
+        let Ok(mut tree) = doc::parse_doc(&docs[i]) else {
+            continue; // unparseable documents are left as-is
+        };
+        loop {
+            let mut changed = false;
+            let mut p = 0;
+            // Paths are recomputed after every successful deletion; on
+            // failure move to the next path of the *same* snapshot.
+            loop {
+                let paths = doc::content_paths(&tree);
+                if p >= paths.len() {
+                    break;
+                }
+                let mut candidate = tree.clone();
+                doc::remove_path(&mut candidate, &paths[p]);
+                let mut trial = docs.to_vec();
+                trial[i] = doc::render(&candidate);
+                if fails(&trial) {
+                    tree = candidate;
+                    docs[i] = trial[i].clone();
+                    changed = true;
+                    // Do not advance: path p now addresses new content.
+                } else {
+                    p += 1;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Predicate: fails iff some document still contains `<x/><x/>`
+    /// adjacency (a stand-in for a real oracle).
+    fn adjacent_x(docs: &[String]) -> bool {
+        docs.iter().any(|d| {
+            doc::parse_doc(d)
+                .map(|t| doc::has_adjacent_repeated_siblings(&t))
+                .unwrap_or(false)
+        })
+    }
+
+    #[test]
+    fn shrinks_to_one_minimal_document() {
+        let docs: Vec<String> = vec![
+            "<r><a/><b/></r>".into(),
+            "<r><a/><c><x/><x/><y/></c><b/></r>".into(),
+            "<r><b/></r>".into(),
+            "<r><a/><a/><q/></r>".into(),
+        ];
+        let reduced = reduce(&docs, adjacent_x);
+        assert_eq!(reduced.len(), 1, "{reduced:?}");
+        let tree = doc::parse_doc(&reduced[0]).unwrap();
+        assert!(doc::has_adjacent_repeated_siblings(&tree));
+        // Minimal: removing any single content item breaks the predicate.
+        for path in doc::content_paths(&tree) {
+            let mut t = tree.clone();
+            doc::remove_path(&mut t, &path);
+            assert!(
+                !adjacent_x(&[doc::render(&t)]),
+                "not minimal: could remove {path:?} from {reduced:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_is_deterministic() {
+        let docs: Vec<String> = (0..9)
+            .map(|i| format!("<r><p{i}/><x/><x/><q{i}/></r>"))
+            .collect();
+        let a = reduce(&docs, adjacent_x);
+        let b = reduce(&docs, adjacent_x);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn non_failing_input_returned_unchanged() {
+        let docs: Vec<String> = vec!["<r><a/></r>".into()];
+        assert_eq!(reduce(&docs, adjacent_x), docs);
+    }
+}

@@ -1,0 +1,403 @@
+//! Seed-driven random DTD generation for the fuzz driver.
+//!
+//! Every generated DTD is *acyclic by construction* (element `i` only ever
+//! references higher-indexed elements), so [`dtdinfer_xml::generate`] can
+//! always sample documents from it, and every child content model is a
+//! SORE (each element name occurs at most once), so the target is in the
+//! class the paper's algorithms are complete for. On top of a baseline
+//! shape the generator produces the adversarial shapes called out in the
+//! fuzz plan: deep operator nesting, large alphabets, skewed optionality,
+//! near-duplicate sibling names, and content models lifted from the
+//! paper's own experiment scenarios (`dtdinfer-gen`).
+
+use dtdinfer_regex::alphabet::Sym;
+use dtdinfer_regex::ast::Regex;
+use dtdinfer_xml::attlist::{AttDef, AttDefault, AttType};
+use dtdinfer_xml::dtd::{ContentSpec, Dtd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The family of DTD shapes the fuzzer rotates through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Moderate fan-out, mixed operators — the "typical" schema.
+    Baseline,
+    /// Few children per model but heavily stacked unary operators and
+    /// long element chains.
+    DeepNesting,
+    /// Many element names and wide content models.
+    LargeAlphabet,
+    /// Almost everything optional or starred, so sampled corpora skew
+    /// towards sparse, barely-representative evidence.
+    SkewedOptionality,
+    /// Sibling names that differ by one character (`item`, `item1`, …),
+    /// stressing name handling rather than language structure.
+    NearDuplicateSiblings,
+    /// Root content model lifted from a `dtdinfer-gen` paper scenario
+    /// (Table 1 / Table 2 / Figure 4 data expressions).
+    PaperScenario,
+}
+
+/// All shapes, in the fixed rotation order used by the driver.
+pub const SHAPES: [Shape; 6] = [
+    Shape::Baseline,
+    Shape::DeepNesting,
+    Shape::LargeAlphabet,
+    Shape::SkewedOptionality,
+    Shape::NearDuplicateSiblings,
+    Shape::PaperScenario,
+];
+
+/// Tuning knobs derived from a [`Shape`].
+struct ShapeParams {
+    /// Inclusive element-count range.
+    elements: (usize, usize),
+    /// Maximum children referenced by one content model.
+    max_children: usize,
+    /// Probability of wrapping a subexpression in `?`.
+    opt_prob: f64,
+    /// Probability of wrapping a subexpression in `+`.
+    plus_prob: f64,
+    /// Probability of wrapping a subexpression in `*`.
+    star_prob: f64,
+    /// Probability that an internal node is a union (vs concatenation).
+    union_prob: f64,
+    /// Probability that a non-final element is a leaf anyway.
+    leaf_prob: f64,
+    /// Probability that a leaf is `(#PCDATA | …)*` mixed content.
+    mixed_prob: f64,
+    /// Probability that an element gets an `<!ATTLIST>`.
+    attr_prob: f64,
+    /// Whether element names are near-duplicates of one another.
+    near_duplicate_names: bool,
+}
+
+impl Shape {
+    fn params(self) -> ShapeParams {
+        match self {
+            Shape::Baseline | Shape::PaperScenario => ShapeParams {
+                elements: (3, 8),
+                max_children: 4,
+                opt_prob: 0.25,
+                plus_prob: 0.2,
+                star_prob: 0.1,
+                union_prob: 0.35,
+                leaf_prob: 0.3,
+                mixed_prob: 0.15,
+                attr_prob: 0.25,
+                near_duplicate_names: false,
+            },
+            Shape::DeepNesting => ShapeParams {
+                elements: (6, 10),
+                max_children: 2,
+                opt_prob: 0.45,
+                plus_prob: 0.35,
+                star_prob: 0.2,
+                union_prob: 0.3,
+                leaf_prob: 0.15,
+                mixed_prob: 0.05,
+                attr_prob: 0.1,
+                near_duplicate_names: false,
+            },
+            Shape::LargeAlphabet => ShapeParams {
+                elements: (16, 32),
+                max_children: 12,
+                opt_prob: 0.2,
+                plus_prob: 0.15,
+                star_prob: 0.05,
+                union_prob: 0.45,
+                leaf_prob: 0.5,
+                mixed_prob: 0.1,
+                attr_prob: 0.15,
+                near_duplicate_names: false,
+            },
+            Shape::SkewedOptionality => ShapeParams {
+                elements: (4, 9),
+                max_children: 5,
+                opt_prob: 0.6,
+                plus_prob: 0.1,
+                star_prob: 0.25,
+                union_prob: 0.25,
+                leaf_prob: 0.3,
+                mixed_prob: 0.1,
+                attr_prob: 0.2,
+                near_duplicate_names: false,
+            },
+            Shape::NearDuplicateSiblings => ShapeParams {
+                elements: (5, 10),
+                max_children: 6,
+                opt_prob: 0.3,
+                plus_prob: 0.25,
+                star_prob: 0.1,
+                union_prob: 0.4,
+                leaf_prob: 0.35,
+                mixed_prob: 0.1,
+                attr_prob: 0.2,
+                near_duplicate_names: true,
+            },
+        }
+    }
+}
+
+/// Generates a random acyclic, SORE-content DTD for `shape`, fully
+/// determined by `seed`.
+pub fn random_dtd(seed: u64, shape: Shape) -> Dtd {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if shape == Shape::PaperScenario {
+        return scenario_dtd(&mut rng);
+    }
+    let p = shape.params();
+    let n = rng.gen_range(p.elements.0..=p.elements.1);
+    let names = element_names(n, p.near_duplicate_names);
+    let mut dtd = Dtd::new();
+    let syms: Vec<Sym> = names.iter().map(|n| dtd.alphabet.intern(n)).collect();
+    for i in 0..n {
+        let available = &syms[i + 1..];
+        let leaf = available.is_empty() || rng.gen_bool(p.leaf_prob);
+        let spec = if leaf {
+            leaf_spec(&mut rng, available, &p)
+        } else {
+            let k = rng.gen_range(1..=p.max_children.min(available.len()));
+            let children = choose_distinct(&mut rng, available, k);
+            ContentSpec::Children(random_sore(&mut rng, &children, &p))
+        };
+        dtd.elements.insert(syms[i], spec);
+        if rng.gen_bool(p.attr_prob) {
+            dtd.attlists.insert(syms[i], random_attlist(&mut rng));
+        }
+    }
+    dtd.root = Some(syms[0]);
+    dtd
+}
+
+/// Leaf content: text, nothing, or occasionally mixed content over later
+/// elements (which must themselves be leaves from the generator's point of
+/// view — acyclicity still holds since they are higher-indexed).
+fn leaf_spec(rng: &mut StdRng, available: &[Sym], p: &ShapeParams) -> ContentSpec {
+    if !available.is_empty() && rng.gen_bool(p.mixed_prob) {
+        let k = rng.gen_range(1..=available.len().min(3));
+        return ContentSpec::Mixed(choose_distinct(rng, available, k));
+    }
+    if rng.gen_bool(0.25) {
+        ContentSpec::Empty
+    } else {
+        ContentSpec::PcData
+    }
+}
+
+/// Distinct element names: plain `e0…` or near-duplicate stems.
+fn element_names(n: usize, near_duplicates: bool) -> Vec<String> {
+    if !near_duplicates {
+        return (0..n).map(|i| format!("e{i}")).collect();
+    }
+    // item, item1, item11, itema, item1a, … — every pair shares a long
+    // common prefix.
+    (0..n)
+        .map(|i| {
+            let mut name = String::from("item");
+            for bit in 0..i {
+                name.push(if bit % 2 == 0 { '1' } else { 'a' });
+            }
+            name
+        })
+        .collect()
+}
+
+/// Samples `k` distinct symbols, preserving the slice order (so the choice
+/// is a pure function of the RNG stream).
+fn choose_distinct(rng: &mut StdRng, pool: &[Sym], k: usize) -> Vec<Sym> {
+    let mut picked: Vec<usize> = Vec::with_capacity(k);
+    while picked.len() < k {
+        let i = rng.gen_range(0..pool.len());
+        if !picked.contains(&i) {
+            picked.push(i);
+        }
+    }
+    picked.sort_unstable();
+    picked.into_iter().map(|i| pool[i]).collect()
+}
+
+/// Builds a random SORE over `syms` (each symbol used exactly once, so the
+/// result is single-occurrence and therefore deterministic/one-unambiguous
+/// by construction).
+fn random_sore(rng: &mut StdRng, syms: &[Sym], p: &ShapeParams) -> Regex {
+    let body = if syms.len() == 1 {
+        Regex::sym(syms[0])
+    } else {
+        // Split into 2..=4 contiguous groups and recurse.
+        let max_groups = syms.len().min(4);
+        let groups = rng.gen_range(2..=max_groups);
+        let mut cuts: Vec<usize> = Vec::with_capacity(groups - 1);
+        while cuts.len() < groups - 1 {
+            let c = rng.gen_range(1..syms.len());
+            if !cuts.contains(&c) {
+                cuts.push(c);
+            }
+        }
+        cuts.sort_unstable();
+        let mut parts = Vec::with_capacity(groups);
+        let mut start = 0;
+        for &c in cuts.iter().chain(std::iter::once(&syms.len())) {
+            parts.push(random_sore(rng, &syms[start..c], p));
+            start = c;
+        }
+        if rng.gen_bool(p.union_prob) {
+            Regex::union(parts)
+        } else {
+            Regex::concat(parts)
+        }
+    };
+    // The smart constructors collapse stacked unary operators, so applying
+    // at most one keeps the expression in normal form.
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    if roll < p.opt_prob {
+        Regex::optional(body)
+    } else if roll < p.opt_prob + p.plus_prob {
+        Regex::plus(body)
+    } else if roll < p.opt_prob + p.plus_prob + p.star_prob {
+        Regex::star(body)
+    } else {
+        body
+    }
+}
+
+/// A small random `<!ATTLIST>`: one or two attributes drawn from the
+/// supported, roundtrip-safe type/default combinations.
+fn random_attlist(rng: &mut StdRng) -> Vec<AttDef> {
+    let mut defs = Vec::new();
+    let count = rng.gen_range(1..=2usize);
+    for i in 0..count {
+        let ty = match rng.gen_range(0..3u32) {
+            0 => AttType::CData,
+            1 => AttType::NmToken,
+            _ => AttType::Enumeration(vec!["red".into(), "green".into(), "blue".into()]),
+        };
+        let default = if rng.gen_bool(0.4) {
+            AttDefault::Required
+        } else {
+            AttDefault::Implied
+        };
+        defs.push(AttDef {
+            name: format!("a{i}"),
+            ty,
+            default,
+        });
+    }
+    defs
+}
+
+/// A DTD whose root content model is one of the paper's experiment
+/// expressions (the `data` column of Table 1 / Table 2 / Figure 4), with
+/// every referenced name declared as a `(#PCDATA)` leaf.
+fn scenario_dtd(rng: &mut StdRng) -> Dtd {
+    let pool: Vec<dtdinfer_gen::scenarios::Scenario> = dtdinfer_gen::scenarios::table1()
+        .into_iter()
+        .chain(dtdinfer_gen::scenarios::table2())
+        .chain(
+            dtdinfer_gen::scenarios::figure4()
+                .into_iter()
+                .map(|(s, _)| s),
+        )
+        .collect();
+    let scenario = &pool[rng.gen_range(0..pool.len())];
+    let built = scenario.build();
+    let mut dtd = Dtd::new();
+    // Re-parse the data expression in the DTD's own alphabet: rendering
+    // with the scenario alphabet and parsing back is an exact remap.
+    let rendered = dtdinfer_regex::display::render(&built.data, &built.alphabet);
+    let data = dtdinfer_regex::parser::parse(&rendered, &mut dtd.alphabet)
+        .expect("scenario expressions re-parse");
+    let root = dtd.alphabet.intern("scenarioroot");
+    dtd.elements.insert(root, ContentSpec::Children(data));
+    for sym in dtd.elements[&root].clone().symbols_of() {
+        dtd.elements.entry(sym).or_insert(ContentSpec::PcData);
+    }
+    dtd.root = Some(root);
+    dtd
+}
+
+/// Helper: the symbols of a content spec (empty for non-`Children`).
+trait SymbolsOf {
+    fn symbols_of(&self) -> Vec<Sym>;
+}
+
+impl SymbolsOf for ContentSpec {
+    fn symbols_of(&self) -> Vec<Sym> {
+        match self {
+            ContentSpec::Children(r) => r.symbols(),
+            ContentSpec::Mixed(syms) => syms.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtdinfer_xml::generate::{sample_documents, GenerateConfig};
+
+    #[test]
+    fn every_shape_yields_generatable_dtds() {
+        for (i, shape) in SHAPES.iter().enumerate() {
+            for seed in 0..12u64 {
+                let dtd = random_dtd(seed * 31 + i as u64, *shape);
+                assert!(dtd.root.is_some(), "{shape:?} seed {seed}");
+                let docs = sample_documents(&dtd, &GenerateConfig::default(), seed, 3)
+                    .unwrap_or_else(|e| panic!("{shape:?} seed {seed}: {e}"));
+                for d in &docs {
+                    let violations = dtd.validate(d).unwrap();
+                    assert!(
+                        violations.is_empty(),
+                        "{shape:?} seed {seed}: {violations:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for shape in SHAPES {
+            let a = random_dtd(99, shape).serialize();
+            let b = random_dtd(99, shape).serialize();
+            assert_eq!(a, b, "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn random_targets_serialize_to_a_fixpoint() {
+        for shape in SHAPES {
+            for seed in 0..8u64 {
+                let dtd = random_dtd(seed, shape);
+                let text = dtd.serialize();
+                let reparsed = Dtd::parse(&text).unwrap();
+                assert_eq!(reparsed.serialize(), text, "{shape:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn near_duplicate_names_share_prefixes() {
+        let names = element_names(5, true);
+        assert_eq!(names.len(), 5);
+        for n in &names {
+            assert!(n.starts_with("item"), "{n}");
+        }
+        let unique: std::collections::BTreeSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), 5, "names must still be distinct");
+    }
+
+    #[test]
+    fn random_sores_are_single_occurrence() {
+        let p = Shape::DeepNesting.params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let syms: Vec<Sym> = (0..6).map(Sym).collect();
+        for _ in 0..50 {
+            let r = random_sore(&mut rng, &syms, &p);
+            assert!(
+                dtdinfer_regex::classify::is_sore(&r),
+                "generated content models must be SOREs"
+            );
+        }
+    }
+}

@@ -340,19 +340,86 @@ impl Dtd {
                     ));
                 }
                 let word: Option<Word> = children.iter().map(|c| self.alphabet.get(c)).collect();
-                let matched = word
-                    .as_ref()
-                    .is_some_and(|w| Nfa::from_regex(regex).accepts(w));
-                if !matched {
-                    violations.push(format!(
-                        "children of <{name}> ({}) do not match {}",
-                        children.join(" "),
-                        render_dtd(regex, &self.alphabet)
-                    ));
+                match word {
+                    None => {
+                        // Some child name never occurs anywhere in the DTD;
+                        // point at the first such child as the witness.
+                        let bad = children
+                            .iter()
+                            .position(|c| self.alphabet.get(c).is_none())
+                            .unwrap_or(0);
+                        violations.push(format!(
+                            "children of <{name}> ({}) do not match {}: child {} (<{}>) \
+                             is not part of the content model",
+                            children.join(" "),
+                            render_dtd(regex, &self.alphabet),
+                            bad + 1,
+                            children[bad]
+                        ));
+                    }
+                    Some(w) => {
+                        let nfa = Nfa::from_regex(regex);
+                        if !nfa.accepts(&w) {
+                            let at = failing_position(&nfa, &w);
+                            let witness = if at == w.len() {
+                                if w.is_empty() {
+                                    ": content is empty, more children expected".to_owned()
+                                } else {
+                                    format!(
+                                        ": content ends after child {} (<{}>), more children \
+                                         expected",
+                                        w.len(),
+                                        children[w.len() - 1]
+                                    )
+                                }
+                            } else {
+                                format!(": mismatch at child {} (<{}>)", at + 1, children[at])
+                            };
+                            violations.push(format!(
+                                "children of <{name}> ({}) do not match {}{witness}",
+                                children.join(" "),
+                                render_dtd(regex, &self.alphabet)
+                            ));
+                        }
+                    }
                 }
             }
         }
     }
+}
+
+/// The counterexample witness position for a rejected child word: the
+/// index of the first child at which the Glushkov simulation dies (no NFA
+/// state survives), or `word.len()` when every child matches a prefix of
+/// the model but the content ends before an accepting state.
+fn failing_position(nfa: &Nfa, word: &Word) -> usize {
+    let mut current: Vec<usize> = Vec::new();
+    for (i, &sym) in word.iter().enumerate() {
+        let next: Vec<usize> = if i == 0 {
+            nfa.first
+                .iter()
+                .copied()
+                .filter(|&p| nfa.sym_at[p] == sym)
+                .collect()
+        } else {
+            let mut seen = vec![false; nfa.sym_at.len()];
+            let mut out = Vec::new();
+            for &p in &current {
+                for &q in &nfa.follow[p] {
+                    if nfa.sym_at[q] == sym && !seen[q] {
+                        seen[q] = true;
+                        out.push(q);
+                    }
+                }
+            }
+            out
+        };
+        if next.is_empty() {
+            return i;
+        }
+        current = next;
+    }
+    word.len()
 }
 
 impl Dtd {
@@ -517,6 +584,43 @@ mod tests {
         let violations = dtd.validate(doc).unwrap();
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("refinfo"));
+    }
+
+    #[test]
+    fn validate_reports_witness_position() {
+        // The violation message must name the failing child and its
+        // position, not just that the word was rejected.
+        let dtd = Dtd::parse(PAPER_DTD).unwrap();
+        let doc = "<refinfo><authors><author>A</author></authors>\
+                   <citation>c</citation><volume>1</volume><month>5</month>\
+                   <year>2006</year></refinfo>";
+        let violations = dtd.validate(doc).unwrap();
+        assert_eq!(violations.len(), 1);
+        // (volume | month) allows exactly one of the two: the simulation
+        // dies at the fourth child, <month>.
+        assert!(
+            violations[0].contains("mismatch at child 4 (<month>)"),
+            "{}",
+            violations[0]
+        );
+    }
+
+    #[test]
+    fn validate_reports_premature_end_witness() {
+        let dtd = Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>").unwrap();
+        let violations = dtd.validate("<a><b/></a>").unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("content ends after child 1 (<b>), more children expected"),
+            "{}",
+            violations[0]
+        );
+        let empty = dtd.validate("<a></a>").unwrap();
+        assert!(
+            empty[0].contains("content is empty, more children expected"),
+            "{}",
+            empty[0]
+        );
     }
 
     #[test]

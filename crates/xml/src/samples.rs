@@ -167,7 +167,15 @@ impl SampleBag {
     /// retained counts union-sum, then the union is re-trimmed to the cap
     /// smallest priorities. Commutative and associative up to the shared
     /// cap, so shard merges reproduce sequential ingestion exactly.
+    ///
+    /// Bags built with different caps normalize to the *smaller* of the
+    /// two: merging must never claim more reservoir capacity than every
+    /// contributor actually had, or the merged sketch would report values
+    /// a same-cap sequential run would have evicted. Normalizing (instead
+    /// of adopting the left cap silently) keeps the operation commutative
+    /// even across mismatched configurations.
     pub fn merge(&mut self, other: &SampleBag) {
+        self.cap = self.cap.min(other.cap);
         self.threshold = None;
         self.total += other.total;
         self.viable &= other.viable;
@@ -408,6 +416,54 @@ mod tests {
             right.iter().for_each(|v| b.insert(v));
             a.merge(&b);
             assert_eq!(a, sequential, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn merge_normalizes_mismatched_caps_to_the_smaller() {
+        // A big-cap bag folded into a small-cap bag must not inflate the
+        // small reservoir — and the other way around must not silently
+        // keep the big cap either.
+        let values: Vec<String> = (0..60).map(|i| format!("v{i}")).collect();
+        let small = filled(&values.iter().map(String::as_str).collect::<Vec<_>>(), 8);
+        let big = filled(&values.iter().map(String::as_str).collect::<Vec<_>>(), 32);
+        let mut small_into_big = big.clone();
+        small_into_big.merge(&small);
+        assert_eq!(small_into_big.cap(), 8);
+        assert!(small_into_big.distinct_retained() <= 8);
+        let mut big_into_small = small.clone();
+        big_into_small.merge(&big);
+        assert_eq!(big_into_small.cap(), 8);
+        // Both orders land on the same normalized sketch (KMV retention
+        // depends only on priorities, not on which side held the values).
+        assert_eq!(small_into_big, big_into_small);
+        assert!(small_into_big.overflowed());
+    }
+
+    #[test]
+    fn merge_with_smaller_cap_matches_sequential_at_that_cap() {
+        // Normalization is not just a cap field update: the retained set
+        // must equal what a sequential same-cap run would keep.
+        let values: Vec<String> = (0..40).map(|i| format!("v{i}")).collect();
+        let sequential = {
+            let mut bag = SampleBag::with_cap(6);
+            values.iter().for_each(|v| bag.insert(v));
+            bag
+        };
+        let (left, right) = values.split_at(17);
+        let mut a = SampleBag::with_cap(6);
+        left.iter().for_each(|v| a.insert(v));
+        let mut b = SampleBag::with_cap(24);
+        right.iter().for_each(|v| b.insert(v));
+        a.merge(&b);
+        assert_eq!(a.cap(), 6);
+        assert_eq!(a.total(), sequential.total());
+        // Every value the sequential run retained whose priority beats the
+        // merged threshold is present; the merged bag never retains a
+        // value the sequential run evicted.
+        let seq: std::collections::BTreeSet<&str> = sequential.entries().map(|(v, _)| v).collect();
+        for (v, _) in a.entries() {
+            assert!(seq.contains(v), "{v} was evicted by the sequential run");
         }
     }
 
