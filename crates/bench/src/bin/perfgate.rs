@@ -29,7 +29,7 @@ use dtdinfer_bench::synth_corpus;
 use dtdinfer_core::crx::crx;
 use dtdinfer_core::idtd::idtd;
 use dtdinfer_engine::pool::ingest;
-use dtdinfer_obs::bench::{compare, BenchReport, PhaseStats};
+use dtdinfer_obs::bench::{compare, BenchReport, PhaseStats, SCHEMA_VERSION};
 use dtdinfer_regex::alphabet::{Alphabet, Word};
 use dtdinfer_xml::extract::Corpus;
 use dtdinfer_xml::infer::InferenceEngine;
@@ -41,6 +41,13 @@ use std::time::Instant;
 
 /// The paper's Figure 2 target expression — the canonical iDTD workload.
 const PAPER_EXPR: &str = "((b? (a | c))+ d)+ e";
+
+// Memory accounting: with the default `alloc-count` feature the harness
+// installs the counting allocator, so every phase's high-water heap mark
+// lands in the report as `peak_alloc_bytes`.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: dtdinfer_obs::alloc::CountingAlloc = dtdinfer_obs::alloc::CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -136,6 +143,26 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
 /// Runs the whole fixed suite and assembles the report.
 fn run_suite(label: &str, suite: &Suite) -> BenchReport {
     let mut phases: BTreeMap<String, PhaseStats> = BTreeMap::new();
+    dtdinfer_obs::alloc::enable();
+
+    // The overhead gate: with every obs flag off, instrumentation calls
+    // on the hot path must compile down to a load-and-branch. A future
+    // change that makes the disabled path allocate, lock, or record
+    // shows up here as a time (or memory) regression.
+    debug_assert!(!dtdinfer_obs::is_enabled());
+    phases.insert(
+        "obs.noop".to_owned(),
+        time_phase(suite.reps, None, || {
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                dtdinfer_obs::count("bench.noop", 1);
+                dtdinfer_obs::gauge("bench.noop.gauge", i);
+                let _span = dtdinfer_obs::span("bench.noop.span");
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        }),
+    );
 
     // Word-level learner workload: the paper expression's language,
     // sampled deterministically.
@@ -226,8 +253,10 @@ fn run_suite(label: &str, suite: &Suite) -> BenchReport {
     });
     let mut counters = snap.counters;
     counters.extend(snap.gauges);
+    dtdinfer_obs::alloc::disable();
 
     BenchReport {
+        schema: SCHEMA_VERSION,
         label: label.to_owned(),
         commit: commit_hash(),
         os: std::env::consts::OS.to_owned(),
@@ -242,20 +271,30 @@ fn run_suite(label: &str, suite: &Suite) -> BenchReport {
 }
 
 /// Times `reps` repetitions of `f` and summarizes them; `workload` is
-/// `(docs, bytes)` processed per repetition, for throughput.
+/// `(docs, bytes)` processed per repetition, for throughput. With the
+/// counting allocator compiled in, also records the worst per-rep heap
+/// high-water mark as `peak_alloc_bytes`.
 fn time_phase<T>(
     reps: usize,
     workload: Option<(u64, u64)>,
     mut f: impl FnMut() -> T,
 ) -> PhaseStats {
+    let mut peaks: Vec<u64> = Vec::with_capacity(reps.max(1));
     let samples: Vec<u64> = (0..reps.max(1))
         .map(|_| {
+            let mark = dtdinfer_obs::alloc::phase_begin();
             let started = Instant::now();
             black_box(f());
-            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            peaks.push(mark.peak_delta());
+            ns
         })
         .collect();
-    PhaseStats::from_samples(&samples, workload)
+    let mut stats = PhaseStats::from_samples(&samples, workload);
+    if dtdinfer_obs::alloc::compiled_in() {
+        stats.peak_alloc_bytes = peaks.into_iter().max();
+    }
+    stats
 }
 
 /// The current git commit, or `unknown` outside a repository.
@@ -297,6 +336,14 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     };
     let baseline = read(baseline_path)?;
     let candidate = read(candidate_path)?;
+    if baseline.schema < SCHEMA_VERSION {
+        println!(
+            "perfgate: warning: baseline {baseline_path} uses report schema {} \
+             (current is {SCHEMA_VERSION}); phases without peak_alloc_bytes skip \
+             the memory gate — refresh the baseline to arm it",
+            baseline.schema
+        );
+    }
     let shared = baseline
         .phases
         .keys()

@@ -69,6 +69,9 @@ pub fn with_metrics<T>(f: impl FnOnce() -> T) -> (T, dtdinfer_obs::MetricsSnapsh
     dtdinfer_obs::enable(true, false);
     dtdinfer_obs::reset();
     let out = f();
+    if dtdinfer_obs::alloc::compiled_in() && dtdinfer_obs::alloc::is_enabled() {
+        dtdinfer_obs::alloc::publish_gauges();
+    }
     let snap = dtdinfer_obs::snapshot();
     dtdinfer_obs::disable();
     (out, snap)

@@ -27,20 +27,40 @@ use dtdinfer_xml::xsd::{generate_xsd, XsdOptions};
 use std::io::Read;
 use std::process::ExitCode;
 
+/// Counting allocator for `--metrics` memory accounting. Only installed
+/// when built with `--features alloc-count`; default builds keep the
+/// plain system allocator and pay nothing.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: dtdinfer_obs::alloc::CountingAlloc = dtdinfer_obs::alloc::CountingAlloc;
+
 /// The observability flags shared by `infer`, `stats`, and `learn`.
 #[derive(Debug, Default)]
 struct ObsOptions {
-    /// `--metrics <FILE|->`: write the metrics snapshot as JSON.
+    /// `--metrics <FILE|->`: write the metrics snapshot.
     metrics: Option<String>,
+    /// `--metrics-format json|openmetrics`: snapshot serialization
+    /// (default json; openmetrics is the Prometheus text exposition the
+    /// future `serve` daemon's `/metrics` endpoint will speak). `None`
+    /// when the flag was not given, so a lone `--metrics-format` can be
+    /// rejected.
+    metrics_format: Option<MetricsFormat>,
     /// `--trace <FILE|->`: write the span/event trace.
     trace: Option<String>,
     /// `--trace-format jsonl|chrome`: trace serialization (default jsonl;
     /// chrome is the trace-event JSON loadable in Perfetto). `None` when
     /// the flag was not given, so a lone `--trace-format` can be rejected.
     trace_format: Option<TraceFormat>,
+    /// `--timeseries <FILE|->`: sample the registry on an interval while
+    /// the command runs and write the series as JSON.
+    timeseries: Option<String>,
+    /// `--timeseries-interval <MS>`: sampling interval (default 100 ms).
+    timeseries_interval_ms: Option<u64>,
     /// `-v` / `--verbose`: human-oriented progress and counter summary on
     /// stderr.
     verbose: bool,
+    /// The background sampler, running between activate and finish.
+    sampler: Option<dtdinfer_obs::timeseries::Sampler>,
 }
 
 /// How `--trace` output is serialized.
@@ -50,6 +70,15 @@ enum TraceFormat {
     Jsonl,
     /// Chrome trace-event JSON array (Perfetto / `chrome://tracing`).
     Chrome,
+}
+
+/// How `--metrics` output is serialized.
+#[derive(Debug, PartialEq)]
+enum MetricsFormat {
+    /// One JSON object (the crate's stable snapshot form).
+    Json,
+    /// OpenMetrics / Prometheus text exposition.
+    OpenMetrics,
 }
 
 impl ObsOptions {
@@ -86,6 +115,43 @@ impl ObsOptions {
                 });
                 Ok(true)
             }
+            "--metrics-format" => {
+                self.metrics_format = Some(match it.next().map(String::as_str) {
+                    Some("json") => MetricsFormat::Json,
+                    Some("openmetrics") => MetricsFormat::OpenMetrics,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown metrics format {other:?} (expected json or openmetrics)"
+                        ));
+                    }
+                    None => {
+                        return Err(
+                            "--metrics-format needs a value (json or openmetrics)".to_owned()
+                        )
+                    }
+                });
+                Ok(true)
+            }
+            "--timeseries" => {
+                self.timeseries = Some(
+                    it.next()
+                        .ok_or("--timeseries needs a file argument (or -)")?
+                        .to_owned(),
+                );
+                Ok(true)
+            }
+            "--timeseries-interval" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--timeseries-interval needs a value in milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeseries-interval: {e}"))?;
+                if ms == 0 {
+                    return Err("--timeseries-interval must be at least 1 ms".to_owned());
+                }
+                self.timeseries_interval_ms = Some(ms);
+                Ok(true)
+            }
             "-v" | "--verbose" => {
                 self.verbose = true;
                 Ok(true)
@@ -95,26 +161,54 @@ impl ObsOptions {
     }
 
     /// Validates flag combinations and turns recording on (cleanly) when
-    /// any flag asked for it.
-    fn activate(&self) -> Result<(), String> {
+    /// any flag asked for it. Also starts the background timeseries
+    /// sampler when `--timeseries` was given, and allocator accounting
+    /// whenever metrics are on (a no-op unless the binary was built with
+    /// the `alloc-count` feature).
+    fn activate(&mut self) -> Result<(), String> {
         if self.trace_format.is_some() && self.trace.is_none() {
             return Err("--trace-format requires --trace".to_owned());
         }
-        let metrics = self.metrics.is_some() || self.verbose;
+        if self.metrics_format.is_some() && self.metrics.is_none() {
+            return Err("--metrics-format requires --metrics".to_owned());
+        }
+        if self.timeseries_interval_ms.is_some() && self.timeseries.is_none() {
+            return Err("--timeseries-interval requires --timeseries".to_owned());
+        }
+        let metrics = self.metrics.is_some() || self.verbose || self.timeseries.is_some();
         let trace = self.trace.is_some();
         if metrics || trace {
             dtdinfer_obs::enable(metrics, trace);
             dtdinfer_obs::reset();
+        }
+        if metrics {
+            dtdinfer_obs::alloc::enable();
+        }
+        if self.timeseries.is_some() {
+            let interval = self.timeseries_interval_ms.unwrap_or(100);
+            self.sampler = Some(dtdinfer_obs::timeseries::start(
+                dtdinfer_obs::timeseries::SamplerConfig {
+                    interval: std::time::Duration::from_millis(interval),
+                    ..Default::default()
+                },
+            ));
         }
         Ok(())
     }
 
     /// Emits everything recorded since [`ObsOptions::activate`] and turns
     /// recording back off. Fixed emission order: the trace block first,
-    /// the metrics JSON last — so when both share stdout with the DTD, a
-    /// consumer always finds the single-line metrics object as the final
-    /// line.
-    fn finish(&self) -> Result<(), String> {
+    /// then the timeseries, the metrics output last — so when several
+    /// share stdout with the DTD, a consumer always finds the metrics
+    /// (one JSON line, or an `# EOF`-terminated exposition) at the end.
+    fn finish(&mut self) -> Result<(), String> {
+        let series = self
+            .sampler
+            .take()
+            .map(dtdinfer_obs::timeseries::Sampler::stop);
+        if dtdinfer_obs::metrics_enabled() {
+            dtdinfer_obs::alloc::publish_gauges();
+        }
         if self.verbose {
             eprint!("{}", dtdinfer_obs::snapshot().render_text());
         }
@@ -133,9 +227,18 @@ impl ObsOptions {
             };
             write_output(target, &out)?;
         }
-        if let Some(target) = &self.metrics {
-            write_output(target, &format!("{}\n", dtdinfer_obs::snapshot().json()))?;
+        if let (Some(target), Some(series)) = (&self.timeseries, series) {
+            write_output(target, &format!("{}\n", series.json()))?;
         }
+        if let Some(target) = &self.metrics {
+            let snap = dtdinfer_obs::snapshot();
+            let out = match self.metrics_format {
+                Some(MetricsFormat::OpenMetrics) => dtdinfer_obs::openmetrics::openmetrics(&snap),
+                Some(MetricsFormat::Json) | None => format!("{}\n", snap.json()),
+            };
+            write_output(target, &out)?;
+        }
+        dtdinfer_obs::alloc::disable();
         dtdinfer_obs::disable();
         Ok(())
     }
@@ -164,6 +267,8 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("omlint") => cmd_omlint(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -245,18 +350,42 @@ USAGE:
   dtdinfer diff FIRST.dtd SECOND.dtd    compare two DTDs element by element
                                         (schema cleaning: find where the
                                         second is stricter/looser)
+  dtdinfer profile [OPTIONS] FILE...    critical-path profile of a full run:
+                                        per-phase self time, the longest
+                                        span chain, the top-k hottest
+                                        elements, and a folded-stack file
+                                        for flamegraph tooling
+      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --jobs <N>                        shard ingestion across N workers
+      --top <K>                         hottest elements to list (default 10)
+      --folded <FILE>                   folded-stack output
+                                        (default profile.folded)
+  dtdinfer omlint [FILE|-]              validate an OpenMetrics exposition
+                                        (as written by --metrics-format
+                                        openmetrics); also asserts the
+                                        allocator counters are monotone
 
 OBSERVABILITY (infer, stats, snapshot, learn, fuzz):
       --metrics <FILE|->                write pipeline counters and timing
-                                        histograms as one JSON line
+                                        histograms
+      --metrics-format json|openmetrics metrics serialization (default json;
+                                        openmetrics is the Prometheus text
+                                        exposition; requires --metrics)
+      --timeseries <FILE|->             sample the metrics registry on an
+                                        interval while the run is live and
+                                        write the series as JSON
+      --timeseries-interval <MS>        sampling interval in milliseconds
+                                        (default 100; requires --timeseries)
       --trace <FILE|->                  write spans and events as JSON lines
       --trace-format jsonl|chrome       trace serialization; chrome emits
                                         trace-event JSON for Perfetto /
                                         chrome://tracing (requires --trace)
       -v, --verbose                     progress and counter summary on
                                         stderr
-      When --metrics - and --trace - share stdout, the trace block is
-      written first and the metrics JSON is always the final line."
+      When several streams share stdout the order is trace, timeseries,
+      then metrics, so the metrics payload is always the final block.
+      Allocator gauges (alloc.live/peak/total bytes) appear when the
+      binary is built with --features alloc-count."
     );
 }
 
@@ -861,6 +990,181 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("{} oracle violation(s)", report.total_violations()))
     }
+}
+
+/// `dtdinfer profile FILE...` — critical-path profiling: run the full
+/// ingest + derivation with tracing on, then post-process the spans into
+/// per-phase self-time, the critical path, and the top-k hottest
+/// elements by inference cost, plus a folded-stack file for flamegraph
+/// tooling.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut engine = InferenceEngine::Idtd;
+    let mut jobs = 1usize;
+    let mut top = 10usize;
+    let mut folded = "profile.folded".to_owned();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                engine = parse_engine(v)?;
+            }
+            "--jobs" => jobs = parse_jobs(it.next())?,
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?;
+            }
+            "--folded" => folded = it.next().ok_or("--folded needs a file")?.to_owned(),
+            f if f.starts_with('-') => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
+            f => files.push(f.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    // Profiling *is* the observability request: recording is always on.
+    dtdinfer_obs::enable(true, true);
+    dtdinfer_obs::reset();
+    dtdinfer_obs::alloc::enable();
+    let quiet = ObsOptions::default();
+    let ingested = stream_ingest(EngineState::new(), &files, jobs, &quiet)?;
+    let (_, mut reports) = {
+        let _span = dtdinfer_obs::span("derive");
+        ingested.state.derive(engine)
+    };
+    let alloc = dtdinfer_obs::alloc::stats();
+    let trace = dtdinfer_obs::take_trace();
+    dtdinfer_obs::alloc::disable();
+    dtdinfer_obs::disable();
+
+    let forest = dtdinfer_obs::profile::build_forest(&trace);
+    let path = dtdinfer_obs::profile::critical_path(&forest);
+    println!("critical path (longest span chain, wall-clock bound):");
+    println!("{:<32} {:>6} {:>12} {:>12}", "phase", "tid", "wall", "self");
+    for step in &path {
+        println!(
+            "{:<32} {:>6} {:>12} {:>12}",
+            format!("{}{}", "  ".repeat(step.depth), step.name),
+            step.tid,
+            fmt_ns(step.dur_ns),
+            fmt_ns(step.self_ns)
+        );
+    }
+    println!();
+    println!("phases by self time:");
+    println!(
+        "{:<32} {:>7} {:>12} {:>12} {:>12}",
+        "phase", "count", "total", "self", "max"
+    );
+    for stat in dtdinfer_obs::profile::phase_stats(&forest) {
+        println!(
+            "{:<32} {:>7} {:>12} {:>12} {:>12}",
+            stat.name,
+            stat.count,
+            fmt_ns(stat.total_ns),
+            fmt_ns(stat.self_ns),
+            fmt_ns(stat.max_ns)
+        );
+    }
+    println!();
+    println!("top {top} elements by inference cost:");
+    println!(
+        "{:<24} {:>8} {:>7} {:>5} {:>10}",
+        "element", "engine", "words", "size", "time"
+    );
+    reports.sort_by(|a, b| b.duration_ns.cmp(&a.duration_ns).then(a.name.cmp(&b.name)));
+    for r in reports.iter().take(top) {
+        println!(
+            "{:<24} {:>8} {:>7} {:>5} {:>10}",
+            r.name,
+            r.engine,
+            r.words,
+            r.expr_size,
+            fmt_ns(r.duration_ns)
+        );
+    }
+    if dtdinfer_obs::alloc::compiled_in() {
+        println!();
+        println!(
+            "allocator: peak {} byte(s), total {} byte(s) over {} allocation(s)",
+            alloc.peak_bytes, alloc.total_bytes, alloc.allocations
+        );
+    }
+    let stacks = dtdinfer_obs::profile::folded_stacks(&forest);
+    if stacks.is_empty() {
+        return Err("trace produced no spans to fold".to_owned());
+    }
+    std::fs::write(&folded, &stacks).map_err(|e| format!("{folded}: {e}"))?;
+    println!();
+    println!(
+        "folded stacks: {folded} ({} line(s)) — feed to flamegraph.pl / inferno / speedscope",
+        stacks.lines().count()
+    );
+    Ok(())
+}
+
+/// `dtdinfer omlint [FILE|-]` — validate OpenMetrics text exposition (as
+/// produced by `--metrics-format openmetrics`): syntax, TYPE
+/// declarations, the `# EOF` terminator, and the allocator-counter
+/// invariant live ≤ peak ≤ total when those gauges are present.
+fn cmd_omlint(args: &[String]) -> Result<(), String> {
+    let target = match args {
+        [] => "-".to_owned(),
+        [one] => one.clone(),
+        _ => return Err("usage: dtdinfer omlint [FILE|-]".to_owned()),
+    };
+    let text = if target == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(&target).map_err(|e| format!("{target}: {e}"))?
+    };
+    dtdinfer_obs::openmetrics::validate(&text).map_err(|e| format!("invalid exposition: {e}"))?;
+    let mut families = 0usize;
+    let mut samples = 0usize;
+    let mut alloc: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with("# TYPE ") {
+            families += 1;
+        } else if !line.starts_with('#') && !line.trim().is_empty() {
+            samples += 1;
+            if let Some((name, value)) = line.split_once(' ') {
+                if matches!(
+                    name,
+                    "alloc_live_bytes" | "alloc_peak_bytes" | "alloc_total_bytes"
+                ) {
+                    alloc.insert(name, value.trim().parse().unwrap_or(f64::NAN));
+                }
+            }
+        }
+    }
+    if let (Some(&live), Some(&peak)) =
+        (alloc.get("alloc_live_bytes"), alloc.get("alloc_peak_bytes"))
+    {
+        if live > peak {
+            return Err(format!(
+                "allocator counters not monotone: live {live} > peak {peak}"
+            ));
+        }
+        if let Some(&total) = alloc.get("alloc_total_bytes") {
+            if peak > total {
+                return Err(format!(
+                    "allocator counters not monotone: peak {peak} > total {total}"
+                ));
+            }
+        }
+    }
+    println!("OK: {families} famil(ies), {samples} sample(s)");
+    Ok(())
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), String> {

@@ -224,6 +224,10 @@ pub fn ingest_source<S: DocSource>(
                                 break;
                             }
                             claims += 1;
+                            record_heartbeat(
+                                total.saturating_sub((start + k).min(total)),
+                                in_flight,
+                            );
                             for i in start..(start + k).min(total) {
                                 let doc_started = Instant::now();
                                 match absorb_one(&mut local, source, i, &mut buf, in_flight) {
@@ -329,6 +333,12 @@ fn ingest_sequential<S: DocSource>(base: EngineState, source: &S) -> Result<Inge
         let doc_started = Instant::now();
         bytes += absorb_one(&mut state, source, i, &mut buf, &in_flight)?;
         busy_ns += elapsed_ns(doc_started);
+        // The sequential path has no claim points; heartbeat every 64
+        // documents so long single-threaded ingests still feed the
+        // timeseries sampler.
+        if i % 64 == 63 {
+            record_heartbeat(source.len() - i - 1, &in_flight);
+        }
     }
     let report = ShardReport {
         shard: 0,
@@ -368,6 +378,26 @@ fn record_shard(report: &ShardReport) {
     dtdinfer_obs::gauge(&format!("{worker}.bytes"), report.bytes);
     dtdinfer_obs::gauge(&format!("{worker}.claims"), report.claims);
     dtdinfer_obs::gauge(&format!("{worker}.idle_polls"), report.idle_polls);
+}
+
+/// Live progress gauges, updated once per queue claim (not per document,
+/// so the registry lock stays off the per-document path). These are what
+/// the timeseries sampler sees *during* a run — queue depth draining and
+/// document bytes in flight — where the peak gauges below only land at
+/// the end.
+fn record_heartbeat(remaining: usize, in_flight: &InFlight) {
+    if !dtdinfer_obs::is_enabled() {
+        return;
+    }
+    dtdinfer_obs::gauge("engine.queue.remaining", remaining as u64);
+    dtdinfer_obs::gauge(
+        "engine.inflight.bytes",
+        in_flight.bytes.load(Ordering::Relaxed),
+    );
+    dtdinfer_obs::gauge(
+        "engine.inflight.docs",
+        in_flight.docs.load(Ordering::Relaxed),
+    );
 }
 
 fn record_peaks(peak_bytes: u64, peak_docs: u64) {

@@ -148,6 +148,9 @@ pub fn run(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
         }
         let _span = dtdinfer_obs::span("fuzz.case");
         report.cases_run += 1;
+        // Progress heartbeat: the timeseries stall detector watches this
+        // counter, so a wedged oracle shows up as a stall warning.
+        dtdinfer_obs::count("fuzz.cases", 1);
         let case_seed = splitmix(cfg.seed, case_index as u64);
         let mut rng = StdRng::seed_from_u64(case_seed);
         let shape = SHAPES[case_index % SHAPES.len()];
@@ -179,6 +182,7 @@ pub fn run(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
             }
         };
         bump(&mut report.checked, "corpus.generate", 1);
+        dtdinfer_obs::observe("fuzz.case.docs", docs.len() as u64);
         let result = check_case(Some(&target), &docs, &opts);
         absorb_case(&mut report, case_index, &result);
         if !result.violations.is_empty() {

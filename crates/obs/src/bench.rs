@@ -27,6 +27,10 @@ pub struct PhaseStats {
     pub docs_per_sec: Option<f64>,
     /// Megabytes per second at the median, for corpus-driven phases.
     pub mb_per_sec: Option<f64>,
+    /// Peak bytes the phase allocated on top of ambient memory (worst
+    /// repetition), from the counting allocator. `None` in schema-1
+    /// reports and in builds without the `alloc-count` feature.
+    pub peak_alloc_bytes: Option<u64>,
 }
 
 impl PhaseStats {
@@ -56,6 +60,7 @@ impl PhaseStats {
             max_ns,
             docs_per_sec,
             mb_per_sec,
+            peak_alloc_bytes: None,
         }
     }
 }
@@ -75,9 +80,17 @@ pub fn percentiles(samples: &[u64]) -> (u64, u64, u64) {
     (pct(0.50), pct(0.95), sorted[sorted.len() - 1])
 }
 
+/// The report schema this crate writes. History:
+/// 1 — original format (no `schema` field in the JSON);
+/// 2 — adds `peak_alloc_bytes` per phase (allocator accounting).
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// One persisted performance report (`BENCH_<label>.json`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
+    /// Report schema version (see [`SCHEMA_VERSION`]). Reports written
+    /// before versioning parse as 1.
+    pub schema: u64,
     /// The report's label (CLI `--label`, e.g. `baseline` or `ci`).
     pub label: String,
     /// Git commit the numbers were measured at (`unknown` outside a repo).
@@ -105,6 +118,7 @@ impl BenchReport {
     /// The stable JSON form, keys sorted, floats at 3 decimals.
     pub fn json(&self) -> String {
         let mut out = String::from("{");
+        out.push_str(&format!("\"schema\":{},", self.schema));
         write_key(&mut out, "label");
         write_string(&mut out, &self.label);
         out.push(',');
@@ -139,6 +153,9 @@ impl BenchReport {
             if let Some(m) = p.mb_per_sec {
                 out.push_str(",\"mb_per_sec\":");
                 write_f64(&mut out, m);
+            }
+            if let Some(peak) = p.peak_alloc_bytes {
+                out.push_str(&format!(",\"peak_alloc_bytes\":{peak}"));
             }
             out.push('}');
         }
@@ -186,6 +203,7 @@ impl BenchReport {
                     max_ns: u64_field("max_ns")?,
                     docs_per_sec: p.get("docs_per_sec").and_then(Value::as_f64),
                     mb_per_sec: p.get("mb_per_sec").and_then(Value::as_f64),
+                    peak_alloc_bytes: p.get("peak_alloc_bytes").and_then(Value::as_u64),
                 },
             );
         }
@@ -203,6 +221,9 @@ impl BenchReport {
             );
         }
         Ok(BenchReport {
+            // Reports predating versioning carry no schema field; they
+            // are schema 1 by definition, not an error.
+            schema: v.get("schema").and_then(Value::as_u64).unwrap_or(1),
             label: str_field("label")?,
             commit: str_field("commit")?,
             os: host
@@ -247,11 +268,18 @@ pub struct Regression {
 /// regression worth failing CI over.
 pub const MIN_TIME_DELTA_NS: u64 = 10_000;
 
+/// Memory regressions below this absolute delta are likewise ignored:
+/// allocator peaks jitter by a few KiB with thread scheduling, and a
+/// 64 KiB swing is below anything the pipeline would call a leak.
+pub const MIN_ALLOC_DELTA_BYTES: u64 = 64 * 1024;
+
 /// Compares every phase present in both reports. A regression is a median
-/// time that grew, or a throughput that shrank, by more than
-/// `threshold_pct` percent (times also must exceed [`MIN_TIME_DELTA_NS`]).
-/// Returns the offending metrics, sorted by phase name; empty means the
-/// candidate passes the gate.
+/// time that grew, a throughput that shrank, or a peak allocation that
+/// grew, by more than `threshold_pct` percent (times must also exceed
+/// [`MIN_TIME_DELTA_NS`], peaks [`MIN_ALLOC_DELTA_BYTES`]). Memory is
+/// only compared when both reports carry it — a schema-1 baseline simply
+/// exercises no memory gate. Returns the offending metrics, sorted by
+/// phase name; empty means the candidate passes the gate.
 pub fn compare(
     baseline: &BenchReport,
     candidate: &BenchReport,
@@ -288,6 +316,16 @@ pub fn compare(
                 });
             }
         }
+        if let (Some(b), Some(c)) = (base.peak_alloc_bytes, cand.peak_alloc_bytes) {
+            if (c as f64) > (b as f64) * factor && c.saturating_sub(b) > MIN_ALLOC_DELTA_BYTES {
+                regressions.push(Regression {
+                    metric: format!("{name}.peak_alloc_bytes"),
+                    baseline: b as f64,
+                    candidate: c as f64,
+                    change_pct: change_pct(b as f64, c as f64),
+                });
+            }
+        }
     }
     regressions
 }
@@ -312,11 +350,13 @@ mod tests {
             max_ns: p50_ms * 1_500_000,
             docs_per_sec: Some(1000.0 / p50_ms as f64),
             mb_per_sec: Some(10.0 / p50_ms as f64),
+            peak_alloc_bytes: Some(p50_ms * 1024 * 1024),
         }
     }
 
     fn report() -> BenchReport {
         BenchReport {
+            schema: SCHEMA_VERSION,
             label: "baseline".into(),
             commit: "abc123".into(),
             os: "linux".into(),
@@ -404,6 +444,50 @@ mod tests {
         cand.phases.remove("idtd");
         cand.phases.insert("brand-new".to_owned(), phase(1));
         assert!(compare(&base, &cand, 15.0).is_empty());
+    }
+
+    #[test]
+    fn schema_1_reports_parse_and_skip_the_memory_gate() {
+        // A pre-versioning report: no schema field, no peak_alloc_bytes.
+        let legacy = "{\"label\":\"old\",\"commit\":\"abc\",\
+             \"host\":{\"os\":\"linux\",\"arch\":\"x86_64\",\"cores\":4},\
+             \"created_unix\":1754000000,\
+             \"phases\":{\"idtd\":{\"reps\":5,\"p50_ns\":2000000,\
+             \"p95_ns\":2400000,\"max_ns\":3000000}},\
+             \"counters\":{}}";
+        let base = BenchReport::parse(legacy).expect("legacy reports must parse");
+        assert_eq!(base.schema, 1);
+        assert_eq!(base.phases["idtd"].peak_alloc_bytes, None);
+        // A schema-2 candidate with huge allocations still passes: no
+        // baseline memory to compare against means no memory gate.
+        let mut cand = base.clone();
+        cand.schema = SCHEMA_VERSION;
+        cand.phases.get_mut("idtd").unwrap().peak_alloc_bytes = Some(1 << 40);
+        assert!(compare(&base, &cand, 15.0).is_empty());
+    }
+
+    #[test]
+    fn memory_regressions_are_caught_and_noise_is_not() {
+        let base = report();
+        let mut bloated = base.clone();
+        bloated.phases.get_mut("idtd").unwrap().peak_alloc_bytes =
+            base.phases["idtd"].peak_alloc_bytes.map(|b| b * 3);
+        let regressions = compare(&base, &bloated, 15.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].metric, "idtd.peak_alloc_bytes");
+        assert!((regressions[0].change_pct - 200.0).abs() < 1e-9);
+
+        // Large ratio on a tiny absolute delta: under the noise floor.
+        let mut tiny_base = base.clone();
+        let mut tiny_cand = base.clone();
+        tiny_base.phases.get_mut("idtd").unwrap().peak_alloc_bytes = Some(1024);
+        tiny_cand.phases.get_mut("idtd").unwrap().peak_alloc_bytes = Some(40 * 1024);
+        assert!(compare(&tiny_base, &tiny_cand, 15.0).is_empty());
+
+        // Shrinking memory is an improvement, never a regression.
+        let mut leaner = base.clone();
+        leaner.phases.get_mut("idtd").unwrap().peak_alloc_bytes = Some(1);
+        assert!(compare(&base, &leaner, 15.0).is_empty());
     }
 
     #[test]

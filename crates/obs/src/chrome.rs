@@ -18,13 +18,43 @@ fn us(ns: u64) -> String {
 
 /// Renders `entries` as one Chrome trace-event JSON array. Every event
 /// carries `pid:1` (single process) and the recording thread's id as
-/// `tid`, so a run with `--jobs N` shows one row per worker thread.
+/// `tid`, so a run with `--jobs N` shows one row per worker thread. Each
+/// distinct tid also gets a `"ph":"M"` `thread_name` metadata record
+/// (tid 0 is `main`, others `worker-<tid>`), so viewers label the rows.
+/// All names and field values pass through the JSON string escaper, so
+/// quotes and control characters in span names or event payloads cannot
+/// break the output.
 pub fn chrome_trace(entries: &[TraceEntry]) -> String {
+    let mut tids: Vec<u64> = entries
+        .iter()
+        .map(|e| match e {
+            TraceEntry::Span { tid, .. } | TraceEntry::Event { tid, .. } => *tid,
+        })
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
     let mut out = String::from("[");
-    for (i, entry) in entries.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for tid in tids {
+        if !first {
             out.push(',');
         }
+        first = false;
+        let label = if tid == 0 {
+            "main".to_owned()
+        } else {
+            format!("worker-{tid}")
+        };
+        out.push_str("\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,");
+        out.push_str(&format!("\"tid\":{tid},\"args\":{{\"name\":"));
+        write_string(&mut out, &label);
+        out.push_str("}}");
+    }
+    for entry in entries.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
         out.push('\n');
         out.push('{');
         match entry {
@@ -97,11 +127,94 @@ mod tests {
         assert_eq!(
             json,
             "[\n\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"main\"}},\n\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\
+             \"args\":{\"name\":\"worker-2\"}},\n\
              {\"name\":\"engine.shard\",\"cat\":\"span\",\"ph\":\"X\",\
              \"ts\":1234.567,\"dur\":2.000,\"pid\":1,\"tid\":2},\n\
              {\"name\":\"repair\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
              \"ts\":1.500,\"pid\":1,\"tid\":0,\"args\":{\"k\":\"2\"}}\n]"
         );
+    }
+
+    #[test]
+    fn hostile_names_and_values_stay_valid_json() {
+        // Span names are static strings but nothing stops a call site
+        // from embedding quotes, backslashes, or control characters; the
+        // exporter must escape them rather than emit broken JSON.
+        let entries = vec![
+            TraceEntry::Span {
+                name: "evil\"span\\name\nwith\tctl\u{1}",
+                start_ns: 0,
+                dur_ns: 10,
+                tid: 0,
+            },
+            TraceEntry::Event {
+                name: "e\"v",
+                at_ns: 5,
+                tid: 0,
+                fields: vec![("k\"ey".to_owned(), "va\\l\nue\u{2}".to_owned())],
+            },
+        ];
+        let json = chrome_trace(&entries);
+        let value = crate::json::Value::parse(&json).expect(&json);
+        let arr = value.as_arr().unwrap();
+        // Metadata + span + event.
+        assert_eq!(arr.len(), 3);
+        assert_eq!(
+            arr[1].get("name").unwrap().as_str(),
+            Some("evil\"span\\name\nwith\tctl\u{1}"),
+            "escaping must round-trip, not mangle"
+        );
+        assert_eq!(
+            arr[2].get("args").unwrap().get("k\"ey").unwrap().as_str(),
+            Some("va\\l\nue\u{2}")
+        );
+    }
+
+    #[test]
+    fn concurrent_emission_from_many_workers_stays_valid() {
+        // Hammer a shared buffer from several threads the way the engine
+        // pool does, then render: the combined trace must parse, keep
+        // every entry, and carry one thread_name record per worker.
+        let entries = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for worker in 0..4u64 {
+                let entries = &entries;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let entry = if i % 7 == 0 {
+                            TraceEntry::Event {
+                                name: "evt\"x",
+                                at_ns: i * 10,
+                                tid: worker,
+                                fields: vec![("i".to_owned(), format!("{i}\n"))],
+                            }
+                        } else {
+                            TraceEntry::Span {
+                                name: "engine.derive",
+                                start_ns: i * 10,
+                                dur_ns: 9,
+                                tid: worker,
+                            }
+                        };
+                        entries.lock().unwrap().push(entry);
+                    }
+                });
+            }
+        });
+        let entries = entries.into_inner().unwrap();
+        assert_eq!(entries.len(), 200);
+        let json = chrome_trace(&entries);
+        let value = crate::json::Value::parse(&json).expect("interleaved trace must stay valid");
+        let arr = value.as_arr().unwrap();
+        assert_eq!(arr.len(), 200 + 4, "200 entries + 4 thread_name records");
+        let meta = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .count();
+        assert_eq!(meta, 4);
     }
 
     #[test]
@@ -114,8 +227,10 @@ mod tests {
         }];
         let value = crate::json::Value::parse(&chrome_trace(&entries)).unwrap();
         let arr = value.as_arr().expect("array");
-        assert_eq!(arr.len(), 1);
-        let ev = arr[0].as_obj().expect("object");
+        assert_eq!(arr.len(), 2, "thread_name metadata + the span");
+        let meta = arr[0].as_obj().expect("object");
+        assert_eq!(meta["ph"].as_str(), Some("M"));
+        let ev = arr[1].as_obj().expect("object");
         assert_eq!(ev["ph"].as_str(), Some("X"));
         assert_eq!(ev["pid"].as_f64(), Some(1.0));
     }

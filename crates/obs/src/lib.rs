@@ -44,15 +44,30 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
+pub mod profile;
+pub mod timeseries;
 pub mod trace;
 
 pub use chrome::chrome_trace;
 pub use metrics::{HistogramSummary, MetricsSnapshot};
 pub use trace::{current_tid, SpanGuard, TraceEntry};
+
+/// Serializes tests that touch the process-global registry, recorder, or
+/// recording state. Every such test (across this crate's modules) must
+/// hold this lock, or the parallel test runner interleaves them.
+#[cfg(test)]
+pub(crate) fn global_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(std::sync::Mutex::default)
+        .lock()
+        .expect("obs global test lock poisoned")
+}
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -175,6 +190,7 @@ mod tests {
     // one test to avoid cross-test interference under the parallel runner.
     #[test]
     fn end_to_end_recording_and_gating() {
+        let _g = global_test_lock();
         disable();
         count("gated", 1);
         gauge("gated.g", 1);

@@ -44,21 +44,28 @@ impl Histogram {
     fn summary(&self) -> HistogramSummary {
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx.min(sorted.len() - 1)]
-        };
         HistogramSummary {
             count: self.count,
             sum: self.sum,
             max: self.max,
-            p50: pct(0.50),
-            p95: pct(0.95),
+            p50: nearest_rank(&sorted, 0.50),
+            p95: nearest_rank(&sorted, 0.95),
         }
     }
+}
+
+/// Nearest-rank percentile of an already-sorted sample set. Well-defined
+/// on every input size: an empty set reports 0 (and a count of 0 in the
+/// surrounding summary, so consumers can tell "no data" from "observed
+/// 0"), a single sample is its own p50, p95, and max, and `p` is clamped
+/// to [0, 1] so a caller can never index out of bounds.
+fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Percentile summary of a histogram. p50/p95 come from a uniform
@@ -297,6 +304,53 @@ mod tests {
             "reservoir p50 wildly off: {} vs {mid}",
             h.p50
         );
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_the_sample() {
+        let r = Registry::default();
+        r.observe("once", 37);
+        let h = &r.snapshot().histograms["once"];
+        assert_eq!(
+            (h.count, h.sum, h.p50, h.p95, h.max, h.mean()),
+            (1, 37, 37, 37, 37, 37),
+            "one observation defines every percentile: {h:?}"
+        );
+        // A single zero observation is distinguishable from "no data"
+        // only by its count.
+        let r = Registry::default();
+        r.observe("zero", 0);
+        let h = &r.snapshot().histograms["zero"];
+        assert_eq!((h.count, h.p50, h.p95, h.max), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero_not_garbage() {
+        assert_eq!(nearest_rank(&[], 0.50), 0);
+        assert_eq!(nearest_rank(&[], 0.95), 0);
+        let h = Histogram::default().summary();
+        assert_eq!((h.count, h.sum, h.p50, h.p95, h.max), (0, 0, 0, 0, 0));
+        assert_eq!(h.mean(), 0, "mean of nothing must not divide by zero");
+    }
+
+    #[test]
+    fn nearest_rank_clamps_out_of_range_quantiles() {
+        let sorted = [1u64, 2, 3];
+        assert_eq!(nearest_rank(&sorted, -0.5), 1, "p below 0 clamps to min");
+        assert_eq!(nearest_rank(&sorted, 1.5), 3, "p above 1 clamps to max");
+        assert_eq!(nearest_rank(&sorted, 0.0), 1);
+        assert_eq!(nearest_rank(&sorted, 1.0), 3);
+    }
+
+    #[test]
+    fn two_sample_percentiles_bracket_the_range() {
+        let r = Registry::default();
+        r.observe("pair", 10);
+        r.observe("pair", 30);
+        let h = &r.snapshot().histograms["pair"];
+        assert!(h.p50 == 10 || h.p50 == 30, "{h:?}");
+        assert_eq!(h.p95, 30, "p95 of two samples is the larger");
+        assert_eq!(h.max, 30);
     }
 
     #[test]

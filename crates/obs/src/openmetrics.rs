@@ -1,0 +1,350 @@
+//! OpenMetrics / Prometheus text exposition of a metrics snapshot — the
+//! format a future `dtdinfer serve` daemon will answer `/metrics` with,
+//! available today via `--metrics-format openmetrics`.
+//!
+//! The mapping from the registry's dotted names:
+//!
+//! * counters `a.b.c` → `a_b_c_total` with `# TYPE ... counter`;
+//! * gauges → `# TYPE ... gauge` (no suffix);
+//! * histograms → `# TYPE ... summary`: `{quantile="0.5"}` and
+//!   `{quantile="0.95"}` samples from the reservoir plus exact `_count`
+//!   and `_sum`, and a companion `<name>_max` gauge (summaries have no
+//!   max slot, but ours is exact and too useful to drop).
+//!
+//! Output is sorted by metric name, ends with `# EOF`, and every emitted
+//! line round-trips through [`validate`], the same structural check the
+//! CI `obs-smoke` job and `dtdinfer omlint` run.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+
+/// Turns a dotted registry name into a legal OpenMetrics metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots and every other illegal character
+/// become underscores; a leading digit gets an underscore prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if legal {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// One family to emit: its TYPE and its sample lines (already rendered
+/// name + optional labels + value).
+struct Family {
+    kind: &'static str,
+    lines: Vec<String>,
+}
+
+/// Renders the snapshot in the OpenMetrics text format (ending in
+/// `# EOF`). Name collisions after sanitization (e.g. `a.b` and `a_b`)
+/// are disambiguated with a numeric suffix so the output never declares
+/// the same family twice.
+pub fn openmetrics(snap: &MetricsSnapshot) -> String {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let claim = |families: &mut BTreeMap<String, Family>, base: String| -> String {
+        if !families.contains_key(&base) {
+            return base;
+        }
+        let mut n = 2usize;
+        loop {
+            let candidate = format!("{base}_{n}");
+            if !families.contains_key(&candidate) {
+                return candidate;
+            }
+            n += 1;
+        }
+    };
+    for (name, value) in &snap.counters {
+        let family = claim(&mut families, format!("{}_total", sanitize_name(name)));
+        families.insert(
+            family.clone(),
+            Family {
+                kind: "counter",
+                lines: vec![format!("{family} {value}")],
+            },
+        );
+    }
+    for (name, value) in &snap.gauges {
+        let family = claim(&mut families, sanitize_name(name));
+        families.insert(
+            family.clone(),
+            Family {
+                kind: "gauge",
+                lines: vec![format!("{family} {value}")],
+            },
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let family = claim(&mut families, sanitize_name(name));
+        let mut lines = Vec::with_capacity(4);
+        // Quantiles come from the uniform reservoir; count and sum are
+        // exact. An empty summary (possible after a reset race) emits
+        // only the exact zeros — a 0 quantile would be indistinguishable
+        // from a real observation of 0.
+        if h.count > 0 {
+            lines.push(format!("{family}{{quantile=\"0.5\"}} {}", h.p50));
+            lines.push(format!("{family}{{quantile=\"0.95\"}} {}", h.p95));
+        }
+        lines.push(format!("{family}_count {}", h.count));
+        lines.push(format!("{family}_sum {}", h.sum));
+        families.insert(
+            family.clone(),
+            Family {
+                kind: "summary",
+                lines,
+            },
+        );
+        let max_family = claim(&mut families, format!("{family}_max"));
+        families.insert(
+            max_family.clone(),
+            Family {
+                kind: "gauge",
+                lines: vec![format!("{max_family} {}", h.max)],
+            },
+        );
+    }
+    let mut out = String::new();
+    for (family, f) in &families {
+        out.push_str(&format!("# TYPE {family} {}\n", f.kind));
+        for line in &f.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Structural validation of OpenMetrics text: legal metric names, every
+/// sample preceded by a TYPE declaration of its family, parseable values,
+/// counters/quantiles non-negative, no duplicate family declarations, and
+/// a final `# EOF`. Returns the first problem found.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    let mut saw_eof = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if saw_eof {
+            return Err(format!("line {n}: content after # EOF"));
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if line.is_empty() {
+            return Err(format!("line {n}: blank line"));
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {n}: malformed TYPE line"));
+            };
+            if !is_legal_name(name) {
+                return Err(format!("line {n}: illegal family name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "info") {
+                return Err(format!("line {n}: unknown family type {kind:?}"));
+            }
+            if declared.insert(name.to_owned(), kind.to_owned()).is_some() {
+                return Err(format!("line {n}: family {name:?} declared twice"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Other comments (HELP, UNIT) are fine.
+            continue;
+        }
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: sample without a value"))?;
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (name, Some(labels))
+            }
+            None => (name_and_labels, None),
+        };
+        if !is_legal_name(name) {
+            return Err(format!("line {n}: illegal metric name {name:?}"));
+        }
+        let parsed: f64 = value
+            .parse()
+            .map_err(|e| format!("line {n}: bad sample value {value:?}: {e}"))?;
+        // The family is the sample name itself, or the name with a
+        // counter/summary/histogram suffix stripped — whichever was
+        // declared. (Our own writer declares counters as `x_total`;
+        // classic Prometheus declares `x` and samples `x_total`. Accept
+        // both.)
+        let family = std::iter::once(name)
+            .chain(
+                ["_count", "_sum", "_total", "_bucket"]
+                    .iter()
+                    .filter_map(|suffix| name.strip_suffix(suffix)),
+            )
+            .find(|candidate| declared.contains_key(*candidate))
+            .ok_or_else(|| format!("line {n}: sample {name:?} has no TYPE declaration"))?;
+        let kind = &declared[family];
+        if kind == "counter" && parsed < 0.0 {
+            return Err(format!("line {n}: counter {name:?} is negative"));
+        }
+        if let Some(labels) = labels {
+            for label in labels.split(',') {
+                let Some((key, val)) = label.split_once('=') else {
+                    return Err(format!("line {n}: malformed label {label:?}"));
+                };
+                if !is_legal_name(key) {
+                    return Err(format!("line {n}: illegal label name {key:?}"));
+                }
+                if !(val.starts_with('"') && val.ends_with('"') && val.len() >= 2) {
+                    return Err(format!("line {n}: unquoted label value {val:?}"));
+                }
+            }
+        }
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_owned());
+    }
+    Ok(())
+}
+
+fn is_legal_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = Registry::default();
+        r.count("engine.documents", 300);
+        r.count("core.rewrite.rule.self-loop", 2);
+        r.gauge("engine.worker.0.busy_ns", 123);
+        r.observe("engine.ingest.ns", 1_000);
+        r.observe("engine.ingest.ns", 3_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn exposition_is_valid_and_sorted() {
+        let text = openmetrics(&sample_snapshot());
+        validate(&text).expect(&text);
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("# TYPE engine_documents_total counter\n"));
+        assert!(text.contains("engine_documents_total 300\n"));
+        assert!(text.contains("# TYPE core_rewrite_rule_self_loop_total counter\n"));
+        assert!(text.contains("# TYPE engine_worker_0_busy_ns gauge\n"));
+        assert!(text.contains("# TYPE engine_ingest_ns summary\n"));
+        assert!(text.contains("engine_ingest_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("engine_ingest_ns_count 2\n"));
+        assert!(text.contains("engine_ingest_ns_sum 4000\n"));
+        assert!(text.contains("# TYPE engine_ingest_ns_max gauge\n"));
+        assert!(text.contains("engine_ingest_ns_max 3000\n"));
+        // Declarations come in sorted order.
+        let core = text.find("core_rewrite").unwrap();
+        let engine = text.find("engine_documents").unwrap();
+        assert!(core < engine);
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_eof() {
+        let text = openmetrics(&MetricsSnapshot::default());
+        assert_eq!(text, "# EOF\n");
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn empty_summary_emits_no_quantiles() {
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert(
+            "h".to_owned(),
+            crate::HistogramSummary {
+                count: 0,
+                sum: 0,
+                max: 0,
+                p50: 0,
+                p95: 0,
+            },
+        );
+        let text = openmetrics(&snap);
+        validate(&text).expect(&text);
+        assert!(!text.contains("quantile"), "{text}");
+        assert!(text.contains("h_count 0\n"));
+    }
+
+    #[test]
+    fn sanitize_handles_hostile_names() {
+        assert_eq!(sanitize_name("a.b-c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:x1"), "ok_name:x1");
+        assert_eq!(sanitize_name("späce é"), "sp_ce__");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn sanitization_collisions_are_disambiguated() {
+        let r = Registry::default();
+        r.count("a.b", 1);
+        r.count("a_b", 2);
+        let text = openmetrics(&r.snapshot());
+        validate(&text).expect(&text);
+        assert!(text.contains("a_b_total 1\n"));
+        assert!(text.contains("a_b_total_2 2\n"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_text() {
+        for (bad, why) in [
+            ("engine_documents_total 1\n# EOF\n", "undeclared family"),
+            ("# TYPE x counter\nx_total 1\n", "missing EOF"),
+            (
+                "# TYPE x counter\n# TYPE x counter\n# EOF\n",
+                "double declaration",
+            ),
+            ("# TYPE 9x counter\n# EOF\n", "illegal name"),
+            ("# TYPE x widget\n# EOF\n", "unknown type"),
+            ("# TYPE x gauge\nx nope\n# EOF\n", "bad value"),
+            ("# TYPE x counter\nx_total -4\n# EOF\n", "negative counter"),
+            (
+                "# TYPE x summary\nx{quantile=0.5} 1\n# EOF\n",
+                "unquoted label",
+            ),
+            ("# EOF\ntrailing 1\n", "content after EOF"),
+        ] {
+            assert!(validate(bad).is_err(), "{why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_accepts_the_real_pipeline_shape() {
+        let r = Registry::default();
+        for i in 0..40 {
+            r.count("engine.documents", 1);
+            r.observe("engine.shard.duration_ns", 100 + i);
+        }
+        r.gauge("engine.ingest.peak_bytes_in_flight", 964);
+        let text = openmetrics(&r.snapshot());
+        validate(&text).expect(&text);
+    }
+}

@@ -1,0 +1,361 @@
+//! Span post-processing: turns the flat trace (spans are recorded at
+//! *close* time, so children precede parents and threads interleave)
+//! into per-thread span trees, and derives the three views the
+//! `dtdinfer profile` subcommand prints:
+//!
+//! * **phase stats** — per span-name totals with *self time* (duration
+//!   minus time spent in child spans), so a wrapper phase like
+//!   `engine.shard` doesn't double-count the `engine.derive` work
+//!   nested inside it;
+//! * **the critical path** — from the longest root span, repeatedly
+//!   descend into the longest child: the chain of phases that bounds
+//!   wall-clock time and is worth optimizing first;
+//! * **folded stacks** — `tid0;engine.shard;engine.derive 1234` lines
+//!   (value = self time in nanoseconds), the input format of standard
+//!   flamegraph tooling (`flamegraph.pl`, inferno, speedscope).
+//!
+//! Nesting is reconstructed by interval containment per thread: a span
+//! is a child of the innermost earlier span on the same thread whose
+//! `[start, end]` interval contains it. Spans that merely overlap
+//! (possible across threads, not within one) become siblings.
+
+use crate::trace::TraceEntry;
+use std::collections::BTreeMap;
+
+/// One reconstructed span with its nested children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (the call-site label).
+    pub name: &'static str,
+    /// Start offset in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Thread that ran the span.
+    pub tid: u64,
+    /// Spans nested inside this one, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    /// Time spent in this span but not in any child span. Saturates at
+    /// zero (clock skew can make children sum past the parent by a few
+    /// nanoseconds).
+    pub fn self_ns(&self) -> u64 {
+        let in_children: u64 = self.children.iter().map(|c| c.dur_ns).sum();
+        self.dur_ns.saturating_sub(in_children)
+    }
+}
+
+/// Builds per-thread span trees from a raw trace. Returns the roots
+/// (spans contained in no other span), ordered by thread id then start
+/// time. Events in the input are ignored.
+pub fn build_forest(entries: &[TraceEntry]) -> Vec<SpanNode> {
+    let mut per_tid: BTreeMap<u64, Vec<(usize, SpanNode)>> = BTreeMap::new();
+    for (index, entry) in entries.iter().enumerate() {
+        if let TraceEntry::Span {
+            name,
+            start_ns,
+            dur_ns,
+            tid,
+        } = entry
+        {
+            per_tid.entry(*tid).or_default().push((
+                index,
+                SpanNode {
+                    name,
+                    start_ns: *start_ns,
+                    dur_ns: *dur_ns,
+                    tid: *tid,
+                    children: Vec::new(),
+                },
+            ));
+        }
+    }
+    let mut roots = Vec::new();
+    for (_tid, mut spans) in per_tid {
+        // Start ascending; on ties the longer (containing) span first.
+        // Identical intervals are ambiguous from timing alone, but spans
+        // are recorded at close time (child before parent), so the later
+        // entry is the parent and must sort first.
+        spans.sort_by(|(ia, a), (ib, b)| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(b.end_ns().cmp(&a.end_ns()))
+                .then(ib.cmp(ia))
+        });
+        let mut stack: Vec<SpanNode> = Vec::new();
+        for (_index, span) in spans {
+            while let Some(top) = stack.last() {
+                let contains = span.start_ns >= top.start_ns && span.end_ns() <= top.end_ns();
+                if contains {
+                    break;
+                }
+                let finished = stack.pop().expect("non-empty");
+                attach(finished, &mut stack, &mut roots);
+            }
+            stack.push(span);
+        }
+        while let Some(finished) = stack.pop() {
+            attach(finished, &mut stack, &mut roots);
+        }
+    }
+    roots.sort_by_key(|r| (r.tid, r.start_ns));
+    roots
+}
+
+fn attach(finished: SpanNode, stack: &mut [SpanNode], roots: &mut Vec<SpanNode>) {
+    match stack.last_mut() {
+        Some(parent) => parent.children.push(finished),
+        None => roots.push(finished),
+    }
+}
+
+/// Aggregate timings for one span name across the whole forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of their durations (includes time in children).
+    pub total_ns: u64,
+    /// Sum of their self times (excludes time in children).
+    pub self_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+/// Per-name aggregates over every span in the forest, hottest self-time
+/// first (ties broken by name for determinism).
+pub fn phase_stats(forest: &[SpanNode]) -> Vec<PhaseStat> {
+    let mut by_name: BTreeMap<&'static str, PhaseStat> = BTreeMap::new();
+    fn walk(node: &SpanNode, by_name: &mut BTreeMap<&'static str, PhaseStat>) {
+        let stat = by_name.entry(node.name).or_insert(PhaseStat {
+            name: node.name,
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            max_ns: 0,
+        });
+        stat.count += 1;
+        stat.total_ns += node.dur_ns;
+        stat.self_ns += node.self_ns();
+        stat.max_ns = stat.max_ns.max(node.dur_ns);
+        for child in &node.children {
+            walk(child, by_name);
+        }
+    }
+    for root in forest {
+        walk(root, &mut by_name);
+    }
+    let mut stats: Vec<PhaseStat> = by_name.into_values().collect();
+    stats.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+    stats
+}
+
+/// One step on the critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalStep {
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// Span name.
+    pub name: &'static str,
+    /// Thread that ran it.
+    pub tid: u64,
+    /// Span duration.
+    pub dur_ns: u64,
+    /// Self time at this step.
+    pub self_ns: u64,
+}
+
+/// The chain of spans bounding wall-clock time: start at the longest
+/// root in the forest, then repeatedly descend into the longest child.
+/// Empty when the forest is empty.
+pub fn critical_path(forest: &[SpanNode]) -> Vec<CriticalStep> {
+    let mut path = Vec::new();
+    let Some(mut node) = forest.iter().max_by_key(|r| r.dur_ns) else {
+        return path;
+    };
+    loop {
+        path.push(CriticalStep {
+            depth: path.len(),
+            name: node.name,
+            tid: node.tid,
+            dur_ns: node.dur_ns,
+            self_ns: node.self_ns(),
+        });
+        match node.children.iter().max_by_key(|c| c.dur_ns) {
+            Some(child) => node = child,
+            None => return path,
+        }
+    }
+}
+
+/// Renders the forest in folded-stack format: one line per unique stack,
+/// `tid<N>;outer;inner <self-time-ns>`, identical stacks merged and the
+/// output sorted, so a fixed trace folds byte-identically. Frame
+/// separators (`;`) and spaces inside names are replaced with `_` to
+/// keep the format unambiguous.
+pub fn folded_stacks(forest: &[SpanNode]) -> String {
+    fn frame(name: &str) -> String {
+        name.chars()
+            .map(|c| {
+                if c == ';' || c.is_whitespace() {
+                    '_'
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+    fn walk(node: &SpanNode, prefix: &str, lines: &mut BTreeMap<String, u64>) {
+        let stack = format!("{prefix};{}", frame(node.name));
+        let self_ns = node.self_ns();
+        if self_ns > 0 {
+            *lines.entry(stack.clone()).or_insert(0) += self_ns;
+        }
+        for child in &node.children {
+            walk(child, &stack, lines);
+        }
+    }
+    let mut lines = BTreeMap::new();
+    for root in forest {
+        walk(root, &format!("tid{}", root.tid), &mut lines);
+    }
+    let mut out = String::new();
+    for (stack, value) in lines {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, start_ns: u64, dur_ns: u64, tid: u64) -> TraceEntry {
+        TraceEntry::Span {
+            name,
+            start_ns,
+            dur_ns,
+            tid,
+        }
+    }
+
+    /// Spans as the recorder emits them: close order (children first).
+    fn sample_trace() -> Vec<TraceEntry> {
+        vec![
+            span("parse", 10, 30, 0),
+            span("derive", 50, 40, 0),
+            span("shard", 0, 100, 0),
+            span("derive", 5, 80, 1),
+            span("shard", 0, 90, 1),
+            TraceEntry::Event {
+                name: "noise",
+                at_ns: 1,
+                tid: 0,
+                fields: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn forest_reconstructs_nesting_per_thread() {
+        let forest = build_forest(&sample_trace());
+        assert_eq!(forest.len(), 2, "one root per thread: {forest:?}");
+        let t0 = &forest[0];
+        assert_eq!((t0.name, t0.tid), ("shard", 0));
+        assert_eq!(t0.children.len(), 2);
+        assert_eq!(t0.children[0].name, "parse");
+        assert_eq!(t0.children[1].name, "derive");
+        assert_eq!(t0.self_ns(), 100 - 30 - 40);
+        let t1 = &forest[1];
+        assert_eq!((t1.name, t1.tid), ("shard", 1));
+        assert_eq!(t1.children.len(), 1);
+        assert_eq!(t1.self_ns(), 10);
+    }
+
+    #[test]
+    fn deep_nesting_and_siblings_resolve() {
+        // a contains b contains c; d is b's sibling inside a.
+        let forest = build_forest(&[
+            span("c", 20, 10, 0),
+            span("b", 10, 30, 0),
+            span("d", 50, 20, 0),
+            span("a", 0, 100, 0),
+        ]);
+        assert_eq!(forest.len(), 1);
+        let a = &forest[0];
+        assert_eq!(a.children.len(), 2);
+        assert_eq!(a.children[0].name, "b");
+        assert_eq!(a.children[0].children[0].name, "c");
+        assert_eq!(a.children[1].name, "d");
+        assert_eq!(a.self_ns(), 100 - 30 - 20);
+    }
+
+    #[test]
+    fn phase_stats_aggregate_self_time() {
+        let stats = phase_stats(&build_forest(&sample_trace()));
+        let derive = stats.iter().find(|s| s.name == "derive").unwrap();
+        assert_eq!(derive.count, 2);
+        assert_eq!(derive.total_ns, 40 + 80);
+        assert_eq!(derive.self_ns, 40 + 80, "leaves are all self time");
+        assert_eq!(derive.max_ns, 80);
+        let shard = stats.iter().find(|s| s.name == "shard").unwrap();
+        assert_eq!(shard.total_ns, 190);
+        assert_eq!(shard.self_ns, 30 + 10, "children subtracted");
+        assert_eq!(stats[0].name, "derive", "hottest self time first");
+    }
+
+    #[test]
+    fn critical_path_follows_longest_children() {
+        let steps = critical_path(&build_forest(&sample_trace()));
+        // Longest root is tid0's shard (100 ns); its longest child is
+        // derive (40 ns), a leaf.
+        let named: Vec<(usize, &str)> = steps.iter().map(|s| (s.depth, s.name)).collect();
+        assert_eq!(named, vec![(0, "shard"), (1, "derive")]);
+        assert_eq!(steps[0].dur_ns, 100);
+        assert_eq!(steps[0].self_ns, 30);
+        assert!(critical_path(&[]).is_empty());
+    }
+
+    #[test]
+    fn folded_stacks_merge_and_sanitize() {
+        let folded = folded_stacks(&build_forest(&sample_trace()));
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"tid0;shard 30"), "{folded}");
+        assert!(lines.contains(&"tid0;shard;derive 40"), "{folded}");
+        assert!(lines.contains(&"tid1;shard;derive 80"), "{folded}");
+        // Identical stacks merge: two derives on tid0 would sum.
+        let folded2 = folded_stacks(&build_forest(&[
+            span("derive", 10, 5, 0),
+            span("derive", 20, 7, 0),
+            span("shard", 0, 100, 0),
+        ]));
+        assert!(
+            folded2.lines().any(|l| l == "tid0;shard;derive 12"),
+            "{folded2}"
+        );
+        // Hostile names can't break the format.
+        let folded3 = folded_stacks(&build_forest(&[span("a;b c", 0, 5, 0)]));
+        assert_eq!(folded3, "tid0;a_b_c 5\n");
+    }
+
+    #[test]
+    fn zero_self_time_spans_emit_no_line() {
+        // Parent fully covered by its child: no self time, no line.
+        let folded = folded_stacks(&build_forest(&[
+            span("inner", 0, 50, 0),
+            span("outer", 0, 50, 0),
+        ]));
+        assert_eq!(folded, "tid0;outer;inner 50\n");
+    }
+}

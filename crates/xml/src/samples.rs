@@ -152,6 +152,7 @@ impl SampleBag {
         // value already evicted or rejected can never return, because the
         // threshold only decreases.
         self.overflowed = true;
+        dtdinfer_obs::count("xml.samples.overflow", 1);
         let p = priority(value);
         let (evict_p, evict) = self.threshold();
         if (p, value) < (*evict_p, evict.as_str()) {
@@ -160,6 +161,7 @@ impl SampleBag {
             self.kept
                 .insert(value.to_owned(), Kept { count: 1, prio: p });
             self.threshold = None;
+            dtdinfer_obs::count("xml.samples.evictions", 1);
         }
     }
 
@@ -201,6 +203,7 @@ impl SampleBag {
                 .iter()
                 .map(|(_, v)| (*v).to_owned())
                 .collect();
+            dtdinfer_obs::count("xml.samples.evictions", doomed.len() as u64);
             for v in doomed {
                 self.kept.remove(&v);
             }
