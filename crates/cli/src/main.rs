@@ -261,6 +261,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("learn") => cmd_learn(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
@@ -318,6 +319,28 @@ USAGE:
   dtdinfer validate --dtd S.dtd FILE... validate XML files against a DTD
       --lint                            also check the DTD itself for
                                         non-deterministic content models
+      --format human|json               witness output format (default
+                                        human; json emits the structured
+                                        violations the serve daemon's
+                                        validate endpoint also speaks)
+  dtdinfer serve --data-dir DIR [OPTS]  run the multi-tenant inference
+                                        daemon: POST documents into named
+                                        schema sessions, GET the evolving
+                                        DTD/XSD, validate against it, and
+                                        stream schema-drift events as SSE;
+                                        sessions are journaled to DIR and
+                                        survive restarts (kill -9 safe)
+      --addr <HOST:PORT>                bind address (default 127.0.0.1:7700)
+      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --workers <N>                     request worker threads (default 4)
+      --max-sessions <N>                tenant cap, 429 past it (default 64)
+      --max-body-bytes <N>              request body cap, 413 (default 8 MiB)
+      --max-session-bytes <N>           per-session disk cap, 413
+                                        (default 256 MiB)
+      --compact-min-bytes <N>           journal size that triggers
+                                        compaction (default 64 KiB)
+      --queue-depth <N>                 connection queue bound, 503 when
+                                        full (default 64)
   dtdinfer fuzz [OPTIONS] [CASE...]     closed-loop differential fuzzing:
                                         random DTDs, sampled corpora, a
                                         metamorphic oracle battery, and
@@ -850,12 +873,18 @@ fn cmd_snapshot_update(args: &[String]) -> Result<(), String> {
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let mut dtd_path: Option<String> = None;
     let mut lint = false;
+    let mut json = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dtd" => dtd_path = Some(it.next().ok_or("--dtd needs a value")?.to_owned()),
             "--lint" => lint = true,
+            "--format" => match it.next().ok_or("--format needs a value")?.as_str() {
+                "json" => json = true,
+                "human" => json = false,
+                other => return Err(format!("unknown format {other:?} (human or json)")),
+            },
             f if f.starts_with('-') => {
                 return Err(format!("unknown option {f:?} (try --help)"));
             }
@@ -868,11 +897,18 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     if lint {
         let issues = dtd.lint();
         for issue in &issues {
-            println!("{dtd_path}: {issue}");
+            // With --format json stdout is reserved for the JSON document.
+            if json {
+                eprintln!("{dtd_path}: {issue}");
+            } else {
+                println!("{dtd_path}: {issue}");
+            }
         }
         if files.is_empty() {
             return if issues.is_empty() {
-                println!("DTD is deterministic (XML-spec conformant)");
+                if !json {
+                    println!("DTD is deterministic (XML-spec conformant)");
+                }
                 Ok(())
             } else {
                 Err(format!("{} lint issue(s)", issues.len()))
@@ -880,20 +916,100 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         }
     }
     let mut total_violations = 0usize;
-    for f in &files {
+    let mut json_files = String::new();
+    for (i, f) in files.iter().enumerate() {
         let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        let violations = dtd.validate(&text).map_err(|e| format!("{f}: {e}"))?;
-        for v in &violations {
-            println!("{f}: {v}");
+        if json {
+            // Same serializer as the serve daemon's validate endpoint
+            // (`violations_json`), wrapped in a per-file envelope.
+            let violations = dtd
+                .validate_structured(&text)
+                .map_err(|e| format!("{f}: {e}"))?;
+            if i > 0 {
+                json_files.push(',');
+            }
+            json_files.push_str("\n{\"file\":");
+            dtdinfer_obs::json::write_string(&mut json_files, f);
+            json_files.push_str(",\"valid\":");
+            json_files.push_str(if violations.is_empty() {
+                "true"
+            } else {
+                "false"
+            });
+            json_files.push_str(",\"violations\":");
+            json_files.push_str(&dtdinfer_xml::dtd::violations_json(&violations));
+            json_files.push('}');
+            total_violations += violations.len();
+        } else {
+            let violations = dtd.validate(&text).map_err(|e| format!("{f}: {e}"))?;
+            for v in &violations {
+                println!("{f}: {v}");
+            }
+            total_violations += violations.len();
         }
-        total_violations += violations.len();
+    }
+    if json {
+        println!("{{\"files\":[{json_files}\n],\"total_violations\":{total_violations}}}");
     }
     if total_violations == 0 {
-        println!("all {} document(s) valid", files.len());
+        if !json {
+            println!("all {} document(s) valid", files.len());
+        }
         Ok(())
     } else {
         Err(format!("{total_violations} violation(s)"))
     }
+}
+
+/// `dtdinfer serve` — boot the multi-tenant inference daemon and block
+/// until SIGINT/SIGTERM or `POST /shutdown`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = dtdinfer_serve::ServeConfig::default();
+    let mut data_dir: Option<String> = None;
+    let mut obs = ObsOptions::default();
+    fn num(it: &mut std::slice::Iter<'_, String>, what: &str) -> Result<u64, String> {
+        it.next()
+            .ok_or(format!("{what} needs a value"))?
+            .parse()
+            .map_err(|e| format!("bad {what}: {e}"))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.to_owned(),
+            "--data-dir" => {
+                data_dir = Some(it.next().ok_or("--data-dir needs a value")?.to_owned())
+            }
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                config.engine = parse_engine(v)?;
+            }
+            "--workers" => config.workers = num(&mut it, "--workers")? as usize,
+            "--max-sessions" => config.max_sessions = num(&mut it, "--max-sessions")? as usize,
+            "--max-body-bytes" => {
+                config.max_body_bytes = num(&mut it, "--max-body-bytes")? as usize;
+            }
+            "--max-session-bytes" => {
+                config.max_session_bytes = num(&mut it, "--max-session-bytes")?
+            }
+            "--compact-min-bytes" => {
+                config.compact_min_bytes = num(&mut it, "--compact-min-bytes")?
+            }
+            "--queue-depth" => config.queue_depth = num(&mut it, "--queue-depth")? as usize,
+            a if obs.take(a, &mut it)? => {}
+            f => return Err(format!("unknown option {f:?} (try --help)")),
+        }
+    }
+    config.data_dir = std::path::PathBuf::from(data_dir.ok_or("--data-dir is required")?);
+    // The sampler's ring is bounded (capacity + exact drop accounting), so
+    // --timeseries is safe even though serve runs indefinitely; the
+    // sampler thread is joined in finish() after the daemon stops.
+    obs.activate()?;
+    let stopped = dtdinfer_serve::run(config, |addr| {
+        eprintln!("dtdinfer serve: listening on http://{addr}");
+    })?;
+    eprintln!("dtdinfer serve: {stopped}");
+    obs.finish()
 }
 
 /// `dtdinfer fuzz` — closed-loop differential fuzzing: random target DTDs,

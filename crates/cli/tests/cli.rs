@@ -45,7 +45,7 @@ fn help_lists_subcommands() {
     let (stdout, _, ok) = run_with_stdin(&["--help"], "");
     assert!(ok);
     for sub in [
-        "infer", "validate", "sample", "learn", "explain", "diff", "dot",
+        "infer", "validate", "serve", "sample", "learn", "explain", "diff", "dot",
     ] {
         assert!(stdout.contains(sub), "help is missing {sub}");
     }
@@ -191,6 +191,142 @@ fn validate_prints_witness_and_exit_codes() {
         stdout.contains("content ends after child 1 (<b>), more children expected"),
         "{stdout}"
     );
+}
+
+#[test]
+fn validate_format_json_emits_structured_witnesses() {
+    let dir = tempdir();
+    let schema = dir.join("fmt.dtd");
+    std::fs::write(
+        &schema,
+        "<!ELEMENT a (b, c)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n",
+    )
+    .unwrap();
+    let bad = dir.join("fmt-bad.xml");
+    std::fs::write(&bad, "<a><b/><b/></a>").unwrap();
+    let good = dir.join("fmt-good.xml");
+    std::fs::write(&good, "<a><b/><c/></a>").unwrap();
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--format",
+            "json",
+            "--dtd",
+            schema.to_str().unwrap(),
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("1 violation(s)"), "{stderr}");
+    // stdout is one JSON document with the shared witness fields.
+    assert!(stdout.contains("\"valid\":true"), "{stdout}");
+    assert!(stdout.contains("\"valid\":false"), "{stdout}");
+    assert!(stdout.contains("\"kind\":\"content-model\""), "{stdout}");
+    assert!(stdout.contains("\"element\":\"a\""), "{stdout}");
+    assert!(stdout.contains("\"position\":2"), "{stdout}");
+    assert!(stdout.contains("\"expected\":\"(b, c)\""), "{stdout}");
+    assert!(stdout.contains("\"got\":\"b\""), "{stdout}");
+    assert!(stdout.contains("\"total_violations\":1"), "{stdout}");
+    // The human rendering rides along inside each violation object.
+    assert!(stdout.contains("mismatch at child 2 (<b>)"), "{stdout}");
+    // Valid corpus in json mode: exit 0, machine-readable stdout only.
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--format",
+            "json",
+            "--dtd",
+            schema.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"total_violations\":0"), "{stdout}");
+    assert!(!stdout.contains("document(s) valid"), "{stdout}");
+    // Unknown format is rejected.
+    let (_, stderr, ok) = run_with_stdin(
+        &[
+            "validate",
+            "--format",
+            "yaml",
+            "--dtd",
+            schema.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown format"), "{stderr}");
+}
+
+/// A short serve lifecycle through the real binary: boot on a random
+/// port, ingest over HTTP, read back the DTD, graceful shutdown, and
+/// journal files on disk afterwards.
+#[test]
+fn serve_round_trip_through_binary() {
+    use std::io::{Read as _, Write as _};
+    let dir = tempdir().join("serve-data");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut child = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    // The bound address is announced on stderr.
+    let mut stderr = child.stderr.take().expect("piped stderr");
+    let mut announced = String::new();
+    let mut byte = [0u8; 1];
+    while !announced.contains('\n') {
+        if stderr.read(&mut byte).unwrap_or(0) == 0 {
+            break;
+        }
+        announced.push(byte[0] as char);
+    }
+    let addr = announced
+        .rsplit("http://")
+        .next()
+        .map(str::trim)
+        .unwrap_or_default()
+        .to_owned();
+    assert!(addr.contains(':'), "no address in {announced:?}");
+    let http = |method: &str, path: &str, body: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        write!(
+            s,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("response");
+        out
+    };
+    let reply = http("POST", "/sessions/s/ingest", "<r><a/><b/></r>");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    let dtd = http("GET", "/sessions/s/dtd", "");
+    assert!(dtd.contains("<!ELEMENT r (a, b)>"), "{dtd}");
+    let reply = http("POST", "/shutdown", "");
+    assert!(reply.contains("shutting_down"), "{reply}");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success());
+    assert!(
+        dir.join("s.snap").exists(),
+        "shutdown flush wrote no snapshot"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -23,6 +23,7 @@
 //! [`snapshot`] persists an [`EngineState`] as a versioned text file so a
 //! later run can warm-start and absorb only new documents.
 
+pub mod journal;
 pub mod pool;
 pub mod snapshot;
 pub mod source;

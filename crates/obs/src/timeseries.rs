@@ -13,6 +13,19 @@
 //! Everything here is pull-based and bounded: the ring holds at most
 //! `capacity` points (oldest dropped first, with an exact drop count),
 //! and the sampler thread wakes only on its interval or on stop.
+//!
+//! ## Indefinite runs (`dtdinfer serve`)
+//!
+//! The sampler was built for finite CLI commands, but the bound makes it
+//! safe under a daemon that runs for weeks: memory is O(`capacity`)
+//! forever, the ring always holds the *newest* window of history, and
+//! `dropped` counts every evicted point exactly (kept + dropped =
+//! samples taken), so a consumer can tell how much history scrolled
+//! away. On graceful shutdown the serve CLI path calls [`Sampler::stop`],
+//! which joins the thread and takes one final sample; on `kill -9` the
+//! thread dies with the process and nothing is leaked — the series is
+//! observability, not state, and is rebuilt on restart. Covered by the
+//! `ring_cap` integration tests.
 
 use crate::json::write_key;
 use crate::metrics::MetricsSnapshot;

@@ -1,0 +1,86 @@
+//! Regression coverage for the timeseries sampler under *long* runs —
+//! the `dtdinfer serve` case, where sampling is live indefinitely rather
+//! than for the length of one CLI command.
+//!
+//! The contract: the ring NEVER holds more than `capacity` points no
+//! matter how long the run, and every point pushed out of the ring is
+//! counted in `dropped` exactly (conservation: points kept + points
+//! dropped = samples taken). Runs as its own test binary so the global
+//! registry is not shared with other obs tests.
+
+use dtdinfer_obs::timeseries::{start, SamplerConfig};
+use std::time::Duration;
+
+#[test]
+fn ring_stays_bounded_and_drops_are_accounted_under_long_runs() {
+    dtdinfer_obs::enable(true, false);
+    dtdinfer_obs::reset();
+    let capacity = 8;
+    let sampler = start(SamplerConfig {
+        interval: Duration::from_millis(1),
+        capacity,
+        watch: vec!["ringcap.ticks".to_owned()],
+        stall_after: 1_000_000, // stalls are not under test here
+        warn_on_stall: false,
+    });
+    // A "long run" relative to the ring: hundreds of intervals against a
+    // capacity of 8, with the watched counter moving the whole time.
+    for _ in 0..40 {
+        dtdinfer_obs::count("ringcap.ticks", 1);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let series = sampler.stop();
+    assert_eq!(series.points.len(), capacity, "ring grew past its capacity");
+    assert!(
+        series.dropped > 0,
+        "a 200 ms run at 1 ms intervals must overflow an 8-point ring"
+    );
+    // Conservation: the drop counter is exact, not a saturating flag.
+    // We can't know the precise sample count (scheduling), but kept +
+    // dropped must be plausible for the elapsed time and monotone
+    // timestamps must survive the dropping.
+    let total = series.points.len() as u64 + series.dropped;
+    assert!(
+        total >= 40,
+        "only {total} samples over ~200 ms of 1 ms ticks"
+    );
+    let mut last = 0;
+    for p in &series.points {
+        assert!(p.at_ns > last, "timestamps went backwards after drops");
+        last = p.at_ns;
+    }
+    // The retained window is the *newest* points: its counters must have
+    // seen most of the ticks, not the first few.
+    let newest = series
+        .points
+        .last()
+        .and_then(|p| p.snapshot.counters.get("ringcap.ticks"))
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        newest >= 35,
+        "newest retained point saw only {newest} ticks"
+    );
+    // And the serialized form carries the accounting for dashboards.
+    let json = series.json();
+    assert!(
+        json.contains(&format!("\"dropped\":{}", series.dropped)),
+        "{json}"
+    );
+}
+
+#[test]
+fn zero_capacity_is_clamped_not_unbounded() {
+    dtdinfer_obs::enable(true, false);
+    let sampler = start(SamplerConfig {
+        interval: Duration::from_millis(1),
+        capacity: 0,
+        watch: Vec::new(),
+        stall_after: 1_000_000,
+        warn_on_stall: false,
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    let series = sampler.stop();
+    assert_eq!(series.points.len(), 1, "capacity 0 must clamp to 1");
+    assert!(series.dropped > 0);
+}

@@ -1,0 +1,311 @@
+//! A deliberately small HTTP/1.1 server-side codec over `TcpStream`.
+//!
+//! The workspace is std-only, so the daemon speaks the subset of HTTP/1.1
+//! its API actually needs: one request per connection (`Connection: close`
+//! on everything except SSE streams), `Content-Length` bodies only (no
+//! chunked transfer), headers capped at 16 KiB, bodies capped by the
+//! caller's admission limit. Anything outside that subset gets a clean 4xx
+//! or 5xx instead of undefined behavior.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers before we give up.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/sessions/a/dtd`).
+    pub path: String,
+    /// Raw query string without the leading `?` (may be empty).
+    pub query: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when there is none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of a `key=value` query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one response
+/// status so handlers never guess.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Connection closed or timed out before a full request arrived.
+    Io(std::io::Error),
+    /// The bytes are not the HTTP subset we speak (→ 400).
+    Malformed(String),
+    /// Declared body exceeds the admission cap (→ 413).
+    TooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// Body bytes not yet read off the socket. The responder drains
+        /// (discards) these before writing the 413 so the client sees
+        /// the response instead of a connection reset.
+        remaining: usize,
+    },
+    /// A feature we deliberately do not implement (→ 501).
+    Unsupported(&'static str),
+}
+
+/// Reads and parses one request from `stream`. Bodies larger than
+/// `max_body` are rejected *before* being read, so a hostile
+/// `Content-Length` cannot make the daemon buffer it.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::Malformed("request head too large".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            )));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Unsupported("HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut req = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(RequestError::Unsupported("chunked transfer encoding"));
+    }
+    let content_length: usize = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > max_body {
+        let buffered = buf.len() - head_end - 4;
+        return Err(RequestError::TooLarge {
+            declared: content_length,
+            remaining: content_length.saturating_sub(buffered),
+        });
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    req.body = body;
+    Ok(req)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and discards up to `remaining` body bytes (bounded, best
+/// effort) so a rejection response is not lost to a TCP reset caused by
+/// closing a socket with unread data.
+pub fn drain(stream: &mut TcpStream, remaining: usize) {
+    const DRAIN_CAP: usize = 16 * 1024 * 1024;
+    let mut left = remaining.min(DRAIN_CAP);
+    let mut chunk = [0u8; 8192];
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    while left > 0 {
+        let take = chunk.len().min(left);
+        match stream.read(&mut chunk[..take]) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => left -= n,
+        }
+    }
+}
+
+/// One response about to be written. Everything defaults to
+/// `Connection: close`; the SSE handler writes its header by hand.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":");
+        dtdinfer_obs::json::write_string(&mut body, message);
+        body.push('}');
+        Response::json(status, body)
+    }
+}
+
+/// The standard reason phrase for the statuses this daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes `response` to `stream` with `Connection: close`.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feeds raw bytes through a real socket pair into `read_request`.
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let got = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_request_with_body_and_query() {
+        let raw = b"POST /sessions/a/ingest?mode=ndxml HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n<a/>";
+        let req = roundtrip(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions/a/ingest");
+        assert_eq!(req.query_param("mode"), Some("ndxml"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"<a/>");
+    }
+
+    #[test]
+    fn rejects_oversized_body_without_reading_it() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        match roundtrip(raw, 16) {
+            Err(RequestError::TooLarge { declared, .. }) => assert_eq!(declared, 999_999),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_chunked_and_garbage() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            roundtrip(raw, 16),
+            Err(RequestError::Unsupported(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"not http at all\r\n\r\n", 16),
+            Err(RequestError::Malformed(_) | RequestError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,555 @@
+//! `dtdinfer serve` — a multi-tenant incremental schema-inference daemon.
+//!
+//! The paper's algorithms (iDTD's SOA rewriting, CRX's partial-order
+//! summary) are incremental by construction: learner state is a
+//! commutative union of per-word contributions, so schemas can be
+//! maintained as data trickles in rather than re-inferred from scratch.
+//! This crate turns that property into a long-lived service. Clients POST
+//! documents into named **schema sessions** — isolated tenants, each a
+//! warm [`EngineState`](dtdinfer_engine::EngineState) — and read back the
+//! current DTD/XSD, validate documents against it, or subscribe to an SSE
+//! stream of **schema-drift events** (each ingest classified
+//! equal/stricter/looser/incomparable by the DFA-based schema diff).
+//!
+//! The daemon is std-only like the rest of the workspace: a hand-rolled
+//! HTTP/1.1 codec ([`http`]), a nonblocking accept loop feeding a bounded
+//! connection queue (load-shedding with 503 when full), and a small fixed
+//! worker pool. Durability is snapshot + journal per session
+//! ([`dtdinfer_engine::journal`]): every acknowledged ingest is journaled
+//! before it is absorbed, so `kill -9` loses nothing; graceful shutdown
+//! (SIGINT/SIGTERM or `POST /shutdown`) additionally compacts every dirty
+//! session.
+//!
+//! ## API
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /sessions/{name}/ingest` | absorb one document (or NDXML batch with `?mode=ndxml`); creates the session |
+//! | `GET /sessions/{name}/dtd` | current inferred DTD |
+//! | `GET /sessions/{name}/xsd` | current schema as XSD |
+//! | `POST /sessions/{name}/validate` | validate body against current schema (JSON witnesses) |
+//! | `GET /sessions/{name}/events` | SSE drift events |
+//! | `GET /sessions` | list sessions |
+//! | `DELETE /sessions/{name}` | drop a session and its files |
+//! | `GET /metrics` | OpenMetrics exposition |
+//! | `GET /healthz` | liveness |
+//! | `POST /shutdown` | graceful shutdown |
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod session;
+
+use http::{read_request, write_response, Request, RequestError, Response};
+use session::{ingest_json, parse_check, split_batch, valid_name, validation_json, Session};
+
+use dtdinfer_xml::infer::InferenceEngine;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything `run` needs to know, with defaults a quickstart can keep.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:7700`. Port 0 picks a free port.
+    pub addr: String,
+    /// Directory holding per-session `<name>.snap` / `<name>.journal`.
+    pub data_dir: PathBuf,
+    /// Learner used to derive schemas (shared by every session).
+    pub engine: InferenceEngine,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission: maximum live sessions (429 past this).
+    pub max_sessions: usize,
+    /// Admission: maximum request body bytes (413 past this).
+    pub max_body_bytes: usize,
+    /// Admission: maximum on-disk bytes per session (413 past this).
+    pub max_session_bytes: u64,
+    /// Journal size that triggers compaction (see `Store::wants_compaction`).
+    pub compact_min_bytes: u64,
+    /// Bounded connection queue depth (503 when full).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7700".to_owned(),
+            data_dir: PathBuf::from("dtdinfer-data"),
+            engine: InferenceEngine::Idtd,
+            workers: 4,
+            max_sessions: 64,
+            max_body_bytes: 8 * 1024 * 1024,
+            max_session_bytes: 256 * 1024 * 1024,
+            compact_min_bytes: 64 * 1024,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    config: ServeConfig,
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<Session>>>>,
+    /// Set by `POST /shutdown`; OS signals set [`signals::SIGNALED`].
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signals::signaled()
+    }
+}
+
+/// OS signal plumbing: SIGINT/SIGTERM flip one process-global flag the
+/// accept loop polls. Registered through the C `signal` symbol directly —
+/// the workspace links libc through std anyway and takes no new crates.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the SIGINT/SIGTERM handlers (idempotent).
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// Whether a termination signal has arrived.
+    pub fn signaled() -> bool {
+        SIGNALED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No signal handling off unix; Ctrl-C terminates the process and the
+    /// journal makes that safe.
+    pub fn install() {}
+    /// Always false off unix.
+    pub fn signaled() -> bool {
+        false
+    }
+}
+
+/// Boots the daemon and blocks until shutdown. Returns the human-readable
+/// reason it stopped, or an error if it could not start. `on_ready` gets
+/// the actually-bound address before the first connection is accepted
+/// (the CLI logs it; tests bind port 0 and need the real port).
+pub fn run(config: ServeConfig, on_ready: impl FnOnce(&str)) -> Result<String, String> {
+    std::fs::create_dir_all(&config.data_dir)
+        .map_err(|e| format!("{}: {e}", config.data_dir.display()))?;
+    // The service is its own monitoring substrate: /metrics must work even
+    // when the CLI did not pass --metrics.
+    dtdinfer_obs::enable(true, dtdinfer_obs::trace_enabled());
+    let listener = TcpListener::bind(&config.addr).map_err(|e| format!("{}: {e}", config.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    signals::install();
+
+    let shared = Arc::new(Shared {
+        sessions: Mutex::new(BTreeMap::new()),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        config,
+    });
+    recover_sessions(&shared)?;
+    on_ready(&local);
+
+    let workers: Vec<_> = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    // Accept loop: poll-accept so the shutdown flag is noticed promptly.
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                dtdinfer_obs::count("serve.http.accepted", 1);
+                let mut queue = shared.queue.lock().expect("queue lock");
+                if queue.len() >= shared.config.queue_depth {
+                    drop(queue);
+                    // Load shedding: tell the client to back off instead of
+                    // queueing unboundedly.
+                    shed(stream);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    shared.queue_cv.notify_all();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let flushed = flush_all(&shared);
+    Ok(format!("shutdown: {} session(s) flushed", flushed))
+}
+
+/// Writes a one-line 503 to a connection the queue has no room for.
+fn shed(mut stream: TcpStream) {
+    dtdinfer_obs::count("serve.http.shed", 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = write_response(
+        &mut stream,
+        &Response::error(503, "connection queue full, retry later"),
+    );
+}
+
+/// Reopens every session whose snapshot or journal survives in the data
+/// dir, replaying journals (this is the restart-recovery path).
+fn recover_sessions(shared: &Shared) -> Result<(), String> {
+    let mut names: Vec<String> = Vec::new();
+    let entries = std::fs::read_dir(&shared.config.data_dir)
+        .map_err(|e| format!("{}: {e}", shared.config.data_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let (Some(stem), Some(ext)) = (
+            path.file_stem().and_then(|s| s.to_str()),
+            path.extension().and_then(|s| s.to_str()),
+        ) else {
+            continue;
+        };
+        if (ext == "snap" || ext == "journal")
+            && valid_name(stem)
+            && !names.iter().any(|n| n == stem)
+        {
+            names.push(stem.to_owned());
+        }
+    }
+    let mut sessions = shared.sessions.lock().expect("sessions lock");
+    for name in names {
+        let (session, replayed) =
+            Session::open(&shared.config.data_dir, &name, shared.config.engine)
+                .map_err(|e| format!("recovering session {name:?}: {e}"))?;
+        dtdinfer_obs::count("serve.session.recovered", 1);
+        if replayed > 0 {
+            dtdinfer_obs::count("serve.session.replayed_records", replayed);
+        }
+        sessions.insert(name, Arc::new(Mutex::new(session)));
+    }
+    dtdinfer_obs::gauge("serve.sessions", sessions.len() as u64);
+    Ok(())
+}
+
+/// Compacts every dirty session (graceful-shutdown flush). Returns how
+/// many sessions were written.
+fn flush_all(shared: &Shared) -> u64 {
+    let sessions = shared.sessions.lock().expect("sessions lock");
+    let mut flushed = 0;
+    for (name, session) in sessions.iter() {
+        let mut session = session.lock().expect("session lock");
+        match session.flush() {
+            Ok(true) => flushed += 1,
+            Ok(false) => {}
+            Err(e) => eprintln!("dtdinfer serve: flushing session {name:?}: {e}"),
+        }
+        // Tell subscribers the stream is over before the socket drops.
+        session.broadcast("event: shutdown\ndata: {}\n\n");
+    }
+    flushed
+}
+
+/// One worker: pop connections until shutdown and the queue is drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        let started = Instant::now();
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        handle_connection(shared, &mut stream);
+        dtdinfer_obs::observe(
+            "serve.http.request_ns",
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+}
+
+/// Reads one request, routes it, writes the response. SSE subscriptions
+/// consume the stream and return without writing a normal response.
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let request = match read_request(stream, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            let response = match e {
+                RequestError::Io(_) => return, // client went away; nothing to say
+                RequestError::Malformed(m) => Response::error(400, &m),
+                RequestError::TooLarge {
+                    declared,
+                    remaining,
+                } => {
+                    dtdinfer_obs::count("serve.admission.body_bytes", 1);
+                    http::drain(stream, remaining);
+                    Response::error(
+                        413,
+                        &format!(
+                            "body of {declared} byte(s) exceeds the {}-byte limit",
+                            shared.config.max_body_bytes
+                        ),
+                    )
+                }
+                RequestError::Unsupported(what) => {
+                    Response::error(501, &format!("{what} is not supported"))
+                }
+            };
+            finish(stream, response);
+            return;
+        }
+    };
+    match route(shared, &request, stream) {
+        Routed::Response(response) => finish(stream, response),
+        Routed::Streaming => {} // SSE took the socket
+    }
+}
+
+fn finish(stream: &mut TcpStream, response: Response) {
+    dtdinfer_obs::count_labeled("serve.http.status", &response.status.to_string(), 1);
+    let _ = write_response(stream, &response);
+}
+
+/// What routing did with the connection.
+enum Routed {
+    /// Normal request/response.
+    Response(Response),
+    /// The socket was adopted as an SSE subscriber.
+    Streaming,
+}
+
+/// Dispatches one request. `stream` is only touched by the SSE path.
+fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> Routed {
+    let path_parts: Vec<&str> = req.path.split('/').filter(|p| !p.is_empty()).collect();
+    let method = req.method.as_str();
+    let response = match (method, path_parts.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => Response {
+            status: 200,
+            content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            body: dtdinfer_obs::openmetrics::openmetrics(&dtdinfer_obs::snapshot()).into_bytes(),
+        },
+        ("POST", ["shutdown"]) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"shutting_down\":true}")
+        }
+        ("GET", ["sessions"]) => list_sessions(shared),
+        (_, ["sessions", name, ..]) if !valid_name(name) => {
+            Response::error(404, &format!("invalid session name {name:?}"))
+        }
+        ("POST", ["sessions", name, "ingest"]) => ingest(shared, req, name),
+        ("GET", ["sessions", name, "dtd"]) => {
+            with_session(shared, name, |s| Response::text(200, s.dtd().serialize()))
+        }
+        ("GET", ["sessions", name, "xsd"]) => {
+            with_session(shared, name, |s| Response::text(200, s.xsd()))
+        }
+        ("POST", ["sessions", name, "validate"]) => validate(shared, req, name),
+        ("GET", ["sessions", name, "events"]) => {
+            return subscribe(shared, name, stream);
+        }
+        ("DELETE", ["sessions", name]) => delete_session(shared, name),
+        (_, ["sessions", ..]) => Response::error(405, "method not allowed on this route"),
+        _ => Response::error(404, &format!("no route for {} {}", method, req.path)),
+    };
+    Routed::Response(response)
+}
+
+/// Runs `f` on the named session, or 404s.
+fn with_session(shared: &Shared, name: &str, f: impl FnOnce(&mut Session) -> Response) -> Response {
+    let session = {
+        let sessions = shared.sessions.lock().expect("sessions lock");
+        sessions.get(name).cloned()
+    };
+    match session {
+        Some(session) => f(&mut session.lock().expect("session lock")),
+        None => Response::error(404, &format!("no session {name:?}")),
+    }
+}
+
+fn list_sessions(shared: &Shared) -> Response {
+    let sessions = shared.sessions.lock().expect("sessions lock");
+    let mut body = String::from("{\"sessions\":[");
+    for (i, session) in sessions.values().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&session.lock().expect("session lock").describe());
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn delete_session(shared: &Shared, name: &str) -> Response {
+    let removed = {
+        let mut sessions = shared.sessions.lock().expect("sessions lock");
+        let removed = sessions.remove(name);
+        dtdinfer_obs::gauge("serve.sessions", sessions.len() as u64);
+        removed
+    };
+    match removed {
+        Some(session) => {
+            let mut session = session.lock().expect("session lock");
+            session.broadcast("event: deleted\ndata: {}\n\n");
+            session.subscribers.clear();
+            match session.store.remove() {
+                Ok(()) => Response::json(200, "{\"deleted\":true}"),
+                Err(e) => Response::error(500, &e),
+            }
+        }
+        None => Response::error(404, &format!("no session {name:?}")),
+    }
+}
+
+/// `POST /sessions/{name}/ingest` — the write path. Creates the session
+/// on first use (admission: session count), checks every document parses
+/// (400), checks disk caps (413), then journals + absorbs + classifies.
+fn ingest(shared: &Shared, req: &Request, name: &str) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let docs = split_batch(req, body);
+    if docs.is_empty() {
+        return Response::error(400, "no documents in request body");
+    }
+    for (i, doc) in docs.iter().enumerate() {
+        if let Err(e) = parse_check(doc) {
+            return Response::error(400, &format!("document {} does not parse: {e}", i + 1));
+        }
+    }
+    let session = {
+        let mut sessions = shared.sessions.lock().expect("sessions lock");
+        match sessions.get(name) {
+            Some(session) => Arc::clone(session),
+            None => {
+                if sessions.len() >= shared.config.max_sessions {
+                    dtdinfer_obs::count("serve.admission.session_limit", 1);
+                    return Response::error(
+                        429,
+                        &format!("session limit of {} reached", shared.config.max_sessions),
+                    );
+                }
+                let opened = Session::open(&shared.config.data_dir, name, shared.config.engine);
+                match opened {
+                    Ok((session, _)) => {
+                        let session = Arc::new(Mutex::new(session));
+                        sessions.insert(name.to_owned(), Arc::clone(&session));
+                        dtdinfer_obs::gauge("serve.sessions", sessions.len() as u64);
+                        session
+                    }
+                    Err(e) => return Response::error(500, &e),
+                }
+            }
+        }
+    };
+    let mut session = session.lock().expect("session lock");
+    if session.store.disk_bytes() + req.body.len() as u64 > shared.config.max_session_bytes {
+        dtdinfer_obs::count("serve.admission.session_bytes", 1);
+        return Response::error(
+            413,
+            &format!(
+                "session {name:?} would exceed its {}-byte disk cap",
+                shared.config.max_session_bytes
+            ),
+        );
+    }
+    let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    match session.ingest(&doc_refs, shared.config.compact_min_bytes) {
+        Ok(outcome) => {
+            dtdinfer_obs::count("serve.ingest.documents", outcome.ingested);
+            Response::json(
+                200,
+                ingest_json(&session.name, &outcome, session.state.num_documents),
+            )
+        }
+        Err(e) => Response::error(500, &e),
+    }
+}
+
+/// `POST /sessions/{name}/validate` — validates the body against the
+/// session's current schema; shares its serializer with
+/// `dtdinfer validate --format json`.
+fn validate(shared: &Shared, req: &Request, name: &str) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let body = body.to_owned();
+    with_session(shared, name, move |session| {
+        if session.state.num_documents == 0 {
+            return Response::error(409, "session has no documents yet");
+        }
+        match session.dtd().validate_structured(&body) {
+            Ok(violations) => Response::json(200, validation_json(&violations)),
+            Err(e) => Response::error(400, &format!("document does not parse: {e}")),
+        }
+    })
+}
+
+/// `GET /sessions/{name}/events` — writes the SSE preamble and hands the
+/// socket to the session's subscriber list.
+fn subscribe(shared: &Shared, name: &str, stream: &mut TcpStream) -> Routed {
+    let session = {
+        let sessions = shared.sessions.lock().expect("sessions lock");
+        sessions.get(name).cloned()
+    };
+    let Some(session) = session else {
+        return Routed::Response(Response::error(404, &format!("no session {name:?}")));
+    };
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\n\
+         Connection: keep-alive\r\n\r\n: subscribed to session {name}\n\n"
+    );
+    if stream.write_all(head.as_bytes()).is_err() {
+        return Routed::Streaming; // client vanished; nothing to keep
+    }
+    let Ok(adopted) = stream.try_clone() else {
+        return Routed::Response(Response::error(500, "could not retain event stream"));
+    };
+    session.lock().expect("session lock").subscribe(adopted);
+    Routed::Streaming
+}

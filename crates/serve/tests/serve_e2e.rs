@@ -1,0 +1,313 @@
+//! End-to-end exercises of the daemon over real sockets: a server per
+//! test on an ephemeral port, raw HTTP/1.1 from a hand-rolled client.
+//!
+//! The crash-recovery test simulates `kill -9` by copying the session's
+//! on-disk snapshot + journal *without* any shutdown/flush (exactly the
+//! bytes a killed process leaves behind) and booting a second daemon on
+//! the copy.
+
+use dtdinfer_serve::{run, ServeConfig};
+use dtdinfer_xml::infer::InferenceEngine;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Duration;
+
+struct Server {
+    addr: String,
+    #[allow(dead_code)]
+    thread: std::thread::JoinHandle<Result<String, String>>,
+}
+
+fn boot(data_dir: &Path, tweak: impl FnOnce(&mut ServeConfig)) -> Server {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: data_dir.to_owned(),
+        engine: InferenceEngine::Idtd,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    tweak(&mut config);
+    let (tx, rx) = mpsc::channel();
+    let thread = std::thread::spawn(move || {
+        run(config, move |addr| {
+            tx.send(addr.to_owned()).expect("report addr");
+        })
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("server came up");
+    Server { addr, thread }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dtdinfer-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One request, one response: returns (status, body).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    request(addr, "GET", path, "")
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    request(addr, "POST", path, body)
+}
+
+fn corpus() -> Vec<String> {
+    (0..10)
+        .map(|i| match i % 3 {
+            0 => format!("<cat><book id=\"b{i}\"><title>t</title></book></cat>"),
+            1 => "<cat><book><title>t</title><author>a</author></book></cat>".to_owned(),
+            _ => "<cat><book><title>t</title></book><book><title>u</title></book></cat>".to_owned(),
+        })
+        .collect()
+}
+
+#[test]
+fn ingest_then_dtd_matches_sequential_inference() {
+    let dir = scratch("dtd");
+    let server = boot(&dir, |_| {});
+    for doc in corpus() {
+        let (status, body) = post(&server.addr, "/sessions/cat/ingest", &doc);
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, served) = get(&server.addr, "/sessions/cat/dtd");
+    assert_eq!(status, 200);
+    // The reference: the same corpus through the engine directly.
+    let mut state = dtdinfer_engine::EngineState::new();
+    for doc in corpus() {
+        state.absorb_document(&doc).unwrap();
+    }
+    let (dtd, _) = state.derive(InferenceEngine::Idtd);
+    assert_eq!(served, dtd.serialize());
+    // XSD endpoint renders too.
+    let (status, xsd) = get(&server.addr, "/sessions/cat/xsd");
+    assert_eq!(status, 200);
+    assert!(xsd.contains("xs:schema"), "{xsd}");
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ndxml_batch_ingest_and_listing() {
+    let dir = scratch("batch");
+    let server = boot(&dir, |_| {});
+    let batch = corpus().join("\n");
+    let (status, body) = post(&server.addr, "/sessions/b/ingest?mode=ndxml", &batch);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ingested\":10"), "{body}");
+    let (status, listing) = get(&server.addr, "/sessions");
+    assert_eq!(status, 200);
+    assert!(listing.contains("\"name\":\"b\""), "{listing}");
+    assert!(listing.contains("\"documents\":10"), "{listing}");
+    // Deleting removes the session and its files.
+    let (status, _) = request(&server.addr, "DELETE", "/sessions/b", "");
+    assert_eq!(status, 200);
+    let (status, _) = get(&server.addr, "/sessions/b/dtd");
+    assert_eq!(status, 404);
+    assert!(!dir.join("b.snap").exists() && !dir.join("b.journal").exists());
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_recovery_reproduces_schema_without_reingesting() {
+    let dir = scratch("crash");
+    let server = boot(&dir, |_| {});
+    for doc in corpus() {
+        post(&server.addr, "/sessions/s/ingest", &doc);
+    }
+    let (_, before) = get(&server.addr, "/sessions/s/dtd");
+    // "kill -9": copy the on-disk bytes as-is — no flush, no shutdown —
+    // and boot a fresh daemon on the copy.
+    let crash_dir = scratch("crash-copy");
+    for f in ["s.snap", "s.journal"] {
+        if dir.join(f).exists() {
+            std::fs::copy(dir.join(f), crash_dir.join(f)).unwrap();
+        }
+    }
+    let revived = boot(&crash_dir, |_| {});
+    let (status, after) = get(&revived.addr, "/sessions/s/dtd");
+    assert_eq!(status, 200);
+    assert_eq!(after, before, "recovered schema differs");
+    // The revived session keeps absorbing.
+    let (status, _) = post(
+        &revived.addr,
+        "/sessions/s/ingest",
+        "<cat><book><title>t</title></book></cat>",
+    );
+    assert_eq!(status, 200);
+    post(&server.addr, "/shutdown", "");
+    post(&revived.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+#[test]
+fn graceful_shutdown_flushes_dirty_sessions() {
+    let dir = scratch("flush");
+    let server = boot(&dir, |c| c.compact_min_bytes = u64::MAX); // never auto-compact
+    for doc in corpus().iter().take(3) {
+        post(&server.addr, "/sessions/f/ingest", doc);
+    }
+    let (_, before) = get(&server.addr, "/sessions/f/dtd");
+    let (status, _) = post(&server.addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    let outcome = server.thread.join().unwrap().unwrap();
+    assert!(outcome.contains("1 session(s) flushed"), "{outcome}");
+    // The flush compacted: snapshot holds everything, journal is empty.
+    let snap = std::fs::read_to_string(dir.join("f.snap")).unwrap();
+    assert!(snap.contains("documents 3"), "snapshot missing documents");
+    let mut store = dtdinfer_engine::journal::Store::new(&dir, "f");
+    let recovered = store.recover().unwrap();
+    assert_eq!(recovered.replayed, 0, "journal should be compacted away");
+    let (dtd, _) = recovered.state.derive(InferenceEngine::Idtd);
+    assert_eq!(dtd.serialize(), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sse_stream_emits_classified_drift_events() {
+    let dir = scratch("sse");
+    let server = boot(&dir, |_| {});
+    // Create the session first (events 404 on unknown sessions).
+    post(&server.addr, "/sessions/d/ingest", "<r><a/><b/></r>");
+    // Subscribe.
+    let mut sub = TcpStream::connect(&server.addr).unwrap();
+    sub.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    sub.write_all(b"GET /sessions/d/events HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(sub.try_clone().unwrap());
+    let mut line = String::new();
+    // Read until the subscription greeting comment arrives.
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.starts_with(": subscribed") {
+            break;
+        }
+    }
+    // Scripted drift: same shape → equal; drop <b/> → looser (b becomes
+    // optional); a brand-new element → looser again.
+    let script: &[(&str, &str)] = &[
+        ("<r><a/><b/></r>", "\"relation\":\"equal\""),
+        ("<r><a/></r>", "\"relation\":\"looser\""),
+        ("<r><a/><c/></r>", "\"relation\":\"looser\""),
+    ];
+    for (doc, want) in script {
+        let (status, _) = post(&server.addr, "/sessions/d/ingest", doc);
+        assert_eq!(status, 200);
+        // Read one SSE frame: event, id, data, blank.
+        let mut event = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() && !event.is_empty() {
+                break;
+            }
+            event.push_str(&line);
+        }
+        assert!(event.contains("event: drift"), "{event}");
+        assert!(event.contains(want), "wanted {want} in {event}");
+    }
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validate_endpoint_shares_witness_serializer() {
+    let dir = scratch("val");
+    let server = boot(&dir, |_| {});
+    // No session yet → 404; empty session → 409 is unreachable via HTTP
+    // (ingest creates), so ingest then validate.
+    let (status, _) = post(&server.addr, "/sessions/v/validate", "<r/>");
+    assert_eq!(status, 404);
+    post(&server.addr, "/sessions/v/ingest", "<r><a/><b/></r>");
+    let (status, body) = post(&server.addr, "/sessions/v/validate", "<r><a/><b/></r>");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"valid\":true"), "{body}");
+    let (status, body) = post(&server.addr, "/sessions/v/validate", "<r><b/><a/></r>");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"valid\":false"), "{body}");
+    assert!(body.contains("\"kind\":\"content-model\""), "{body}");
+    assert!(body.contains("\"position\":1"), "{body}");
+    let (status, body) = post(&server.addr, "/sessions/v/validate", "<r><a/>");
+    assert_eq!(status, 400, "unparseable doc: {body}");
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn admission_control_and_metrics() {
+    let dir = scratch("admit");
+    let server = boot(&dir, |c| {
+        c.max_sessions = 2;
+        c.max_body_bytes = 256;
+        c.max_session_bytes = 400;
+    });
+    // Body cap: 413 before the body is even read.
+    let big = format!("<r>{}</r>", "x".repeat(1000));
+    let (status, _) = post(&server.addr, "/sessions/a/ingest", &big);
+    assert_eq!(status, 413);
+    // Session cap: third distinct session is refused.
+    assert_eq!(post(&server.addr, "/sessions/a/ingest", "<r/>").0, 200);
+    assert_eq!(post(&server.addr, "/sessions/b/ingest", "<r/>").0, 200);
+    let (status, body) = post(&server.addr, "/sessions/c/ingest", "<r/>");
+    assert_eq!(status, 429, "{body}");
+    // Per-session disk cap: keep appending to one session until 413.
+    let mut saw_413 = false;
+    for _ in 0..50 {
+        let (status, _) = post(&server.addr, "/sessions/a/ingest", "<r><a/><b/><c/></r>");
+        if status == 413 {
+            saw_413 = true;
+            break;
+        }
+        assert_eq!(status, 200);
+    }
+    assert!(saw_413, "disk cap never tripped");
+    // Bad names and bad methods.
+    assert_eq!(get(&server.addr, "/sessions/..%2Fevil/dtd").0, 404);
+    assert_eq!(request(&server.addr, "PUT", "/sessions/a/dtd", "").0, 405);
+    assert_eq!(get(&server.addr, "/nope").0, 404);
+    // Parse failures poison nothing: 400, then the session still works.
+    let (status, _) = post(&server.addr, "/sessions/b/ingest", "<r><unclosed>");
+    assert_eq!(status, 400);
+    assert_eq!(get(&server.addr, "/sessions/b/dtd").0, 200);
+    // /metrics speaks valid OpenMetrics.
+    let (status, metrics) = get(&server.addr, "/metrics");
+    assert_eq!(status, 200);
+    dtdinfer_obs::openmetrics::validate(&metrics)
+        .unwrap_or_else(|e| panic!("omlint failed: {e}\n{metrics}"));
+    assert!(metrics.contains("serve_sessions"), "{metrics}");
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}

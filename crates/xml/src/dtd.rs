@@ -249,12 +249,27 @@ impl Dtd {
         out
     }
 
-    /// Validates a document against this DTD. Returns the list of
-    /// violations (empty = valid). Elements without a declaration are
-    /// violations; so are content-model mismatches.
+    /// Validates a document against this DTD. Returns the human-readable
+    /// violation messages (empty = valid). Elements without a declaration
+    /// are violations; so are content-model mismatches. The structured
+    /// twin [`Dtd::validate_structured`] carries the same findings with
+    /// machine-readable witness fields.
     pub fn validate(&self, doc: &str) -> Result<Vec<String>, XmlError> {
+        Ok(self
+            .validate_structured(doc)?
+            .into_iter()
+            .map(|v| v.message)
+            .collect())
+    }
+
+    /// Validates a document against this DTD, returning structured
+    /// [`Violation`]s: the offending element, the 1-based child position
+    /// of the counterexample witness, and the expected/got pair — the
+    /// payload `dtdinfer validate --format json` and the serve daemon's
+    /// validate endpoint share.
+    pub fn validate_structured(&self, doc: &str) -> Result<Vec<Violation>, XmlError> {
         let mut parser = XmlPullParser::new(doc);
-        let mut violations = Vec::new();
+        let mut violations: Vec<Violation> = Vec::new();
         // (name, children, has_text) — names borrow from the document, so
         // validation streams without per-event allocation.
         let mut stack: Vec<(&str, Vec<&str>, bool)> = Vec::new();
@@ -267,10 +282,17 @@ impl Dtd {
                     if stack.is_empty() {
                         if let Some(root) = self.root {
                             if self.alphabet.name(root) != name {
-                                violations.push(format!(
-                                    "root element is <{name}>, expected <{}>",
-                                    self.alphabet.name(root)
-                                ));
+                                let expected = self.alphabet.name(root);
+                                violations.push(Violation {
+                                    kind: ViolationKind::Root,
+                                    element: name.to_owned(),
+                                    position: None,
+                                    expected: Some(expected.to_owned()),
+                                    got: Some(name.to_owned()),
+                                    message: format!(
+                                        "root element is <{name}>, expected <{expected}>"
+                                    ),
+                                });
                             }
                         }
                     }
@@ -301,43 +323,80 @@ impl Dtd {
         name: &str,
         children: &[&str],
         has_text: bool,
-        violations: &mut Vec<String>,
+        violations: &mut Vec<Violation>,
     ) {
+        let undeclared = |violations: &mut Vec<Violation>| {
+            violations.push(Violation {
+                kind: ViolationKind::UndeclaredElement,
+                element: name.to_owned(),
+                position: None,
+                expected: None,
+                got: None,
+                message: format!("undeclared element <{name}>"),
+            });
+        };
         let Some(sym) = self.alphabet.get(name) else {
-            violations.push(format!("undeclared element <{name}>"));
+            undeclared(violations);
             return;
         };
         let Some(spec) = self.elements.get(&sym) else {
-            violations.push(format!("undeclared element <{name}>"));
+            undeclared(violations);
             return;
         };
         match spec {
             ContentSpec::Any => {}
             ContentSpec::Empty => {
                 if has_text || !children.is_empty() {
-                    violations.push(format!("<{name}> declared EMPTY but has content"));
+                    violations.push(Violation {
+                        kind: ViolationKind::Content,
+                        element: name.to_owned(),
+                        position: None,
+                        expected: Some("EMPTY".to_owned()),
+                        got: children.first().map(|c| (*c).to_owned()),
+                        message: format!("<{name}> declared EMPTY but has content"),
+                    });
                 }
             }
             ContentSpec::PcData => {
                 if !children.is_empty() {
-                    violations.push(format!("<{name}> is (#PCDATA) but has element children"));
+                    violations.push(Violation {
+                        kind: ViolationKind::Content,
+                        element: name.to_owned(),
+                        position: Some(1),
+                        expected: Some("(#PCDATA)".to_owned()),
+                        got: children.first().map(|c| (*c).to_owned()),
+                        message: format!("<{name}> is (#PCDATA) but has element children"),
+                    });
                 }
             }
             ContentSpec::Mixed(allowed) => {
-                for child in children {
+                for (i, child) in children.iter().enumerate() {
                     match self.alphabet.get(child) {
                         Some(c) if allowed.contains(&c) => {}
-                        _ => violations.push(format!(
-                            "<{child}> not allowed in mixed content of <{name}>"
-                        )),
+                        _ => violations.push(Violation {
+                            kind: ViolationKind::ContentModel,
+                            element: name.to_owned(),
+                            position: Some(i + 1),
+                            expected: Some(self.render_spec(spec)),
+                            got: Some((*child).to_owned()),
+                            message: format!("<{child}> not allowed in mixed content of <{name}>"),
+                        }),
                     }
                 }
             }
             ContentSpec::Children(regex) => {
+                let model = render_dtd(regex, &self.alphabet);
                 if has_text {
-                    violations.push(format!(
-                        "<{name}> has character data but declares element content"
-                    ));
+                    violations.push(Violation {
+                        kind: ViolationKind::Content,
+                        element: name.to_owned(),
+                        position: None,
+                        expected: Some(model.clone()),
+                        got: Some("#PCDATA".to_owned()),
+                        message: format!(
+                            "<{name}> has character data but declares element content"
+                        ),
+                    });
                 }
                 let word: Option<Word> = children.iter().map(|c| self.alphabet.get(c)).collect();
                 match word {
@@ -348,44 +407,198 @@ impl Dtd {
                             .iter()
                             .position(|c| self.alphabet.get(c).is_none())
                             .unwrap_or(0);
-                        violations.push(format!(
-                            "children of <{name}> ({}) do not match {}: child {} (<{}>) \
-                             is not part of the content model",
-                            children.join(" "),
-                            render_dtd(regex, &self.alphabet),
-                            bad + 1,
-                            children[bad]
-                        ));
+                        violations.push(Violation {
+                            kind: ViolationKind::ContentModel,
+                            element: name.to_owned(),
+                            position: Some(bad + 1),
+                            expected: Some(model.clone()),
+                            got: Some(children[bad].to_owned()),
+                            message: format!(
+                                "children of <{name}> ({}) do not match {model}: child {} \
+                                 (<{}>) is not part of the content model",
+                                children.join(" "),
+                                bad + 1,
+                                children[bad]
+                            ),
+                        });
                     }
                     Some(w) => {
                         let nfa = Nfa::from_regex(regex);
                         if !nfa.accepts(&w) {
                             let at = failing_position(&nfa, &w);
-                            let witness = if at == w.len() {
+                            let (position, got, witness) = if at == w.len() {
                                 if w.is_empty() {
-                                    ": content is empty, more children expected".to_owned()
+                                    (
+                                        Some(1),
+                                        None,
+                                        ": content is empty, more children expected".to_owned(),
+                                    )
                                 } else {
-                                    format!(
-                                        ": content ends after child {} (<{}>), more children \
-                                         expected",
-                                        w.len(),
-                                        children[w.len() - 1]
+                                    (
+                                        Some(w.len() + 1),
+                                        None,
+                                        format!(
+                                            ": content ends after child {} (<{}>), more \
+                                             children expected",
+                                            w.len(),
+                                            children[w.len() - 1]
+                                        ),
                                     )
                                 }
                             } else {
-                                format!(": mismatch at child {} (<{}>)", at + 1, children[at])
+                                (
+                                    Some(at + 1),
+                                    Some(children[at].to_owned()),
+                                    format!(": mismatch at child {} (<{}>)", at + 1, children[at]),
+                                )
                             };
-                            violations.push(format!(
-                                "children of <{name}> ({}) do not match {}{witness}",
-                                children.join(" "),
-                                render_dtd(regex, &self.alphabet)
-                            ));
+                            violations.push(Violation {
+                                kind: ViolationKind::ContentModel,
+                                element: name.to_owned(),
+                                position,
+                                expected: Some(model.clone()),
+                                got,
+                                message: format!(
+                                    "children of <{name}> ({}) do not match {model}{witness}",
+                                    children.join(" ")
+                                ),
+                            });
                         }
                     }
                 }
             }
         }
     }
+
+    /// Renders one content spec the way [`Dtd::serialize`] would.
+    fn render_spec(&self, spec: &ContentSpec) -> String {
+        match spec {
+            ContentSpec::Empty => "EMPTY".to_owned(),
+            ContentSpec::Any => "ANY".to_owned(),
+            ContentSpec::PcData => "(#PCDATA)".to_owned(),
+            ContentSpec::Mixed(syms) => {
+                let mut s = String::from("(#PCDATA");
+                for m in syms {
+                    s.push_str(" | ");
+                    s.push_str(self.alphabet.name(*m));
+                }
+                s.push_str(")*");
+                s
+            }
+            ContentSpec::Children(r) => render_dtd(r, &self.alphabet),
+        }
+    }
+}
+
+/// What a [`Violation`] is about, for machine consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The document's root differs from the DTD's.
+    Root,
+    /// An element with no declaration in the DTD.
+    UndeclaredElement,
+    /// Content present where the declaration forbids it (EMPTY with
+    /// content, element content with character data, #PCDATA with
+    /// element children).
+    Content,
+    /// A child word rejected by the declared content model, with the
+    /// witness position.
+    ContentModel,
+    /// An attribute violation (missing required, bad type, undeclared).
+    Attribute,
+}
+
+impl ViolationKind {
+    /// The stable kebab-case identifier used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ViolationKind::Root => "root",
+            ViolationKind::UndeclaredElement => "undeclared-element",
+            ViolationKind::Content => "content",
+            ViolationKind::ContentModel => "content-model",
+            ViolationKind::Attribute => "attribute",
+        }
+    }
+}
+
+/// One structured validation violation: the machine-readable form of the
+/// positioned counterexample witnesses `validate` prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The element the violation is about.
+    pub element: String,
+    /// 1-based child position of the witness, when the violation points
+    /// at a specific place in a child word. For a premature end this is
+    /// one past the last child (where the missing child should go).
+    pub position: Option<usize>,
+    /// What the DTD expected there (a rendered content model, the
+    /// declared root, an attribute type).
+    pub expected: Option<String>,
+    /// What the document actually had (the offending child or root
+    /// element name, the offending attribute value); `None` when content
+    /// ended early.
+    pub got: Option<String>,
+    /// The human-readable rendering (exactly what `validate` returns).
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Violation {
+    /// Stable one-line JSON object: `kind`, `element`, then `position` /
+    /// `expected` / `got` when present, then `message`. The CLI's
+    /// `validate --format json` and the serve daemon's validate endpoint
+    /// both emit exactly this.
+    pub fn json(&self) -> String {
+        use dtdinfer_obs::json::{write_key, write_string};
+        let mut out = String::from("{");
+        write_key(&mut out, "kind");
+        write_string(&mut out, self.kind.as_str());
+        out.push(',');
+        write_key(&mut out, "element");
+        write_string(&mut out, &self.element);
+        if let Some(position) = self.position {
+            out.push(',');
+            write_key(&mut out, "position");
+            out.push_str(&position.to_string());
+        }
+        if let Some(expected) = &self.expected {
+            out.push(',');
+            write_key(&mut out, "expected");
+            write_string(&mut out, expected);
+        }
+        if let Some(got) = &self.got {
+            out.push(',');
+            write_key(&mut out, "got");
+            write_string(&mut out, got);
+        }
+        out.push(',');
+        write_key(&mut out, "message");
+        write_string(&mut out, &self.message);
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a violation list as a JSON array (one violation per line for
+/// easy grepping, still a single valid JSON document).
+pub fn violations_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&v.json());
+    }
+    out.push_str("\n]");
+    out
 }
 
 /// The counterexample witness position for a rejected child word: the
@@ -452,15 +665,25 @@ impl Dtd {
         &self,
         name: &str,
         attributes: &[(&str, std::borrow::Cow<'_, str>)],
-        violations: &mut Vec<String>,
+        violations: &mut Vec<Violation>,
     ) {
+        let undeclared = |violations: &mut Vec<Violation>, attr: &str| {
+            violations.push(Violation {
+                kind: ViolationKind::Attribute,
+                element: name.to_owned(),
+                position: None,
+                expected: None,
+                got: Some(attr.to_owned()),
+                message: format!("attribute {attr:?} on <{name}> is not declared"),
+            });
+        };
         let Some(sym) = self.alphabet.get(name) else {
             return; // undeclared element is reported by check_element
         };
         let Some(defs) = self.attlists.get(&sym) else {
             if !attributes.is_empty() && self.elements.contains_key(&sym) {
                 for (attr, _) in attributes {
-                    violations.push(format!("attribute {attr:?} on <{name}> is not declared"));
+                    undeclared(violations, attr);
                 }
             }
             return;
@@ -470,25 +693,39 @@ impl Dtd {
             match observed {
                 Some((_, value)) => {
                     if !def.accepts(value) {
-                        violations.push(format!(
-                            "attribute {}=\"{}\" on <{name}> violates type {}",
-                            def.name, value, def.ty
-                        ));
+                        violations.push(Violation {
+                            kind: ViolationKind::Attribute,
+                            element: name.to_owned(),
+                            position: None,
+                            expected: Some(def.ty.to_string()),
+                            got: Some(format!("{}=\"{value}\"", def.name)),
+                            message: format!(
+                                "attribute {}=\"{}\" on <{name}> violates type {}",
+                                def.name, value, def.ty
+                            ),
+                        });
                     }
                 }
                 None => {
                     if def.default == crate::attlist::AttDefault::Required {
-                        violations.push(format!(
-                            "required attribute {:?} missing on <{name}>",
-                            def.name
-                        ));
+                        violations.push(Violation {
+                            kind: ViolationKind::Attribute,
+                            element: name.to_owned(),
+                            position: None,
+                            expected: Some(def.name.clone()),
+                            got: None,
+                            message: format!(
+                                "required attribute {:?} missing on <{name}>",
+                                def.name
+                            ),
+                        });
                     }
                 }
             }
         }
         for (attr, _) in attributes {
             if !defs.iter().any(|d| &d.name == attr) {
-                violations.push(format!("attribute {attr:?} on <{name}> is not declared"));
+                undeclared(violations, attr);
             }
         }
     }
@@ -629,6 +866,53 @@ mod tests {
         let violations = dtd.validate("<c><b/></c>").unwrap();
         assert!(violations.iter().any(|v| v.contains("root")));
         assert!(violations.iter().any(|v| v.contains("undeclared")));
+    }
+
+    #[test]
+    fn structured_violations_carry_witness_fields() {
+        let dtd = Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>").unwrap();
+        let vs = dtd.validate_structured("<a><b/><b/></a>").unwrap();
+        assert_eq!(vs.len(), 1);
+        let v = &vs[0];
+        assert_eq!(v.kind, ViolationKind::ContentModel);
+        assert_eq!(v.element, "a");
+        assert_eq!(v.position, Some(2));
+        assert_eq!(v.got.as_deref(), Some("b"));
+        assert_eq!(v.expected.as_deref(), Some("(b, c)"));
+        assert!(
+            v.message.contains("mismatch at child 2 (<b>)"),
+            "{}",
+            v.message
+        );
+
+        // Premature end: position points one past the last child, no `got`.
+        let vs = dtd.validate_structured("<a><b/></a>").unwrap();
+        assert_eq!(vs[0].position, Some(2));
+        assert_eq!(vs[0].got, None);
+
+        // Wrong root carries expected/got.
+        let vs = dtd.validate_structured("<b></b>").unwrap();
+        assert_eq!(vs[0].kind, ViolationKind::Root);
+        assert_eq!(vs[0].expected.as_deref(), Some("a"));
+        assert_eq!(vs[0].got.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn violations_json_is_stable() {
+        let dtd = Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>").unwrap();
+        let vs = dtd.validate_structured("<a><b/><b/></a>").unwrap();
+        let json = violations_json(&vs);
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(
+            json.contains(r#""kind":"content-model""#)
+                && json.contains(r#""element":"a""#)
+                && json.contains(r#""position":2"#)
+                && json.contains(r#""expected":"(b, c)""#)
+                && json.contains(r#""got":"b""#)
+                && json.contains(r#""message":"#),
+            "{json}"
+        );
+        assert_eq!(violations_json(&[]), "[\n]");
     }
 
     #[test]
