@@ -164,6 +164,29 @@ fn run_suite(label: &str, suite: &Suite) -> BenchReport {
         }),
     );
 
+    // Same gate for the labeled/flight-recorder entry points: labels are
+    // only rendered and flight lines only copied after the one-atomic
+    // check passes, so disabled they must cost the same as the bare calls.
+    debug_assert!(!dtdinfer_obs::is_enabled());
+    debug_assert!(!dtdinfer_obs::flightrec::enabled());
+    phases.insert(
+        "obs.noop.labeled".to_owned(),
+        time_phase(suite.reps, None, || {
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                dtdinfer_obs::count_with(
+                    "bench.noop",
+                    &[("route", "/x"), ("status_class", "2xx")],
+                    1,
+                );
+                dtdinfer_obs::observe_with("bench.noop.ns", &[("route", "/x")], i);
+                dtdinfer_obs::flightrec::record("access", "noop");
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        }),
+    );
+
     // Word-level learner workload: the paper expression's language,
     // sampled deterministically.
     let mut al = Alphabet::new();

@@ -341,6 +341,14 @@ USAGE:
                                         compaction (default 64 KiB)
       --queue-depth <N>                 connection queue bound, 503 when
                                         full (default 64)
+      --access-log <FILE|->             append one JSON line per request
+                                        (id, method, route, status, bytes,
+                                        duration, queue wait, session)
+      --flight-capacity <N>             flight-recorder ring size; the ring
+                                        is dumped to DIR/flight-<pid>.json
+                                        on panic and shutdown (default 256)
+      --debug-panic                     enable POST /debug/panic (crash
+                                        drill for testing the recorder)
   dtdinfer fuzz [OPTIONS] [CASE...]     closed-loop differential fuzzing:
                                         random DTDs, sampled corpora, a
                                         metamorphic oracle battery, and
@@ -387,6 +395,9 @@ USAGE:
                                         (as written by --metrics-format
                                         openmetrics); also asserts the
                                         allocator counters are monotone
+      --require-labels <FAMILY>         fail unless the exposition has at
+                                        least one labeled sample of this
+                                        family (repeatable)
 
 OBSERVABILITY (infer, stats, snapshot, learn, fuzz):
       --metrics <FILE|->                write pipeline counters and timing
@@ -996,6 +1007,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.compact_min_bytes = num(&mut it, "--compact-min-bytes")?
             }
             "--queue-depth" => config.queue_depth = num(&mut it, "--queue-depth")? as usize,
+            "--access-log" => {
+                config.access_log = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--access-log needs a value")?,
+                ));
+            }
+            "--flight-capacity" => {
+                config.flight_capacity = num(&mut it, "--flight-capacity")? as usize
+            }
+            "--debug-panic" => config.debug_panic = true,
             a if obs.take(a, &mut it)? => {}
             f => return Err(format!("unknown option {f:?} (try --help)")),
         }
@@ -1229,12 +1249,33 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 /// produced by `--metrics-format openmetrics`): syntax, TYPE
 /// declarations, the `# EOF` terminator, and the allocator-counter
 /// invariant live ≤ peak ≤ total when those gauges are present.
+/// `--require-labels FAMILY` (repeatable) additionally fails unless the
+/// exposition contains at least one *labeled* sample of that family —
+/// the scrape-side check that a daemon's per-route series are present.
 fn cmd_omlint(args: &[String]) -> Result<(), String> {
-    let target = match args {
-        [] => "-".to_owned(),
-        [one] => one.clone(),
-        _ => return Err("usage: dtdinfer omlint [FILE|-]".to_owned()),
-    };
+    let mut target: Option<String> = None;
+    let mut required_labeled: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require-labels" => required_labeled.push(
+                it.next()
+                    .ok_or("--require-labels needs a family name")?
+                    .clone(),
+            ),
+            f if f.starts_with("--") => {
+                return Err(format!("unknown option {f:?} (try --help)"));
+            }
+            f => {
+                if target.replace(f.to_owned()).is_some() {
+                    return Err(
+                        "usage: dtdinfer omlint [--require-labels FAMILY]... [FILE|-]".to_owned(),
+                    );
+                }
+            }
+        }
+    }
+    let target = target.unwrap_or_else(|| "-".to_owned());
     let text = if target == "-" {
         let mut buf = String::new();
         std::io::stdin()
@@ -1247,12 +1288,19 @@ fn cmd_omlint(args: &[String]) -> Result<(), String> {
     dtdinfer_obs::openmetrics::validate(&text).map_err(|e| format!("invalid exposition: {e}"))?;
     let mut families = 0usize;
     let mut samples = 0usize;
+    let mut labeled = 0usize;
+    let mut labeled_families: std::collections::BTreeSet<String> =
+        std::collections::BTreeSet::new();
     let mut alloc: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
     for line in text.lines() {
         if line.starts_with("# TYPE ") {
             families += 1;
         } else if !line.starts_with('#') && !line.trim().is_empty() {
             samples += 1;
+            if let Some(brace) = line.find('{') {
+                labeled += 1;
+                labeled_families.insert(line[..brace].to_owned());
+            }
             if let Some((name, value)) = line.split_once(' ') {
                 if matches!(
                     name,
@@ -1261,6 +1309,19 @@ fn cmd_omlint(args: &[String]) -> Result<(), String> {
                     alloc.insert(name, value.trim().parse().unwrap_or(f64::NAN));
                 }
             }
+        }
+    }
+    for family in &required_labeled {
+        // Histogram families expose their samples with suffixes
+        // (_count/_sum) and quantile labels, so accept any labeled
+        // sample whose name starts with the required family.
+        let found = labeled_families
+            .iter()
+            .any(|f| f == family || f.starts_with(family.as_str()));
+        if !found {
+            return Err(format!(
+                "required labeled family {family:?} has no labeled samples"
+            ));
         }
     }
     if let (Some(&live), Some(&peak)) =
@@ -1279,7 +1340,7 @@ fn cmd_omlint(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    println!("OK: {families} famil(ies), {samples} sample(s)");
+    println!("OK: {families} famil(ies), {samples} sample(s), {labeled} labeled");
     Ok(())
 }
 

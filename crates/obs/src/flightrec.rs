@@ -1,0 +1,355 @@
+//! Flight recorder: a bounded ring of the most recent notable events —
+//! access-log lines, span closures, lifecycle marks — kept so that a
+//! crash leaves evidence behind. The `serve` daemon enables it at boot,
+//! installs the panic hook, and dumps the ring to
+//! `<journal-dir>/flight-<pid>.json` on panic and on graceful shutdown.
+//!
+//! The recorder is gated on its own flag, independent of the
+//! metrics/trace state: operators may scrape `/metrics` with tracing off
+//! while still wanting a post-mortem ring. The disabled-path cost is one
+//! relaxed atomic load; when enabled, event text is copied outside the
+//! lock and the mutex is held only for the push/evict pair ("lock-light":
+//! no allocation, formatting, or I/O under the lock).
+
+use crate::json::{write_key, write_string};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity when [`enable`] is given 0.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub at_unix_ms: u64,
+    /// Event class: `"access"`, `"span"`, `"event"`, `"lifecycle"`,
+    /// `"panic"`, … — a small fixed vocabulary per producer.
+    pub kind: &'static str,
+    /// Human-oriented single-line payload (an access-log JSON line, a
+    /// `name dur_ns=…` span closure, a panic message).
+    pub line: String,
+}
+
+/// A point-in-time copy of the ring plus its accounting.
+#[derive(Debug, Clone)]
+pub struct FlightSnapshot {
+    /// Recording process id (distinguishes dumps from restarted daemons).
+    pub pid: u32,
+    /// Ring capacity at snapshot time.
+    pub capacity: usize,
+    /// Events evicted because the ring was full — exact, so a reader can
+    /// tell "quiet process" from "busy process, old evidence gone".
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightSnapshot {
+    /// Stable JSON rendering, the on-disk dump format:
+    /// `{"pid":…,"capacity":…,"dropped":…,"events":[{"at_unix_ms":…,
+    /// "kind":"…","line":"…"},…]}`.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        write_key(&mut out, "pid");
+        out.push_str(&self.pid.to_string());
+        out.push(',');
+        write_key(&mut out, "capacity");
+        out.push_str(&self.capacity.to_string());
+        out.push(',');
+        write_key(&mut out, "dropped");
+        out.push_str(&self.dropped.to_string());
+        out.push(',');
+        write_key(&mut out, "events");
+        out.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            write_key(&mut out, "at_unix_ms");
+            out.push_str(&e.at_unix_ms.to_string());
+            out.push(',');
+            write_key(&mut out, "kind");
+            write_string(&mut out, e.kind);
+            out.push(',');
+            write_key(&mut out, "line");
+            write_string(&mut out, e.line.as_str());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            events: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        })
+    })
+}
+
+/// Turns the recorder on with the given ring capacity (0 selects
+/// [`DEFAULT_CAPACITY`]). Shrinking the capacity evicts oldest events.
+pub fn enable(capacity: usize) {
+    let capacity = if capacity == 0 {
+        DEFAULT_CAPACITY
+    } else {
+        capacity
+    };
+    {
+        let mut ring = ring().lock().expect("flight ring poisoned");
+        ring.capacity = capacity;
+        while ring.events.len() > capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the recorder off (the default). The ring keeps its contents so a
+/// late dump still has evidence; [`reset`] clears it.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the recorder is on — the one-atomic-load fast-path gate.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears the ring and its drop accounting (enable state is unchanged).
+pub fn reset() {
+    let mut ring = ring().lock().expect("flight ring poisoned");
+    ring.events.clear();
+    ring.dropped = 0;
+}
+
+/// Wall-clock now in milliseconds since the Unix epoch (0 if the clock
+/// is before the epoch). Shared with the serve access log so flight
+/// events and access lines use the same timebase.
+pub fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Appends unconditionally — the panic hook uses this so the panic line
+/// lands in the dump even if the recorder was never enabled.
+fn record_forced(kind: &'static str, line: &str) {
+    // Build the event (timestamp + copy) before taking the lock.
+    let event = FlightEvent {
+        at_unix_ms: now_unix_ms(),
+        kind,
+        line: line.to_owned(),
+    };
+    let mut ring = ring().lock().expect("flight ring poisoned");
+    if ring.events.len() >= ring.capacity {
+        ring.events.pop_front();
+        ring.dropped += 1;
+    }
+    ring.events.push_back(event);
+}
+
+/// Records one event. No-op (a single atomic load) unless enabled; the
+/// line is copied only after the gate passes.
+#[inline]
+pub fn record(kind: &'static str, line: &str) {
+    if enabled() {
+        record_forced(kind, line);
+    }
+}
+
+/// Records a span closure (`name dur_ns=…`). Called from
+/// [`crate::trace::SpanGuard`]'s drop; self-gated like [`record`].
+#[inline]
+pub fn record_span(name: &'static str, dur_ns: u64) {
+    if enabled() {
+        record_forced("span", &format!("{name} dur_ns={dur_ns}"));
+    }
+}
+
+/// Records a key/value trace event (`name k=v k2=v2`). Called from
+/// [`crate::event`]; self-gated like [`record`].
+#[inline]
+pub fn record_event(name: &'static str, fields: &[(&str, String)]) {
+    if enabled() {
+        let mut line = String::from(name);
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(v);
+        }
+        record_forced("event", &line);
+    }
+}
+
+/// Copies the ring out, oldest first.
+pub fn snapshot() -> FlightSnapshot {
+    let ring = ring().lock().expect("flight ring poisoned");
+    FlightSnapshot {
+        pid: std::process::id(),
+        capacity: ring.capacity,
+        dropped: ring.dropped,
+        events: ring.events.iter().cloned().collect(),
+    }
+}
+
+/// Writes the current ring to `<dir>/flight-<pid>.json` (atomically via a
+/// temp file + rename, matching the journal discipline) and returns the
+/// final path.
+pub fn dump_to_dir(dir: &Path) -> Result<PathBuf, String> {
+    let pid = std::process::id();
+    let path = dir.join(format!("flight-{pid}.json"));
+    let tmp = dir.join(format!("flight-{pid}.json.tmp"));
+    let mut body = snapshot().json();
+    body.push('\n');
+    std::fs::write(&tmp, body).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("rename {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Installs a process-wide panic hook (once; later calls with a different
+/// directory are ignored) that records the panic message + location into
+/// the ring — bypassing the enable gate, so the evidence always lands —
+/// dumps the ring to `dir`, then chains to the previous hook so the
+/// default backtrace still prints.
+pub fn install_panic_hook(dir: PathBuf) {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(move || {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+            let location = info
+                .location()
+                .map(|l| format!(" at {}:{}", l.file(), l.line()))
+                .unwrap_or_default();
+            record_forced("panic", &format!("{message}{location}"));
+            let _ = dump_to_dir(&dir);
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    // The ring is process-global, so every test serializes on the obs
+    // test lock and restores the disabled state on exit.
+
+    #[test]
+    fn ring_bounds_and_exact_drop_accounting() {
+        let _g = crate::global_test_lock();
+        enable(4);
+        reset();
+        for i in 0..10 {
+            record("event", &format!("e{i}"));
+        }
+        let snap = snapshot();
+        assert_eq!(snap.capacity, 4);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6, "every eviction must be counted");
+        let lines: Vec<&str> = snap.events.iter().map(|e| e.line.as_str()).collect();
+        assert_eq!(lines, ["e6", "e7", "e8", "e9"], "oldest evicted first");
+        disable();
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events_silently() {
+        let _g = crate::global_test_lock();
+        enable(8);
+        reset();
+        disable();
+        record("event", "should not appear");
+        record_span("s", 1);
+        record_event("e", &[("k", "v".to_owned())]);
+        assert!(snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let _g = crate::global_test_lock();
+        enable(8);
+        reset();
+        record("access", "{\"id\":1,\"route\":\"/dtd\"}");
+        record_span("ingest", 1234);
+        record_event("drift", &[("kind", "widened".to_owned())]);
+        let json = snapshot().json();
+        disable();
+        let value = Value::parse(&json).expect("dump must parse");
+        let events = value
+            .get("events")
+            .and_then(Value::as_arr)
+            .expect("events array");
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].get("kind").and_then(Value::as_str),
+            Some("access")
+        );
+        assert_eq!(
+            events[1].get("line").and_then(Value::as_str),
+            Some("ingest dur_ns=1234")
+        );
+        assert_eq!(
+            events[2].get("line").and_then(Value::as_str),
+            Some("drift kind=widened")
+        );
+        assert!(events[0]
+            .get("at_unix_ms")
+            .and_then(Value::as_u64)
+            .is_some());
+    }
+
+    #[test]
+    fn panic_hook_records_and_dumps() {
+        let _g = crate::global_test_lock();
+        let dir = std::env::temp_dir().join(format!("dtdinfer-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        enable(16);
+        reset();
+        install_panic_hook(dir.clone());
+        let result = std::panic::catch_unwind(|| panic!("controlled drill"));
+        assert!(result.is_err());
+        let snap = snapshot();
+        disable();
+        let panic_lines: Vec<&FlightEvent> =
+            snap.events.iter().filter(|e| e.kind == "panic").collect();
+        assert_eq!(panic_lines.len(), 1, "{snap:?}");
+        assert!(panic_lines[0].line.contains("controlled drill"));
+        assert!(
+            panic_lines[0].line.contains("flightrec.rs"),
+            "location recorded"
+        );
+        let dump = dir.join(format!("flight-{}.json", std::process::id()));
+        let body = std::fs::read_to_string(&dump).expect("hook must write the dump");
+        assert!(Value::parse(body.trim()).is_ok(), "dump must be valid JSON");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

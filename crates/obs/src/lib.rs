@@ -47,6 +47,7 @@
 pub mod alloc;
 pub mod bench;
 pub mod chrome;
+pub mod flightrec;
 pub mod json;
 pub mod metrics;
 pub mod openmetrics;
@@ -128,6 +129,37 @@ pub fn count_labeled(prefix: &str, label: &str, n: u64) {
     }
 }
 
+/// Adds `n` to the counter series `name{labels}`. Labels are a small
+/// static set of `(key, value)` pairs — `route`, `status_class`,
+/// `session` — rendered into a canonical series key (sorted by key, see
+/// [`metrics::series_key`]). Keep label cardinality bounded: every
+/// distinct value set is its own series. No-op unless metrics are
+/// enabled, so the rendering cost is only paid when recording.
+#[inline]
+pub fn count_with(name: &str, labels: &[(&str, &str)], n: u64) {
+    if metrics_enabled() {
+        metrics::registry().count_with(name, labels, n);
+    }
+}
+
+/// Sets the gauge series `name{labels}` to `value` (last write wins).
+/// See [`count_with`] for the label model.
+#[inline]
+pub fn gauge_with(name: &str, labels: &[(&str, &str)], value: u64) {
+    if metrics_enabled() {
+        metrics::registry().gauge_with(name, labels, value);
+    }
+}
+
+/// Records one observation in the histogram series `name{labels}`.
+/// See [`count_with`] for the label model.
+#[inline]
+pub fn observe_with(name: &str, labels: &[(&str, &str)], value: u64) {
+    if metrics_enabled() {
+        metrics::registry().observe_with(name, labels, value);
+    }
+}
+
 /// Records one observation in the named histogram.
 #[inline]
 pub fn observe(name: &str, value: u64) {
@@ -155,14 +187,17 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard::open(name)
 }
 
-/// Records a key/value event in the trace log. No-op unless tracing is
-/// enabled; build the field values lazily at the call site when they are
-/// expensive (`if dtdinfer_obs::trace_enabled() { ... }`).
+/// Records a key/value event in the trace log (when tracing is enabled)
+/// and in the flight-recorder ring (when [`flightrec`] is enabled); each
+/// sink is gated independently. Build the field values lazily at the
+/// call site when they are expensive
+/// (`if dtdinfer_obs::trace_enabled() { ... }`).
 #[inline]
 pub fn event(name: &'static str, fields: &[(&str, String)]) {
     if trace_enabled() {
         trace::recorder().event(name, fields);
     }
+    flightrec::record_event(name, fields);
 }
 
 /// Clears all recorded metrics and trace entries (recording state is

@@ -68,6 +68,52 @@ fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Renders the canonical key of a labeled series: the bare metric name
+/// when `labels` is empty, otherwise `name{k="v",k2="v2"}` with labels
+/// sorted by key and values escaped OpenMetrics-style (`\\`, `\"`,
+/// `\n`). The registry stores labeled series under this rendered key in
+/// the same maps as unlabeled ones, so every downstream consumer —
+/// snapshot JSON, text rendering, timeseries sampling, exposition —
+/// carries label sets through without a schema change.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::with_capacity(name.len() + 8 + labels.len() * 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a canonical series key back into `(name, label_block)`, where
+/// the block is the text between the braces — still escaped, in
+/// [`series_key`] order — or `None` for unlabeled keys.
+pub fn split_series_key(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('{') {
+        Some((name, rest)) => (name, Some(rest.strip_suffix('}').unwrap_or(rest))),
+        None => (key, None),
+    }
+}
+
 /// Percentile summary of a histogram. p50/p95 come from a uniform
 /// reservoir of the observations; count, sum, and max are exact.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -225,6 +271,21 @@ impl Registry {
                 inner.histograms.insert(name.to_owned(), h);
             }
         }
+    }
+
+    /// Adds `n` to the counter series `name{labels}`.
+    pub fn count_with(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        self.count(&series_key(name, labels), n);
+    }
+
+    /// Sets the gauge series `name{labels}` to `value` (last write wins).
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.gauge(&series_key(name, labels), value);
+    }
+
+    /// Records one observation in the histogram series `name{labels}`.
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.observe(&series_key(name, labels), value);
     }
 
     /// Clears every counter, gauge, and histogram.
@@ -409,6 +470,54 @@ mod tests {
         let (ha, hb) = (&a.histograms["latency"], &b.histograms["latency"]);
         assert_eq!((ha.p50, ha.p95, ha.max), (hb.p50, hb.p95, hb.max));
         assert_eq!(a.json(), b.json(), "snapshot JSON must be byte-identical");
+    }
+
+    #[test]
+    fn series_key_is_canonical() {
+        assert_eq!(series_key("plain", &[]), "plain");
+        assert_eq!(
+            series_key(
+                "http.requests",
+                &[("status_class", "2xx"), ("route", "/dtd")]
+            ),
+            "http.requests{route=\"/dtd\",status_class=\"2xx\"}",
+            "labels must sort by key regardless of call-site order"
+        );
+        assert_eq!(
+            series_key("m", &[("k", "a\"b\\c\nd")]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}",
+            "quote, backslash, and newline must be escaped"
+        );
+    }
+
+    #[test]
+    fn split_series_key_inverts_rendering() {
+        assert_eq!(split_series_key("plain"), ("plain", None));
+        let key = series_key("m", &[("a", "1"), ("b", "x,y")]);
+        assert_eq!(split_series_key(&key), ("m", Some("a=\"1\",b=\"x,y\"")));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_accumulate() {
+        let r = Registry::default();
+        r.count_with("req", &[("route", "/a")], 1);
+        r.count_with("req", &[("route", "/a")], 2);
+        r.count_with("req", &[("route", "/b")], 5);
+        r.count("req", 9);
+        r.gauge_with("g", &[("session", "s1")], 7);
+        r.observe_with("lat", &[("route", "/a")], 100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["req{route=\"/a\"}"], 3);
+        assert_eq!(snap.counters["req{route=\"/b\"}"], 5);
+        assert_eq!(snap.counters["req"], 9, "unlabeled stays its own series");
+        assert_eq!(snap.gauges["g{session=\"s1\"}"], 7);
+        assert_eq!(snap.histograms["lat{route=\"/a\"}"].count, 1);
+        // The JSON emit carries labeled keys through (escaped as JSON).
+        assert!(
+            snap.json().contains("req{route=\\\"/a\\\"}"),
+            "{}",
+            snap.json()
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! line round-trips through [`validate`], the same structural check the
 //! CI `obs-smoke` job and `dtdinfer omlint` run.
 
-use crate::metrics::MetricsSnapshot;
-use std::collections::BTreeMap;
+use crate::metrics::{split_series_key, HistogramSummary, MetricsSnapshot};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Turns a dotted registry name into a legal OpenMetrics metric name:
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots and every other illegal character
@@ -39,6 +39,113 @@ pub fn sanitize_name(name: &str) -> String {
         out.push('_');
     }
     out
+}
+
+/// Parses an OpenMetrics label block — the text between `{` and `}` —
+/// into key/value pairs. Values must be double-quoted; `\\`, `\"`, and
+/// `\n` escapes are decoded, and commas inside quotes do not split.
+/// Returns the first problem found, so [`validate`] can surface it.
+pub fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = &rest[..eq];
+        if key.is_empty() {
+            return Err("empty label name".to_owned());
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value for {key:?} is not quoted"));
+        }
+        let mut value = String::new();
+        let mut closed_at = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices().skip(1) {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    '\\' => '\\',
+                    '"' => '"',
+                    other => return Err(format!("unknown escape '\\{other}' in label {key:?}")),
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                closed_at = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = closed_at.ok_or_else(|| format!("unterminated value for label {key:?}"))?;
+        pairs.push((key.to_owned(), value));
+        rest = &rest[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            if stripped.is_empty() {
+                return Err("trailing comma in label set".to_owned());
+            }
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels, found {rest:?}"));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Renders pairs back into a `{k="v",…}` block (empty string for no
+/// labels), sanitizing keys and re-escaping values.
+fn render_labels(pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize_name(k));
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splices one more label into an already-rendered block (`""` or
+/// `{…}`) — how the summary quantile joins a series' own labels.
+fn with_label(rendered: &str, key: &str, value: &str) -> String {
+    match rendered.strip_suffix('}') {
+        Some(body) => format!("{body},{key}=\"{value}\"}}"),
+        None => format!("{{{key}=\"{value}\"}}"),
+    }
+}
+
+/// Splits a registry series key into its raw metric name and rendered
+/// OpenMetrics label block. A key whose label block fails to parse — a
+/// name that merely contains `{` — degrades to an unlabeled series with
+/// the whole key as its (sanitized) name rather than emitting broken
+/// syntax.
+fn split_rendered(key: &str) -> (String, String) {
+    let (name, block) = split_series_key(key);
+    match block {
+        None => (name.to_owned(), String::new()),
+        Some(block) => match parse_labels(block) {
+            Ok(pairs) => (name.to_owned(), render_labels(&pairs)),
+            Err(_) => (key.to_owned(), String::new()),
+        },
+    }
 }
 
 /// One family to emit: its TYPE and its sample lines (already rendered
@@ -67,39 +174,86 @@ pub fn openmetrics(snap: &MetricsSnapshot) -> String {
             n += 1;
         }
     };
-    for (name, value) in &snap.counters {
+    // Group series by raw metric name first, so every labeled variant of
+    // one metric lands under a single TYPE declaration. Group members
+    // stay in registry order (sorted by full series key: the unlabeled
+    // series first, then labels lexicographically), so output is stable.
+    let group = |entries: Vec<(&String, String)>| -> BTreeMap<String, Vec<(String, String)>> {
+        let mut groups: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+        for (key, value) in entries {
+            let (name, labels) = split_rendered(key);
+            groups.entry(name).or_default().push((labels, value));
+        }
+        groups
+    };
+    let counters = group(
+        snap.counters
+            .iter()
+            .map(|(k, v)| (k, v.to_string()))
+            .collect(),
+    );
+    for (name, series) in &counters {
         let family = claim(&mut families, format!("{}_total", sanitize_name(name)));
+        let lines = series
+            .iter()
+            .map(|(labels, v)| format!("{family}{labels} {v}"))
+            .collect();
         families.insert(
-            family.clone(),
+            family,
             Family {
                 kind: "counter",
-                lines: vec![format!("{family} {value}")],
+                lines,
             },
         );
     }
-    for (name, value) in &snap.gauges {
+    let gauges = group(
+        snap.gauges
+            .iter()
+            .map(|(k, v)| (k, v.to_string()))
+            .collect(),
+    );
+    for (name, series) in &gauges {
         let family = claim(&mut families, sanitize_name(name));
+        let lines = series
+            .iter()
+            .map(|(labels, v)| format!("{family}{labels} {v}"))
+            .collect();
         families.insert(
-            family.clone(),
+            family,
             Family {
                 kind: "gauge",
-                lines: vec![format!("{family} {value}")],
+                lines,
             },
         );
     }
-    for (name, h) in &snap.histograms {
+    let mut hist_groups: BTreeMap<String, Vec<(String, &HistogramSummary)>> = BTreeMap::new();
+    for (key, h) in &snap.histograms {
+        let (name, labels) = split_rendered(key);
+        hist_groups.entry(name).or_default().push((labels, h));
+    }
+    for (name, series) in &hist_groups {
         let family = claim(&mut families, sanitize_name(name));
-        let mut lines = Vec::with_capacity(4);
-        // Quantiles come from the uniform reservoir; count and sum are
-        // exact. An empty summary (possible after a reset race) emits
-        // only the exact zeros — a 0 quantile would be indistinguishable
-        // from a real observation of 0.
-        if h.count > 0 {
-            lines.push(format!("{family}{{quantile=\"0.5\"}} {}", h.p50));
-            lines.push(format!("{family}{{quantile=\"0.95\"}} {}", h.p95));
+        let mut lines = Vec::with_capacity(series.len() * 4);
+        for (labels, h) in series {
+            // Quantiles come from the uniform reservoir; count and sum
+            // are exact. An empty summary (possible after a reset race)
+            // emits only the exact zeros — a 0 quantile would be
+            // indistinguishable from a real observation of 0.
+            if h.count > 0 {
+                lines.push(format!(
+                    "{family}{} {}",
+                    with_label(labels, "quantile", "0.5"),
+                    h.p50
+                ));
+                lines.push(format!(
+                    "{family}{} {}",
+                    with_label(labels, "quantile", "0.95"),
+                    h.p95
+                ));
+            }
+            lines.push(format!("{family}_count{labels} {}", h.count));
+            lines.push(format!("{family}_sum{labels} {}", h.sum));
         }
-        lines.push(format!("{family}_count {}", h.count));
-        lines.push(format!("{family}_sum {}", h.sum));
         families.insert(
             family.clone(),
             Family {
@@ -108,11 +262,15 @@ pub fn openmetrics(snap: &MetricsSnapshot) -> String {
             },
         );
         let max_family = claim(&mut families, format!("{family}_max"));
+        let lines = series
+            .iter()
+            .map(|(labels, h)| format!("{max_family}{labels} {}", h.max))
+            .collect();
         families.insert(
-            max_family.clone(),
+            max_family,
             Family {
                 kind: "gauge",
-                lines: vec![format!("{max_family} {}", h.max)],
+                lines,
             },
         );
     }
@@ -130,10 +288,13 @@ pub fn openmetrics(snap: &MetricsSnapshot) -> String {
 
 /// Structural validation of OpenMetrics text: legal metric names, every
 /// sample preceded by a TYPE declaration of its family, parseable values,
-/// counters/quantiles non-negative, no duplicate family declarations, and
-/// a final `# EOF`. Returns the first problem found.
+/// counters/quantiles non-negative, well-formed label sets (quoted,
+/// escape-aware), no duplicate family declarations, no duplicate series
+/// (same sample name + label set twice), and a final `# EOF`. Returns the
+/// first problem found.
 pub fn validate(text: &str) -> Result<(), String> {
     let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
     let mut saw_eof = false;
     for (lineno, line) in text.lines().enumerate() {
         let n = lineno + 1;
@@ -202,18 +363,21 @@ pub fn validate(text: &str) -> Result<(), String> {
         if kind == "counter" && parsed < 0.0 {
             return Err(format!("line {n}: counter {name:?} is negative"));
         }
-        if let Some(labels) = labels {
-            for label in labels.split(',') {
-                let Some((key, val)) = label.split_once('=') else {
-                    return Err(format!("line {n}: malformed label {label:?}"));
-                };
-                if !is_legal_name(key) {
-                    return Err(format!("line {n}: illegal label name {key:?}"));
-                }
-                if !(val.starts_with('"') && val.ends_with('"') && val.len() >= 2) {
-                    return Err(format!("line {n}: unquoted label value {val:?}"));
-                }
+        let mut pairs = match labels {
+            Some(labels) => parse_labels(labels).map_err(|e| format!("line {n}: {e}"))?,
+            None => Vec::new(),
+        };
+        for (key, _) in &pairs {
+            if !is_legal_name(key) {
+                return Err(format!("line {n}: illegal label name {key:?}"));
             }
+        }
+        // Series identity is the sample name plus its label set regardless
+        // of label order; emitting it twice means a torn or duplicated
+        // scrape.
+        pairs.sort();
+        if !seen_series.insert(format!("{name}{pairs:?}")) {
+            return Err(format!("line {n}: duplicate series for {name:?}"));
         }
     }
     if !saw_eof {
@@ -311,6 +475,113 @@ mod tests {
         validate(&text).expect(&text);
         assert!(text.contains("a_b_total 1\n"));
         assert!(text.contains("a_b_total_2 2\n"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_declaration() {
+        let r = Registry::default();
+        r.count_with(
+            "serve.http.requests",
+            &[("route", "/dtd"), ("status_class", "2xx")],
+            7,
+        );
+        r.count_with(
+            "serve.http.requests",
+            &[("route", "/metrics"), ("status_class", "2xx")],
+            2,
+        );
+        r.count("serve.http.requests", 9);
+        r.gauge_with("serve.session.documents", &[("session", "books")], 12);
+        r.observe_with("serve.http.request_ns", &[("route", "/dtd")], 100);
+        r.observe_with("serve.http.request_ns", &[("route", "/metrics")], 300);
+        let text = openmetrics(&r.snapshot());
+        validate(&text).expect(&text);
+        assert_eq!(
+            text.matches("# TYPE serve_http_requests_total counter")
+                .count(),
+            1,
+            "all label variants share one declaration: {text}"
+        );
+        assert!(text.contains("serve_http_requests_total{route=\"/dtd\",status_class=\"2xx\"} 7\n"));
+        assert!(
+            text.contains("serve_http_requests_total 9\n"),
+            "unlabeled kept"
+        );
+        assert!(text.contains("serve_session_documents{session=\"books\"} 12\n"));
+        assert!(text.contains("serve_http_request_ns{route=\"/dtd\",quantile=\"0.5\"} 100\n"));
+        assert!(text.contains("serve_http_request_ns_count{route=\"/dtd\"} 1\n"));
+        assert!(text.contains("serve_http_request_ns_sum{route=\"/metrics\"} 300\n"));
+        assert!(text.contains("serve_http_request_ns_max{route=\"/dtd\"} 100\n"));
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_escaped() {
+        let r = Registry::default();
+        r.count_with("m", &[("k", "a\"b\\c\nd,e{f}")], 1);
+        let text = openmetrics(&r.snapshot());
+        validate(&text).expect(&text);
+        assert!(
+            text.contains("m_total{k=\"a\\\"b\\\\c\\nd,e{f}\"} 1\n"),
+            "escapes must survive exposition: {text}"
+        );
+    }
+
+    #[test]
+    fn route_template_braces_are_legal_label_values() {
+        let r = Registry::default();
+        r.count_with(
+            "serve.http.requests",
+            &[
+                ("route", "/sessions/{name}/ingest"),
+                ("status_class", "2xx"),
+            ],
+            3,
+        );
+        let text = openmetrics(&r.snapshot());
+        validate(&text).expect(&text);
+        assert!(text.contains("{route=\"/sessions/{name}/ingest\",status_class=\"2xx\"} 3\n"));
+    }
+
+    #[test]
+    fn parse_labels_handles_escapes_and_rejects_junk() {
+        assert_eq!(parse_labels("").unwrap(), vec![]);
+        assert_eq!(
+            parse_labels("a=\"1\",b=\"x,y\"").unwrap(),
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "x,y".to_owned())
+            ],
+            "commas inside quotes must not split"
+        );
+        assert_eq!(
+            parse_labels("k=\"a\\\"b\\\\c\\nd\"").unwrap(),
+            vec![("k".to_owned(), "a\"b\\c\nd".to_owned())]
+        );
+        for bad in [
+            "novalue",
+            "k=unquoted",
+            "k=\"open",
+            "k=\"v\"x=\"y\"",
+            "k=\"v\",",
+            "=\"v\"",
+            "k=\"\\q\"",
+        ] {
+            assert!(parse_labels(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_series() {
+        let dup = "# TYPE x counter\nx_total{a=\"1\"} 1\nx_total{a=\"1\"} 2\n# EOF\n";
+        assert!(validate(dup).unwrap_err().contains("duplicate series"));
+        let reordered =
+            "# TYPE x counter\nx_total{a=\"1\",b=\"2\"} 1\nx_total{b=\"2\",a=\"1\"} 2\n# EOF\n";
+        assert!(
+            validate(reordered).is_err(),
+            "label order must not hide duplicates"
+        );
+        let ok = "# TYPE x counter\nx_total{a=\"1\"} 1\nx_total{a=\"2\"} 2\nx_total 3\n# EOF\n";
+        validate(ok).expect("distinct label sets are distinct series");
     }
 
     #[test]

@@ -237,6 +237,50 @@ pub fn folded_stacks(forest: &[SpanNode]) -> String {
     out
 }
 
+/// JSON rendering of the two aggregate views — what the serve daemon's
+/// on-demand `GET /debug/profile` answers with:
+/// `{"critical_path":[{"depth":…,"name":"…","tid":…,"dur_ns":…,
+/// "self_ns":…},…],"phases":[{"name":"…","count":…,"total_ns":…,
+/// "self_ns":…,"max_ns":…},…]}`.
+pub fn profile_json(forest: &[SpanNode]) -> String {
+    use crate::json::{write_key, write_string};
+    let mut out = String::from("{");
+    write_key(&mut out, "critical_path");
+    out.push('[');
+    for (i, step) in critical_path(forest).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        write_key(&mut out, "depth");
+        out.push_str(&step.depth.to_string());
+        out.push(',');
+        write_key(&mut out, "name");
+        write_string(&mut out, step.name);
+        out.push_str(&format!(
+            ",\"tid\":{},\"dur_ns\":{},\"self_ns\":{}}}",
+            step.tid, step.dur_ns, step.self_ns
+        ));
+    }
+    out.push_str("],");
+    write_key(&mut out, "phases");
+    out.push('[');
+    for (i, stat) in phase_stats(forest).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        write_key(&mut out, "name");
+        write_string(&mut out, stat.name);
+        out.push_str(&format!(
+            ",\"count\":{},\"total_ns\":{},\"self_ns\":{},\"max_ns\":{}}}",
+            stat.count, stat.total_ns, stat.self_ns, stat.max_ns
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +391,22 @@ mod tests {
         // Hostile names can't break the format.
         let folded3 = folded_stacks(&build_forest(&[span("a;b c", 0, 5, 0)]));
         assert_eq!(folded3, "tid0;a_b_c 5\n");
+    }
+
+    #[test]
+    fn profile_json_parses_and_carries_both_views() {
+        let text = profile_json(&build_forest(&sample_trace()));
+        let v = crate::json::Value::parse(&text).expect(&text);
+        let path = v.get("critical_path").unwrap().as_arr().unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].get("name").unwrap().as_str(), Some("shard"));
+        assert_eq!(path[0].get("dur_ns").unwrap().as_u64(), Some(100));
+        let phases = v.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("derive"));
+        assert_eq!(phases[0].get("count").unwrap().as_u64(), Some(2));
+        // Empty forest → empty arrays, still valid JSON.
+        let empty = profile_json(&[]);
+        assert_eq!(empty, "{\"critical_path\":[],\"phases\":[]}");
     }
 
     #[test]

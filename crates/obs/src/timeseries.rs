@@ -235,11 +235,14 @@ fn sampler_loop(shared: &Shared, config: &SamplerConfig, capacity: usize) {
             .iter()
             .map(|name| snapshot.counters.get(name).copied().unwrap_or(0))
             .collect();
-        let moved = match &last_watch {
-            Some(prev) => prev != &watch_now,
-            // The first sample has nothing to compare against.
-            None => true,
-        };
+        // An empty watch list means "no progress expectation": never
+        // stall. (A serve daemon legitimately idles between requests.)
+        let moved = config.watch.is_empty()
+            || match &last_watch {
+                Some(prev) => prev != &watch_now,
+                // The first sample has nothing to compare against.
+                None => true,
+            };
         let mut stalled_now = false;
         if moved {
             flat_intervals = 0;
@@ -309,6 +312,20 @@ impl Sampler {
         TimeSeries {
             interval_ms: u64::try_from(self.interval.as_millis()).unwrap_or(u64::MAX),
             points: inner.ring.drain(..).collect(),
+            dropped: inner.dropped,
+            stalls: inner.stalls,
+        }
+    }
+
+    /// A point-in-time copy of the collected series *without* stopping
+    /// the sampler — the serve daemon's `GET /debug/timeseries` payload.
+    /// The ring keeps filling; `kept + dropped` still accounts for every
+    /// sample taken up to the peek.
+    pub fn peek(&self) -> TimeSeries {
+        let inner = self.shared.inner.lock().expect("timeseries ring poisoned");
+        TimeSeries {
+            interval_ms: u64::try_from(self.interval.as_millis()).unwrap_or(u64::MAX),
+            points: inner.ring.iter().cloned().collect(),
             dropped: inner.dropped,
             stalls: inner.stalls,
         }
@@ -416,6 +433,10 @@ mod tests {
         }
         // Now stop making progress long enough to trip the detector.
         std::thread::sleep(Duration::from_millis(40));
+        // A live peek does not disturb the sampler.
+        let live = sampler.peek();
+        assert!(!live.points.is_empty(), "peek returns current history");
+        crate::json::Value::parse(&live.json()).expect("peeked series serializes");
         let ts = sampler.stop();
         crate::disable();
         assert!(!ts.points.is_empty());

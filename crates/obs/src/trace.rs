@@ -191,6 +191,10 @@ impl Drop for SpanGuard {
                 u64::try_from(start.duration_since(rec.epoch).as_nanos()).unwrap_or(u64::MAX);
             rec.push_span(self.name, start_ns, dur_ns);
         }
+        // Feed the flight recorder's ring (self-gated). This sits behind
+        // the `start.is_some()` early return above, so a span in a fully
+        // disabled process still costs exactly one atomic load.
+        crate::flightrec::record_span(self.name, dur_ns);
     }
 }
 

@@ -46,6 +46,28 @@ impl Request {
     }
 }
 
+/// Length-caps and sanitizes client-controlled text before it is echoed
+/// into a response body, a metrics label, or a log line: control bytes
+/// and non-ASCII are replaced with `?` and anything past 80 characters
+/// is truncated with a trailing `…`, so a hostile path cannot inject
+/// terminal escapes, split log lines, or bloat an error response.
+pub fn clean_text(s: &str) -> String {
+    const MAX_CHARS: usize = 80;
+    let mut out = String::with_capacity(s.len().min(MAX_CHARS + 4));
+    for (i, c) in s.chars().enumerate() {
+        if i == MAX_CHARS {
+            out.push('…');
+            break;
+        }
+        out.push(if c.is_ascii_graphic() || c == ' ' {
+            c
+        } else {
+            '?'
+        });
+    }
+    out
+}
+
 /// Why a request could not be read. Each variant maps to one response
 /// status so handlers never guess.
 #[derive(Debug)]
@@ -294,6 +316,22 @@ mod tests {
             Err(RequestError::TooLarge { declared, .. }) => assert_eq!(declared, 999_999),
             other => panic!("expected TooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn clean_text_strips_controls_and_caps_length() {
+        assert_eq!(clean_text("/sessions/a/dtd"), "/sessions/a/dtd");
+        assert_eq!(
+            clean_text("a\x1b[31mb\x07c"),
+            "a?[31mb?c",
+            "escape bytes neutered"
+        );
+        assert_eq!(clean_text("héllo\u{202e}"), "h?llo?", "non-ASCII replaced");
+        assert_eq!(clean_text("tab\there\nline"), "tab?here?line");
+        let long = "x".repeat(500);
+        let cleaned = clean_text(&long);
+        assert_eq!(cleaned.chars().count(), 81, "80 chars + ellipsis");
+        assert!(cleaned.ends_with('…'));
     }
 
     #[test]

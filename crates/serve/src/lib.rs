@@ -31,24 +31,40 @@
 //! | `GET /sessions/{name}/events` | SSE drift events |
 //! | `GET /sessions` | list sessions |
 //! | `DELETE /sessions/{name}` | drop a session and its files |
-//! | `GET /metrics` | OpenMetrics exposition |
+//! | `GET /metrics` | OpenMetrics exposition (per-route/status-class labeled series) |
 //! | `GET /healthz` | liveness |
+//! | `GET /debug/flight` | flight-recorder ring (recent requests, spans, lifecycle) |
+//! | `GET /debug/timeseries` | live sampled metrics history |
+//! | `GET /debug/profile?ms=N` | on-demand critical-path profile over an N ms trace window |
 //! | `POST /shutdown` | graceful shutdown |
+//!
+//! ## Request-scoped telemetry
+//!
+//! Every request gets a monotonic id and is recorded three ways: labeled
+//! metric series (`serve.http.requests{route,status_class}` plus latency
+//! and body-size histograms, labeled by route *template* so hostile paths
+//! cannot explode label cardinality), one JSON access-log line (behind
+//! `--access-log <path|->`), and an entry in the flight recorder — a
+//! bounded ring that a panic hook and the graceful-shutdown path dump to
+//! `<data-dir>/flight-<pid>.json`, so a crash leaves the last N requests
+//! behind as evidence.
 
 #![warn(missing_docs)]
 
 pub mod http;
 pub mod session;
 
-use http::{read_request, write_response, Request, RequestError, Response};
+use http::{clean_text, read_request, write_response, Request, RequestError, Response};
 use session::{ingest_json, parse_check, split_batch, valid_name, validation_json, Session};
 
+use dtdinfer_obs::json::{write_key, write_string};
+use dtdinfer_obs::timeseries::{Sampler, SamplerConfig};
 use dtdinfer_xml::infer::InferenceEngine;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -73,6 +89,16 @@ pub struct ServeConfig {
     pub compact_min_bytes: u64,
     /// Bounded connection queue depth (503 when full).
     pub queue_depth: usize,
+    /// Structured JSON access log destination (`-` for stdout, `None`
+    /// for no access log). One JSON object per line per request.
+    pub access_log: Option<PathBuf>,
+    /// Flight-recorder ring capacity: how many recent events survive
+    /// into a crash dump (0 selects the recorder's default).
+    pub flight_capacity: usize,
+    /// Enables `POST /debug/panic`, a controlled crash drill that panics
+    /// the handling worker so CI can verify the flight dump. Off by
+    /// default — never enable it on an exposed address.
+    pub debug_panic: bool,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +113,9 @@ impl Default for ServeConfig {
             max_session_bytes: 256 * 1024 * 1024,
             compact_min_bytes: 64 * 1024,
             queue_depth: 64,
+            access_log: None,
+            flight_capacity: 256,
+            debug_panic: false,
         }
     }
 }
@@ -97,8 +126,17 @@ struct Shared {
     sessions: Mutex<BTreeMap<String, Arc<Mutex<Session>>>>,
     /// Set by `POST /shutdown`; OS signals set [`signals::SIGNALED`].
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Queued connections with their enqueue time, so the accept-queue
+    /// wait is measurable per request.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
+    /// Source of monotonic request ids (first request is 1).
+    next_request_id: AtomicU64,
+    /// Structured access-log sink; every line is flushed so `kill -9`
+    /// keeps what was acknowledged.
+    access_log: Option<Mutex<Box<dyn Write + Send>>>,
+    /// Always-on background metrics sampler backing `GET /debug/timeseries`.
+    sampler: Sampler,
 }
 
 impl Shared {
@@ -160,8 +198,13 @@ pub fn run(config: ServeConfig, on_ready: impl FnOnce(&str)) -> Result<String, S
     std::fs::create_dir_all(&config.data_dir)
         .map_err(|e| format!("{}: {e}", config.data_dir.display()))?;
     // The service is its own monitoring substrate: /metrics must work even
-    // when the CLI did not pass --metrics.
+    // when the CLI did not pass --metrics, and the flight recorder must be
+    // live before the first request so a crash always leaves evidence.
     dtdinfer_obs::enable(true, dtdinfer_obs::trace_enabled());
+    dtdinfer_obs::flightrec::enable(config.flight_capacity);
+    dtdinfer_obs::flightrec::install_panic_hook(config.data_dir.clone());
+    publish_build_info();
+    let access_log = open_access_log(config.access_log.as_deref())?;
     let listener = TcpListener::bind(&config.addr).map_err(|e| format!("{}: {e}", config.addr))?;
     let local = listener
         .local_addr()
@@ -175,9 +218,21 @@ pub fn run(config: ServeConfig, on_ready: impl FnOnce(&str)) -> Result<String, S
         shutdown: AtomicBool::new(false),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
+        next_request_id: AtomicU64::new(0),
+        access_log,
+        // One point per second, ten minutes of history; the watch list is
+        // empty because a daemon legitimately idles between requests.
+        sampler: dtdinfer_obs::timeseries::start(SamplerConfig {
+            interval: Duration::from_secs(1),
+            capacity: 600,
+            watch: Vec::new(),
+            stall_after: 20,
+            warn_on_stall: false,
+        }),
         config,
     });
     recover_sessions(&shared)?;
+    dtdinfer_obs::flightrec::record("lifecycle", &format!("serve listening on {local}"));
     on_ready(&local);
 
     let workers: Vec<_> = (0..shared.config.workers.max(1))
@@ -199,7 +254,7 @@ pub fn run(config: ServeConfig, on_ready: impl FnOnce(&str)) -> Result<String, S
                     // queueing unboundedly.
                     shed(stream);
                 } else {
-                    queue.push_back(stream);
+                    queue.push_back((stream, Instant::now()));
                     drop(queue);
                     shared.queue_cv.notify_one();
                 }
@@ -215,7 +270,49 @@ pub fn run(config: ServeConfig, on_ready: impl FnOnce(&str)) -> Result<String, S
         let _ = worker.join();
     }
     let flushed = flush_all(&shared);
+    // Both exit paths — POST /shutdown and SIGINT/SIGTERM — land here, so
+    // a terminated daemon leaves the same flight dump a panicking one
+    // would.
+    dtdinfer_obs::flightrec::record("lifecycle", "serve shutting down");
+    if let Err(e) = dtdinfer_obs::flightrec::dump_to_dir(&shared.config.data_dir) {
+        eprintln!("dtdinfer serve: flight dump failed: {e}");
+    }
     Ok(format!("shutdown: {} session(s) flushed", flushed))
+}
+
+/// Opens the access-log sink: `-` is stdout, anything else appends to the
+/// file (created if missing).
+fn open_access_log(path: Option<&Path>) -> Result<Option<Mutex<Box<dyn Write + Send>>>, String> {
+    let Some(path) = path else { return Ok(None) };
+    let sink: Box<dyn Write + Send> = if path.as_os_str() == "-" {
+        Box::new(std::io::stdout())
+    } else {
+        Box::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("access log {}: {e}", path.display()))?,
+        )
+    };
+    Ok(Some(Mutex::new(sink)))
+}
+
+/// The conventional `dtdinfer_build_info{version="…"} 1` gauge, published
+/// once at startup so every scrape identifies the running build.
+fn publish_build_info() {
+    dtdinfer_obs::gauge_with(
+        "dtdinfer.build_info",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+        1,
+    );
+}
+
+/// Re-publishes the session-count gauge. Call wherever session-map
+/// membership changes (recovery, first ingest, delete) with the map
+/// locked, so the gauge never races the change it reports.
+fn publish_session_gauges(sessions: &BTreeMap<String, Arc<Mutex<Session>>>) {
+    dtdinfer_obs::gauge("serve.sessions", sessions.len() as u64);
 }
 
 /// Writes a one-line 503 to a connection the queue has no room for.
@@ -261,7 +358,7 @@ fn recover_sessions(shared: &Shared) -> Result<(), String> {
         }
         sessions.insert(name, Arc::new(Mutex::new(session)));
     }
-    dtdinfer_obs::gauge("serve.sessions", sessions.len() as u64);
+    publish_session_gauges(&sessions);
     Ok(())
 }
 
@@ -302,25 +399,127 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
-        let Some(mut stream) = stream else { return };
-        let started = Instant::now();
+        let Some((mut stream, enqueued)) = stream else {
+            return;
+        };
+        let queue_wait_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        dtdinfer_obs::observe("serve.http.queue_wait_ns", queue_wait_ns);
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        handle_connection(shared, &mut stream);
-        dtdinfer_obs::observe(
-            "serve.http.request_ns",
-            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        );
+        handle_connection(shared, &mut stream, queue_wait_ns);
     }
 }
 
-/// Reads one request, routes it, writes the response. SSE subscriptions
-/// consume the stream and return without writing a normal response.
-fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+/// Everything the access log and the labeled metrics need to know about
+/// one finished request.
+struct RequestRecord {
+    id: u64,
+    method: String,
+    path: String,
+    /// Route template from the fixed routing table (`/sessions/{name}/…`)
+    /// — never the raw path, so label cardinality stays bounded.
+    template: &'static str,
+    session: Option<String>,
+    status: u16,
+    bytes_in: u64,
+    bytes_out: u64,
+    queue_wait_ns: u64,
+}
+
+/// The status-class label value (`2xx` … `5xx`).
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        1 => "1xx",
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "other",
+    }
+}
+
+/// Publishes one finished request everywhere it is observed: labeled
+/// metric series, the structured access log, and the flight recorder.
+fn finish(shared: &Shared, record: &RequestRecord, started: Instant) {
+    let duration_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let class = status_class(record.status);
+    let labels = [("route", record.template), ("status_class", class)];
+    dtdinfer_obs::count_with("serve.http.requests", &labels, 1);
+    dtdinfer_obs::observe_with("serve.http.request_ns", &labels, duration_ns);
+    let route_only = [("route", record.template)];
+    dtdinfer_obs::observe_with("serve.http.bytes_in", &route_only, record.bytes_in);
+    dtdinfer_obs::observe_with("serve.http.bytes_out", &route_only, record.bytes_out);
+    dtdinfer_obs::count_labeled("serve.http.status", &record.status.to_string(), 1);
+    let line = access_line(record, duration_ns);
+    dtdinfer_obs::flightrec::record("access", &line);
+    if let Some(log) = &shared.access_log {
+        let mut log = log.lock().expect("access log lock");
+        let _ = writeln!(log, "{line}");
+        let _ = log.flush();
+    }
+}
+
+/// One access-log line: a single JSON object (see README for the field
+/// table). The raw path is sanitized; the route template is from the
+/// routing table and needs no escaping beyond JSON's.
+fn access_line(record: &RequestRecord, duration_ns: u64) -> String {
+    let mut out = String::from("{");
+    write_key(&mut out, "ts_ms");
+    out.push_str(&dtdinfer_obs::flightrec::now_unix_ms().to_string());
+    out.push(',');
+    write_key(&mut out, "id");
+    out.push_str(&record.id.to_string());
+    out.push(',');
+    write_key(&mut out, "method");
+    write_string(&mut out, &clean_text(&record.method));
+    out.push(',');
+    write_key(&mut out, "route");
+    write_string(&mut out, record.template);
+    out.push(',');
+    write_key(&mut out, "path");
+    write_string(&mut out, &clean_text(&record.path));
+    out.push(',');
+    write_key(&mut out, "status");
+    out.push_str(&record.status.to_string());
+    out.push(',');
+    write_key(&mut out, "bytes_in");
+    out.push_str(&record.bytes_in.to_string());
+    out.push(',');
+    write_key(&mut out, "bytes_out");
+    out.push_str(&record.bytes_out.to_string());
+    out.push(',');
+    write_key(&mut out, "duration_us");
+    out.push_str(&(duration_ns / 1_000).to_string());
+    out.push(',');
+    write_key(&mut out, "queue_wait_us");
+    out.push_str(&(record.queue_wait_ns / 1_000).to_string());
+    out.push(',');
+    write_key(&mut out, "session");
+    match &record.session {
+        Some(name) => write_string(&mut out, name),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Reads one request, routes it, writes the response, and records the
+/// whole exchange (labeled metrics + access log + flight ring). SSE
+/// subscriptions adopt the stream and are recorded as status 200 with
+/// zero response bytes.
+fn handle_connection(shared: &Shared, stream: &mut TcpStream, queue_wait_ns: u64) {
+    let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let started = Instant::now();
+    let _request_span = dtdinfer_obs::span("serve.request");
     let request = match read_request(stream, shared.config.max_body_bytes) {
         Ok(request) => request,
         Err(e) => {
             let response = match e {
-                RequestError::Io(_) => return, // client went away; nothing to say
+                RequestError::Io(_) => {
+                    // Client went away before sending a request; nothing
+                    // to say and nothing worth an access-log line.
+                    dtdinfer_obs::count("serve.http.aborted", 1);
+                    return;
+                }
                 RequestError::Malformed(m) => Response::error(400, &m),
                 RequestError::TooLarge {
                     declared,
@@ -340,19 +539,43 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
                     Response::error(501, &format!("{what} is not supported"))
                 }
             };
-            finish(stream, response);
+            let record = RequestRecord {
+                id,
+                method: "-".to_owned(),
+                path: "-".to_owned(),
+                template: "{unparsed}",
+                session: None,
+                status: response.status,
+                bytes_in: 0,
+                bytes_out: response.body.len() as u64,
+                queue_wait_ns,
+            };
+            let _ = write_response(stream, &response);
+            finish(shared, &record, started);
             return;
         }
     };
-    match route(shared, &request, stream) {
-        Routed::Response(response) => finish(stream, response),
-        Routed::Streaming => {} // SSE took the socket
+    let bytes_in = request.body.len() as u64;
+    let (routed, info) = route(shared, &request, stream);
+    let (status, bytes_out) = match &routed {
+        Routed::Response(response) => (response.status, response.body.len() as u64),
+        Routed::Streaming => (200, 0),
+    };
+    if let Routed::Response(response) = &routed {
+        let _ = write_response(stream, response);
     }
-}
-
-fn finish(stream: &mut TcpStream, response: Response) {
-    dtdinfer_obs::count_labeled("serve.http.status", &response.status.to_string(), 1);
-    let _ = write_response(stream, &response);
+    let record = RequestRecord {
+        id,
+        method: request.method.clone(),
+        path: request.path.clone(),
+        template: info.template,
+        session: info.session,
+        status,
+        bytes_in,
+        bytes_out,
+        queue_wait_ns,
+    };
+    finish(shared, &record, started);
 }
 
 /// What routing did with the connection.
@@ -363,41 +586,151 @@ enum Routed {
     Streaming,
 }
 
+/// What routing resolved for telemetry: the route template from the
+/// fixed routing table, and the tenant when the route names one.
+struct RouteInfo {
+    template: &'static str,
+    session: Option<String>,
+}
+
 /// Dispatches one request. `stream` is only touched by the SSE path.
-fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> Routed {
+fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> (Routed, RouteInfo) {
     let path_parts: Vec<&str> = req.path.split('/').filter(|p| !p.is_empty()).collect();
     let method = req.method.as_str();
-    let response = match (method, path_parts.as_slice()) {
-        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
-        ("GET", ["metrics"]) => Response {
-            status: 200,
-            content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
-            body: dtdinfer_obs::openmetrics::openmetrics(&dtdinfer_obs::snapshot()).into_bytes(),
-        },
-        ("POST", ["shutdown"]) => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            Response::json(200, "{\"shutting_down\":true}")
-        }
-        ("GET", ["sessions"]) => list_sessions(shared),
-        (_, ["sessions", name, ..]) if !valid_name(name) => {
-            Response::error(404, &format!("invalid session name {name:?}"))
-        }
-        ("POST", ["sessions", name, "ingest"]) => ingest(shared, req, name),
-        ("GET", ["sessions", name, "dtd"]) => {
-            with_session(shared, name, |s| Response::text(200, s.dtd().serialize()))
-        }
-        ("GET", ["sessions", name, "xsd"]) => {
-            with_session(shared, name, |s| Response::text(200, s.xsd()))
-        }
-        ("POST", ["sessions", name, "validate"]) => validate(shared, req, name),
-        ("GET", ["sessions", name, "events"]) => {
-            return subscribe(shared, name, stream);
-        }
-        ("DELETE", ["sessions", name]) => delete_session(shared, name),
-        (_, ["sessions", ..]) => Response::error(405, "method not allowed on this route"),
-        _ => Response::error(404, &format!("no route for {} {}", method, req.path)),
-    };
-    Routed::Response(response)
+    // Every arm pins its template so metrics and the access log label by
+    // the route shape, never the raw (attacker-controlled) path.
+    let (response, template, session): (Response, &'static str, Option<String>) =
+        match (method, path_parts.as_slice()) {
+            ("GET", ["healthz"]) => (Response::text(200, "ok\n"), "/healthz", None),
+            ("GET", ["metrics"]) => (
+                Response {
+                    status: 200,
+                    content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                    body: dtdinfer_obs::openmetrics::openmetrics(&dtdinfer_obs::snapshot())
+                        .into_bytes(),
+                },
+                "/metrics",
+                None,
+            ),
+            ("POST", ["shutdown"]) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                (
+                    Response::json(200, "{\"shutting_down\":true}"),
+                    "/shutdown",
+                    None,
+                )
+            }
+            ("GET", ["debug", "flight"]) => (
+                Response::json(200, dtdinfer_obs::flightrec::snapshot().json()),
+                "/debug/flight",
+                None,
+            ),
+            ("GET", ["debug", "timeseries"]) => (
+                Response::json(200, shared.sampler.peek().json()),
+                "/debug/timeseries",
+                None,
+            ),
+            ("GET", ["debug", "profile"]) => (debug_profile(req), "/debug/profile", None),
+            ("POST", ["debug", "panic"]) if shared.config.debug_panic => {
+                // Controlled crash drill (CI): unwinds this worker; the
+                // panic hook dumps the flight ring on the way out.
+                dtdinfer_obs::flightrec::record("lifecycle", "panic drill requested");
+                panic!("panic drill requested via POST /debug/panic");
+            }
+            ("GET", ["sessions"]) => (list_sessions(shared), "/sessions", None),
+            (_, ["sessions", name, ..]) if !valid_name(name) => (
+                Response::error(
+                    404,
+                    &format!("invalid session name \"{}\"", clean_text(name)),
+                ),
+                "/sessions/{name}",
+                None,
+            ),
+            ("POST", ["sessions", name, "ingest"]) => (
+                ingest(shared, req, name),
+                "/sessions/{name}/ingest",
+                Some((*name).to_owned()),
+            ),
+            ("GET", ["sessions", name, "dtd"]) => (
+                with_session(shared, name, |s| Response::text(200, s.dtd().serialize())),
+                "/sessions/{name}/dtd",
+                Some((*name).to_owned()),
+            ),
+            ("GET", ["sessions", name, "xsd"]) => (
+                with_session(shared, name, |s| Response::text(200, s.xsd())),
+                "/sessions/{name}/xsd",
+                Some((*name).to_owned()),
+            ),
+            ("POST", ["sessions", name, "validate"]) => (
+                validate(shared, req, name),
+                "/sessions/{name}/validate",
+                Some((*name).to_owned()),
+            ),
+            ("GET", ["sessions", name, "events"]) => {
+                return (
+                    subscribe(shared, name, stream),
+                    RouteInfo {
+                        template: "/sessions/{name}/events",
+                        session: Some((*name).to_owned()),
+                    },
+                );
+            }
+            ("DELETE", ["sessions", name]) => (
+                delete_session(shared, name),
+                "/sessions/{name}",
+                Some((*name).to_owned()),
+            ),
+            (_, ["sessions", ..]) => (
+                Response::error(405, "method not allowed on this route"),
+                "/sessions/{name}",
+                None,
+            ),
+            _ => (
+                Response::error(
+                    404,
+                    &format!(
+                        "no route for {} {}",
+                        clean_text(method),
+                        clean_text(&req.path)
+                    ),
+                ),
+                "{unmatched}",
+                None,
+            ),
+        };
+    (Routed::Response(response), RouteInfo { template, session })
+}
+
+/// `GET /debug/profile?ms=N` — on-demand critical-path profile. The trace
+/// recorder is unbounded, so a daemon cannot leave tracing on forever;
+/// instead this handler turns tracing on for a bounded window (default
+/// 250 ms, clamped to 10..=5000), takes whatever spans the window caught,
+/// and renders their critical path and per-phase stats. Concurrent
+/// profile windows steal each other's spans — best-effort by design.
+fn debug_profile(req: &Request) -> Response {
+    let ms = req
+        .query_param("ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(250)
+        .clamp(10, 5_000);
+    let was_tracing = dtdinfer_obs::trace_enabled();
+    if !was_tracing {
+        dtdinfer_obs::enable(true, true);
+        // Drop anything recorded before this window opened.
+        let _ = dtdinfer_obs::take_trace();
+    }
+    std::thread::sleep(Duration::from_millis(ms));
+    let trace = dtdinfer_obs::take_trace();
+    if !was_tracing {
+        dtdinfer_obs::enable(true, false);
+    }
+    let forest = dtdinfer_obs::profile::build_forest(&trace);
+    let body = format!(
+        "{{\"window_ms\":{ms},\"spans\":{},\"profile\":{}}}",
+        trace.len(),
+        dtdinfer_obs::profile::profile_json(&forest)
+    );
+    Response::json(200, body)
 }
 
 /// Runs `f` on the named session, or 404s.
@@ -408,7 +741,7 @@ fn with_session(shared: &Shared, name: &str, f: impl FnOnce(&mut Session) -> Res
     };
     match session {
         Some(session) => f(&mut session.lock().expect("session lock")),
-        None => Response::error(404, &format!("no session {name:?}")),
+        None => Response::error(404, &format!("no session \"{}\"", clean_text(name))),
     }
 }
 
@@ -429,7 +762,7 @@ fn delete_session(shared: &Shared, name: &str) -> Response {
     let removed = {
         let mut sessions = shared.sessions.lock().expect("sessions lock");
         let removed = sessions.remove(name);
-        dtdinfer_obs::gauge("serve.sessions", sessions.len() as u64);
+        publish_session_gauges(&sessions);
         removed
     };
     match removed {
@@ -442,7 +775,7 @@ fn delete_session(shared: &Shared, name: &str) -> Response {
                 Err(e) => Response::error(500, &e),
             }
         }
-        None => Response::error(404, &format!("no session {name:?}")),
+        None => Response::error(404, &format!("no session \"{}\"", clean_text(name))),
     }
 }
 
@@ -479,7 +812,7 @@ fn ingest(shared: &Shared, req: &Request, name: &str) -> Response {
                     Ok((session, _)) => {
                         let session = Arc::new(Mutex::new(session));
                         sessions.insert(name.to_owned(), Arc::clone(&session));
-                        dtdinfer_obs::gauge("serve.sessions", sessions.len() as u64);
+                        publish_session_gauges(&sessions);
                         session
                     }
                     Err(e) => return Response::error(500, &e),
@@ -538,7 +871,10 @@ fn subscribe(shared: &Shared, name: &str, stream: &mut TcpStream) -> Routed {
         sessions.get(name).cloned()
     };
     let Some(session) = session else {
-        return Routed::Response(Response::error(404, &format!("no session {name:?}")));
+        return Routed::Response(Response::error(
+            404,
+            &format!("no session \"{}\"", clean_text(name)),
+        ));
     };
     let head = format!(
         "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\n\

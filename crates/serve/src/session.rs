@@ -185,12 +185,14 @@ impl Session {
         if self.store.wants_compaction(compact_min_bytes) {
             self.store.compact(&self.state)?;
         }
-        dtdinfer_obs::gauge(
-            &format!("serve.session.documents.{}", self.name),
+        dtdinfer_obs::gauge_with(
+            "serve.session.documents",
+            &[("session", self.name.as_str())],
             self.state.num_documents,
         );
-        dtdinfer_obs::gauge(
-            &format!("serve.session.disk_bytes.{}", self.name),
+        dtdinfer_obs::gauge_with(
+            "serve.session.disk_bytes",
+            &[("session", self.name.as_str())],
             self.store.disk_bytes(),
         );
         Ok(outcome)

@@ -311,3 +311,206 @@ fn admission_control_and_metrics() {
     post(&server.addr, "/shutdown", "");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn request_telemetry_labels_logs_and_debug_endpoints() {
+    let dir = scratch("telemetry");
+    let log_path = dir.join("access.log");
+    let log_for_config = log_path.clone();
+    let server = boot(&dir, move |c| c.access_log = Some(log_for_config));
+    for doc in corpus().iter().take(3) {
+        assert_eq!(post(&server.addr, "/sessions/t/ingest", doc).0, 200);
+    }
+    assert_eq!(get(&server.addr, "/sessions/t/dtd").0, 200);
+    assert_eq!(get(&server.addr, "/definitely/not/a/route").0, 404);
+    // Labeled series: per-route/status-class counters and histograms.
+    let (status, metrics) = get(&server.addr, "/metrics");
+    assert_eq!(status, 200);
+    dtdinfer_obs::openmetrics::validate(&metrics)
+        .unwrap_or_else(|e| panic!("omlint failed: {e}\n{metrics}"));
+    for needle in [
+        "serve_http_requests_total{route=\"/sessions/{name}/ingest\",status_class=\"2xx\"}",
+        "serve_http_request_ns_count{route=\"/sessions/{name}/dtd\",status_class=\"2xx\"}",
+        "serve_http_requests_total{route=\"{unmatched}\",status_class=\"4xx\"}",
+        "serve_http_bytes_in_count{route=\"/sessions/{name}/ingest\"}",
+        "dtdinfer_build_info{version=",
+        "serve_session_documents{session=\"t\"}",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in\n{metrics}");
+    }
+    // Debug endpoints all serve parseable JSON.
+    let (status, flight) = get(&server.addr, "/debug/flight");
+    assert_eq!(status, 200);
+    let flight = dtdinfer_obs::json::Value::parse(&flight).expect("flight parses");
+    let events = flight
+        .get("events")
+        .and_then(dtdinfer_obs::json::Value::as_arr)
+        .expect("events array");
+    assert!(!events.is_empty(), "flight ring should hold events");
+    assert!(
+        events.iter().any(|e| {
+            e.get("kind").and_then(dtdinfer_obs::json::Value::as_str) == Some("access")
+        }),
+        "flight ring records access lines"
+    );
+    let (status, series) = get(&server.addr, "/debug/timeseries");
+    assert_eq!(status, 200);
+    let series = dtdinfer_obs::json::Value::parse(&series).expect("timeseries parses");
+    assert!(series.get("points").is_some(), "timeseries has points");
+    let (status, profile) = get(&server.addr, "/debug/profile?ms=20");
+    assert_eq!(status, 200);
+    let profile = dtdinfer_obs::json::Value::parse(&profile).expect("profile parses");
+    assert!(profile.get("profile").is_some(), "profile payload present");
+    post(&server.addr, "/shutdown", "");
+    let _ = server.thread.join();
+    // Access log: one JSON object per line, ids strictly increasing.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let mut last_id = 0u64;
+    let mut lines = 0usize;
+    for line in log.lines() {
+        let v = dtdinfer_obs::json::Value::parse(line)
+            .unwrap_or_else(|e| panic!("bad access line {line:?}: {e}"));
+        for key in ["ts_ms", "id", "method", "route", "status", "duration_us"] {
+            assert!(v.get(key).is_some(), "missing {key} in {line}");
+        }
+        let id = v
+            .get("id")
+            .and_then(dtdinfer_obs::json::Value::as_u64)
+            .unwrap();
+        assert!(id > last_id, "ids must be strictly increasing: {log}");
+        last_id = id;
+        lines += 1;
+    }
+    assert!(lines >= 6, "expected >=6 access lines, got {lines}:\n{log}");
+    assert!(
+        log.contains("\"route\":\"/sessions/{name}/ingest\""),
+        "{log}"
+    );
+    assert!(log.contains("\"route\":\"{unmatched}\""), "{log}");
+    // Graceful shutdown leaves the flight dump behind.
+    let dump = dir.join(format!("flight-{}.json", std::process::id()));
+    let body = std::fs::read_to_string(&dump).expect("shutdown flight dump");
+    assert!(dtdinfer_obs::json::Value::parse(body.trim()).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hostile_paths_are_sanitized_in_error_bodies() {
+    let dir = scratch("hostile");
+    let server = boot(&dir, |_| {});
+    // Terminal-escape injection via the request path must come back
+    // neutered and length-capped in the error body.
+    let (status, body) = get(&server.addr, "/\x1b[31mevil\x07/x");
+    assert_eq!(status, 404);
+    assert!(!body.contains('\x1b') && !body.contains('\x07'), "{body:?}");
+    assert!(body.contains("?[31mevil?"), "{body}");
+    let long = format!("/{}", "a".repeat(4000));
+    let (status, body) = get(&server.addr, &long);
+    assert_eq!(status, 404);
+    assert!(
+        body.len() < 300,
+        "error body not capped: {} bytes",
+        body.len()
+    );
+    assert!(body.contains('…'), "{body}");
+    // Invalid session names (charset) echo sanitized too.
+    let (status, body) = get(&server.addr, "/sessions/%2e%2e/dtd");
+    assert_eq!(status, 404);
+    assert!(body.contains("invalid session name"), "{body}");
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_scrape_is_consistent_under_concurrent_ingest() {
+    let dir = scratch("scrape");
+    let server = boot(&dir, |c| c.max_body_bytes = 64 * 1024 * 1024);
+    let addr = server.addr.clone();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_scraper = std::sync::Arc::clone(&stop);
+    // Scraper: hammer /metrics while ingest runs; every scrape must be a
+    // valid exposition and the ingest counter must never go backwards.
+    let scraper = std::thread::spawn(move || {
+        let mut last = 0.0f64;
+        let mut scrapes = 0usize;
+        while !stop_scraper.load(std::sync::atomic::Ordering::Relaxed) {
+            let (status, text) = get(&addr, "/metrics");
+            assert_eq!(status, 200);
+            dtdinfer_obs::openmetrics::validate(&text)
+                .unwrap_or_else(|e| panic!("mid-ingest scrape invalid: {e}"));
+            if let Some(line) = text
+                .lines()
+                .find(|l| l.starts_with("serve_ingest_documents_total "))
+            {
+                let v: f64 = line.split(' ').nth(1).unwrap().parse().unwrap();
+                assert!(v >= last, "counter went backwards: {v} < {last}");
+                last = v;
+            }
+            scrapes += 1;
+        }
+        scrapes
+    });
+    let batch: String = (0..200)
+        .map(|i| format!("<cat><book id=\"b{i}\"><title>t</title></book></cat>"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for _ in 0..10 {
+        let (status, body) = post(&server.addr, "/sessions/big/ingest?mode=ndxml", &batch);
+        assert_eq!(status, 200, "{body}");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper clean");
+    assert!(scrapes > 0, "scraper never ran");
+    // Final state: all 2000 documents counted and listed.
+    let (_, listing) = get(&server.addr, "/sessions");
+    assert!(listing.contains("\"documents\":2000"), "{listing}");
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panic_drill_is_recorded_and_survivable() {
+    let dir = scratch("panic");
+    let server = boot(&dir, |c| {
+        c.debug_panic = true;
+        c.workers = 3; // the drill kills one worker; others keep serving
+    });
+    post(&server.addr, "/sessions/p/ingest", "<r><a/></r>");
+    // The drilled worker unwinds before writing a response, so the
+    // connection just closes; tolerate the empty read.
+    {
+        let mut stream = TcpStream::connect(&server.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"POST /debug/panic HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw);
+    }
+    // The daemon survives and the flight ring holds the panic evidence.
+    let (status, _) = get(&server.addr, "/healthz");
+    assert_eq!(status, 200, "daemon must survive the drill");
+    let (status, flight) = get(&server.addr, "/debug/flight");
+    assert_eq!(status, 200);
+    let flight = dtdinfer_obs::json::Value::parse(&flight).expect("flight parses");
+    let events = flight
+        .get("events")
+        .and_then(dtdinfer_obs::json::Value::as_arr)
+        .expect("events array");
+    let panic_line = events
+        .iter()
+        .find(|e| e.get("kind").and_then(dtdinfer_obs::json::Value::as_str) == Some("panic"))
+        .expect("panic event recorded");
+    assert!(
+        panic_line
+            .get("line")
+            .and_then(dtdinfer_obs::json::Value::as_str)
+            .unwrap()
+            .contains("panic drill"),
+        "{panic_line:?}"
+    );
+    post(&server.addr, "/shutdown", "");
+    std::fs::remove_dir_all(&dir).ok();
+}
