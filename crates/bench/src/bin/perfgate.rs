@@ -17,7 +17,9 @@
 //! throughput (borrowed events vs the owned-event shim — the zero-copy
 //! gap), corpus extraction, 2T-INF SOA construction, the iDTD rewrite,
 //! CRX, and sharded engine ingestion at `--jobs 1/2/4/8` over synthetic
-//! corpora of several sizes. Each phase runs N repetitions and reports nearest-rank
+//! corpora of several sizes — including a fixed multi-megabyte corpus
+//! (`ingest.mb.jN`) sized so parallel speedup is visible at all.
+//! Each phase runs N repetitions and reports nearest-rank
 //! p50/p95/max plus docs/s and MB/s throughput where a corpus is
 //! processed; one extra instrumented repetition captures the obs
 //! registry's counters (and per-worker gauges) into the report. See the
@@ -25,11 +27,11 @@
 //! reference and the baseline-refresh workflow.
 
 use dtdinfer_automata::soa::Soa;
-use dtdinfer_bench::synth_corpus;
+use dtdinfer_bench::{synth_corpus, synth_corpus_bytes};
 use dtdinfer_core::crx::crx;
 use dtdinfer_core::idtd::idtd;
 use dtdinfer_engine::pool::ingest;
-use dtdinfer_obs::bench::{compare, BenchReport, PhaseStats, SCHEMA_VERSION};
+use dtdinfer_obs::bench::{compare, phase_jobs, BenchReport, PhaseStats, SCHEMA_VERSION};
 use dtdinfer_regex::alphabet::{Alphabet, Word};
 use dtdinfer_xml::extract::Corpus;
 use dtdinfer_xml::infer::InferenceEngine;
@@ -41,6 +43,18 @@ use std::time::Instant;
 
 /// The paper's Figure 2 target expression — the canonical iDTD workload.
 const PAPER_EXPR: &str = "((b? (a | c))+ d)+ e";
+
+/// Size floor of the `ingest.mb.*` corpus. The small `ingest.nN.jN`
+/// phases are dominated by pool spin-up, so they cannot show parallel
+/// speedup; this corpus is big enough (~8k documents) that worker busy
+/// time dwarfs coordination, which is what the `--jobs` scaling claim in
+/// ROADMAP is actually about. Identical in quick and full mode so the
+/// numbers are comparable across every report.
+const MB_CORPUS_BYTES: usize = 4 * 1024 * 1024;
+
+/// Seed for the `ingest.mb.*` corpus — distinct from the `nN` corpora so
+/// the two workloads cannot be conflated.
+const MB_CORPUS_SEED: u64 = 1234;
 
 // Memory accounting: with the default `alloc-count` feature the harness
 // installs the counting allocator, so every phase's high-water heap mark
@@ -266,6 +280,26 @@ fn run_suite(label: &str, suite: &Suite) -> BenchReport {
         }
     }
 
+    // The multi-megabyte ingestion workload: end-to-end `ingest` at every
+    // job count over a corpus large enough for parallelism to matter.
+    // These are the phases the cross-core scaling claims are gated on
+    // (docs_per_sec of `ingest.mb.j4` vs `ingest.mb.j1`); `perfgate
+    // compare` treats their regressions as advisory when the baseline
+    // came from a host with a different core count.
+    {
+        let corpus = synth_corpus_bytes(MB_CORPUS_BYTES, MB_CORPUS_SEED);
+        let bytes: usize = corpus.iter().map(String::len).sum();
+        let workload = Some((corpus.len() as u64, bytes as u64));
+        for jobs in [1usize, 2, 4, 8] {
+            phases.insert(
+                format!("ingest.mb.j{jobs}"),
+                time_phase(suite.reps, workload, || {
+                    black_box(ingest(black_box(&corpus), jobs).expect("synthetic corpus parses"))
+                }),
+            );
+        }
+    }
+
     // One instrumented pass over the largest corpus pulls the pipeline
     // counters (and the engine's per-worker gauges) into the report.
     let largest = *suite.corpus_sizes.iter().max().expect("nonempty sizes");
@@ -377,18 +411,44 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
          {shared} shared phase(s), threshold {threshold}%",
         baseline.commit, candidate.commit
     );
-    let regressions = compare(&baseline, &candidate, threshold);
-    for r in &regressions {
+    // Parallel-phase (`*.jN`, N>1) numbers are a property of the host's
+    // core count: a baseline captured on a 1-core box says nothing about
+    // j4 scaling here. When the baseline's cores differ from this host,
+    // those regressions are reported but do not fail the gate — serial
+    // phases still do.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+    let mismatch = baseline.cores != host_cores;
+    if mismatch {
+        println!(
+            "perfgate: baseline has {} core(s), this host has {host_cores}: \
+             parallel (*.jN) phase regressions downgrade to warnings",
+            baseline.cores
+        );
+    }
+    let (hard, advisory): (Vec<_>, Vec<_>) = compare(&baseline, &candidate, threshold)
+        .into_iter()
+        .partition(|r| !(mismatch && phase_jobs(&r.metric).is_some_and(|n| n > 1)));
+    for r in &hard {
         println!(
             "  REGRESSION {}: {:.0} -> {:.0} ({:+.0}%)",
             r.metric, r.baseline, r.candidate, r.change_pct
         );
     }
-    if regressions.is_empty() {
-        println!("no regressions beyond {threshold}%");
+    for r in &advisory {
+        println!(
+            "  warning {}: {:.0} -> {:.0} ({:+.0}%) — parallel phase on a \
+             mismatched host, not gated",
+            r.metric, r.baseline, r.candidate, r.change_pct
+        );
+    }
+    if hard.is_empty() {
+        println!(
+            "no gated regressions beyond {threshold}% ({} advisory)",
+            advisory.len()
+        );
         Ok(ExitCode::SUCCESS)
     } else {
-        println!("{} regression(s)", regressions.len());
+        println!("{} regression(s)", hard.len());
         Ok(ExitCode::FAILURE)
     }
 }

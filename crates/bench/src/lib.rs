@@ -62,6 +62,26 @@ pub fn synth_corpus(n: usize, seed: u64) -> Vec<String> {
     (0..n).map(|i| synth_document(&mut rng, i)).collect()
 }
 
+/// A deterministic synthetic corpus of at least `min_bytes` total XML —
+/// the multi-megabyte ingestion workload behind perfgate's `ingest.mb.*`
+/// phases. Documents come from the same generator as [`synth_corpus`],
+/// so the per-document shape (and thus the inferred schema) is the same;
+/// only the corpus is sized by bytes instead of document count.
+pub fn synth_corpus_bytes(min_bytes: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::new();
+    let mut total = 0usize;
+    for i in 0.. {
+        if total >= min_bytes {
+            break;
+        }
+        let doc = synth_document(&mut rng, i);
+        total += doc.len();
+        docs.push(doc);
+    }
+    docs
+}
+
 /// Runs `f` with metrics recording enabled against a clean registry and
 /// returns its result together with the snapshot of everything it
 /// recorded. Recording is switched back off afterwards.
@@ -126,6 +146,18 @@ mod tests {
         assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
         assert!(fmt_duration(Duration::from_millis(5)).ends_with(" ms"));
         assert!(fmt_duration(Duration::from_micros(7)).ends_with(" µs"));
+    }
+
+    #[test]
+    fn synth_corpus_bytes_hits_the_size_floor_deterministically() {
+        let a = synth_corpus_bytes(64 * 1024, 9);
+        let b = synth_corpus_bytes(64 * 1024, 9);
+        assert_eq!(a, b, "same seed, same corpus");
+        let total: usize = a.iter().map(String::len).sum();
+        assert!(total >= 64 * 1024, "at least min_bytes of XML: {total}");
+        // The floor is crossed by at most one document.
+        let without_last: usize = a[..a.len() - 1].iter().map(String::len).sum();
+        assert!(without_last < 64 * 1024, "no overshoot beyond one document");
     }
 
     #[test]

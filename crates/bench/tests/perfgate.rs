@@ -59,6 +59,10 @@ fn quick_run_writes_a_valid_full_coverage_report() {
         "ingest.n300.j2",
         "ingest.n300.j4",
         "ingest.n300.j8",
+        "ingest.mb.j1",
+        "ingest.mb.j2",
+        "ingest.mb.j4",
+        "ingest.mb.j8",
     ] {
         let p = report
             .phases
@@ -76,14 +80,32 @@ fn quick_run_writes_a_valid_full_coverage_report() {
     assert!(report.phases["ingest.n300.j4"].mb_per_sec.is_some());
     assert!(report.phases["tinf"].docs_per_sec.is_none());
 
+    // The multi-MB scaling corpus really is multi-MB: docs/s and MB/s are
+    // present and the per-rep duration is large enough to be meaningful
+    // (4 MiB at even 1 GB/s is > 4 ms).
+    let mb = &report.phases["ingest.mb.j1"];
+    assert!(mb.docs_per_sec.is_some() && mb.mb_per_sec.is_some());
+    assert!(
+        mb.p50_ns > 1_000_000,
+        "multi-MB phase is not trivially fast"
+    );
+
     // The instrumented pass pulled pipeline counters and per-worker
     // gauges into the report.
     assert!(
         report
             .counters
             .keys()
-            .any(|k| k.starts_with("engine.worker.")),
+            .any(|k| k.starts_with("engine_worker_")),
         "worker gauges present: {:?}",
+        report.counters.keys()
+    );
+    assert!(
+        !report
+            .counters
+            .keys()
+            .any(|k| k.starts_with("engine.worker.")),
+        "dot-numbered worker gauges are gone: {:?}",
         report.counters.keys()
     );
 
@@ -107,7 +129,7 @@ fn compare_passes_on_identical_reports_and_gates_a_2x_regression() {
         "self-compare must pass: {}",
         String::from_utf8_lossy(&ok.stdout)
     );
-    assert!(String::from_utf8_lossy(&ok.stdout).contains("no regressions"));
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("no gated regressions"));
 
     // Inject a 2x slowdown into the slowest phase — well above the 10µs
     // noise floor — and the gate must fail at the default 15% threshold.
@@ -158,6 +180,91 @@ fn compare_passes_on_identical_reports_and_gates_a_2x_regression() {
         "150% threshold tolerates 2x: {}",
         String::from_utf8_lossy(&lax.stdout)
     );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_downgrades_parallel_regressions_when_baseline_cores_mismatch() {
+    let dir = scratch("cores");
+    let candidate = dir.join("candidate.json");
+    run_quick(&candidate);
+
+    // Build a baseline that is 2x faster than the candidate in one
+    // parallel phase and one serial phase — i.e. the candidate "regressed"
+    // both — and that claims a different core count than this host.
+    let text = std::fs::read_to_string(&candidate).expect("candidate written");
+    let mut base = BenchReport::parse(&text).expect("candidate parses");
+    for phase in ["ingest.mb.j4", "extract.n300"] {
+        let p = base.phases.get_mut(phase).expect(phase);
+        p.p50_ns /= 2;
+        p.p95_ns /= 2;
+        p.max_ns /= 2;
+        p.docs_per_sec = p.docs_per_sec.map(|d| d * 2.0);
+        p.mb_per_sec = p.mb_per_sec.map(|m| m * 2.0);
+    }
+    let mismatched = dir.join("baseline_mismatched.json");
+    base.cores += 1;
+    std::fs::write(&mismatched, format!("{}\n", base.json())).expect("write baseline");
+
+    // Mismatched cores: the serial regression still trips the gate, the
+    // parallel one is only a warning.
+    let out = perfgate()
+        .arg("compare")
+        .args([&mismatched, &candidate])
+        .output()
+        .expect("compare runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "serial regression gates: {stdout}");
+    assert!(
+        stdout.contains("REGRESSION extract.n300"),
+        "serial phase stays hard: {stdout}"
+    );
+    assert!(
+        stdout.contains("warning ingest.mb.j4") && !stdout.contains("REGRESSION ingest.mb.j4"),
+        "parallel phase downgraded: {stdout}"
+    );
+    assert!(
+        stdout.contains("downgrade to warnings"),
+        "mismatch is announced: {stdout}"
+    );
+
+    // With only the parallel regression left, the mismatched compare
+    // passes outright.
+    let serial = base.phases.get_mut("extract.n300").expect("serial phase");
+    *serial = BenchReport::parse(&text).expect("candidate parses").phases["extract.n300"].clone();
+    let parallel_only = dir.join("baseline_parallel_only.json");
+    std::fs::write(&parallel_only, format!("{}\n", base.json())).expect("write baseline");
+    let out = perfgate()
+        .arg("compare")
+        .args([&parallel_only, &candidate])
+        .output()
+        .expect("compare runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "parallel-only regressions pass on a mismatched host: {stdout}"
+    );
+    assert!(
+        stdout.contains("advisory"),
+        "advisory count shown: {stdout}"
+    );
+
+    // Matching cores: the same parallel regression is a hard failure.
+    base.cores -= 1;
+    let matched = dir.join("baseline_matched.json");
+    std::fs::write(&matched, format!("{}\n", base.json())).expect("write baseline");
+    let out = perfgate()
+        .arg("compare")
+        .args([&matched, &candidate])
+        .output()
+        .expect("compare runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "same-host parallel regression still gates: {stdout}"
+    );
+    assert!(stdout.contains("REGRESSION ingest.mb.j4"), "{stdout}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

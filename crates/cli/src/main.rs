@@ -473,13 +473,6 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         if contextual {
             return Err("--contextual does not support --jobs yet".to_owned());
         }
-        if numeric.is_some() {
-            return Err(
-                "--numeric needs the full child sequences, which the sharded engine \
-                 does not retain; drop --jobs to use it"
-                    .to_owned(),
-            );
-        }
         obs.activate()?;
         let ingested = stream_ingest(EngineState::new(), &files, jobs, &obs)?;
         let (dtd, reports) = ingested.state.derive(engine);
@@ -496,6 +489,9 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             }
         }
         if xsd {
+            // The engine retains counted child-sequence multisets, so the
+            // facts view supports numeric tightening — identical bytes to
+            // the sequential corpus path.
             let facts = ingested.state.facts_corpus();
             print!(
                 "{}",
@@ -503,7 +499,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
                     &dtd,
                     Some(&facts),
                     XsdOptions {
-                        numeric_threshold: None,
+                        numeric_threshold: numeric,
                     }
                 )
             );

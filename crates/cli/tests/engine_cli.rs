@@ -127,12 +127,29 @@ fn corrupted_and_future_snapshots_are_rejected() {
 fn jobs_rejects_incompatible_flags() {
     let files = testdata();
     let refs: Vec<&str> = files.iter().map(String::as_str).collect();
-    let err = run_err(&[&["infer", "--jobs", "2", "--numeric", "5"][..], &refs].concat());
-    assert!(err.contains("--numeric"), "{err}");
     let err = run_err(&[&["infer", "--jobs", "2", "--contextual"][..], &refs].concat());
     assert!(err.contains("--contextual"), "{err}");
     let err = run_err(&[&["infer", "--jobs", "0"][..], &refs].concat());
     assert!(err.contains("--jobs"), "{err}");
+}
+
+#[test]
+fn numeric_xsd_is_identical_with_and_without_jobs() {
+    // The engine retains counted child-sequence multisets, so numeric
+    // tightening works on the sharded path and must be byte-identical to
+    // the sequential corpus path.
+    let files = testdata();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+    let sequential = run(&[&["infer", "--xsd", "--numeric", "2"][..], &refs].concat()).stdout;
+    for jobs in ["1", "2", "4"] {
+        let sharded = run(&[
+            &["infer", "--jobs", jobs, "--xsd", "--numeric", "2"][..],
+            &refs,
+        ]
+        .concat())
+        .stdout;
+        assert_eq!(sharded, sequential, "jobs {jobs}");
+    }
 }
 
 #[test]

@@ -58,7 +58,19 @@ impl CrxState {
 
     /// Folds one word into the state.
     pub fn absorb(&mut self, w: &Word) {
-        self.num_words += 1;
+        self.absorb_counted(w, 1);
+    }
+
+    /// Folds `n` occurrences of one word into the state. The successor
+    /// relation and symbol set are unions (count-invariant), so the word
+    /// is walked once; only the count-vector multiplicity and the word
+    /// total advance by `n` — identical to `n` calls of
+    /// [`CrxState::absorb`].
+    pub fn absorb_counted(&mut self, w: &Word, n: u32) {
+        if n == 0 {
+            return;
+        }
+        self.num_words += n as usize;
         let mut counts: BTreeMap<Sym, u32> = BTreeMap::new();
         for &s in w {
             self.syms.insert(s);
@@ -68,7 +80,7 @@ impl CrxState {
             self.edges.insert((pair[0], pair[1]));
         }
         let vector: Vec<(Sym, u32)> = counts.into_iter().collect();
-        *self.count_vectors.entry(vector).or_insert(0) += 1;
+        *self.count_vectors.entry(vector).or_insert(0) += n as usize;
     }
 
     /// Number of words absorbed so far.
@@ -386,6 +398,20 @@ where
     let mut state = CrxState::new();
     for w in words {
         state.absorb(w);
+    }
+    state.infer()
+}
+
+/// [`crx`] over a counted multiset of `(word, count)` entries: equal to
+/// running CRX on each word repeated `count` times, at the cost of one
+/// pass per *distinct* word.
+pub fn crx_counted<'a, I>(words: I) -> InferredModel
+where
+    I: IntoIterator<Item = (&'a Word, u32)>,
+{
+    let mut state = CrxState::new();
+    for (w, n) in words {
+        state.absorb_counted(w, n);
     }
     state.infer()
 }

@@ -58,31 +58,54 @@ impl SupportSoa {
         s
     }
 
+    /// Learns from a counted multiset of `(word, count)` entries: equal to
+    /// absorbing each word `count` times, at the cost of one pass per
+    /// *distinct* word.
+    pub fn learn_counted<'a, I: IntoIterator<Item = (&'a Word, u32)>>(words: I) -> Self {
+        let mut s = Self::new();
+        for (w, n) in words {
+            s.absorb_counted(w, n);
+        }
+        s
+    }
+
     /// Folds in one word, incrementing supports.
     pub fn absorb(&mut self, w: &Word) {
-        self.num_words += 1;
+        self.absorb_counted(w, 1);
+    }
+
+    /// Folds in `n` occurrences of one word. The SOA part is a set union
+    /// (count-invariant), so the word is walked once and every support
+    /// counter advances by `n` — identical to `n` calls of
+    /// [`SupportSoa::absorb`].
+    pub fn absorb_counted(&mut self, w: &Word, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let n = u64::from(n);
+        self.num_words += n;
         self.soa.absorb(w);
         match w.split_first() {
             None => {
-                *self.edge_support.entry(EdgeKind::Epsilon).or_insert(0) += 1;
+                *self.edge_support.entry(EdgeKind::Epsilon).or_insert(0) += n;
             }
             Some((&first, _)) => {
                 *self
                     .edge_support
                     .entry(EdgeKind::Initial(first))
-                    .or_insert(0) += 1;
+                    .or_insert(0) += n;
                 *self
                     .edge_support
                     .entry(EdgeKind::Final(*w.last().expect("non-empty")))
-                    .or_insert(0) += 1;
+                    .or_insert(0) += n;
                 for pair in w.windows(2) {
                     *self
                         .edge_support
                         .entry(EdgeKind::Pair(pair[0], pair[1]))
-                        .or_insert(0) += 1;
+                        .or_insert(0) += n;
                 }
                 for &s in w {
-                    *self.sym_support.entry(s).or_insert(0) += 1;
+                    *self.sym_support.entry(s).or_insert(0) += n;
                 }
             }
         }

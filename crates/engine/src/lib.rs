@@ -33,6 +33,7 @@ use dtdinfer_core::idtd::{idtd_traced, Event, IdtdConfig};
 use dtdinfer_core::model::InferredModel;
 use dtdinfer_core::noise::SupportSoa;
 use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
+use dtdinfer_regex::multiset::WordBag;
 use dtdinfer_xml::attlist::{infer_attdef_from_bag, AttInferenceOptions};
 use dtdinfer_xml::dtd::{ContentSpec, Dtd};
 use dtdinfer_xml::extract::{Corpus, ElementFacts};
@@ -52,6 +53,12 @@ pub struct ElementState {
     pub support: SupportSoa,
     /// CRX partial-order summary (§7), for the CHARE engine.
     pub crx: CrxState,
+    /// Counted multiset of the element's child-name sequences — O(distinct
+    /// shapes), not O(occurrences). Snapshot v3 persists it; v2 snapshots
+    /// load with an empty bag (the learners above stay authoritative for
+    /// derivation, so the degradation only disables the numeric facts
+    /// view, never changes DTD output).
+    pub words: WordBag,
     /// Non-whitespace text chunks (bounded reservoir; exact total and
     /// datatype mask), for PCDATA detection and XSD datatypes.
     pub text_samples: SampleBag,
@@ -62,16 +69,20 @@ pub struct ElementState {
 }
 
 impl ElementState {
-    /// Folds one child-name sequence into both learner summaries.
-    fn absorb_word(&mut self, w: &Word) {
-        self.support.absorb(w);
-        self.crx.absorb(w);
+    /// Folds `n` occurrences of one child-name sequence into both learner
+    /// summaries. Count-aware absorption is exactly equivalent to `n`
+    /// single absorptions (the SOA/CRX structure union is idempotent per
+    /// word; only supports scale), so repeated shapes cost one pass.
+    fn absorb_counted(&mut self, w: &Word, n: u32) {
+        self.support.absorb_counted(w, n);
+        self.crx.absorb_counted(w, n);
     }
 
     /// Merges another shard's state for the same element name.
     fn merge(&mut self, other: &ElementState, mut f: impl FnMut(Sym) -> Sym) {
         self.support.merge(&other.support.remap(&mut f));
         self.crx.merge(&other.crx.remap(&mut f));
+        self.words.merge(&other.words.map_symbols(&mut f));
         self.text_samples.merge(&other.text_samples);
         for (attr, values) in &other.attributes {
             self.attributes
@@ -80,6 +91,46 @@ impl ElementState {
                 .merge(values);
         }
         self.occurrences += other.occurrences;
+    }
+}
+
+/// Reusable per-worker parse scratch: the element stack, the per-document
+/// staging multisets, and a pool of recycled child [`Word`]s. One arena
+/// per shard keeps the steady-state ingestion loop allocation-free for
+/// repeated document shapes — new allocations happen only on first sight
+/// of a distinct child sequence.
+#[derive(Debug, Default)]
+pub struct ParseArena {
+    /// Open-element stack: (element symbol, children seen so far).
+    stack: Vec<(Sym, Word)>,
+    /// Per-document staging: child-sequence multisets by element symbol
+    /// (linear scan — documents touch few distinct names). Flushed into
+    /// the engine state once per document.
+    staged: Vec<(Sym, WordBag)>,
+    /// Recycled `Word` buffers, refilled as staged words are flushed.
+    spare: Vec<Word>,
+}
+
+impl ParseArena {
+    /// A fresh arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns every in-progress buffer to the spare pool (used after a
+    /// parse error aborts a document mid-way, so the arena is clean for
+    /// the next one).
+    fn recycle(&mut self) {
+        while let Some((_, mut w)) = self.stack.pop() {
+            w.clear();
+            self.spare.push(w);
+        }
+        for (_, bag) in self.staged.drain(..) {
+            for (mut w, _) in bag.into_entries() {
+                w.clear();
+                self.spare.push(w);
+            }
+        }
     }
 }
 
@@ -111,18 +162,48 @@ impl EngineState {
         self.absorb_document(doc).map_err(|e| e.with_source(source))
     }
 
+    /// [`EngineState::absorb_document_with`], attributing any parse error
+    /// to `source` (usually the file path).
+    pub fn absorb_document_from_with(
+        &mut self,
+        doc: &str,
+        source: &str,
+        arena: &mut ParseArena,
+    ) -> Result<(), XmlError> {
+        self.absorb_document_with(doc, arena)
+            .map_err(|e| e.with_source(source))
+    }
+
     /// Parses one document and folds its statistics in — the engine-side
     /// twin of `Corpus::add_document`, absorbing each child-name sequence
-    /// into the compact learner state instead of retaining it.
+    /// into the compact learner state instead of retaining the corpus.
     pub fn absorb_document(&mut self, doc: &str) -> Result<(), XmlError> {
+        self.absorb_document_with(doc, &mut ParseArena::new())
+    }
+
+    /// [`EngineState::absorb_document`] with caller-owned scratch: a
+    /// worker that ingests many documents reuses one [`ParseArena`], so
+    /// the per-document element stack and child words come from recycled
+    /// buffers. Child sequences are staged per document into counted
+    /// multisets and flushed once per distinct shape via count-aware
+    /// absorption — byte-identical to absorbing each occurrence alone.
+    pub fn absorb_document_with(
+        &mut self,
+        doc: &str,
+        arena: &mut ParseArena,
+    ) -> Result<(), XmlError> {
         let mut parser = XmlPullParser::new(doc);
-        // Stack of (element symbol, children-so-far).
-        let mut stack: Vec<(Sym, Word)> = Vec::new();
         let mut seen_root = false;
-        while let Some(event) = parser
-            .next()
-            .inspect_err(|_| dtdinfer_obs::count("engine.parse_errors", 1))?
-        {
+        loop {
+            let event = match parser.next() {
+                Ok(Some(event)) => event,
+                Ok(None) => break,
+                Err(e) => {
+                    dtdinfer_obs::count("engine.parse_errors", 1);
+                    arena.recycle();
+                    return Err(e);
+                }
+            };
             match event {
                 XmlEvent::StartElement {
                     name, attributes, ..
@@ -142,22 +223,32 @@ impl EngineState {
                                 .insert(value);
                         }
                     }
-                    if let Some((_, children)) = stack.last_mut() {
+                    if let Some((_, children)) = arena.stack.last_mut() {
                         children.push(sym);
                     } else if !seen_root {
                         seen_root = true;
                         *self.roots.entry(sym).or_insert(0) += 1;
                     }
-                    stack.push((sym, Word::new()));
+                    let children = arena.spare.pop().unwrap_or_default();
+                    arena.stack.push((sym, children));
                 }
                 XmlEvent::EndElement { .. } => {
-                    let (sym, children) = stack.pop().expect("parser checks balance");
-                    self.elements.entry(sym).or_default().absorb_word(&children);
+                    let (sym, mut children) = arena.stack.pop().expect("parser checks balance");
+                    match arena.staged.iter_mut().find(|(s, _)| *s == sym) {
+                        Some((_, bag)) => bag.insert_ref(&children),
+                        None => {
+                            let mut bag = WordBag::new();
+                            bag.insert_ref(&children);
+                            arena.staged.push((sym, bag));
+                        }
+                    }
+                    children.clear();
+                    arena.spare.push(children);
                 }
                 XmlEvent::Text(text) => {
                     let trimmed = text.trim();
                     if !trimmed.is_empty() {
-                        if let Some(&mut (sym, _)) = stack.last_mut() {
+                        if let Some(&mut (sym, _)) = arena.stack.last_mut() {
                             self.elements
                                 .entry(sym)
                                 .or_default()
@@ -169,6 +260,19 @@ impl EngineState {
                 XmlEvent::Comment(_)
                 | XmlEvent::ProcessingInstruction(_)
                 | XmlEvent::Doctype(_) => {}
+            }
+        }
+        // Flush: each distinct shape is absorbed once with its in-document
+        // count, and the staged words are recycled for the next document.
+        for (sym, bag) in arena.staged.drain(..) {
+            let state = self.elements.entry(sym).or_default();
+            for (w, n) in bag.iter() {
+                state.absorb_counted(w, n);
+            }
+            state.words.merge(&bag);
+            for (mut w, _) in bag.into_entries() {
+                w.clear();
+                arena.spare.push(w);
             }
         }
         self.num_documents += 1;
@@ -231,6 +335,7 @@ impl EngineState {
                 let mut remapped = ElementState {
                     support: state.support.remap(map),
                     crx: state.crx.remap(map),
+                    words: state.words.map_symbols(map),
                     ..ElementState::default()
                 };
                 remapped.text_samples = state.text_samples.clone();
@@ -289,10 +394,11 @@ impl EngineState {
         (dtd, reports)
     }
 
-    /// A corpus view of the retained per-element facts (text samples,
-    /// attributes, occurrences) for XSD datatype inference. Child
-    /// sequences are *not* retained by the engine, so the view cannot
-    /// drive numeric tightening.
+    /// A corpus view of the retained per-element facts (child-sequence
+    /// multisets, text samples, attributes, occurrences) for XSD datatype
+    /// inference. Since the engine retains counted child sequences, the
+    /// view can drive numeric tightening too — except over states warmed
+    /// from a v2 snapshot, whose bags are empty.
     pub fn facts_corpus(&self) -> Corpus {
         let mut corpus = Corpus::new();
         corpus.alphabet = self.alphabet.clone();
@@ -302,7 +408,7 @@ impl EngineState {
             corpus.elements.insert(
                 sym,
                 ElementFacts {
-                    child_sequences: Vec::new(),
+                    child_sequences: state.words.clone(),
                     text_samples: state.text_samples.clone(),
                     attributes: state.attributes.clone(),
                     occurrences: state.occurrences,
@@ -511,6 +617,15 @@ mod tests {
                 XsdOptions::default()
             ),
             generate_xsd(&corpus_dtd, Some(&corpus), XsdOptions::default())
+        );
+        // The retained multisets make numeric tightening available on the
+        // engine path too — byte-identical to the corpus path.
+        let numeric = XsdOptions {
+            numeric_threshold: Some(2),
+        };
+        assert_eq!(
+            generate_xsd(&engine_dtd, Some(&state.facts_corpus()), numeric),
+            generate_xsd(&corpus_dtd, Some(&corpus), numeric)
         );
     }
 }

@@ -11,12 +11,12 @@
 //! alphabet, so the derived DTD is byte-identical for any worker count.
 //!
 //! Chunked claiming: one `fetch_add` hands a worker a run of consecutive
-//! indices, sized to the work remaining (`remaining / (jobs * 4)`, clamped
-//! to 1..=64), so queue traffic is O(jobs · log n) instead of O(n) while
+//! indices, sized to the work remaining (`remaining / (jobs * 8)`, clamped
+//! to 1..=32), so queue traffic is O(jobs · log n) instead of O(n) while
 //! the tail still balances one document at a time.
 
 use crate::source::{DocSource, MemSource};
-use crate::EngineState;
+use crate::{EngineState, ParseArena};
 use dtdinfer_xml::parser::XmlError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -158,12 +158,15 @@ impl InFlight {
 }
 
 /// How many indices one claim should take: an equal share of the
-/// remaining work spread 4× finer than the worker count (large chunks
-/// while the queue is deep, single documents near the tail), clamped
-/// to 1..=64.
+/// remaining work spread 8× finer than the worker count (large chunks
+/// while the queue is deep, single documents near the tail), clamped to
+/// 1..=32. The old 4×/64 tuning was sized for ~0.5 KB documents; with
+/// multi-megabyte corpora in the mix, a 64-document chunk claimed near
+/// the end can strand one worker with seconds of work, so the cap is
+/// halved and the spread doubled — queue traffic stays O(jobs · log n).
 fn chunk_size(total: usize, claimed: usize, jobs: usize) -> usize {
     let remaining = total.saturating_sub(claimed);
-    (remaining / (jobs * 4)).clamp(1, 64)
+    (remaining / (jobs * 8)).clamp(1, 32)
 }
 
 /// Ingests in-memory `docs` into a fresh state with `jobs` workers.
@@ -210,6 +213,7 @@ pub fn ingest_source<S: DocSource>(
                         let started = Instant::now();
                         let mut local = EngineState::new();
                         let mut buf = String::new();
+                        let mut arena = ParseArena::new();
                         let mut documents = 0u64;
                         let mut bytes = 0u64;
                         let mut busy_ns = 0u64;
@@ -230,7 +234,9 @@ pub fn ingest_source<S: DocSource>(
                             );
                             for i in start..(start + k).min(total) {
                                 let doc_started = Instant::now();
-                                match absorb_one(&mut local, source, i, &mut buf, in_flight) {
+                                match absorb_one(
+                                    &mut local, source, i, &mut buf, &mut arena, in_flight,
+                                ) {
                                     Ok(len) => {
                                         documents += 1;
                                         bytes += len;
@@ -293,13 +299,15 @@ pub fn ingest_source<S: DocSource>(
     })
 }
 
-/// Loads document `i` and folds it into `local`, tracking residency.
-/// Returns the document's size in bytes.
+/// Loads document `i` and folds it into `local`, reusing the worker's
+/// `buf` and `arena` scratch and tracking residency. Returns the
+/// document's size in bytes.
 fn absorb_one<S: DocSource>(
     local: &mut EngineState,
     source: &S,
     i: usize,
     buf: &mut String,
+    arena: &mut ParseArena,
     in_flight: &InFlight,
 ) -> Result<u64, IngestError> {
     let fail = |error: IngestFailure| IngestError {
@@ -313,8 +321,8 @@ fn absorb_one<S: DocSource>(
     let len = doc.len() as u64;
     in_flight.enter(len);
     let absorbed = match source.name(i) {
-        Some(name) => local.absorb_document_from(doc, &name),
-        None => local.absorb_document(doc),
+        Some(name) => local.absorb_document_from_with(doc, &name, arena),
+        None => local.absorb_document_with(doc, arena),
     };
     in_flight.exit(len);
     absorbed.map_err(|e| fail(IngestFailure::Parse(e)))?;
@@ -326,12 +334,13 @@ fn ingest_sequential<S: DocSource>(base: EngineState, source: &S) -> Result<Inge
     let mut state = base;
     let words_before = state.total_words();
     let mut buf = String::new();
+    let mut arena = ParseArena::new();
     let in_flight = InFlight::default();
     let mut busy_ns = 0u64;
     let mut bytes = 0u64;
     for i in 0..source.len() {
         let doc_started = Instant::now();
-        bytes += absorb_one(&mut state, source, i, &mut buf, &in_flight)?;
+        bytes += absorb_one(&mut state, source, i, &mut buf, &mut arena, &in_flight)?;
         busy_ns += elapsed_ns(doc_started);
         // The sequential path has no claim points; heartbeat every 64
         // documents so long single-threaded ingests still feed the
@@ -371,13 +380,17 @@ fn record_shard(report: &ShardReport) {
     dtdinfer_obs::count_labeled("engine.shard.words", &label, report.words);
     dtdinfer_obs::observe("engine.shard.duration_ns", report.duration_ns);
     // Per-worker point-in-time telemetry: gauges, since re-ingesting in
-    // the same process should replace — not accumulate — a worker's stats.
-    let worker = format!("engine.worker.{}", report.shard);
-    dtdinfer_obs::gauge(&format!("{worker}.busy_ns"), report.busy_ns);
-    dtdinfer_obs::gauge(&format!("{worker}.documents"), report.documents);
-    dtdinfer_obs::gauge(&format!("{worker}.bytes"), report.bytes);
-    dtdinfer_obs::gauge(&format!("{worker}.claims"), report.claims);
-    dtdinfer_obs::gauge(&format!("{worker}.idle_polls"), report.idle_polls);
+    // the same process should replace — not accumulate — a worker's
+    // stats. One labeled series per metric (`engine_worker_busy_ns
+    // {worker="0"}`), not a dot-numbered name per worker, so dashboards
+    // aggregate across workers without name surgery.
+    let worker = label.as_str();
+    let labels: &[(&str, &str)] = &[("worker", worker)];
+    dtdinfer_obs::gauge_with("engine_worker_busy_ns", labels, report.busy_ns);
+    dtdinfer_obs::gauge_with("engine_worker_documents", labels, report.documents);
+    dtdinfer_obs::gauge_with("engine_worker_bytes", labels, report.bytes);
+    dtdinfer_obs::gauge_with("engine_worker_claims", labels, report.claims);
+    dtdinfer_obs::gauge_with("engine_worker_idle_polls", labels, report.idle_polls);
 }
 
 /// Live progress gauges, updated once per queue claim (not per document,
@@ -532,7 +545,7 @@ mod tests {
 
     #[test]
     fn chunked_claims_stay_below_document_count() {
-        // 400 docs over 4 workers: per-claim chunks start at 400/16 = 25,
+        // 400 docs over 4 workers: per-claim chunks start at 400/32 = 12,
         // so total claims must be far below one per document.
         let docs = docs(400);
         let parallel = ingest(&docs, 4).unwrap();
@@ -547,9 +560,9 @@ mod tests {
 
     #[test]
     fn chunk_size_is_adaptive() {
-        assert_eq!(chunk_size(400, 0, 4), 25);
+        assert_eq!(chunk_size(400, 0, 4), 12);
         assert_eq!(chunk_size(400, 396, 4), 1, "tail balances one at a time");
-        assert_eq!(chunk_size(10_000, 0, 4), 64, "clamped above");
+        assert_eq!(chunk_size(10_000, 0, 4), 32, "clamped above");
         assert_eq!(chunk_size(10, 10, 4), 1, "empty remainder still claims 1");
     }
 
@@ -588,13 +601,19 @@ mod tests {
         dtdinfer_obs::disable();
 
         for s in &ingested.shards {
-            let prefix = format!("engine.worker.{}", s.shard);
-            assert_eq!(snap.gauges[&format!("{prefix}.busy_ns")], s.busy_ns);
-            assert_eq!(snap.gauges[&format!("{prefix}.documents")], s.documents);
-            assert_eq!(snap.gauges[&format!("{prefix}.bytes")], s.bytes);
-            assert_eq!(snap.gauges[&format!("{prefix}.claims")], s.claims);
-            assert_eq!(snap.gauges[&format!("{prefix}.idle_polls")], s.idle_polls);
+            let key = |name: &str| format!("{name}{{worker=\"{}\"}}", s.shard);
+            assert_eq!(snap.gauges[&key("engine_worker_busy_ns")], s.busy_ns);
+            assert_eq!(snap.gauges[&key("engine_worker_documents")], s.documents);
+            assert_eq!(snap.gauges[&key("engine_worker_bytes")], s.bytes);
+            assert_eq!(snap.gauges[&key("engine_worker_claims")], s.claims);
+            assert_eq!(snap.gauges[&key("engine_worker_idle_polls")], s.idle_polls);
         }
+        // The dot-numbered per-worker names are gone for good.
+        assert!(
+            !snap.gauges.keys().any(|k| k.starts_with("engine.worker.")),
+            "no dot-numbered worker gauges: {:?}",
+            snap.gauges.keys()
+        );
         assert_eq!(
             snap.gauges["engine.ingest.peak_bytes_in_flight"],
             ingested.peak_bytes_in_flight

@@ -6,7 +6,7 @@
 //! "internal representation is the complete memory" property):
 //!
 //! ```text
-//! #dtdinfer-engine v2
+//! #dtdinfer-engine v3
 //! documents 24
 //! root lib 24
 //! element author
@@ -16,6 +16,7 @@
 //! tv B 1
 //! attr id 23 64 0
 //! av id b1 1
+//! w 23
 //! s words 23
 //! s sym title 23
 //! s pair title author 23
@@ -27,26 +28,35 @@
 //! (`viable` is the datatype-viability bitmask, `overflowed` 0/1) and each
 //! `tv value count` line carries one retained sample; `attr name total
 //! viable overflowed` / `av name value count` do the same per attribute.
-//! `s `-prefixed lines carry the element's support-SOA records and `c `
-//! lines its CRX summary. Free-form values (samples, attribute names,
-//! element names in `element`/`root`) are percent-escaped so they stay
-//! single whitespace-free tokens: `%` → `%25`, space → `%20`, tab →
-//! `%09`, newline → `%0A`, carriage return → `%0D`.
+//! `w count child…` rows (new in v3) carry the element's counted
+//! child-sequence multiset, one distinct shape per row in canonical
+//! order — `w 23` above records 23 empty child sequences. `s `-prefixed
+//! lines carry the element's support-SOA records and `c ` lines its CRX
+//! summary. Free-form values (samples, attribute names, element names in
+//! `element`/`root`) are percent-escaped so they stay single
+//! whitespace-free tokens: `%` → `%25`, space → `%20`, tab → `%09`,
+//! newline → `%0A`, carriage return → `%0D`.
 //!
-//! The header is mandatory; files with a different version (including v1,
-//! whose unbounded sample lists this build no longer keeps) or missing
-//! header are rejected with a descriptive error rather than misread.
+//! The header is mandatory. v2 files (identical minus the `w` rows) load
+//! with empty multisets — derivation output is unchanged because the
+//! learner records stay authoritative; only the counted facts view
+//! degrades. Other versions (including v1, whose unbounded sample lists
+//! this build no longer keeps) and missing headers are rejected with a
+//! descriptive error rather than misread.
 
 use crate::{ElementState, EngineState};
 use dtdinfer_core::crx::CrxState;
 use dtdinfer_core::noise::SupportSoa;
-use dtdinfer_regex::alphabet::Sym;
+use dtdinfer_regex::alphabet::{Sym, Word};
 use dtdinfer_xml::samples::{SampleBag, DEFAULT_SAMPLE_CAP};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// The header every readable snapshot must start with.
-pub const HEADER: &str = "#dtdinfer-engine v2";
+/// The header every snapshot this build writes starts with.
+pub const HEADER: &str = "#dtdinfer-engine v3";
+
+/// The previous format, still readable: v3 minus the `w` multiset rows.
+pub const V2_HEADER: &str = "#dtdinfer-engine v2";
 
 fn write_bag(out: &mut String, kind: &str, prefix: &str, bag: &SampleBag) {
     if bag.is_empty() {
@@ -85,6 +95,13 @@ pub fn save(state: &EngineState) -> String {
         write_bag(&mut out, "text", "", &element.text_samples);
         for (attr, values) in &element.attributes {
             write_bag(&mut out, "attr", &format!(" {}", esc(attr)), values);
+        }
+        for (word, count) in element.words.iter() {
+            let _ = write!(out, "w {count}");
+            for &s in word {
+                let _ = write!(out, " {}", esc(state.alphabet.name(s)));
+            }
+            out.push('\n');
         }
         for line in element.support.to_text(&state.alphabet).lines() {
             if !line.starts_with('#') {
@@ -160,17 +177,19 @@ struct Section {
     crx: String,
     text: Option<BagParts>,
     attrs: BTreeMap<String, BagParts>,
+    words: Vec<(Word, u32)>,
 }
 
-/// Parses a snapshot produced by [`save`]. Rejects missing headers, other
-/// versions, and malformed records with a descriptive error.
+/// Parses a snapshot produced by [`save`] (v3) or by an earlier v2 build
+/// (loaded with empty child-sequence multisets). Rejects missing headers,
+/// other versions, and malformed records with a descriptive error.
 pub fn load(text: &str) -> Result<EngineState, String> {
     match text.lines().next().map(str::trim) {
-        Some(HEADER) => {}
+        Some(h) if h == HEADER || h == V2_HEADER => {}
         Some(h) if h.starts_with("#dtdinfer-engine ") => {
             let version = h.trim_start_matches("#dtdinfer-engine ").trim();
             return Err(format!(
-                "unsupported snapshot version {version:?} (this build reads v2)"
+                "unsupported snapshot version {version:?} (this build reads v2 and v3)"
             ));
         }
         _ => {
@@ -190,8 +209,23 @@ pub fn load(text: &str) -> Result<EngineState, String> {
                 crx,
                 text,
                 attrs,
+                words,
             } = section;
             let name = |state: &EngineState| state.alphabet.name(sym).to_owned();
+            // Rows were validated (non-zero counts, well-formed) as they
+            // were read; rebuilding through `insert_n` re-canonicalizes
+            // under this load's interning order, and a distinct-count
+            // mismatch afterwards is exactly a duplicate row.
+            let distinct_rows = words.len();
+            for (w, n) in words {
+                element.words.insert_n(w, n);
+            }
+            if element.words.distinct() != distinct_rows {
+                return Err(format!(
+                    "duplicate multiset row in element {:?}",
+                    name(state)
+                ));
+            }
             element.support = SupportSoa::from_text(&support, &mut state.alphabet)
                 .map_err(|e| format!("support section of {:?}: {e}", name(state)))?;
             element.crx = CrxState::from_text(&crx, &mut state.alphabet)
@@ -242,9 +276,10 @@ pub fn load(text: &str) -> Result<EngineState, String> {
                     crx: String::new(),
                     text: None,
                     attrs: BTreeMap::new(),
+                    words: Vec::new(),
                 });
             }
-            "occurrences" | "text" | "tv" | "attr" | "av" | "s" | "c" => {
+            "occurrences" | "text" | "tv" | "attr" | "av" | "w" | "s" | "c" => {
                 let section = current
                     .as_mut()
                     .ok_or_else(|| err(format!("{kind:?} record outside an element section")))?;
@@ -289,6 +324,22 @@ pub fn load(text: &str) -> Result<EngineState, String> {
                             })?
                             .push_value(value)
                             .map_err(err)?;
+                    }
+                    "w" => {
+                        let mut fields = rest.split(' ').filter(|f| !f.is_empty());
+                        let count: u32 = fields
+                            .next()
+                            .ok_or_else(|| err("multiset row needs a count".into()))?
+                            .parse()
+                            .map_err(|e| err(format!("bad multiset count: {e}")))?;
+                        if count == 0 {
+                            return Err(err("zero-count multiset row".into()));
+                        }
+                        let mut word = Word::new();
+                        for child in fields {
+                            word.push(state.alphabet.intern(&unesc(child).map_err(err)?));
+                        }
+                        section.words.push((word, count));
                     }
                     "s" => {
                         section.support.push_str(rest);
@@ -414,10 +465,99 @@ mod tests {
 
     #[test]
     fn rejects_other_versions() {
-        for old in ["v1", "v3"] {
-            let err = load(&format!("#dtdinfer-engine {old}\ndocuments 3\n")).unwrap_err();
+        for other in ["v1", "v4"] {
+            let err = load(&format!("#dtdinfer-engine {other}\ndocuments 3\n")).unwrap_err();
             assert!(err.contains("unsupported snapshot version"), "{err}");
-            assert!(err.contains("v2"), "{err}");
+            assert!(err.contains("v2 and v3"), "{err}");
+        }
+    }
+
+    /// Rewrites a v3 snapshot into the v2 format an earlier build wrote:
+    /// same records minus the `w` multiset rows, v2 header.
+    fn downgrade_to_v2(v3: &str) -> String {
+        let mut out = String::new();
+        for line in v3.lines() {
+            if line == HEADER {
+                out.push_str(V2_HEADER);
+            } else if line.starts_with("w ") {
+                continue;
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn v2_snapshots_load_and_resave_as_v3_with_identical_output() {
+        let state = ingest(&docs(), 2).unwrap().state;
+        let v3 = save(&state);
+        assert!(v3.starts_with(HEADER), "{}", &v3[..40]);
+        assert!(v3.contains("\nw "), "v3 carries multiset rows");
+        let v2 = downgrade_to_v2(&v3);
+        let from_v2 = load(&v2).unwrap();
+        // Derivation is byte-identical: the learner records are
+        // authoritative, the multiset only feeds the facts view.
+        for engine in [
+            InferenceEngine::Crx,
+            InferenceEngine::Idtd,
+            InferenceEngine::IdtdNoise { threshold: 2 },
+        ] {
+            assert_eq!(
+                from_v2.derive(engine).0.serialize(),
+                state.derive(engine).0.serialize(),
+                "{engine:?}"
+            );
+        }
+        // Re-saving upgrades the header; the multiset stays empty (the
+        // v2 file never carried it), and that upgraded file round-trips
+        // byte-identically.
+        let upgraded = save(&from_v2);
+        assert!(upgraded.starts_with(HEADER));
+        assert!(!upgraded.contains("\nw "), "no rows to resurrect");
+        assert_eq!(save(&load(&upgraded).unwrap()), upgraded);
+    }
+
+    #[test]
+    fn multiset_rows_survive_round_trip() {
+        let state = ingest(&docs(), 2).unwrap().state;
+        let restored = load(&save(&state)).unwrap();
+        let canon = state.canonicalized();
+        let restored = restored.canonicalized();
+        for (&sym, element) in &canon.elements {
+            let name = canon.alphabet.name(sym);
+            let twin = restored.alphabet.get(name).expect("same elements");
+            assert_eq!(
+                restored.elements[&twin].words, element.words,
+                "multiset of {name}"
+            );
+            assert_eq!(
+                element.words.total(),
+                element.support.num_words(),
+                "bag total matches learner word count for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_multiset_rows() {
+        for (bad, needle) in [
+            (format!("{HEADER}\nelement a\nw\n"), "needs a count"),
+            (format!("{HEADER}\nelement a\nw nope x\n"), "bad multiset"),
+            (format!("{HEADER}\nelement a\nw 0 x\n"), "zero-count"),
+            (
+                format!("{HEADER}\nelement a\nw 1 x\nw 2 x\n"),
+                "duplicate multiset row",
+            ),
+            (format!("{HEADER}\nw 1 x\n"), "outside an element section"),
+            (
+                format!("{HEADER}\nelement a\nw 1 x%2\n"),
+                "truncated escape",
+            ),
+        ] {
+            let err = load(&bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?} → {err}");
         }
     }
 

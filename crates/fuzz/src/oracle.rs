@@ -188,7 +188,7 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
                 let Some(target_soa) = soa_of_sore(&mapped) else {
                     continue; // target model not single-occurrence (scenario shapes)
                 };
-                if Soa::learn(words) != target_soa {
+                if Soa::learn(words.words()) != target_soa {
                     continue; // not representative: Theorem 5 makes no promise
                 }
                 let inferred = idtd_dtd
@@ -245,7 +245,7 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
             let Some(words) = canon.sequences_of(name) else {
                 continue;
             };
-            let soa = Soa::learn(words);
+            let soa = Soa::learn(words.words());
             if !soa_subset_of_regex(&soa, r) {
                 let witness = soa_minus_regex_witness(&soa, r)
                     .map(|w| canon.alphabet.render_word(&w, " "))
@@ -279,7 +279,7 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
             match (crx_spec, idtd_spec) {
                 (ContentSpec::Children(rc), Some(ContentSpec::Children(ri))) => {
                     if let Some(words) = canon.sequences_of(name) {
-                        let soa = Soa::learn(words);
+                        let soa = Soa::learn(words.words());
                         if !soa_subset_of_regex(&soa, rc) {
                             let witness = soa_minus_regex_witness(&soa, rc)
                                 .map(|w| canon.alphabet.render_word(&w, " "))

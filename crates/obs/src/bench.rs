@@ -330,6 +330,23 @@ pub fn compare(
     regressions
 }
 
+/// Parses the `.jN` naming convention of parallel phases
+/// (`ingest.n300.j4`, `ingest.mb.j8`) and of the metric names derived
+/// from them (`ingest.mb.j4.p50_ns`): returns the job count of the first
+/// `j<digits>` dot-segment, or `None` for serial phases. Callers use this
+/// to treat parallel-phase regressions as advisory when the baseline was
+/// measured on a host with a different core count — scaling numbers do
+/// not transfer across hosts, serial ones roughly do.
+pub fn phase_jobs(name: &str) -> Option<u64> {
+    name.split('.').find_map(|seg| {
+        let digits = seg.strip_prefix('j')?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    })
+}
+
 fn change_pct(baseline: f64, candidate: f64) -> f64 {
     if baseline == 0.0 {
         0.0
@@ -488,6 +505,22 @@ mod tests {
         let mut leaner = base.clone();
         leaner.phases.get_mut("idtd").unwrap().peak_alloc_bytes = Some(1);
         assert!(compare(&base, &leaner, 15.0).is_empty());
+    }
+
+    #[test]
+    fn phase_jobs_parses_the_jn_convention() {
+        assert_eq!(phase_jobs("ingest.n300.j4"), Some(4));
+        assert_eq!(phase_jobs("ingest.mb.j8"), Some(8));
+        assert_eq!(phase_jobs("ingest.mb.j1"), Some(1));
+        // Derived metric names keep their phase's job count.
+        assert_eq!(phase_jobs("ingest.mb.j4.p50_ns"), Some(4));
+        assert_eq!(phase_jobs("ingest.mb.j2.docs_per_sec"), Some(2));
+        // Serial phases and near-misses are not parallel.
+        assert_eq!(phase_jobs("extract.n300"), None);
+        assert_eq!(phase_jobs("idtd"), None);
+        assert_eq!(phase_jobs("parse.n300.p50_ns"), None);
+        assert_eq!(phase_jobs("jitter.j"), None);
+        assert_eq!(phase_jobs("jx4.phase"), None);
     }
 
     #[test]

@@ -404,7 +404,7 @@ mod tests {
         let r = Registry::default();
         r.count("engine.documents", 300);
         r.count("core.rewrite.rule.self-loop", 2);
-        r.gauge("engine.worker.0.busy_ns", 123);
+        r.gauge_with("engine_worker_busy_ns", &[("worker", "0")], 123);
         r.observe("engine.ingest.ns", 1_000);
         r.observe("engine.ingest.ns", 3_000);
         r.snapshot()
@@ -418,7 +418,8 @@ mod tests {
         assert!(text.contains("# TYPE engine_documents_total counter\n"));
         assert!(text.contains("engine_documents_total 300\n"));
         assert!(text.contains("# TYPE core_rewrite_rule_self_loop_total counter\n"));
-        assert!(text.contains("# TYPE engine_worker_0_busy_ns gauge\n"));
+        assert!(text.contains("# TYPE engine_worker_busy_ns gauge\n"));
+        assert!(text.contains("engine_worker_busy_ns{worker=\"0\"} 123\n"));
         assert!(text.contains("# TYPE engine_ingest_ns summary\n"));
         assert!(text.contains("engine_ingest_ns{quantile=\"0.5\"}"));
         assert!(text.contains("engine_ingest_ns_count 2\n"));

@@ -20,6 +20,7 @@ pub mod ast;
 pub mod classify;
 pub mod determinism;
 pub mod display;
+pub mod multiset;
 pub mod normalize;
 pub mod numeric;
 pub mod parser;

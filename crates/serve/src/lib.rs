@@ -145,6 +145,39 @@ impl Shared {
     }
 }
 
+/// Bounded exponential backoff for the poll-accept loop. A fixed-rate
+/// sleep either wastes wakeups when idle or adds latency under load; this
+/// polls tightly right after activity (1 ms) and decays ×2 per empty poll
+/// to a 16 ms ceiling, so an idle daemon parks most of the time while the
+/// shutdown flag is still noticed within one ceiling interval.
+struct AcceptBackoff {
+    current: Duration,
+}
+
+impl AcceptBackoff {
+    const FLOOR: Duration = Duration::from_millis(1);
+    const CEIL: Duration = Duration::from_millis(16);
+
+    fn new() -> AcceptBackoff {
+        AcceptBackoff {
+            current: Self::FLOOR,
+        }
+    }
+
+    /// Back to the tight poll interval — call on any accepted connection.
+    fn reset(&mut self) {
+        self.current = Self::FLOOR;
+    }
+
+    /// Parks the calling thread for the current interval, then doubles it
+    /// up to the ceiling. `park_timeout` may return early (spurious or
+    /// explicit unpark) — harmless here, the loop just polls again.
+    fn park(&mut self) {
+        std::thread::park_timeout(self.current);
+        self.current = (self.current * 2).min(Self::CEIL);
+    }
+}
+
 /// OS signal plumbing: SIGINT/SIGTERM flip one process-global flag the
 /// accept loop polls. Registered through the C `signal` symbol directly —
 /// the workspace links libc through std anyway and takes no new crates.
@@ -242,10 +275,14 @@ pub fn run(config: ServeConfig, on_ready: impl FnOnce(&str)) -> Result<String, S
         })
         .collect();
 
-    // Accept loop: poll-accept so the shutdown flag is noticed promptly.
+    // Accept loop: poll-accept so the shutdown flag is noticed promptly,
+    // with bounded backoff between empty polls instead of a fixed-rate
+    // spin.
+    let mut backoff = AcceptBackoff::new();
     while !shared.shutting_down() {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff.reset();
                 dtdinfer_obs::count("serve.http.accepted", 1);
                 let mut queue = shared.queue.lock().expect("queue lock");
                 if queue.len() >= shared.config.queue_depth {
@@ -260,7 +297,7 @@ pub fn run(config: ServeConfig, on_ready: impl FnOnce(&str)) -> Result<String, S
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                backoff.park();
             }
             Err(e) => return Err(format!("accept: {e}")),
         }
@@ -880,12 +917,50 @@ fn subscribe(shared: &Shared, name: &str, stream: &mut TcpStream) -> Routed {
         "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\n\
          Connection: keep-alive\r\n\r\n: subscribed to session {name}\n\n"
     );
-    if stream.write_all(head.as_bytes()).is_err() {
-        return Routed::Streaming; // client vanished; nothing to keep
-    }
     let Ok(adopted) = stream.try_clone() else {
         return Routed::Response(Response::error(500, "could not retain event stream"));
     };
-    session.lock().expect("session lock").subscribe(adopted);
+    // Greet and register under one session lock. Broadcasts also hold it,
+    // so a concurrent ingest either lands wholly before the greeting (the
+    // client has not seen the subscription yet, so it cannot have sent
+    // the document that triggered it) or after the subscriber is listed —
+    // the greeting can never race ahead of registration and lose the
+    // first drift event.
+    let mut session = session.lock().expect("session lock");
+    if stream.write_all(head.as_bytes()).is_err() {
+        return Routed::Streaming; // client vanished; nothing to keep
+    }
+    session.subscribe(adopted);
     Routed::Streaming
+}
+
+#[cfg(test)]
+mod backoff_tests {
+    use super::AcceptBackoff;
+
+    #[test]
+    fn accept_backoff_doubles_to_ceiling_and_resets() {
+        let mut b = AcceptBackoff::new();
+        assert_eq!(b.current, AcceptBackoff::FLOOR);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            seen.push(b.current);
+            // Advance the schedule without actually parking the test.
+            b.current = (b.current * 2).min(AcceptBackoff::CEIL);
+        }
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]), "monotone: {seen:?}");
+        assert_eq!(b.current, AcceptBackoff::CEIL, "bounded above");
+        b.reset();
+        assert_eq!(b.current, AcceptBackoff::FLOOR, "activity resets");
+    }
+
+    #[test]
+    fn accept_backoff_park_is_bounded() {
+        let mut b = AcceptBackoff::new();
+        let started = std::time::Instant::now();
+        b.park();
+        // One floor-interval park, with generous scheduling slack.
+        assert!(started.elapsed() < AcceptBackoff::CEIL * 20);
+        assert_eq!(b.current, AcceptBackoff::FLOOR * 2);
+    }
 }

@@ -8,13 +8,18 @@
 use crate::parser::{XmlError, XmlEvent, XmlPullParser};
 use crate::samples::SampleBag;
 use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
+use dtdinfer_regex::multiset::WordBag;
 use std::collections::BTreeMap;
 
 /// Everything observed about one element name across the corpus.
 #[derive(Debug, Clone, Default)]
 pub struct ElementFacts {
-    /// One word per occurrence: the sequence of child element names.
-    pub child_sequences: Vec<Word>,
+    /// The child-name sequences observed under the element, as a counted
+    /// multiset: one `(word, count)` entry per *distinct* sequence. Real
+    /// corpora repeat shapes heavily, so this is far smaller than one
+    /// word per occurrence and lets the learners absorb each distinct
+    /// word once with its multiplicity.
+    pub child_sequences: WordBag,
     /// Non-whitespace text chunks observed directly under the element
     /// (bounded reservoir; exact total and datatype mask).
     pub text_samples: SampleBag,
@@ -27,7 +32,7 @@ pub struct ElementFacts {
 impl ElementFacts {
     /// Whether the element ever had element children.
     pub fn has_element_children(&self) -> bool {
-        self.child_sequences.iter().any(|w| !w.is_empty())
+        self.child_sequences.words().any(|w| !w.is_empty())
     }
 
     /// Whether the element ever had character data.
@@ -112,7 +117,7 @@ impl Corpus {
                         .entry(sym)
                         .or_default()
                         .child_sequences
-                        .push(children);
+                        .insert(children);
                 }
                 XmlEvent::Text(text) => {
                     let trimmed = text.trim();
@@ -181,11 +186,7 @@ impl Corpus {
             .iter()
             .map(|(&sym, facts)| {
                 let mut facts = facts.clone();
-                for w in &mut facts.child_sequences {
-                    for s in w.iter_mut() {
-                        *s = map(*s);
-                    }
-                }
+                facts.child_sequences = facts.child_sequences.map_symbols(map);
                 (map(sym), facts)
             })
             .collect();
@@ -198,19 +199,18 @@ impl Corpus {
         }
     }
 
-    /// The child sequences of one element name.
-    pub fn sequences_of(&self, name: &str) -> Option<&[Word]> {
+    /// The child-sequence multiset of one element name.
+    pub fn sequences_of(&self, name: &str) -> Option<&WordBag> {
         let sym = self.alphabet.get(name)?;
-        self.elements
-            .get(&sym)
-            .map(|f| f.child_sequences.as_slice())
+        self.elements.get(&sym).map(|f| &f.child_sequences)
     }
 
-    /// Total number of extracted words across all elements.
+    /// Total number of extracted words (occurrences, not distinct
+    /// sequences) across all elements.
     pub fn total_sequences(&self) -> usize {
         self.elements
             .values()
-            .map(|f| f.child_sequences.len())
+            .map(|f| f.child_sequences.total() as usize)
             .sum()
     }
 }
@@ -225,12 +225,25 @@ mod tests {
         c.add_document("<r><a/><b/><a/></r>").unwrap();
         c.add_document("<r><b/></r>").unwrap();
         let r = c.sequences_of("r").unwrap();
-        assert_eq!(r.len(), 2);
-        let al = &c.alphabet;
-        assert_eq!(c.alphabet.render_word(&r[0], " "), "a b a");
-        assert_eq!(al.render_word(&r[1], " "), "b");
-        // Leaves have empty sequences.
-        assert_eq!(c.sequences_of("a").unwrap(), &[vec![], vec![]]);
+        assert_eq!(r.total(), 2);
+        let words: Vec<String> = r.words().map(|w| c.alphabet.render_word(w, " ")).collect();
+        assert_eq!(words, vec!["a b a", "b"]);
+        // Leaves have empty sequences, deduplicated under one count.
+        assert_eq!(c.sequences_of("a").unwrap().as_slice(), &[(vec![], 2)]);
+    }
+
+    #[test]
+    fn repeated_shapes_collapse_into_counts() {
+        let mut c = Corpus::new();
+        for _ in 0..5 {
+            c.add_document("<r><a/><b/></r>").unwrap();
+        }
+        c.add_document("<r><b/></r>").unwrap();
+        let r = c.sequences_of("r").unwrap();
+        assert_eq!(r.distinct(), 2, "two distinct shapes");
+        assert_eq!(r.total(), 6, "six occurrences");
+        let counts: Vec<u32> = r.iter().map(|(_, n)| n).collect();
+        assert_eq!(counts, vec![5, 1]);
     }
 
     #[test]
@@ -318,12 +331,12 @@ mod tests {
         // Same facts, relabeled.
         assert_eq!(canon.num_documents, 1);
         let z = canon.alphabet.get("z").unwrap();
-        assert_eq!(
-            canon
-                .alphabet
-                .render_word(&canon.elements[&z].child_sequences[0], " "),
-            "m a"
-        );
+        let word = canon.elements[&z]
+            .child_sequences
+            .words()
+            .next()
+            .expect("one sequence");
+        assert_eq!(canon.alphabet.render_word(word, " "), "m a");
         assert_eq!(canon.root(), Some(z));
         // Already-canonical corpora come back unchanged.
         assert_eq!(canon.canonicalized().alphabet, canon.alphabet);

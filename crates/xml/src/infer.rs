@@ -9,7 +9,7 @@ use crate::attlist::{infer_attdef_from_bag, AttInferenceOptions};
 use crate::dtd::{ContentSpec, Dtd};
 use crate::extract::Corpus;
 use dtdinfer_automata::soa::Soa;
-use dtdinfer_core::crx::crx;
+use dtdinfer_core::crx::crx_counted;
 use dtdinfer_core::idtd::{idtd_traced, Event, IdtdConfig};
 use dtdinfer_core::model::InferredModel;
 use dtdinfer_core::noise::SupportSoa;
@@ -170,9 +170,9 @@ fn infer_element(
             // support threshold applies here too: child names occurring
             // fewer than `threshold` times are treated as intruders.
             let mut support: std::collections::BTreeMap<Sym, u64> = Default::default();
-            for w in &facts.child_sequences {
+            for (w, n) in facts.child_sequences.iter() {
                 for &s in w {
-                    *support.entry(s).or_insert(0) += 1;
+                    *support.entry(s).or_insert(0) += u64::from(n);
                 }
             }
             let threshold = match engine {
@@ -188,10 +188,13 @@ fn infer_element(
             ContentSpec::Mixed(syms.into_iter().collect())
         }
         (false, true) => {
+            // Every learner consumes each distinct word once: the SOA is a
+            // set union (count-invariant), CRX and the support counters
+            // take the multiplicity as a weight.
             let model = match engine {
-                InferenceEngine::Crx => crx(&facts.child_sequences),
+                InferenceEngine::Crx => crx_counted(facts.child_sequences.iter()),
                 InferenceEngine::Idtd => {
-                    let soa = Soa::learn(&facts.child_sequences);
+                    let soa = Soa::learn(facts.child_sequences.words());
                     let (model, trace) = idtd_traced(&soa, IdtdConfig::default());
                     for e in &trace {
                         match e {
@@ -203,7 +206,8 @@ fn infer_element(
                     model
                 }
                 InferenceEngine::IdtdNoise { threshold } => {
-                    SupportSoa::learn(&facts.child_sequences).infer_denoised(threshold)
+                    SupportSoa::learn_counted(facts.child_sequences.iter())
+                        .infer_denoised(threshold)
                 }
             };
             match model {
@@ -216,7 +220,7 @@ fn infer_element(
         name: corpus.alphabet.name(sym).to_owned(),
         engine: engine_used,
         occurrences: facts.occurrences,
-        words: facts.child_sequences.len(),
+        words: facts.child_sequences.total() as usize,
         rewrite_steps,
         repairs,
         fallbacks,
@@ -275,7 +279,7 @@ mod tests {
                 assert!(dtdinfer_regex::classify::is_sore(regex));
                 // Training sequences all match (over the canonical corpus,
                 // whose symbols the DTD's expressions are written in).
-                for w in canon.sequences_of("r").unwrap() {
+                for w in canon.sequences_of("r").unwrap().words() {
                     assert!(dtdinfer_automata::nfa::regex_matches(regex, w));
                 }
             }

@@ -45,6 +45,7 @@ pub mod generate;
 pub mod infer;
 pub mod parser;
 pub mod samples;
+pub mod scan;
 pub mod xsd;
 
 pub use dtd::{ContentSpec, Dtd};

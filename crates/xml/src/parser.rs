@@ -16,6 +16,7 @@
 //! discarded as data trickles in; the parser's job is to touch it exactly
 //! once on the way through.
 
+use crate::scan;
 use std::borrow::Cow;
 use std::fmt;
 
@@ -233,25 +234,51 @@ impl<'a> XmlPullParser<'a> {
     /// Returns the slice up to (excluding) `delim` and skips past it. All
     /// delimiters are ASCII, so the slice boundaries are char boundaries.
     fn take_until(&mut self, delim: &str) -> Result<&'a str, XmlError> {
-        let hay = &self.bytes()[self.pos..];
-        match find_subslice(hay, delim.as_bytes()) {
+        match scan::next_subslice(self.bytes(), self.pos, delim.as_bytes()) {
             Some(i) => {
-                let content = &self.input[self.pos..self.pos + i];
-                self.pos += i + delim.len();
+                let content = &self.input[self.pos..i];
+                self.pos = i + delim.len();
                 Ok(content)
             }
             None => self.err(&format!("unterminated construct (expected {delim:?})")),
         }
     }
 
+    /// [`XmlPullParser::take_until`] for a single-byte delimiter (the
+    /// attribute-value quote). One fused SWAR scan finds the delimiter and
+    /// reports whether the content holds an '&' — entity-free values (the
+    /// common case) then skip the decoder's rescan entirely.
+    fn take_until_byte(&mut self, delim: u8) -> Result<(&'a str, bool), XmlError> {
+        let bytes = self.bytes();
+        let (end, has_amp) = match scan::next_byte2(bytes, self.pos, delim, b'&') {
+            Some(i) if bytes[i] == delim => (Some(i), false),
+            Some(amp) => (scan::next_byte(bytes, amp + 1, delim), true),
+            None => (None, false),
+        };
+        match end {
+            Some(i) => {
+                let content = &self.input[self.pos..i];
+                self.pos = i + 1;
+                Ok((content, has_amp))
+            }
+            None => self.err(&format!(
+                "unterminated construct (expected {:?})",
+                char::from(delim)
+            )),
+        }
+    }
+
     fn read_name(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if is_name_char(c)) {
-            self.pos += 1;
-        }
-        if self.pos == start {
+        let tail = &self.bytes()[start..];
+        let len = tail
+            .iter()
+            .position(|&c| !is_name_char(c))
+            .unwrap_or(tail.len());
+        if len == 0 {
             return self.err("expected a name");
         }
+        self.pos = start + len;
         // Name scanning stops at an ASCII delimiter and non-ASCII bytes
         // are all name characters, so both ends are char boundaries.
         Ok(&self.input[start..self.pos])
@@ -292,24 +319,78 @@ impl<'a> XmlPullParser<'a> {
             if self.peek() == Some(b'<') {
                 return self.parse_markup().map(Some);
             }
-            // Character data up to the next '<'.
+            // Character data up to the next '<'. One fused SWAR run finds
+            // the end of the run and learns on the way whether it contains
+            // an '&' — entity-free text (the common case) is then borrowed
+            // without the decoder rescanning it.
             let start = self.pos;
-            while self.pos < self.input.len() && self.peek() != Some(b'<') {
-                self.pos += 1;
-            }
-            let raw = &self.input[start..self.pos];
+            let bytes = self.bytes();
+            let (end, has_amp) = match scan::next_byte2(bytes, start, b'<', b'&') {
+                Some(i) if bytes[i] == b'<' => (i, false),
+                Some(amp) => (
+                    scan::next_byte(bytes, amp + 1, b'<').unwrap_or(bytes.len()),
+                    true,
+                ),
+                None => (bytes.len(), false),
+            };
+            self.pos = end;
+            let raw = &self.input[start..end];
             if self.stack.is_empty() {
                 if raw.trim().is_empty() {
                     continue; // whitespace between prolog and root
                 }
                 return self.err("character data outside the root element");
             }
-            return Ok(Some(XmlEvent::Text(self.decode(raw, start)?)));
+            return Ok(Some(XmlEvent::Text(if has_amp {
+                self.decode(raw, start)?
+            } else {
+                Cow::Borrowed(raw)
+            })));
         }
     }
 
     fn parse_markup(&mut self) -> Result<XmlEvent<'a>, XmlError> {
         debug_assert_eq!(self.peek(), Some(b'<'));
+        // Dispatch on the byte after '<'. Start and end tags are the
+        // overwhelming majority of markup, so they must not pay a chain
+        // of literal-prefix comparisons against every rare construct.
+        match self.bytes().get(self.pos + 1) {
+            Some(b'!') | Some(b'?') => self.parse_declaration(),
+            Some(b'/') => {
+                self.pos += 2;
+                // Fast path: a well-formed end tag names the innermost
+                // open element with no stray whitespace, so one slice
+                // compare against the stack top replaces the name scan.
+                if let Some(&open) = self.stack.last() {
+                    let end = self.pos + open.len();
+                    if self.bytes().get(end) == Some(&b'>')
+                        && self.bytes()[self.pos..end] == *open.as_bytes()
+                    {
+                        self.pos = end + 1;
+                        self.stack.pop();
+                        return Ok(XmlEvent::EndElement { name: open });
+                    }
+                }
+                let name = self.read_name()?;
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return self.err("expected '>' in end tag");
+                }
+                self.pos += 1;
+                match self.stack.pop() {
+                    Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+                    Some(open) => self.err(&format!("mismatched end tag </{name}>, open <{open}>")),
+                    None => self.err(&format!("end tag </{name}> without open element")),
+                }
+            }
+            _ => self.parse_start_tag(),
+        }
+    }
+
+    /// The rare markup constructs behind `<!` and `<?`: comments, CDATA,
+    /// DOCTYPE, and processing instructions. Off the tag hot path, so the
+    /// literal-prefix chain is fine here.
+    fn parse_declaration(&mut self) -> Result<XmlEvent<'a>, XmlError> {
         if self.starts_with("<!--") {
             self.pos += 4;
             let content = self.take_until("-->")?;
@@ -331,68 +412,65 @@ impl<'a> XmlPullParser<'a> {
         if self.starts_with("<!DOCTYPE") {
             return self.parse_doctype();
         }
-        if self.starts_with("</") {
-            self.pos += 2;
-            let name = self.read_name()?;
+        // `<!` followed by anything else falls through to the start-tag
+        // parser, which rejects `!` with the pre-dispatch error message.
+        self.parse_start_tag()
+    }
+
+    fn parse_start_tag(&mut self) -> Result<XmlEvent<'a>, XmlError> {
+        self.pos += 1; // consume '<'
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
             self.skip_ws();
-            if self.peek() != Some(b'>') {
-                return self.err("expected '>' in end tag");
-            }
-            self.pos += 1;
-            match self.stack.pop() {
-                Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
-                Some(open) => self.err(&format!("mismatched end tag </{name}>, open <{open}>")),
-                None => self.err(&format!("end tag </{name}> without open element")),
-            }
-        } else {
-            self.pos += 1; // consume '<'
-            let name = self.read_name()?;
-            let mut attributes = Vec::new();
-            loop {
-                self.skip_ws();
-                match self.peek() {
-                    Some(b'>') => {
-                        self.pos += 1;
-                        self.stack.push(name);
-                        return Ok(XmlEvent::StartElement {
-                            name,
-                            attributes,
-                            self_closing: false,
-                        });
-                    }
-                    Some(b'/') => {
-                        self.pos += 1;
-                        if self.peek() != Some(b'>') {
-                            return self.err("expected '>' after '/'");
-                        }
-                        self.pos += 1;
-                        self.pending_end = Some(name);
-                        return Ok(XmlEvent::StartElement {
-                            name,
-                            attributes,
-                            self_closing: true,
-                        });
-                    }
-                    Some(c) if is_name_char(c) => {
-                        let attr = self.read_name()?;
-                        self.skip_ws();
-                        if self.peek() != Some(b'=') {
-                            return self.err("expected '=' after attribute name");
-                        }
-                        self.pos += 1;
-                        self.skip_ws();
-                        let quote = match self.peek() {
-                            Some(b'"') => "\"",
-                            Some(b'\'') => "'",
-                            _ => return self.err("expected quoted attribute value"),
-                        };
-                        self.pos += 1;
-                        let value_start = self.pos;
-                        let value = self.take_until(quote)?;
-                        attributes.push((attr, self.decode(value, value_start)?));
-                    }
-                    _ => return self.err("malformed start tag"),
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(name);
+                    return Ok(XmlEvent::StartElement {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
                 }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return self.err("expected '>' after '/'");
+                    }
+                    self.pos += 1;
+                    self.pending_end = Some(name);
+                    return Ok(XmlEvent::StartElement {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
+                }
+                Some(c) if is_name_char(c) => {
+                    let attr = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return self.err("expected '=' after attribute name");
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return self.err("expected quoted attribute value"),
+                    };
+                    self.pos += 1;
+                    let value_start = self.pos;
+                    let (value, has_amp) = self.take_until_byte(quote)?;
+                    attributes.push((
+                        attr,
+                        if has_amp {
+                            self.decode(value, value_start)?
+                        } else {
+                            Cow::Borrowed(value)
+                        },
+                    ));
+                }
+                _ => return self.err("malformed start tag"),
             }
         }
     }
@@ -438,15 +516,25 @@ impl<'a> XmlPullParser<'a> {
     }
 }
 
-fn is_name_char(c: u8) -> bool {
-    // Non-ASCII bytes are accepted as name characters: XML names may use
-    // the full Unicode letter range, and passing UTF-8 continuation bytes
-    // through keeps multi-byte names intact without a full table.
-    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b':' | b'-') || c >= 0x80
-}
+/// Name-character set as a flat table: `read_name` runs once per tag and
+/// attribute, so its per-byte test must be one load, not a chain of range
+/// compares. Non-ASCII bytes are accepted as name characters: XML names
+/// may use the full Unicode letter range, and passing UTF-8 continuation
+/// bytes through keeps multi-byte names intact without a full table.
+static NAME_CHAR: [bool; 256] = {
+    let mut t = [false; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let b = c as u8;
+        t[c] = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'-') || b >= 0x80;
+        c += 1;
+    }
+    t
+};
 
-fn find_subslice(hay: &[u8], needle: &[u8]) -> Option<usize> {
-    hay.windows(needle.len()).position(|w| w == needle)
+#[inline(always)]
+fn is_name_char(c: u8) -> bool {
+    NAME_CHAR[c as usize]
 }
 
 /// Escapes the five predefined XML entities so `s` can be embedded in
@@ -491,20 +579,29 @@ pub fn decode_entities(s: &str) -> String {
     decode_entities_cow(s).into_owned()
 }
 
+/// Position of the next `;` within the 12 bytes following an `&` — the
+/// longest reference this decoder resolves — so scanning for a terminator
+/// never walks the full remainder of an entity-free text run.
+fn nearby_semicolon(rest: &str) -> Option<usize> {
+    let win = &rest.as_bytes()[..rest.len().min(13)];
+    win.iter().position(|&b| b == b';')
+}
+
 /// [`decode_entities`] without the copy: borrows `s` when it contains no
 /// ampersand (the common case on real data), allocating only when a
-/// reference actually has to be rewritten.
+/// reference actually has to be rewritten. The gate and the reference
+/// loop both skip between ampersands with the SWAR scanner.
 pub fn decode_entities_cow(s: &str) -> Cow<'_, str> {
-    if !s.contains('&') {
+    if scan::next_byte(s.as_bytes(), 0, b'&').is_none() {
         return Cow::Borrowed(s);
     }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
-    while let Some(amp) = rest.find('&') {
+    while let Some(amp) = scan::next_byte(rest.as_bytes(), 0, b'&') {
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
-        match rest.find(';') {
-            Some(semi) if semi <= 12 => match resolve_entity(&rest[1..semi]) {
+        match nearby_semicolon(rest) {
+            Some(semi) => match resolve_entity(&rest[1..semi]) {
                 Some(c) => {
                     out.push(c);
                     rest = &rest[semi + 1..];
@@ -514,7 +611,7 @@ pub fn decode_entities_cow(s: &str) -> Cow<'_, str> {
                     rest = &rest[1..];
                 }
             },
-            _ => {
+            None => {
                 out.push('&');
                 rest = &rest[1..];
             }
@@ -538,19 +635,19 @@ pub struct EntityError {
 /// or a numeric character reference that decodes to a scalar value (no
 /// surrogates, nothing past U+10FFFF).
 pub fn decode_entities_strict(s: &str) -> Result<Cow<'_, str>, EntityError> {
-    if !s.contains('&') {
+    if scan::next_byte(s.as_bytes(), 0, b'&').is_none() {
         return Ok(Cow::Borrowed(s));
     }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
     let mut consumed = 0usize;
-    while let Some(amp) = rest.find('&') {
+    while let Some(amp) = scan::next_byte(rest.as_bytes(), 0, b'&') {
         out.push_str(&rest[..amp]);
         let at = consumed + amp;
         rest = &rest[amp..];
-        let semi = match rest.find(';') {
-            Some(semi) if semi <= 12 => semi,
-            _ => {
+        let semi = match nearby_semicolon(rest) {
+            Some(semi) => semi,
+            None => {
                 return Err(EntityError {
                     offset: at,
                     message: format!(

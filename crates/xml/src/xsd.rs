@@ -177,9 +177,11 @@ fn render_content(
             // canonical DTD alphabet: translate the observed words by name
             // before counting factor occurrences. Names unknown to the DTD
             // (corpus/DTD mismatch) disable tightening for this element.
+            // Distinct words suffice: `tighten` takes per-word minima and
+            // maxima, which repeats cannot change.
             let sequences: Option<Vec<Word>> = facts
                 .child_sequences
-                .iter()
+                .words()
                 .map(|w| {
                     w.iter()
                         .map(|&s| alphabet.get(corpus.alphabet.name(s)))

@@ -113,7 +113,13 @@ fn corpus_words(c: &Corpus) -> Vec<(String, Vec<Vec<String>>)> {
                 facts
                     .child_sequences
                     .iter()
-                    .map(|w| w.iter().map(|&s| c.alphabet.name(s).to_owned()).collect())
+                    .flat_map(|(w, n)| {
+                        // Expand the counted multiset back to occurrences
+                        // for comparison against the generated tree.
+                        let word: Vec<String> =
+                            w.iter().map(|&s| c.alphabet.name(s).to_owned()).collect();
+                        std::iter::repeat_n(word, n as usize)
+                    })
                     .collect(),
             )
         })
