@@ -13,9 +13,14 @@
 //!
 //! A k-testable language is given by: `I` — allowed prefixes of length
 //! k−1; `F` — allowed suffixes of length k−1; `T` — allowed k-grams; and
-//! the finite set `S` of allowed words shorter than k. A word of length
-//! ≥ k−1 belongs iff its (k−1)-prefix ∈ I, its (k−1)-suffix ∈ F and all
-//! its k-grams ∈ T.
+//! the finite set `S` of allowed words *shorter than k−1* (such words are
+//! too short to have a (k−1)-window, so the window conditions cannot see
+//! them — note a word of length exactly k−1 is its own prefix and suffix
+//! and is covered by `I`/`F`, not `S`). A word of length ≥ k−1 belongs
+//! iff its (k−1)-prefix ∈ I, its (k−1)-suffix ∈ F and all its k-grams
+//! ∈ T; a shorter word belongs iff it is in S. The empty word is in S for
+//! every k ≥ 2, but for k = 1 it is the (empty) prefix/suffix window
+//! itself — the boundary the `empty_word_only_sample` test pins down.
 
 use crate::dfa::Dfa;
 use dtdinfer_regex::alphabet::{Sym, Word};
@@ -292,6 +297,85 @@ mod tests {
         let small = KTestable::learn(2, &words(&mut al, &["ab"]));
         assert!(big.contains(&small));
         assert!(!small.contains(&big));
+    }
+
+    #[test]
+    fn empty_word_only_sample() {
+        // The ε-only sample is the boundary between the S bucket (k ≥ 2:
+        // ε is shorter than k−1) and the window conditions (k = 1: ε is
+        // the empty prefix/suffix window). Either way the learned language
+        // must be exactly {ε}, and the compiled DFA must agree.
+        let mut al = Alphabet::new();
+        let sample = vec![Word::new()];
+        let a = al.intern("a");
+        let b = al.intern("b");
+        for k in 1..=4usize {
+            let kt = KTestable::learn(k, &sample);
+            assert!(kt.accepts(&[]), "k={k}: ε must be accepted");
+            for probe in [vec![a], vec![b], vec![a, a], vec![a, b, a]] {
+                assert!(!kt.accepts(&probe), "k={k}: {probe:?} must be rejected");
+            }
+            // contains is reflexive and agrees with the learned components
+            // even when every window set is empty (k ≥ 2).
+            assert!(kt.contains(&kt), "k={k}: containment must be reflexive");
+            assert!(
+                kt.contains(&KTestable::learn(k, &sample)),
+                "k={k}: relearning ε changes nothing"
+            );
+            // to_dfa over an explicit alphabet (symbols() is empty here, so
+            // pass one) accepts exactly ε too.
+            let dfa = kt.to_dfa(&[a, b]);
+            assert!(dfa.accepts(&[]), "k={k}: DFA must accept ε");
+            for probe in [vec![a], vec![b], vec![b, a]] {
+                assert!(!dfa.accepts(&probe), "k={k}: DFA must reject {probe:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_and_dfa_agree_on_boundary_length_words() {
+        // Exhaustive differential check on every word of length ≤ 4 over a
+        // two-symbol alphabet, for samples that straddle the short/window
+        // boundary (ε, length k−2, k−1 and k words together).
+        let mut al = Alphabet::new();
+        let a = al.intern("a");
+        let b = al.intern("b");
+        let samples: Vec<Vec<Word>> = vec![
+            vec![Word::new(), vec![a]],
+            vec![vec![a], vec![a, b]],
+            vec![Word::new(), vec![a, b], vec![a, b, a]],
+            vec![vec![b, b], vec![a, b, a, b]],
+        ];
+        let mut probes: Vec<Word> = vec![Word::new()];
+        let mut frontier: Vec<Word> = vec![Word::new()];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &s in &[a, b] {
+                    let mut e = w.clone();
+                    e.push(s);
+                    next.push(e);
+                }
+            }
+            probes.extend(next.iter().cloned());
+            frontier = next;
+        }
+        for sample in &samples {
+            for k in 1..=4usize {
+                let kt = KTestable::learn(k, sample);
+                for w in sample {
+                    assert!(kt.accepts(w), "k={k}: sample word {w:?} must be accepted");
+                }
+                let dfa = kt.to_dfa(&[a, b]);
+                for p in &probes {
+                    assert_eq!(
+                        kt.accepts(p),
+                        dfa.accepts(p),
+                        "k={k} sample={sample:?} probe={p:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

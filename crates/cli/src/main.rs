@@ -1,7 +1,7 @@
 //! The `dtdinfer` command-line tool.
 //!
 //! ```text
-//! dtdinfer infer [--engine crx|idtd|idtd-noise:<N>] [--jobs N] [--xsd] [--numeric <N>] FILE...
+//! dtdinfer infer [--engine crx|idtd|idtd-noise:<N>|kore|auto] [--jobs N] [--xsd] [--numeric <N>] FILE...
 //! dtdinfer stats [--engine ...] [--jobs N] FILE...  (per-element derivation report)
 //! dtdinfer snapshot save|load|update     (persist engine state, warm-start)
 //! dtdinfer validate --dtd SCHEMA.dtd FILE...
@@ -291,7 +291,9 @@ fn print_usage() {
 
 USAGE:
   dtdinfer infer [OPTIONS] FILE...      infer a DTD for the given XML files
-      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --engine E                        learner: crx, idtd,
+                                        idtd-noise:<N>, kore, auto
+                                        (default: idtd)
       --xsd                             emit an XML Schema instead of a DTD
       --contextual                      XSD-strength typing: content models
                                         may depend on the parent element
@@ -303,7 +305,9 @@ USAGE:
   dtdinfer stats [OPTIONS] FILE...      per-element derivation report:
                                         engine used, sample size, repairs,
                                         expression size, time
-      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --engine E                        learner: crx, idtd,
+                                        idtd-noise:<N>, kore, auto
+                                        (default: idtd)
       --jobs <N>                        shard ingestion; also prints a
                                         per-shard summary, merge time, and
                                         a per-worker utilization table
@@ -331,7 +335,9 @@ USAGE:
                                         sessions are journaled to DIR and
                                         survive restarts (kill -9 safe)
       --addr <HOST:PORT>                bind address (default 127.0.0.1:7700)
-      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --engine E                        learner: crx, idtd,
+                                        idtd-noise:<N>, kore, auto
+                                        (default: idtd)
       --workers <N>                     request worker threads (default 4)
       --max-sessions <N>                tenant cap, 429 past it (default 64)
       --max-body-bytes <N>              request body cap, 413 (default 8 MiB)
@@ -361,6 +367,10 @@ USAGE:
                                         clock (forfeits determinism)
       --corpus-dir <DIR>                where reduced failing cases are
                                         persisted (default fuzz/corpus)
+      --engine <E>                      focus generation on one engine:
+                                        kore/auto fuzz repeating-symbol
+                                        grammars only (full battery runs
+                                        either way)
       --replay <CASE>                   re-run the oracle battery on a
                                         persisted case file instead of
                                         fuzzing (bare arguments work too)
@@ -370,7 +380,7 @@ USAGE:
   dtdinfer learn [OPTIONS]              learn an expression from words on
                                         stdin (one word per line, symbols
                                         whitespace-separated)
-      --engine crx|idtd                 learner (default: idtd)
+      --engine crx|idtd|kore            learner (default: idtd)
       --state FILE                      incremental mode: load/merge/save
                                         the learner's state file
   dtdinfer explain                      like learn --engine idtd, but print
@@ -386,7 +396,9 @@ USAGE:
                                         span chain, the top-k hottest
                                         elements, and a folded-stack file
                                         for flamegraph tooling
-      --engine crx|idtd|idtd-noise:<N>  learner (default: idtd)
+      --engine E                        learner: crx, idtd,
+                                        idtd-noise:<N>, kore, auto
+                                        (default: idtd)
       --jobs <N>                        shard ingestion across N workers
       --top <K>                         hottest elements to list (default 10)
       --folded <FILE>                   folded-stack output
@@ -427,6 +439,8 @@ fn parse_engine(spec: &str) -> Result<InferenceEngine, String> {
     match spec {
         "crx" => Ok(InferenceEngine::Crx),
         "idtd" => Ok(InferenceEngine::Idtd),
+        "kore" => Ok(InferenceEngine::Kore),
+        "auto" => Ok(InferenceEngine::Auto),
         other => match other.strip_prefix("idtd-noise:") {
             Some(n) => n
                 .parse::<u64>()
@@ -1066,6 +1080,9 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
                 cfg.corpus_dir =
                     std::path::PathBuf::from(it.next().ok_or("--corpus-dir needs a value")?);
             }
+            "--engine" => {
+                cfg.engine = Some(it.next().ok_or("--engine needs a value")?.to_owned());
+            }
             "--replay" => replay.push(it.next().ok_or("--replay needs a case file")?.to_owned()),
             // Hidden: inject a known-wrong oracle so the reduce/persist
             // path can be exercised end to end (see EXPERIMENTS.md).
@@ -1514,6 +1531,18 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
                 std::fs::write(&path, state.to_text(&al)).map_err(|e| format!("{path}: {e}"))?;
                 println!("{}", state.infer().render(&al));
             }
+            "kore" => {
+                let mut state = match &existing {
+                    Some(text) => dtdinfer_core::kore::KoreState::from_text(text, &mut al)
+                        .map_err(|e| format!("{path}: {e}"))?,
+                    None => dtdinfer_core::kore::KoreState::new(),
+                };
+                for w in &words {
+                    state.absorb(w);
+                }
+                std::fs::write(&path, state.to_text(&al)).map_err(|e| format!("{path}: {e}"))?;
+                println!("{}", state.derive().model.render(&al));
+            }
             other => return Err(format!("--state does not support engine {other:?}")),
         }
         return obs.finish();
@@ -1521,6 +1550,13 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
     let model = match engine.as_str() {
         "crx" => crx(&words),
         "idtd" => idtd_from_words(&words),
+        "kore" => {
+            let mut state = dtdinfer_core::kore::KoreState::new();
+            for w in &words {
+                state.absorb(w);
+            }
+            state.derive().model
+        }
         other => return Err(format!("unknown engine {other:?}")),
     };
     println!("{}", model.render(&al));

@@ -15,10 +15,10 @@ fn repo_path(rel: &str) -> PathBuf {
         .join(rel)
 }
 
-/// The shipped book catalogs, sorted for a stable argument order.
-fn testdata() -> Vec<String> {
-    let mut files: Vec<String> = std::fs::read_dir(repo_path("testdata/books"))
-        .expect("testdata/books")
+/// The XML files of a shipped corpus, sorted for a stable argument order.
+fn corpus(dir: &str) -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(repo_path(dir))
+        .unwrap_or_else(|e| panic!("{dir}: {e}"))
         .map(|e| e.unwrap().path().to_str().unwrap().to_owned())
         .filter(|p| p.ends_with(".xml"))
         .collect();
@@ -26,8 +26,12 @@ fn testdata() -> Vec<String> {
     files
 }
 
-fn infer(extra: &[&str]) -> Vec<u8> {
-    let files = testdata();
+/// The shipped book catalogs, sorted for a stable argument order.
+fn testdata() -> Vec<String> {
+    corpus("testdata/books")
+}
+
+fn infer_files(files: &[String], extra: &[&str]) -> Vec<u8> {
     let refs: Vec<&str> = files.iter().map(String::as_str).collect();
     let out = Command::new(env!("CARGO_BIN_EXE_dtdinfer"))
         .args([&["infer"][..], extra, &refs].concat())
@@ -39,6 +43,10 @@ fn infer(extra: &[&str]) -> Vec<u8> {
         String::from_utf8_lossy(&out.stderr)
     );
     out.stdout
+}
+
+fn infer(extra: &[&str]) -> Vec<u8> {
+    infer_files(&testdata(), extra)
 }
 
 fn golden(name: &str) -> Vec<u8> {
@@ -74,5 +82,63 @@ fn idtd_xsd_matches_golden_for_every_job_count() {
     assert_eq!(infer(&["--xsd"]), expected, "sequential");
     for jobs in ["1", "2", "4", "8"] {
         assert_eq!(infer(&["--xsd", "--jobs", jobs]), expected, "--jobs {jobs}");
+    }
+}
+
+#[test]
+fn kore_dtd_matches_golden_for_every_job_count() {
+    let expected = golden("books.kore.dtd");
+    assert_eq!(infer(&["--engine", "kore"]), expected, "sequential");
+    for jobs in ["1", "2", "4", "8"] {
+        assert_eq!(
+            infer(&["--engine", "kore", "--jobs", jobs]),
+            expected,
+            "--jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn auto_dtd_matches_golden_for_every_job_count() {
+    let expected = golden("books.auto.dtd");
+    assert_eq!(infer(&["--engine", "auto"]), expected, "sequential");
+    for jobs in ["1", "2", "4", "8"] {
+        assert_eq!(
+            infer(&["--engine", "auto", "--jobs", jobs]),
+            expected,
+            "--jobs {jobs}"
+        );
+    }
+}
+
+/// The repeating-children corpus in `testdata/kore/` is where the k-ORE
+/// engine earns its keep: iDTD can only answer `(chorus | verse)+`, while
+/// kore (and auto, via the MDL chooser) recover `(chorus, verse, chorus?)`.
+/// Each engine's output is pinned byte-for-byte across every job count
+/// *and* across document permutations — ingestion order must not matter.
+#[test]
+fn kore_corpus_matches_golden_across_jobs_and_permutations() {
+    let files = corpus("testdata/kore");
+    let mut reversed = files.clone();
+    reversed.reverse();
+    for engine in ["idtd", "kore", "auto"] {
+        let expected = golden(&format!("songs.{engine}.dtd"));
+        assert_eq!(
+            infer_files(&files, &["--engine", engine]),
+            expected,
+            "{engine} sequential"
+        );
+        for jobs in ["1", "2", "4", "8"] {
+            assert_eq!(
+                infer_files(&files, &["--engine", engine, "--jobs", jobs]),
+                expected,
+                "{engine} --jobs {jobs}"
+            );
+        }
+        assert_eq!(
+            infer_files(&reversed, &["--engine", engine, "--jobs", "4"]),
+            expected,
+            "{engine} reversed file order"
+        );
     }
 }

@@ -13,6 +13,10 @@
 //!   inference of chain regular expressions (CHAREs) from words via the
 //!   induced partial order on alphabet symbols, without any automaton
 //!   intermediate.
+//! * [`mod@kore`] — the k-ORE extension (the direct successor paper, Bex,
+//!   Gelade, Neven, Vansummeren): k-occurrence automata over a marked
+//!   alphabet, rewritten into deterministic k-occurrence regular
+//!   expressions, plus the MDL model chooser behind `--engine auto`.
 //! * [`incremental`] — the §9 extension: both algorithms re-run from a
 //!   compact internal state (the SOA / the partial-order summary) so newly
 //!   arriving XML can be absorbed without keeping the original corpus.
@@ -24,11 +28,13 @@
 pub mod crx;
 pub mod idtd;
 pub mod incremental;
+pub mod kore;
 pub mod model;
 pub mod noise;
 pub mod rewrite;
 
 pub use crx::{crx, crx_factors};
 pub use idtd::{idtd, idtd_from_words, IdtdConfig};
+pub use kore::{KoreOutcome, KoreState};
 pub use model::InferredModel;
 pub use rewrite::{rewrite, rewrite_soa};

@@ -30,6 +30,7 @@ pub mod source;
 
 use dtdinfer_core::crx::CrxState;
 use dtdinfer_core::idtd::{idtd_traced, Event, IdtdConfig};
+use dtdinfer_core::kore::{pick_auto, KoreState};
 use dtdinfer_core::model::InferredModel;
 use dtdinfer_core::noise::SupportSoa;
 use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
@@ -53,6 +54,11 @@ pub struct ElementState {
     pub support: SupportSoa,
     /// CRX partial-order summary (§7), for the CHARE engine.
     pub crx: CrxState,
+    /// k-occurrence automaton over the marked alphabet, for the k-ORE
+    /// engine and the MDL chooser. Snapshot v4 persists it; v3 snapshots
+    /// rebuild it exactly from the retained word multiset, v2 snapshots
+    /// load with an empty state (the k-ORE engine then sees no words).
+    pub kore: KoreState,
     /// Counted multiset of the element's child-name sequences — O(distinct
     /// shapes), not O(occurrences). Snapshot v3 persists it; v2 snapshots
     /// load with an empty bag (the learners above stay authoritative for
@@ -76,12 +82,14 @@ impl ElementState {
     fn absorb_counted(&mut self, w: &Word, n: u32) {
         self.support.absorb_counted(w, n);
         self.crx.absorb_counted(w, n);
+        self.kore.absorb_counted(w, n);
     }
 
     /// Merges another shard's state for the same element name.
     fn merge(&mut self, other: &ElementState, mut f: impl FnMut(Sym) -> Sym) {
         self.support.merge(&other.support.remap(&mut f));
         self.crx.merge(&other.crx.remap(&mut f));
+        self.kore.merge(&other.kore.remap(&mut f));
         self.words.merge(&other.words.map_symbols(&mut f));
         self.text_samples.merge(&other.text_samples);
         for (attr, values) in &other.attributes {
@@ -335,6 +343,7 @@ impl EngineState {
                 let mut remapped = ElementState {
                     support: state.support.remap(map),
                     crx: state.crx.remap(map),
+                    kore: state.kore.remap(map),
                     words: state.words.map_symbols(map),
                     ..ElementState::default()
                 };
@@ -432,6 +441,8 @@ fn derive_element(
         InferenceEngine::Crx => "crx",
         InferenceEngine::Idtd => "idtd",
         InferenceEngine::IdtdNoise { .. } => "idtd-noise",
+        InferenceEngine::Kore => "kore",
+        InferenceEngine::Auto => "auto",
     };
     let (mut rewrite_steps, mut repairs, mut fallbacks) = (0usize, 0usize, 0usize);
     let has_text = !element.text_samples.is_empty();
@@ -480,6 +491,32 @@ fn derive_element(
                 }
                 InferenceEngine::IdtdNoise { threshold } => {
                     element.support.infer_denoised(threshold)
+                }
+                InferenceEngine::Kore => {
+                    let outcome = element.kore.derive();
+                    for e in &outcome.events {
+                        match e {
+                            Event::Rewrite(_) => rewrite_steps += 1,
+                            Event::Repair { .. } => repairs += 1,
+                            Event::Fallback => fallbacks += 1,
+                        }
+                    }
+                    outcome.model
+                }
+                InferenceEngine::Auto => {
+                    let sore = idtd_traced(element.support.soa(), IdtdConfig::default());
+                    let kore = element.kore.derive();
+                    let chare = element.crx.infer();
+                    let pick = pick_auto(sore, kore, chare, alphabet.len(), &element.words);
+                    engine_used = pick.engine;
+                    for e in &pick.events {
+                        match e {
+                            Event::Rewrite(_) => rewrite_steps += 1,
+                            Event::Repair { .. } => repairs += 1,
+                            Event::Fallback => fallbacks += 1,
+                        }
+                    }
+                    pick.model
                 }
             };
             match model {
@@ -549,6 +586,8 @@ mod tests {
             InferenceEngine::Crx,
             InferenceEngine::Idtd,
             InferenceEngine::IdtdNoise { threshold: 3 },
+            InferenceEngine::Kore,
+            InferenceEngine::Auto,
         ] {
             let (engine_dtd, engine_reports) = state.derive(engine);
             let (corpus_dtd, corpus_reports) = infer_dtd_with_stats(&corpus, engine);
@@ -574,7 +613,12 @@ mod tests {
             merged.merge(&engine_state(&docs[cut..]));
             assert_eq!(merged.num_documents, whole.num_documents);
             assert_eq!(merged.total_words(), whole.total_words());
-            for engine in [InferenceEngine::Crx, InferenceEngine::Idtd] {
+            for engine in [
+                InferenceEngine::Crx,
+                InferenceEngine::Idtd,
+                InferenceEngine::Kore,
+                InferenceEngine::Auto,
+            ] {
                 assert_eq!(
                     merged.derive(engine).0.serialize(),
                     whole.derive(engine).0.serialize(),

@@ -6,7 +6,7 @@
 //! "internal representation is the complete memory" property):
 //!
 //! ```text
-//! #dtdinfer-engine v3
+//! #dtdinfer-engine v4
 //! documents 24
 //! root lib 24
 //! element author
@@ -31,21 +31,27 @@
 //! `w count child…` rows (new in v3) carry the element's counted
 //! child-sequence multiset, one distinct shape per row in canonical
 //! order — `w 23` above records 23 empty child sequences. `s `-prefixed
-//! lines carry the element's support-SOA records and `c ` lines its CRX
-//! summary. Free-form values (samples, attribute names, element names in
-//! `element`/`root`) are percent-escaped so they stay single
-//! whitespace-free tokens: `%` → `%25`, space → `%20`, tab → `%09`,
-//! newline → `%0A`, carriage return → `%0D`.
+//! lines carry the element's support-SOA records, `c ` lines its CRX
+//! summary, and `k ` lines (new in v4) its k-occurrence automaton
+//! (`KoreState::to_text` records). Free-form values (samples, attribute
+//! names, element names in `element`/`root`) are percent-escaped so they
+//! stay single whitespace-free tokens: `%` → `%25`, space → `%20`,
+//! tab → `%09`, newline → `%0A`, carriage return → `%0D`.
 //!
-//! The header is mandatory. v2 files (identical minus the `w` rows) load
-//! with empty multisets — derivation output is unchanged because the
-//! learner records stay authoritative; only the counted facts view
-//! degrades. Other versions (including v1, whose unbounded sample lists
+//! The header is mandatory. v3 files (identical minus the `k` rows) load
+//! losslessly: the k-occurrence automaton is a pure function of the word
+//! multiset the `w` rows carry, so it is rebuilt exactly. v2 files
+//! (additionally minus the `w` rows) load with empty multisets and an
+//! empty k-ORE state — derivation under the three classic engines is
+//! unchanged because the learner records stay authoritative; the counted
+//! facts view and the k-ORE engine degrade until new documents are
+//! absorbed. Other versions (including v1, whose unbounded sample lists
 //! this build no longer keeps) and missing headers are rejected with a
 //! descriptive error rather than misread.
 
 use crate::{ElementState, EngineState};
 use dtdinfer_core::crx::CrxState;
+use dtdinfer_core::kore::KoreState;
 use dtdinfer_core::noise::SupportSoa;
 use dtdinfer_regex::alphabet::{Sym, Word};
 use dtdinfer_xml::samples::{SampleBag, DEFAULT_SAMPLE_CAP};
@@ -53,9 +59,13 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The header every snapshot this build writes starts with.
-pub const HEADER: &str = "#dtdinfer-engine v3";
+pub const HEADER: &str = "#dtdinfer-engine v4";
 
-/// The previous format, still readable: v3 minus the `w` multiset rows.
+/// The previous format, still readable: v4 minus the `k` k-ORE rows
+/// (rebuilt exactly from the `w` multiset rows).
+pub const V3_HEADER: &str = "#dtdinfer-engine v3";
+
+/// The oldest readable format: v3 minus the `w` multiset rows.
 pub const V2_HEADER: &str = "#dtdinfer-engine v2";
 
 fn write_bag(out: &mut String, kind: &str, prefix: &str, bag: &SampleBag) {
@@ -111,6 +121,13 @@ pub fn save(state: &EngineState) -> String {
         for line in element.crx.to_text(&state.alphabet).lines() {
             if !line.starts_with('#') {
                 let _ = writeln!(out, "c {line}");
+            }
+        }
+        if !element.kore.is_empty() {
+            for line in element.kore.to_text(&state.alphabet).lines() {
+                if !line.starts_with('#') {
+                    let _ = writeln!(out, "k {line}");
+                }
             }
         }
     }
@@ -175,21 +192,23 @@ struct Section {
     element: ElementState,
     support: String,
     crx: String,
+    kore: String,
     text: Option<BagParts>,
     attrs: BTreeMap<String, BagParts>,
     words: Vec<(Word, u32)>,
 }
 
-/// Parses a snapshot produced by [`save`] (v3) or by an earlier v2 build
-/// (loaded with empty child-sequence multisets). Rejects missing headers,
+/// Parses a snapshot produced by [`save`] (v4) or by an earlier build: v3
+/// (k-ORE state rebuilt exactly from the multiset rows) or v2 (loaded with
+/// empty multisets and an empty k-ORE state). Rejects missing headers,
 /// other versions, and malformed records with a descriptive error.
 pub fn load(text: &str) -> Result<EngineState, String> {
     match text.lines().next().map(str::trim) {
-        Some(h) if h == HEADER || h == V2_HEADER => {}
+        Some(h) if h == HEADER || h == V3_HEADER || h == V2_HEADER => {}
         Some(h) if h.starts_with("#dtdinfer-engine ") => {
             let version = h.trim_start_matches("#dtdinfer-engine ").trim();
             return Err(format!(
-                "unsupported snapshot version {version:?} (this build reads v2 and v3)"
+                "unsupported snapshot version {version:?} (this build reads v2, v3, and v4)"
             ));
         }
         _ => {
@@ -207,6 +226,7 @@ pub fn load(text: &str) -> Result<EngineState, String> {
                 mut element,
                 support,
                 crx,
+                kore,
                 text,
                 attrs,
                 words,
@@ -230,6 +250,16 @@ pub fn load(text: &str) -> Result<EngineState, String> {
                 .map_err(|e| format!("support section of {:?}: {e}", name(state)))?;
             element.crx = CrxState::from_text(&crx, &mut state.alphabet)
                 .map_err(|e| format!("crx section of {:?}: {e}", name(state)))?;
+            element.kore = if kore.is_empty() {
+                // Pre-v4 file: the k-occurrence automaton is a pure
+                // function of the word multiset, so rebuilding from the
+                // `w` rows is exact for v3 (and yields the documented
+                // empty state for v2, whose bag is empty).
+                KoreState::learn_counted(&element.words)
+            } else {
+                KoreState::from_text(&kore, &mut state.alphabet)
+                    .map_err(|e| format!("kore section of {:?}: {e}", name(state)))?
+            };
             if let Some(parts) = text {
                 element.text_samples = parts
                     .into_bag()
@@ -274,12 +304,13 @@ pub fn load(text: &str) -> Result<EngineState, String> {
                     element: ElementState::default(),
                     support: String::new(),
                     crx: String::new(),
+                    kore: String::new(),
                     text: None,
                     attrs: BTreeMap::new(),
                     words: Vec::new(),
                 });
             }
-            "occurrences" | "text" | "tv" | "attr" | "av" | "w" | "s" | "c" => {
+            "occurrences" | "text" | "tv" | "attr" | "av" | "w" | "s" | "c" | "k" => {
                 let section = current
                     .as_mut()
                     .ok_or_else(|| err(format!("{kind:?} record outside an element section")))?;
@@ -344,6 +375,10 @@ pub fn load(text: &str) -> Result<EngineState, String> {
                     "s" => {
                         section.support.push_str(rest);
                         section.support.push('\n');
+                    }
+                    "k" => {
+                        section.kore.push_str(rest);
+                        section.kore.push('\n');
                     }
                     _ => {
                         section.crx.push_str(rest);
@@ -425,6 +460,8 @@ mod tests {
             InferenceEngine::Crx,
             InferenceEngine::Idtd,
             InferenceEngine::IdtdNoise { threshold: 2 },
+            InferenceEngine::Kore,
+            InferenceEngine::Auto,
         ] {
             assert_eq!(
                 restored.derive(engine).0.serialize(),
@@ -440,10 +477,13 @@ mod tests {
         let one_shot = ingest(&docs, 2).unwrap().state;
         let warm = load(&save(&ingest(&docs[..4], 2).unwrap().state)).unwrap();
         let resumed = crate::pool::ingest_into(warm, &docs[4..], 2).unwrap().state;
-        assert_eq!(
-            resumed.derive(InferenceEngine::Idtd).0.serialize(),
-            one_shot.derive(InferenceEngine::Idtd).0.serialize()
-        );
+        for engine in [InferenceEngine::Idtd, InferenceEngine::Kore] {
+            assert_eq!(
+                resumed.derive(engine).0.serialize(),
+                one_shot.derive(engine).0.serialize(),
+                "{engine:?}"
+            );
+        }
         // The snapshots themselves coincide too.
         assert_eq!(save(&resumed), save(&one_shot));
     }
@@ -465,21 +505,38 @@ mod tests {
 
     #[test]
     fn rejects_other_versions() {
-        for other in ["v1", "v4"] {
+        for other in ["v1", "v5"] {
             let err = load(&format!("#dtdinfer-engine {other}\ndocuments 3\n")).unwrap_err();
             assert!(err.contains("unsupported snapshot version"), "{err}");
-            assert!(err.contains("v2 and v3"), "{err}");
+            assert!(err.contains("v2, v3, and v4"), "{err}");
         }
     }
 
-    /// Rewrites a v3 snapshot into the v2 format an earlier build wrote:
-    /// same records minus the `w` multiset rows, v2 header.
-    fn downgrade_to_v2(v3: &str) -> String {
+    /// Rewrites a v4 snapshot into the v3 format an earlier build wrote:
+    /// same records minus the `k` k-ORE rows, v3 header.
+    fn downgrade_to_v3(v4: &str) -> String {
         let mut out = String::new();
-        for line in v3.lines() {
+        for line in v4.lines() {
+            if line == HEADER {
+                out.push_str(V3_HEADER);
+            } else if line.starts_with("k ") {
+                continue;
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rewrites a v4 snapshot into the v2 format: additionally minus the
+    /// `w` multiset rows, v2 header.
+    fn downgrade_to_v2(v4: &str) -> String {
+        let mut out = String::new();
+        for line in v4.lines() {
             if line == HEADER {
                 out.push_str(V2_HEADER);
-            } else if line.starts_with("w ") {
+            } else if line.starts_with("w ") || line.starts_with("k ") {
                 continue;
             } else {
                 out.push_str(line);
@@ -490,12 +547,31 @@ mod tests {
     }
 
     #[test]
-    fn v2_snapshots_load_and_resave_as_v3_with_identical_output() {
+    fn v3_snapshots_load_losslessly() {
+        // The k-ORE state is a pure function of the multiset rows, so a
+        // v3 file (no `k` rows) loads into the exact same state a v4 file
+        // would: re-saving reproduces the v4 snapshot byte-for-byte.
         let state = ingest(&docs(), 2).unwrap().state;
-        let v3 = save(&state);
-        assert!(v3.starts_with(HEADER), "{}", &v3[..40]);
-        assert!(v3.contains("\nw "), "v3 carries multiset rows");
-        let v2 = downgrade_to_v2(&v3);
+        let v4 = save(&state);
+        assert!(v4.contains("\nk "), "v4 carries k-ORE rows");
+        let from_v3 = load(&downgrade_to_v3(&v4)).unwrap();
+        assert_eq!(save(&from_v3), v4);
+        for engine in [InferenceEngine::Kore, InferenceEngine::Auto] {
+            assert_eq!(
+                from_v3.derive(engine).0.serialize(),
+                state.derive(engine).0.serialize(),
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_snapshots_load_and_resave_as_v4_with_identical_output() {
+        let state = ingest(&docs(), 2).unwrap().state;
+        let v4 = save(&state);
+        assert!(v4.starts_with(HEADER), "{}", &v4[..40]);
+        assert!(v4.contains("\nw "), "v4 carries multiset rows");
+        let v2 = downgrade_to_v2(&v4);
         let from_v2 = load(&v2).unwrap();
         // Derivation is byte-identical: the learner records are
         // authoritative, the multiset only feeds the facts view.
@@ -510,12 +586,13 @@ mod tests {
                 "{engine:?}"
             );
         }
-        // Re-saving upgrades the header; the multiset stays empty (the
-        // v2 file never carried it), and that upgraded file round-trips
-        // byte-identically.
+        // Re-saving upgrades the header; the multiset and k-ORE state
+        // stay empty (the v2 file never carried them), and that upgraded
+        // file round-trips byte-identically.
         let upgraded = save(&from_v2);
         assert!(upgraded.starts_with(HEADER));
         assert!(!upgraded.contains("\nw "), "no rows to resurrect");
+        assert!(!upgraded.contains("\nk "), "no k-ORE state to resurrect");
         assert_eq!(save(&load(&upgraded).unwrap()), upgraded);
     }
 
@@ -593,6 +670,11 @@ mod tests {
                 format!("{HEADER}\nelement a\ns pair x\n"),
                 "support section",
             ),
+            (
+                format!("{HEADER}\nelement a\nk edge a 0 b 1\n"),
+                "kore section",
+            ),
+            (format!("{HEADER}\nelement a\nk bogus\n"), "kore section"),
             (format!("{HEADER}\nelement a%2\n"), "truncated escape"),
         ] {
             let err = load(&bad).unwrap_err();

@@ -9,6 +9,7 @@
 //! | `theorem5.sore-recovery` | representative sample ⇒ iDTD returns the target SORE, repair-free (Theorems 1/5) |
 //! | `superset.soa-containment` | iDTD output ⊇ L(learned SOA): rewriting preserves, repairs only generalize |
 //! | `ordering.idtd-within-crx` | L(SOA) ⊆ L(CRX) always, and L(iDTD) ⊆ L(CRX) when the SORE needed no repairs |
+//! | `ordering.kore-within-idtd` | when both derivations are repair-free, L(k-ORE) ⊆ L(SORE): folding occurrences only generalizes |
 //! | `identity.shards` | `--jobs N` derivation is byte-identical to sequential inference |
 //! | `identity.snapshot` | snapshot save → load → save is the identity and derives identically |
 //! | `determinism.one-unambiguous` | every emitted content model is deterministic (XML spec appendix E) |
@@ -38,14 +39,17 @@ use dtdinfer_xml::xsd::{generate_xsd, XsdOptions};
 /// Every oracle name, in report order. `corpus.generate` is charged by the
 /// driver (a target DTD that cannot produce documents is itself a bug);
 /// the rest are charged by [`check_case`].
-pub const ORACLES: [&str; 12] = [
+pub const ORACLES: [&str; 15] = [
     "corpus.generate",
     "corpus.parse",
     "membership.crx",
     "membership.idtd",
+    "membership.kore",
+    "membership.auto",
     "theorem5.sore-recovery",
     "superset.soa-containment",
     "ordering.idtd-within-crx",
+    "ordering.kore-within-idtd",
     "identity.shards",
     "identity.snapshot",
     "determinism.one-unambiguous",
@@ -137,11 +141,18 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
     let canon = corpus.canonicalized();
     let (crx_dtd, _) = infer_dtd_with_stats(&canon, InferenceEngine::Crx);
     let (idtd_dtd, idtd_reports) = infer_dtd_with_stats(&canon, InferenceEngine::Idtd);
+    let (kore_dtd, kore_reports) = infer_dtd_with_stats(&canon, InferenceEngine::Kore);
+    let (auto_dtd, _) = infer_dtd_with_stats(&canon, InferenceEngine::Auto);
 
-    // membership.{crx,idtd}: every document of the corpus must be in the
-    // language of the DTD inferred from that corpus (Glushkov simulation
-    // inside Dtd::validate).
-    for (name, dtd) in [("membership.crx", &crx_dtd), ("membership.idtd", &idtd_dtd)] {
+    // membership.{crx,idtd,kore,auto}: every document of the corpus must
+    // be in the language of the DTD inferred from that corpus (Glushkov
+    // simulation inside Dtd::validate).
+    for (name, dtd) in [
+        ("membership.crx", &crx_dtd),
+        ("membership.idtd", &idtd_dtd),
+        ("membership.kore", &kore_dtd),
+        ("membership.auto", &auto_dtd),
+    ] {
         if !want(name) {
             continue;
         }
@@ -332,6 +343,48 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
         out.checked.push("ordering.idtd-within-crx");
     }
 
+    // ordering.kore-within-idtd: the k-ORE distinguishes occurrences the
+    // SORE merges, so folding marks away can only generalize — when *both*
+    // derivations are repair- and fallback-free, L(k-ORE) ⊆ L(SORE).
+    // (Repairs on either side add language outside the other's view, so
+    // the comparison is gated exactly like the CRX ordering above.)
+    if want("ordering.kore-within-idtd") {
+        for (&sym, kore_spec) in &kore_dtd.elements {
+            let name = kore_dtd.alphabet.name(sym);
+            let idtd_spec = idtd_dtd
+                .alphabet
+                .get(name)
+                .and_then(|s| idtd_dtd.elements.get(&s));
+            let (ContentSpec::Children(rk), Some(ContentSpec::Children(ri))) =
+                (kore_spec, idtd_spec)
+            else {
+                continue;
+            };
+            let repair_free = |reports: &[dtdinfer_xml::infer::ElementReport]| {
+                reports
+                    .iter()
+                    .find(|r| r.name == name)
+                    .map(|r| r.repairs == 0 && r.fallbacks == 0)
+                    .unwrap_or(false)
+            };
+            if !repair_free(&kore_reports) || !repair_free(&idtd_reports) {
+                continue;
+            }
+            let rel = compare_regexes(ri, &idtd_dtd.alphabet, rk, &kore_dtd.alphabet);
+            if rel != Relation::Equal && rel != Relation::Stricter {
+                out.violation(
+                    "ordering.kore-within-idtd",
+                    format!(
+                        "element {name}: repair-free k-ORE {} is {rel} vs SORE {}",
+                        render_dtd(rk, &kore_dtd.alphabet),
+                        render_dtd(ri, &idtd_dtd.alphabet)
+                    ),
+                );
+            }
+        }
+        out.checked.push("ordering.kore-within-idtd");
+    }
+
     // identity.shards: sharded ingestion + derivation must be
     // byte-identical to the sequential pipeline for every worker count.
     if want("identity.shards") && !docs.is_empty() {
@@ -341,6 +394,8 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
                     for (engine, sequential) in [
                         (InferenceEngine::Crx, &crx_dtd),
                         (InferenceEngine::Idtd, &idtd_dtd),
+                        (InferenceEngine::Kore, &kore_dtd),
+                        (InferenceEngine::Auto, &auto_dtd),
                     ] {
                         let sharded = ingested.state.derive(engine).0.serialize();
                         if sharded != sequential.serialize() {
@@ -373,12 +428,20 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
                                 "save(load(save(state))) is not the identity".to_owned(),
                             );
                         }
-                        let derived = loaded.derive(InferenceEngine::Idtd).0.serialize();
-                        if derived != idtd_dtd.serialize() {
-                            out.violation(
-                                "identity.snapshot",
-                                "snapshot-derived DTD differs from sequential".to_owned(),
-                            );
+                        for (engine, sequential) in [
+                            (InferenceEngine::Idtd, &idtd_dtd),
+                            (InferenceEngine::Kore, &kore_dtd),
+                            (InferenceEngine::Auto, &auto_dtd),
+                        ] {
+                            let derived = loaded.derive(engine).0.serialize();
+                            if derived != sequential.serialize() {
+                                out.violation(
+                                    "identity.snapshot",
+                                    format!(
+                                        "snapshot-derived {engine:?} DTD differs from sequential"
+                                    ),
+                                );
+                            }
                         }
                     }
                     Err(e) => out.violation(
@@ -396,7 +459,12 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
     // deterministic (SOREs and CHAREs are, by construction — this guards
     // the construction).
     if want("determinism.one-unambiguous") {
-        for (engine, dtd) in [("crx", &crx_dtd), ("idtd", &idtd_dtd)] {
+        for (engine, dtd) in [
+            ("crx", &crx_dtd),
+            ("idtd", &idtd_dtd),
+            ("kore", &kore_dtd),
+            ("auto", &auto_dtd),
+        ] {
             for issue in dtd.lint() {
                 out.violation("determinism.one-unambiguous", format!("{engine}: {issue}"));
             }
@@ -407,7 +475,12 @@ pub fn check_case(target: Option<&Dtd>, docs: &[String], opts: &OracleOptions) -
     // roundtrip.dtd: serialize → parse → serialize is a fixpoint, and the
     // re-parsed DTD still validates every document.
     if want("roundtrip.dtd") {
-        for (engine, dtd) in [("crx", &crx_dtd), ("idtd", &idtd_dtd)] {
+        for (engine, dtd) in [
+            ("crx", &crx_dtd),
+            ("idtd", &idtd_dtd),
+            ("kore", &kore_dtd),
+            ("auto", &auto_dtd),
+        ] {
             let text = dtd.serialize();
             match Dtd::parse(&text) {
                 Ok(reparsed) => {

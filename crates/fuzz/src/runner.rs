@@ -8,7 +8,7 @@
 use crate::corpus::CaseFile;
 use crate::oracle::{check_case, CaseResult, OracleOptions, PlantedBug, Violation, ORACLES};
 use crate::reduce::reduce;
-use crate::schema::{random_dtd, SHAPES};
+use crate::schema::{random_dtd, Shape, SHAPES};
 use dtdinfer_regex::sample::SampleConfig;
 use dtdinfer_xml::dtd::Dtd;
 use dtdinfer_xml::generate::{sample_documents, GenerateConfig};
@@ -42,6 +42,11 @@ pub struct FuzzConfig {
     pub corpus_dir: PathBuf,
     /// Hidden: inject a known-wrong oracle (reducer testing).
     pub planted: Option<PlantedBug>,
+    /// Optional engine focus. `kore`/`auto` restrict the shape rotation to
+    /// repeating-symbol grammars (the inputs where those engines differ
+    /// from iDTD); `crx`/`idtd` keep the full rotation. The oracle battery
+    /// always runs in full — the focus only steers *generation*.
+    pub engine: Option<String>,
 }
 
 impl Default for FuzzConfig {
@@ -52,6 +57,7 @@ impl Default for FuzzConfig {
             time_budget: None,
             corpus_dir: PathBuf::from("fuzz/corpus"),
             planted: None,
+            engine: None,
         }
     }
 }
@@ -139,6 +145,14 @@ pub fn run(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
         planted: cfg.planted,
         only: None,
     };
+    // The engine focus narrows *generation* only: kore/auto cases are
+    // interesting exactly on grammars that repeat symbols, so a focused
+    // run spends its whole budget there instead of one case in seven.
+    let shapes: &[Shape] = match cfg.engine.as_deref() {
+        None | Some("crx") | Some("idtd") => &SHAPES[..],
+        Some("kore") | Some("auto") => &[Shape::RepeatedSymbols],
+        Some(other) => return Err(format!("unknown fuzz engine focus {other:?}")),
+    };
     for case_index in 0..cfg.cases {
         if let Some(budget) = cfg.time_budget {
             if started.elapsed() > budget {
@@ -153,7 +167,7 @@ pub fn run(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
         dtdinfer_obs::count("fuzz.cases", 1);
         let case_seed = splitmix(cfg.seed, case_index as u64);
         let mut rng = StdRng::seed_from_u64(case_seed);
-        let shape = SHAPES[case_index % SHAPES.len()];
+        let shape = shapes[case_index % shapes.len()];
         let target = random_dtd(rng.gen_range(0..u64::MAX), shape);
         let n_docs = COVERAGE_LEVELS[rng.gen_range(0..COVERAGE_LEVELS.len())];
         let gen_cfg = GenerateConfig {
@@ -308,6 +322,40 @@ mod tests {
         assert!(a.persisted.is_empty());
         let b = run(&cfg).unwrap();
         assert_eq!(a.render_text(), b.render_text());
+        let _ = std::fs::remove_dir_all(&cfg.corpus_dir);
+    }
+
+    #[test]
+    fn kore_focus_runs_repeated_symbol_grammars_cleanly() {
+        let cfg = FuzzConfig {
+            seed: 11,
+            cases: 12,
+            corpus_dir: tempdir("kore-focus"),
+            engine: Some("kore".to_owned()),
+            ..FuzzConfig::default()
+        };
+        let report = run(&cfg).unwrap();
+        assert_eq!(report.total_violations(), 0, "{}", report.render_text());
+        assert_eq!(report.cases_run, 12);
+        // The kore-specific oracles must actually have run.
+        for oracle in ["membership.kore", "ordering.kore-within-idtd"] {
+            assert!(
+                report.checked.get(oracle).copied().unwrap_or(0) > 0,
+                "{oracle} never ran:\n{}",
+                report.render_text()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&cfg.corpus_dir);
+    }
+
+    #[test]
+    fn unknown_engine_focus_is_rejected() {
+        let cfg = FuzzConfig {
+            engine: Some("bogus".to_owned()),
+            corpus_dir: tempdir("bogus-engine"),
+            ..FuzzConfig::default()
+        };
+        assert!(run(&cfg).is_err());
         let _ = std::fs::remove_dir_all(&cfg.corpus_dir);
     }
 

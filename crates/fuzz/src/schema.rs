@@ -9,6 +9,13 @@
 //! fuzz plan: deep operator nesting, large alphabets, skewed optionality,
 //! near-duplicate sibling names, and content models lifted from the
 //! paper's own experiment scenarios (`dtdinfer-gen`).
+//!
+//! The one deliberate exception to the SORE invariant is
+//! [`Shape::RepeatedSymbols`]: its content models repeat a symbol (`a b
+//! a`, `a (b a)*`, …) so the k-ORE engine has something to learn that no
+//! single-occurrence expression can state. Those models are drawn from a
+//! fixed pool of templates that are one-unambiguous by construction and
+//! re-checked with [`dtdinfer_regex::determinism::check_deterministic`].
 
 use dtdinfer_regex::alphabet::Sym;
 use dtdinfer_regex::ast::Regex;
@@ -36,16 +43,20 @@ pub enum Shape {
     /// Root content model lifted from a `dtdinfer-gen` paper scenario
     /// (Table 1 / Table 2 / Figure 4 data expressions).
     PaperScenario,
+    /// Content models that mention the same element more than once
+    /// (`a b a`, `a (b a)*`, …) — outside the SORE class, inside k-ORE.
+    RepeatedSymbols,
 }
 
 /// All shapes, in the fixed rotation order used by the driver.
-pub const SHAPES: [Shape; 6] = [
+pub const SHAPES: [Shape; 7] = [
     Shape::Baseline,
     Shape::DeepNesting,
     Shape::LargeAlphabet,
     Shape::SkewedOptionality,
     Shape::NearDuplicateSiblings,
     Shape::PaperScenario,
+    Shape::RepeatedSymbols,
 ];
 
 /// Tuning knobs derived from a [`Shape`].
@@ -75,7 +86,7 @@ struct ShapeParams {
 impl Shape {
     fn params(self) -> ShapeParams {
         match self {
-            Shape::Baseline | Shape::PaperScenario => ShapeParams {
+            Shape::Baseline | Shape::PaperScenario | Shape::RepeatedSymbols => ShapeParams {
                 elements: (3, 8),
                 max_children: 4,
                 opt_prob: 0.25,
@@ -145,6 +156,9 @@ pub fn random_dtd(seed: u64, shape: Shape) -> Dtd {
     let mut rng = StdRng::seed_from_u64(seed);
     if shape == Shape::PaperScenario {
         return scenario_dtd(&mut rng);
+    }
+    if shape == Shape::RepeatedSymbols {
+        return repeated_symbols_dtd(&mut rng);
     }
     let p = shape.params();
     let n = rng.gen_range(p.elements.0..=p.elements.1);
@@ -286,6 +300,62 @@ fn random_attlist(rng: &mut StdRng) -> Vec<AttDef> {
     defs
 }
 
+/// One deterministic repeat template over two distinct symbols. Every
+/// template is one-unambiguous (checked below), repeats `a` at least
+/// twice, and stays within the k-ORE engine's occurrence cap. Shapes like
+/// `(a b)+ a` — which are *not* one-unambiguous — are deliberately absent:
+/// the generated target must itself pass the determinism oracle.
+fn repeat_template(rng: &mut StdRng, a: Sym, b: Sym) -> Regex {
+    let (a, b) = (Regex::sym(a), Regex::sym(b));
+    let body = match rng.gen_range(0..7u32) {
+        // a b a — the canonical "SORE cannot say this" model.
+        0 => Regex::concat(vec![a.clone(), b, a]),
+        // a b a? — second occurrence optional.
+        1 => Regex::concat(vec![a.clone(), b, Regex::optional(a)]),
+        // a+ b a — repetition on the first occurrence.
+        2 => Regex::concat(vec![Regex::plus(a.clone()), b, a]),
+        // a b+ a — repetition on the separator.
+        3 => Regex::concat(vec![a.clone(), Regex::plus(b), a]),
+        // a? b a — first occurrence optional.
+        4 => Regex::concat(vec![Regex::optional(a.clone()), b, a]),
+        // a (b a)* — unbounded alternation anchored on a.
+        5 => Regex::concat(vec![a.clone(), Regex::star(Regex::concat(vec![b, a]))]),
+        // a b a b — both symbols repeat.
+        _ => Regex::concat(vec![a.clone(), b.clone(), a, b]),
+    };
+    debug_assert!(
+        dtdinfer_regex::determinism::check_deterministic(&body).is_ok(),
+        "repeat templates must be one-unambiguous"
+    );
+    body
+}
+
+/// A DTD whose non-leaf content models repeat symbols: each is a
+/// [`repeat_template`] over two later-indexed elements (acyclic, like
+/// every other shape), and each leaf is text or empty.
+fn repeated_symbols_dtd(rng: &mut StdRng) -> Dtd {
+    let n = rng.gen_range(3..=6usize);
+    let names = element_names(n, false);
+    let mut dtd = Dtd::new();
+    let syms: Vec<Sym> = names.iter().map(|n| dtd.alphabet.intern(n)).collect();
+    for i in 0..n {
+        let available = &syms[i + 1..];
+        // The root always gets a repeat template; deeper elements may too
+        // when enough later elements remain, so nested repetition occurs.
+        let spec = if available.len() >= 2 && (i == 0 || rng.gen_bool(0.4)) {
+            let picked = choose_distinct(rng, available, 2);
+            ContentSpec::Children(repeat_template(rng, picked[0], picked[1]))
+        } else if rng.gen_bool(0.25) {
+            ContentSpec::Empty
+        } else {
+            ContentSpec::PcData
+        };
+        dtd.elements.insert(syms[i], spec);
+    }
+    dtd.root = Some(syms[0]);
+    dtd
+}
+
 /// A DTD whose root content model is one of the paper's experiment
 /// expressions (the `data` column of Table 1 / Table 2 / Figure 4), with
 /// every referenced name declared as a `(#PCDATA)` leaf.
@@ -385,6 +455,36 @@ mod tests {
         }
         let unique: std::collections::BTreeSet<&String> = names.iter().collect();
         assert_eq!(unique.len(), 5, "names must still be distinct");
+    }
+
+    #[test]
+    fn repeated_symbol_targets_repeat_and_stay_deterministic() {
+        fn leaves(r: &Regex) -> usize {
+            match r {
+                Regex::Symbol(_) => 1,
+                Regex::Concat(v) | Regex::Union(v) => v.iter().map(leaves).sum(),
+                Regex::Optional(i) | Regex::Plus(i) | Regex::Star(i) => leaves(i),
+            }
+        }
+        let mut saw_repeat = false;
+        for seed in 0..40u64 {
+            let dtd = random_dtd(seed, Shape::RepeatedSymbols);
+            for spec in dtd.elements.values() {
+                let ContentSpec::Children(r) = spec else {
+                    continue;
+                };
+                assert!(
+                    dtdinfer_regex::determinism::check_deterministic(r).is_ok(),
+                    "seed {seed}: {r:?} must be one-unambiguous"
+                );
+                // symbols() dedupes, so fewer distinct symbols than leaf
+                // occurrences means some symbol is used more than once.
+                if r.symbols().len() < leaves(r) {
+                    saw_repeat = true;
+                }
+            }
+        }
+        assert!(saw_repeat, "the shape must actually produce repetition");
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use crate::diff::{compare_regexes, Relation};
 use crate::infer::InferenceEngine;
 use dtdinfer_core::crx::crx;
-use dtdinfer_core::idtd::idtd_from_words;
+use dtdinfer_core::idtd::{idtd_from_words, idtd_traced, IdtdConfig};
+use dtdinfer_core::kore::{pick_auto, KoreState};
 use dtdinfer_core::model::InferredModel;
 use dtdinfer_core::noise::SupportSoa;
 use dtdinfer_regex::alphabet::{Alphabet, Sym, Word};
@@ -146,6 +147,20 @@ pub fn infer_contextual(corpus: &ContextualCorpus, engine: InferenceEngine) -> C
             InferenceEngine::Idtd => idtd_from_words(words),
             InferenceEngine::IdtdNoise { threshold } => {
                 SupportSoa::learn(words).infer_denoised(threshold)
+            }
+            InferenceEngine::Kore => {
+                let bag: dtdinfer_regex::multiset::WordBag = words.iter().cloned().collect();
+                KoreState::learn_counted(&bag).derive().model
+            }
+            InferenceEngine::Auto => {
+                let bag: dtdinfer_regex::multiset::WordBag = words.iter().cloned().collect();
+                let sore = idtd_traced(
+                    &dtdinfer_automata::soa::Soa::learn(bag.words()),
+                    IdtdConfig::default(),
+                );
+                let kore = KoreState::learn_counted(&bag).derive();
+                let chare = crx(words);
+                pick_auto(sore, kore, chare, corpus.alphabet.len(), &bag).model
             }
         };
         let model = match model {

@@ -11,6 +11,7 @@ use crate::extract::Corpus;
 use dtdinfer_automata::soa::Soa;
 use dtdinfer_core::crx::crx_counted;
 use dtdinfer_core::idtd::{idtd_traced, Event, IdtdConfig};
+use dtdinfer_core::kore::{pick_auto, KoreState};
 use dtdinfer_core::model::InferredModel;
 use dtdinfer_core::noise::SupportSoa;
 use dtdinfer_regex::alphabet::Sym;
@@ -30,6 +31,12 @@ pub enum InferenceEngine {
         /// Minimum support an edge needs to survive.
         threshold: u64,
     },
+    /// k-ORE (the successor paper): k-occurrence automata over a marked
+    /// alphabet, for content models where a symbol repeats (`a b a`).
+    Kore,
+    /// MDL model chooser: picks SORE vs k-ORE vs CHARE per element by
+    /// two-part description length.
+    Auto,
 }
 
 /// Example:
@@ -58,8 +65,10 @@ pub fn infer_dtd(corpus: &Corpus, engine: InferenceEngine) -> Dtd {
 pub struct ElementReport {
     /// Element name.
     pub name: String,
-    /// What produced the content model: `crx`, `idtd`, `idtd-noise`, or
-    /// one of the degenerate content kinds (`mixed`, `pcdata`, `empty`).
+    /// What produced the content model: `crx`, `idtd`, `idtd-noise`,
+    /// `kore`, an `auto-*` chooser verdict (`auto-sore`, `auto-kore`,
+    /// `auto-chare`), or one of the degenerate content kinds (`mixed`,
+    /// `pcdata`, `empty`).
     pub engine: &'static str,
     /// Total occurrences of the element across the corpus.
     pub occurrences: u64,
@@ -148,6 +157,8 @@ fn infer_element(
         InferenceEngine::Crx => "crx",
         InferenceEngine::Idtd => "idtd",
         InferenceEngine::IdtdNoise { .. } => "idtd-noise",
+        InferenceEngine::Kore => "kore",
+        InferenceEngine::Auto => "auto",
     };
     let (mut rewrite_steps, mut repairs, mut fallbacks) = (0usize, 0usize, 0usize);
     let has_text = facts.has_text();
@@ -208,6 +219,39 @@ fn infer_element(
                 InferenceEngine::IdtdNoise { threshold } => {
                     SupportSoa::learn_counted(facts.child_sequences.iter())
                         .infer_denoised(threshold)
+                }
+                InferenceEngine::Kore => {
+                    let outcome = KoreState::learn_counted(&facts.child_sequences).derive();
+                    for e in &outcome.events {
+                        match e {
+                            Event::Rewrite(_) => rewrite_steps += 1,
+                            Event::Repair { .. } => repairs += 1,
+                            Event::Fallback => fallbacks += 1,
+                        }
+                    }
+                    outcome.model
+                }
+                InferenceEngine::Auto => {
+                    let soa = Soa::learn(facts.child_sequences.words());
+                    let sore = idtd_traced(&soa, IdtdConfig::default());
+                    let kore = KoreState::learn_counted(&facts.child_sequences).derive();
+                    let chare = crx_counted(facts.child_sequences.iter());
+                    let pick = pick_auto(
+                        sore,
+                        kore,
+                        chare,
+                        corpus.alphabet.len(),
+                        &facts.child_sequences,
+                    );
+                    engine_used = pick.engine;
+                    for e in &pick.events {
+                        match e {
+                            Event::Rewrite(_) => rewrite_steps += 1,
+                            Event::Repair { .. } => repairs += 1,
+                            Event::Fallback => fallbacks += 1,
+                        }
+                    }
+                    pick.model
                 }
             };
             match model {
@@ -312,6 +356,37 @@ mod tests {
         let dtd = infer_dtd(&c, InferenceEngine::Crx);
         assert_eq!(dtd.root, dtd.alphabet.get("top"));
         assert!(dtd.serialize().starts_with("<!ELEMENT top"));
+    }
+
+    #[test]
+    fn kore_engine_learns_repeated_symbol() {
+        // `a b a?` has no SORE; the k-ORE engine recovers it exactly.
+        let c = corpus(&["<r><a/><b/><a/></r>", "<r><a/><b/></r>"]);
+        let dtd = infer_dtd(&c, InferenceEngine::Kore);
+        let text = dtd.serialize();
+        assert!(text.contains("<!ELEMENT r (a, b, a?)>"), "{text}");
+        for doc in ["<r><a/><b/><a/></r>", "<r><a/><b/></r>"] {
+            assert_eq!(dtd.validate(doc).unwrap(), Vec::<String>::new());
+        }
+    }
+
+    #[test]
+    fn auto_engine_validates_sample_and_reports_choice() {
+        let c = corpus(&[
+            "<r><a/><b/><a/></r>",
+            "<r><a/><b/><a/></r>",
+            "<r><a/><b/></r>",
+        ]);
+        let (dtd, reports) = infer_dtd_with_stats(&c, InferenceEngine::Auto);
+        let r = reports.iter().find(|rep| rep.name == "r").unwrap();
+        assert!(
+            r.engine.starts_with("auto-"),
+            "chooser should stamp its verdict, got {}",
+            r.engine
+        );
+        for doc in ["<r><a/><b/><a/></r>", "<r><a/><b/></r>"] {
+            assert_eq!(dtd.validate(doc).unwrap(), Vec::<String>::new());
+        }
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property-based tests for the k-ORE engine: shard algebra, snapshot
+//! versioning, and the k-testable specificity ladder it generalizes.
+//!
+//! The load-bearing fact behind all three groups is that a [`KoreState`]
+//! is a pure function of the element's word *multiset* (marking commutes
+//! with 2T-INF), so merge order, shard boundaries, and snapshot round
+//! trips must all be invisible in the learned state and in the derived
+//! model.
+
+use dtdinfer_automata::ktestable::KTestable;
+use dtdinfer_core::kore::KoreState;
+use dtdinfer_engine::pool::ingest;
+use dtdinfer_engine::snapshot;
+use dtdinfer_regex::alphabet::{Sym, Word};
+use dtdinfer_regex::multiset::WordBag;
+use dtdinfer_xml::infer::InferenceEngine;
+use proptest::prelude::*;
+
+/// Strategy: a multiset of words over `n_syms` symbols, with repetition
+/// within words (the territory where k-ORE differs from SORE).
+fn arb_words(n_syms: u32) -> impl Strategy<Value = Vec<Word>> {
+    prop::collection::vec(
+        prop::collection::vec((0..n_syms).prop_map(Sym), 0..6),
+        1..10,
+    )
+}
+
+/// Renders child words as documents: `[a, b, a]` → `<r><a/><b/><a/></r>`.
+fn docs_of(words: &[Word]) -> Vec<String> {
+    words
+        .iter()
+        .map(|w| {
+            let mut doc = String::from("<r>");
+            for s in w {
+                doc.push_str(&format!("<c{}/>", s.0));
+            }
+            doc.push_str("</r>");
+            doc
+        })
+        .collect()
+}
+
+/// Downgrades a v4 snapshot to the v3 wire format: drop the persisted
+/// kore rows and swap the header (mirrors what a v3 writer produced).
+fn downgrade_to_v3(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        if line == snapshot::HEADER {
+            out.push_str(snapshot::V3_HEADER);
+        } else if line.starts_with("k ") {
+            continue;
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splitting the word multiset into shards, learning each shard
+    /// separately, and merging is identical to learning the whole — for
+    /// every split point, and in either merge order.
+    #[test]
+    fn kore_merge_of_split_equals_whole(words in arb_words(3), cut in 0usize..10) {
+        let cut = cut.min(words.len());
+        let whole_bag: WordBag = words.iter().cloned().collect();
+        let whole = KoreState::learn_counted(&whole_bag);
+
+        let left_bag: WordBag = words[..cut].iter().cloned().collect();
+        let right_bag: WordBag = words[cut..].iter().cloned().collect();
+        let left = KoreState::learn_counted(&left_bag);
+        let right = KoreState::learn_counted(&right_bag);
+
+        let mut lr = left.clone();
+        lr.merge(&right);
+        prop_assert_eq!(&lr, &whole, "left ∪ right must equal the whole");
+
+        let mut rl = right.clone();
+        rl.merge(&left);
+        prop_assert_eq!(&rl, &whole, "merge must be commutative");
+    }
+
+    /// Incremental absorption equals batch learning: the state is a pure
+    /// function of the multiset, not of arrival order.
+    #[test]
+    fn kore_absorb_order_is_invisible(words in arb_words(3)) {
+        let bag: WordBag = words.iter().cloned().collect();
+        let batch = KoreState::learn_counted(&bag);
+        let mut forward = KoreState::new();
+        for w in &words {
+            forward.absorb(w);
+        }
+        prop_assert_eq!(&forward, &batch);
+        let mut backward = KoreState::new();
+        for w in words.iter().rev() {
+            backward.absorb(w);
+        }
+        prop_assert_eq!(&backward, &batch);
+    }
+
+    /// Snapshot v4 round trip: save → load → save is the identity, and
+    /// the loaded state derives the same kore/auto DTDs — for any shard
+    /// count used during ingestion.
+    #[test]
+    fn snapshot_v4_round_trips(words in arb_words(2), jobs in 1usize..4) {
+        let docs = docs_of(&words);
+        let state = ingest(&docs, jobs).expect("ingest").state;
+        let text = snapshot::save(&state);
+        let loaded = snapshot::load(&text).expect("fresh save loads");
+        prop_assert_eq!(snapshot::save(&loaded), text.clone(), "save∘load is the identity");
+        for engine in [InferenceEngine::Kore, InferenceEngine::Auto] {
+            prop_assert_eq!(
+                loaded.derive(engine).0.serialize(),
+                state.derive(engine).0.serialize(),
+                "derive after round trip, {:?}", engine
+            );
+        }
+    }
+
+    /// v3 read-compat: a snapshot with its kore rows stripped loads, the
+    /// kore state is rebuilt *exactly* from the word rows, and re-saving
+    /// produces the byte-identical v4 text the rows were stripped from.
+    #[test]
+    fn snapshot_v3_rebuilds_kore_exactly(words in arb_words(2)) {
+        let docs = docs_of(&words);
+        let state = ingest(&docs, 2).expect("ingest").state;
+        let v4 = snapshot::save(&state);
+        let v3 = downgrade_to_v3(&v4);
+        let loaded = snapshot::load(&v3).expect("v3 snapshot loads");
+        prop_assert_eq!(snapshot::save(&loaded), v4, "rebuild from word rows is exact");
+        prop_assert_eq!(
+            loaded.derive(InferenceEngine::Kore).0.serialize(),
+            state.derive(InferenceEngine::Kore).0.serialize()
+        );
+    }
+
+    /// KTestable::learn is antitone in k on acceptance: for every probe,
+    /// acceptance at window k+1 implies acceptance at window k (larger
+    /// windows only specialize). Sample words stay accepted at every k.
+    #[test]
+    fn ktestable_learn_is_monotone_in_k(sample in arb_words(2), probes in arb_words(2)) {
+        let learned: Vec<KTestable> =
+            (1..=4).map(|k| KTestable::learn(k, &sample)).collect();
+        for kt in &learned {
+            for w in &sample {
+                prop_assert!(kt.accepts(w), "k={}: sample word {:?} rejected", kt.k, w);
+            }
+        }
+        for p in sample.iter().chain(&probes) {
+            for pair in learned.windows(2) {
+                prop_assert!(
+                    !pair[1].accepts(p) || pair[0].accepts(p),
+                    "probe {:?}: accepted at k={} but rejected at k={}",
+                    p, pair[1].k, pair[0].k
+                );
+            }
+        }
+    }
+}
